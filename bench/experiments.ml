@@ -1,0 +1,673 @@
+(* The experiment harness: one function per experiment in EXPERIMENTS.md
+   (E1..E10), each printing the table it regenerates.
+
+   Network costs are measured on Net_sim's virtual clock (deterministic);
+   computation costs are wall-clock medians via Workloads.bench_ms. *)
+
+let section id title =
+  Printf.printf "\n%s\n%s: %s\n%s\n" (String.make 72 '=') id title (String.make 72 '=')
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* E1: warehousing vs virtual integration vs hybrid (section 3.3)      *)
+(* ------------------------------------------------------------------ *)
+
+type e1_mode =
+  | Virtual
+  | Warehouse
+  | Hybrid of int
+
+let e1_mode_name = function
+  | Virtual -> "virtual"
+  | Warehouse -> "warehouse"
+  | Hybrid n -> Printf.sprintf "hybrid(refresh=%d)" n
+
+let e1_setup mode seed =
+  let g = Prng.create seed in
+  let sizes = [ 500; 1000; 2000 ] in
+  let dbs =
+    List.mapi
+      (fun i rows -> Workloads.customer_db g ~name:(Printf.sprintf "crm%d" i) ~rows)
+      sizes
+  in
+  let sys = Nimble.create ~cache_capacity:0 () in
+  let stats =
+    List.map
+      (fun db ->
+        let wrapped, st =
+          Net_sim.wrap ~seed
+            { Net_sim.latency_ms = 10.0; per_tuple_ms = 0.02; availability = 1.0 }
+            (Rel_source.make db)
+        in
+        (match Nimble.register_source sys wrapped with
+        | Ok () -> ()
+        | Error m -> failwith m);
+        st)
+      dbs
+  in
+  List.iteri
+    (fun i _ ->
+      match
+        Nimble.define_view sys
+          (Printf.sprintf "v%d" i)
+          (Printf.sprintf
+             {|WHERE <row><id>$i</id><name>$n</name></row> IN "crm%d.customers"
+               CONSTRUCT <customer><id>$i</id><name>$n</name></customer>|}
+             i)
+      with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    dbs;
+  (match mode with
+  | Virtual -> ()
+  | Warehouse ->
+    List.iteri
+      (fun i _ ->
+        match Nimble.materialize_view sys (Printf.sprintf "v%d" i) with
+        | Ok () -> ()
+        | Error m -> failwith m)
+      dbs
+  | Hybrid n ->
+    List.iteri
+      (fun i _ ->
+        match
+          Nimble.materialize_view sys
+            ~policy:(Mat_store.Every_n_queries n)
+            (Printf.sprintf "v%d" i)
+        with
+        | Ok () -> ()
+        | Error m -> failwith m)
+      dbs);
+  (g, dbs, sys, stats)
+
+let e1_run mode =
+  let g, dbs, sys, stats = e1_setup mode 42 in
+  let nqueries = 60 in
+  let next_id = ref 100_000 in
+  let missed = ref 0 in
+  let answered = ref 0 in
+  let _, wall_ms =
+    Workloads.time_ms (fun () ->
+        for q = 1 to nqueries do
+          (* Updates arrive continuously: one new customer per 5 queries. *)
+          if q mod 5 = 0 then begin
+            incr next_id;
+            let db = List.nth dbs (Prng.int g 3) in
+            ignore
+              (Rel_db.exec db
+                 (Printf.sprintf "INSERT INTO customers VALUES (%d, 'new %d', 'west', 1, 0.0)"
+                    !next_id !next_id))
+          end;
+          let v = Prng.int g 3 in
+          let trees =
+            match
+              Nimble.query sys
+                (Printf.sprintf
+                   {|WHERE <customer><id>$i</id></customer> IN "v%d" CONSTRUCT <r>$i</r>|} v)
+            with
+            | Ok trees -> trees
+            | Error m -> failwith m
+          in
+          let truth = Rel_table.row_count (Rel_db.table_exn (List.nth dbs v) "customers") in
+          answered := !answered + List.length trees;
+          missed := !missed + (truth - List.length trees)
+        done)
+  in
+  let virtual_ms = List.fold_left (fun acc st -> acc +. st.Net_sim.virtual_ms) 0.0 stats in
+  let calls = List.fold_left (fun acc st -> acc + st.Net_sim.calls) 0 stats in
+  let tuples = List.fold_left (fun acc st -> acc + st.Net_sim.tuples_shipped) 0 stats in
+  (e1_mode_name mode, virtual_ms, calls, tuples,
+   float_of_int !missed /. float_of_int nqueries, wall_ms)
+
+let e1 () =
+  section "E1" "virtual vs warehouse vs hybrid materialization (3 remote sources, 60 queries, continuous updates)";
+  row "%-22s %14s %8s %10s %14s %10s\n" "mode" "network ms" "calls" "tuples" "missed/query" "wall ms";
+  List.iter
+    (fun mode ->
+      let name, vms, calls, tuples, staleness, wall = e1_run mode in
+      row "%-22s %14.1f %8d %10d %14.2f %10.1f\n" name vms calls tuples staleness wall)
+    [ Virtual; Warehouse; Hybrid 15 ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: view selection under budget and drifting load (section 3.3)     *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "E2" "view selection: greedy benefit/storage under a budget, load shift mid-run";
+  let g = Prng.create 7 in
+  let candidates =
+    List.init 12 (fun i ->
+        {
+          Mat_select.cand_view = Printf.sprintf "v%02d" i;
+          storage = 50 + Prng.int g 400;
+          virtual_cost = 10.0 +. Prng.float g 90.0;
+          local_cost = 1.0 +. Prng.float g 2.0;
+        })
+  in
+  let total_storage = List.fold_left (fun a c -> a + c.Mat_select.storage) 0 candidates in
+  let zipf_load g rotate n =
+    let counts = Hashtbl.create 16 in
+    for _ = 1 to n do
+      let r = (Prng.zipf g ~n:12 ~theta:1.1 + rotate) mod 12 in
+      let name = Printf.sprintf "v%02d" r in
+      Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))
+    done;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  in
+  let phase_a = zipf_load g 0 1000 in
+  let phase_b = zipf_load g 6 1000 in
+  row "%-28s %12s %12s %10s\n" "policy" "phaseA cost" "phaseB cost" "storage";
+  let print_policy name chosen_a chosen_b =
+    let storage sel =
+      List.fold_left
+        (fun acc c -> if List.mem c.Mat_select.cand_view sel then acc + c.Mat_select.storage else acc)
+        0 candidates
+    in
+    row "%-28s %12.0f %12.0f %10d\n" name
+      (Mat_select.evaluate candidates phase_a chosen_a)
+      (Mat_select.evaluate candidates phase_b chosen_b)
+      (max (storage chosen_a) (storage chosen_b))
+  in
+  let budget = total_storage * 3 / 10 in
+  let all = List.map (fun c -> c.Mat_select.cand_view) candidates in
+  let greedy_a = (Mat_select.select ~budget candidates phase_a).Mat_select.chosen in
+  let optimal_a = (Mat_select.select_optimal ~budget candidates phase_a).Mat_select.chosen in
+  let greedy_b = (Mat_select.select ~budget candidates phase_b).Mat_select.chosen in
+  print_policy "materialize nothing" [] [];
+  print_policy "materialize everything" all all;
+  print_policy (Printf.sprintf "greedy (budget=%d)" budget) greedy_a greedy_a;
+  print_policy "greedy + adapt on drift" greedy_a greedy_b;
+  print_policy "optimal (phase A, static)" optimal_a optimal_a;
+  row "(budget is 30%% of total view storage %d; costs are workload cost units)\n" total_storage
+
+(* ------------------------------------------------------------------ *)
+(* E3: predicate/projection pushdown into relational sources           *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  section "E3" "fragment pushdown: compiler-generated SQL vs ship-whole-table (5000-row source)";
+  let g = Prng.create 11 in
+  let db = Workloads.customer_db g ~name:"crm" ~rows:5000 in
+  let wrapped, stats =
+    Net_sim.wrap { Net_sim.latency_ms = 10.0; per_tuple_ms = 0.05; availability = 1.0 }
+      (Rel_source.make db)
+  in
+  let cat = Med_catalog.create () in
+  Med_catalog.register_source cat wrapped;
+  let queries =
+    [
+      ("id = 37 (1 row)", {|WHERE <row><id>$i</id><name>$n</name></row> IN "crm.customers", $i = 37 CONSTRUCT <r>$n</r>|});
+      ("tier = 1 (~33%)", {|WHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 1 CONSTRUCT <r>$n</r>|});
+      ("balance < 100 (~10%)", {|WHERE <row><name>$n</name><balance>$b</balance></row> IN "crm.customers", $b < 100 CONSTRUCT <r>$n</r>|});
+      ("region = 'west' (~20%)", {|WHERE <row><name>$n</name><region>"west"</region></row> IN "crm.customers" CONSTRUCT <r>$n</r>|});
+    ]
+  in
+  row "%-26s %10s | %10s %12s | %10s %12s %8s\n" "query" "answers" "pushdown" "" "no-push" "" "ratio";
+  row "%-26s %10s | %10s %12s | %10s %12s %8s\n" "" "" "tuples" "network ms" "tuples" "network ms" "";
+  List.iter
+    (fun (label, text) ->
+      let run opts =
+        Net_sim.reset stats;
+        let trees = Med_exec.run_text ~opts cat text in
+        (List.length trees, stats.Net_sim.tuples_shipped, stats.Net_sim.virtual_ms)
+      in
+      let n1, t1, v1 = run Med_sqlgen.default_options in
+      let n2, t2, v2 = run Med_sqlgen.no_pushdown in
+      assert (n1 = n2);
+      row "%-26s %10d | %10d %12.1f | %10d %12.1f %7.1fx\n" label n1 t1 v1 t2 v2 (v2 /. v1))
+    queries
+
+let e3b () =
+  section "E3b" "join pushdown: one SQL join fragment vs per-table fragments joined at the mediator";
+  let g = Prng.create 13 in
+  let db = Rel_db.create ~name:"crm" () in
+  ignore
+    (Rel_db.exec db
+       "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, region TEXT, tier INT, balance FLOAT)");
+  ignore
+    (Rel_db.exec db
+       "CREATE TABLE orders (oid INT PRIMARY KEY, cust_id INT, item TEXT, amount FLOAT)");
+  let ncust = 2000 and nord = 6000 in
+  for i = 1 to ncust do
+    ignore
+      (Rel_db.exec db
+         (Printf.sprintf "INSERT INTO customers VALUES (%d, 'c%d', '%s', %d, %g)" i i
+            (Prng.pick g Workloads.regions) (1 + Prng.int g 3) (Prng.float g 1000.0)))
+  done;
+  for i = 1 to nord do
+    ignore
+      (Rel_db.exec db
+         (Printf.sprintf "INSERT INTO orders VALUES (%d, %d, '%s', %g)" i
+            (1 + Prng.int g ncust) (Prng.pick g Workloads.items)
+            (float_of_int (5 + Prng.int g 5000) /. 10.0)))
+  done;
+  ignore (Rel_db.exec db "CREATE INDEX ON orders (cust_id) USING HASH");
+  let wrapped, stats =
+    Net_sim.wrap { Net_sim.latency_ms = 10.0; per_tuple_ms = 0.05; availability = 1.0 }
+      (Rel_source.make db)
+  in
+  let cat = Med_catalog.create () in
+  Med_catalog.register_source cat wrapped;
+  let text =
+    {|WHERE <row><id>$i</id><name>$n</name><tier>$t</tier></row> IN "crm.customers",
+           <row><cust_id>$i</cust_id><amount>$a</amount></row> IN "crm.orders",
+           $t = 1, $a > 400
+      CONSTRUCT <big><n>$n</n><a>$a</a></big>|}
+  in
+  row "%-26s %10s %12s %12s %10s\n" "mode" "answers" "tuples" "network ms" "wall ms";
+  let run label opts =
+    Net_sim.reset stats;
+    let trees = ref [] in
+    let wall = Workloads.bench_ms ~runs:3 (fun () -> trees := Med_exec.run_text ~opts cat text) in
+    (* bench_ms runs the query 4 times total; report per-run stats *)
+    Net_sim.reset stats;
+    let trees2 = Med_exec.run_text ~opts cat text in
+    assert (List.length !trees = List.length trees2);
+    row "%-26s %10d %12d %12.1f %10.1f\n" label (List.length trees2)
+      stats.Net_sim.tuples_shipped stats.Net_sim.virtual_ms wall
+  in
+  run "join pushed (1 fragment)" Med_sqlgen.default_options;
+  run "select-only pushdown" Med_sqlgen.no_join_pushdown;
+  run "no pushdown at all" Med_sqlgen.no_pushdown
+
+(* ------------------------------------------------------------------ *)
+(* E4: dynamic data cleaning                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e4_matcher () =
+  let measure a b =
+    Cl_similarity.jaro_winkler (Cl_normalize.normalize_name a) (Cl_normalize.normalize_name b)
+  in
+  Cl_merge_purge.similarity_matcher ~measure ~same_above:0.93 ~different_below:0.75 ()
+
+let pairs_of_clusters clusters =
+  List.concat_map
+    (fun cluster ->
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> if x < y then (x, y) else (y, x)) rest @ pairs rest
+      in
+      pairs cluster)
+    clusters
+
+let e4_quality (outcome : Cl_merge_purge.outcome) true_pairs =
+  let found = pairs_of_clusters outcome.Cl_merge_purge.clusters in
+  let truth = List.map (fun (a, b) -> if a < b then (a, b) else (b, a)) true_pairs in
+  let tp = List.length (List.filter (fun p -> List.mem p truth) found) in
+  let recall = if truth = [] then 1.0 else float_of_int tp /. float_of_int (List.length truth) in
+  let precision =
+    if found = [] then 1.0 else float_of_int tp /. float_of_int (List.length found)
+  in
+  (recall, precision)
+
+let e4 () =
+  section "E4" "merge/purge: naive all-pairs vs multi-pass sorted neighborhood (20% injected duplicates)";
+  row "%-8s %12s | %12s %8s %8s %8s | %12s %8s %8s %8s\n" "n" "true dups" "naive cmp" "ms"
+    "recall" "prec" "snm cmp" "ms" "recall" "prec";
+  List.iter
+    (fun n ->
+      let g = Prng.create (1000 + n) in
+      let data = Workloads.dirty_customers g ~n ~dup_rate:0.2 in
+      let blocking =
+        [
+          (fun tup -> Cl_normalize.normalize_name (Value.to_string (Tuple.get_exn tup "name")));
+          (fun tup ->
+            (* second pass: sorted token set defeats word-order noise *)
+            let toks = Cl_similarity.tokens (Value.to_string (Tuple.get_exn tup "name")) in
+            String.concat " " (List.sort String.compare toks));
+        ]
+      in
+      let naive = ref None and snm = ref None in
+      let naive_ms =
+        Workloads.bench_ms ~runs:3 (fun () ->
+            naive := Some (Cl_merge_purge.naive_pairs (e4_matcher ()) data.Workloads.records))
+      in
+      let snm_ms =
+        Workloads.bench_ms ~runs:3 (fun () ->
+            snm :=
+              Some
+                (Cl_merge_purge.sorted_neighborhood ~window:10 ~keys:blocking (e4_matcher ())
+                   data.Workloads.records))
+      in
+      let naive = Option.get !naive and snm = Option.get !snm in
+      let nrec, nprec = e4_quality naive data.Workloads.true_pairs in
+      let srec, sprec = e4_quality snm data.Workloads.true_pairs in
+      row "%-8d %12d | %12d %8.1f %8.2f %8.2f | %12d %8.1f %8.2f %8.2f\n" n
+        (List.length data.Workloads.true_pairs)
+        naive.Cl_merge_purge.comparisons naive_ms nrec nprec snm.Cl_merge_purge.comparisons
+        snm_ms srec sprec)
+    [ 250; 500; 1000; 2000 ]
+
+let e4b () =
+  section "E4b" "concordance database: cold vs warm extraction runs (cost of re-deciding)";
+  row "%-8s %14s %14s %16s\n" "n" "cold matcher" "warm matcher" "determinations";
+  List.iter
+    (fun n ->
+      let g = Prng.create (2000 + n) in
+      let data = Workloads.dirty_customers g ~n ~dup_rate:0.2 in
+      let conc = Cl_concordance.create () in
+      let calls = ref 0 in
+      let base = e4_matcher () in
+      let counting a b =
+        incr calls;
+        base a b
+      in
+      let key_of tup = Value.to_string (Tuple.get_exn tup "name") in
+      let matcher = Cl_merge_purge.with_concordance_keys conc ~key_of counting in
+      let block tup = Cl_normalize.normalize_name (Value.to_string (Tuple.get_exn tup "name")) in
+      let run () =
+        ignore
+          (Cl_merge_purge.sorted_neighborhood ~window:10 ~keys:[ block ] matcher
+             data.Workloads.records)
+      in
+      run ();
+      let cold = !calls in
+      run ();
+      let warm = !calls - cold in
+      row "%-8d %14d %14d %16d\n" n cold warm (Cl_concordance.size conc))
+    [ 500; 1000; 2000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: partial results under source unavailability (section 3.4)       *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5" "partial results: strict vs partial answers as sources go offline (100 trials each)";
+  row "%-10s %-14s %16s %16s %16s\n" "sources" "availability" "P(all up)" "strict ok" "partial answer";
+  List.iter
+    (fun k ->
+      List.iter
+        (fun p ->
+          let g = Prng.create ((k * 100) + int_of_float (p *. 100.0)) in
+          let trials = 100 in
+          let strict_ok = ref 0 and completeness = ref 0.0 in
+          for _ = 1 to trials do
+            (* Each source answers independently with probability p. *)
+            let up = List.init k (fun _ -> Prng.bernoulli g p) in
+            let live = List.length (List.filter (fun b -> b) up) in
+            if live = k then incr strict_ok;
+            completeness := !completeness +. (float_of_int live /. float_of_int k)
+          done;
+          row "%-10d %-14.2f %16.2f %16.2f %16.2f\n" k p
+            (Float.pow p (float_of_int k))
+            (float_of_int !strict_ok /. float_of_int trials)
+            (!completeness /. float_of_int trials))
+        [ 0.5; 0.9; 0.99 ])
+    [ 2; 4; 8; 16 ]
+
+let e5b () =
+  section "E5b" "partial results through the engine: a 6-source federation at 0.9 availability";
+  let k = 6 in
+  let sys = Nimble.create ~cache_capacity:0 () in
+  let g = Prng.create 99 in
+  for i = 0 to k - 1 do
+    let db = Workloads.customer_db g ~name:(Printf.sprintf "s%d" i) ~rows:20 in
+    let wrapped, _ =
+      Net_sim.wrap ~seed:(500 + i)
+        { Net_sim.default_profile with Net_sim.availability = 0.9 }
+        (Rel_source.make db)
+    in
+    match Nimble.register_source sys wrapped with
+    | Ok () -> ()
+    | Error m -> failwith m
+  done;
+  let trials = 50 in
+  let strict_ok = ref 0 and partial_complete = ref 0 and rows_seen = ref 0 in
+  for _ = 1 to trials do
+    let all_ok = ref true and skipped_any = ref false in
+    for i = 0 to k - 1 do
+      let text =
+        Printf.sprintf
+          {|WHERE <row><id>$x</id></row> IN "s%d.customers" CONSTRUCT <r>$x</r>|} i
+      in
+      match Nimble.query_partial sys text with
+      | Ok (trees, skipped) ->
+        rows_seen := !rows_seen + List.length trees;
+        if skipped <> [] then begin
+          all_ok := false;
+          skipped_any := true
+        end
+      | Error _ -> all_ok := false
+    done;
+    if !all_ok then incr strict_ok;
+    if not !skipped_any then incr partial_complete
+  done;
+  row "trials with every source reachable: %d/%d\n" !strict_ok trials;
+  row "total rows delivered across trials (partial mode never errors): %d\n" !rows_seen;
+  row "expected all-up rate at 0.9^%d: %.2f\n" k (Float.pow 0.9 (float_of_int k))
+
+(* ------------------------------------------------------------------ *)
+(* E6: physical join operators (section 3.1)                           *)
+(* ------------------------------------------------------------------ *)
+
+let e6_relation g var n distinct_keys =
+  Alg_plan.Const_envs
+    (List.init n (fun i ->
+         Alg_env.of_bindings
+           [
+             ( var,
+               Dtree.of_tuple var
+                 (Tuple.make
+                    [ ("k", Value.Int (Prng.int g distinct_keys)); ("v", Value.Int i) ]) );
+           ]))
+
+let e6 () =
+  section "E6" "join operators of the physical algebra (equi-join, |keys| = n/10)";
+  row "%-10s %14s %14s %14s %10s\n" "n x n" "nested ms" "hash ms" "merge ms" "rows out";
+  let no_sources _ _ = Seq.empty in
+  List.iter
+    (fun n ->
+      let g = Prng.create (31 + n) in
+      let left = e6_relation g "l" n (max 1 (n / 10)) in
+      let right = e6_relation g "r" n (max 1 (n / 10)) in
+      let lk = Alg_expr.Child (Alg_expr.Var "l", "k") in
+      let rk = Alg_expr.Child (Alg_expr.Var "r", "k") in
+      let nl_plan = Alg_plan.Nl_join { left; right; pred = Some (Alg_expr.Binop (Alg_expr.Eq, lk, rk)) } in
+      let hash_plan = Alg_plan.Hash_join { left; right; left_key = lk; right_key = rk; residual = None } in
+      let merge_plan = Alg_plan.Merge_join { left; right; left_key = lk; right_key = rk } in
+      let count plan = List.length (Alg_exec.run_list no_sources plan) in
+      let rows_out = count hash_plan in
+      let nl_ms =
+        if n <= 1000 then
+          Printf.sprintf "%.1f" (Workloads.bench_ms ~runs:3 (fun () -> count nl_plan))
+        else "(skipped)"
+      in
+      let hash_ms = Workloads.bench_ms ~runs:3 (fun () -> count hash_plan) in
+      let merge_ms = Workloads.bench_ms ~runs:3 (fun () -> count merge_plan) in
+      row "%-10s %14s %14.1f %14.1f %10d\n"
+        (Printf.sprintf "%dx%d" n n)
+        nl_ms hash_ms merge_ms rows_out)
+    [ 300; 1000; 3000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: XML features — parse, navigate, document order (section 4)      *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7" "XML substrate scaling: parse, path query, navigation (document order preserved)";
+  row "%-10s %12s %12s %14s %14s %10s\n" "nodes" "parse ms" "path ms" "navigate ms" "order check" "products";
+  List.iter
+    (fun nodes ->
+      let g = Prng.create (17 + nodes) in
+      let text = Workloads.xml_catalog g ~nodes in
+      let doc = ref None in
+      let parse_ms =
+        Workloads.bench_ms ~runs:3 (fun () -> doc := Some (Xml_parser.parse_element_exn text))
+      in
+      let doc = Option.get !doc in
+      let path = Xml_path.parse_exn "//product[stock>'50']" in
+      let matches = ref [] in
+      let path_ms =
+        Workloads.bench_ms ~runs:3 (fun () -> matches := Xml_path.select path doc)
+      in
+      let nav_ms =
+        Workloads.bench_ms ~runs:3 (fun () ->
+            (* down to every product, then sideways and up *)
+            let cursor = Xml_cursor.of_root doc in
+            List.iter
+              (fun c ->
+                ignore (Xml_cursor.next_sibling c);
+                ignore (Xml_cursor.parent c))
+              (Xml_cursor.descendants cursor))
+      in
+      (* Document order: path results must be sorted by cursor order. *)
+      let cursors = Xml_path.eval path (Xml_cursor.of_root doc) in
+      let in_order =
+        let rec sorted = function
+          | [] | [ _ ] -> true
+          | a :: (b :: _ as rest) -> Xml_cursor.compare_order a b < 0 && sorted rest
+        in
+        sorted cursors
+      in
+      row "%-10d %12.1f %12.1f %14.1f %14s %10d\n" nodes parse_ms path_ms nav_ms
+        (if in_order then "ok" else "VIOLATED")
+        (List.length !matches))
+    [ 1_000; 10_000; 50_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: hierarchical mediated schemas (section 2.1)                     *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8" "hierarchical mediated schemas: view-over-view chains (200-row base source)";
+  row "%-8s %14s %12s %12s %12s\n" "depth" "plan ms" "run ms" "rows" "matches ref";
+  let g = Prng.create 23 in
+  let db = Workloads.customer_db g ~name:"crm" ~rows:200 in
+  let cat = Med_catalog.create () in
+  Med_catalog.register_source cat (Rel_source.make db);
+  Med_catalog.define_view_text cat "level1"
+    {|WHERE <row><id>$i</id><name>$n</name></row> IN "crm.customers"
+      CONSTRUCT <c1><id>$i</id><name>$n</name></c1>|};
+  for d = 2 to 6 do
+    Med_catalog.define_view_text cat
+      (Printf.sprintf "level%d" d)
+      (Printf.sprintf
+         {|WHERE <c%d><id>$i</id><name>$n</name></c%d> IN "level%d"
+           CONSTRUCT <c%d><id>$i</id><name>$n</name></c%d>|}
+         (d - 1) (d - 1) (d - 1) d d)
+  done;
+  for d = 1 to 6 do
+    let text =
+      Printf.sprintf
+        {|WHERE <c%d><id>$i</id></c%d> IN "level%d", $i <= 50 CONSTRUCT <out>$i</out>|} d d d
+    in
+    let q = Xq_parser.parse_exn text in
+    let plan_ms = Workloads.bench_ms ~runs:3 (fun () -> Med_planner.compile cat q) in
+    let result = ref [] in
+    let run_ms = Workloads.bench_ms ~runs:3 (fun () -> result := Med_exec.run cat q) in
+    let reference = Xq_eval.eval (Med_exec.direct_resolver cat) q in
+    let norm trees = List.sort compare (List.map Dtree.to_string trees) in
+    row "%-8d %14.2f %12.1f %12d %12s\n" d plan_ms run_ms (List.length !result)
+      (if norm !result = norm reference then "yes" else "NO")
+  done
+
+(* ------------------------------------------------------------------ *)
+(* E9: refresh policy — freshness vs remote cost (section 3.3)         *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9" "refresh interval: staleness vs network cost (one view, 120 queries, update every 4)";
+  row "%-22s %12s %14s %14s\n" "policy" "calls" "network ms" "missed/query";
+  let run policy_label policy =
+    let g = Prng.create 77 in
+    let db = Workloads.customer_db g ~name:"crm" ~rows:300 in
+    let wrapped, stats =
+      Net_sim.wrap { Net_sim.latency_ms = 10.0; per_tuple_ms = 0.02; availability = 1.0 }
+        (Rel_source.make db)
+    in
+    let sys = Nimble.create ~cache_capacity:0 () in
+    (match Nimble.register_source sys wrapped with Ok () -> () | Error m -> failwith m);
+    (match
+       Nimble.define_view sys "v"
+         {|WHERE <row><id>$i</id></row> IN "crm.customers" CONSTRUCT <customer><id>$i</id></customer>|}
+     with
+    | Ok () -> ()
+    | Error m -> failwith m);
+    (match policy with
+    | None -> ()
+    | Some p -> (
+      match Nimble.materialize_view sys ~policy:p "v" with
+      | Ok () -> ()
+      | Error m -> failwith m));
+    let nqueries = 120 in
+    let next_id = ref 50_000 in
+    let missed = ref 0 in
+    for q = 1 to nqueries do
+      if q mod 4 = 0 then begin
+        incr next_id;
+        ignore
+          (Rel_db.exec db
+             (Printf.sprintf "INSERT INTO customers VALUES (%d, 'n%d', 'west', 1, 0.0)"
+                !next_id !next_id))
+      end;
+      let trees =
+        match
+          Nimble.query sys {|WHERE <customer><id>$i</id></customer> IN "v" CONSTRUCT <r>$i</r>|}
+        with
+        | Ok trees -> trees
+        | Error m -> failwith m
+      in
+      let truth = Rel_table.row_count (Rel_db.table_exn db "customers") in
+      missed := !missed + (truth - List.length trees)
+    done;
+    row "%-22s %12d %14.1f %14.2f\n" policy_label stats.Net_sim.calls stats.Net_sim.virtual_ms
+      (float_of_int !missed /. float_of_int nqueries)
+  in
+  run "virtual (no copy)" None;
+  run "refresh every 1" (Some Mat_store.On_access);
+  run "refresh every 5" (Some (Mat_store.Every_n_queries 5));
+  run "refresh every 20" (Some (Mat_store.Every_n_queries 20));
+  run "refresh every 60" (Some (Mat_store.Every_n_queries 60));
+  run "never refresh" (Some Mat_store.Manual)
+
+(* ------------------------------------------------------------------ *)
+(* E10: result caching under a skewed lens workload (section 4)        *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section "E10" "query-result cache: 400 Zipf-distributed lens queries over 40 templates";
+  row "%-12s %-8s %12s %12s %14s\n" "cache size" "theta" "hit rate" "calls" "network ms";
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun capacity ->
+          let g = Prng.create (int_of_float (theta *. 10.0) + capacity) in
+          let db = Workloads.customer_db (Prng.create 3) ~name:"crm" ~rows:500 in
+          let wrapped, stats =
+            Net_sim.wrap { Net_sim.latency_ms = 5.0; per_tuple_ms = 0.02; availability = 1.0 }
+              (Rel_source.make db)
+          in
+          let sys = Nimble.create ~cache_capacity:capacity () in
+          (match Nimble.register_source sys wrapped with Ok () -> () | Error m -> failwith m);
+          for _ = 1 to 400 do
+            let which = Prng.zipf g ~n:40 ~theta in
+            let text =
+              Printf.sprintf
+                {|WHERE <row><id>$i</id><tier>$t</tier></row> IN "crm.customers", $i <= %d
+                  CONSTRUCT <r>$i</r>|}
+                ((which + 1) * 10)
+            in
+            match Nimble.query sys text with
+            | Ok _ -> ()
+            | Error m -> failwith m
+          done;
+          row "%-12d %-8.1f %12.2f %12d %14.1f\n" capacity theta
+            (Mat_cache.hit_rate (Nimble.cache sys))
+            stats.Net_sim.calls stats.Net_sim.virtual_ms)
+        [ 0; 4; 16; 64 ])
+    [ 0.5; 1.2 ]
+
+let all () =
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e4b ();
+  e5 ();
+  e5b ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ()

@@ -1,0 +1,127 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe            -- all experiments + micro-benches
+     dune exec bench/main.exe -- E3 E6   -- selected experiments
+     dune exec bench/main.exe -- micro   -- only the Bechamel micro suite
+
+   Each experiment (E1..E10) regenerates one table of EXPERIMENTS.md;
+   the Bechamel suite gives per-operation timings for the core engine
+   paths. *)
+
+let experiments : (string * (unit -> unit)) list =
+  [
+    ("E1", Experiments.e1);
+    ("E2", Experiments.e2);
+    ("E3", Experiments.e3);
+    ("E3b", Experiments.e3b);
+    ("E4", Experiments.e4);
+    ("E4b", Experiments.e4b);
+    ("E5", Experiments.e5);
+    ("E5b", Experiments.e5b);
+    ("E6", Experiments.e6);
+    ("E7", Experiments.e7);
+    ("E8", Experiments.e8);
+    ("E9", Experiments.e9);
+    ("E10", Experiments.e10);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per core engine path       *)
+(* ------------------------------------------------------------------ *)
+
+let micro_fixtures () =
+  let g = Prng.create 5 in
+  let xml_text = Workloads.xml_catalog g ~nodes:2000 in
+  let doc = Xml_parser.parse_element_exn xml_text in
+  let db = Workloads.customer_db (Prng.create 6) ~name:"crm" ~rows:2000 in
+  let cat = Med_catalog.create () in
+  Med_catalog.register_source cat (Rel_source.make db);
+  let query_text =
+    {|WHERE <row><id>$i</id><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 1
+      CONSTRUCT <c><id>$i</id><name>$n</name></c>|}
+  in
+  let parsed = Xq_parser.parse_exn query_text in
+  let dirty = Workloads.dirty_customers (Prng.create 8) ~n:300 ~dup_rate:0.2 in
+  (xml_text, doc, db, cat, query_text, parsed, dirty)
+
+let micro_tests () =
+  let xml_text, doc, db, cat, query_text, parsed, dirty = micro_fixtures () in
+  let open Bechamel in
+  [
+    Test.make ~name:"xml_parse_2k_nodes" (Staged.stage (fun () ->
+        ignore (Xml_parser.parse_element_exn xml_text)));
+    Test.make ~name:"xml_path_descendants" (Staged.stage (fun () ->
+        ignore (Xml_path.select (Xml_path.parse_exn "//product") doc)));
+    Test.make ~name:"sql_select_indexed" (Staged.stage (fun () ->
+        ignore (Rel_db.query db "SELECT name FROM customers WHERE id = 999")));
+    Test.make ~name:"sql_scan_filter_2k" (Staged.stage (fun () ->
+        ignore (Rel_db.query db "SELECT name FROM customers WHERE tier = 2")));
+    Test.make ~name:"xmlql_parse" (Staged.stage (fun () ->
+        ignore (Xq_parser.parse_exn query_text)));
+    Test.make ~name:"mediator_compile" (Staged.stage (fun () ->
+        ignore (Med_planner.compile cat parsed)));
+    Test.make ~name:"mediator_run_pushdown" (Staged.stage (fun () ->
+        ignore (Med_exec.run cat parsed)));
+    Test.make ~name:"jaro_winkler" (Staged.stage (fun () ->
+        ignore (Cl_similarity.jaro_winkler "acme corporation" "acme corp")));
+    Test.make ~name:"snm_dedupe_300" (Staged.stage (fun () ->
+        let matcher =
+          Cl_merge_purge.similarity_matcher
+            ~measure:Cl_similarity.jaro ~same_above:0.9 ~different_below:0.6 ()
+        in
+        let key tup = Value.to_string (Tuple.get_exn tup "name") in
+        ignore
+          (Cl_merge_purge.sorted_neighborhood ~window:8 ~keys:[ key ] matcher
+             dirty.Workloads.records)));
+  ]
+
+let run_micro () =
+  print_newline ();
+  print_endline (String.make 72 '=');
+  print_endline "micro: Bechamel per-operation timings (monotonic clock)";
+  print_endline (String.make 72 '=');
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let tests = micro_tests () in
+  Printf.printf "%-28s %16s %12s\n" "operation" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some [ e ] -> e
+            | _ -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+          Printf.printf "%-28s %16.1f %12.4f\n" name estimate r2)
+        analyzed)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+    List.iter (fun (_, f) -> f ()) experiments;
+    run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | selected ->
+    List.iter
+      (fun id ->
+        if id = "micro" then run_micro ()
+        else
+          match List.assoc_opt id experiments with
+          | Some f -> f ()
+          | None ->
+            Printf.eprintf "unknown experiment %s (known: %s, micro)\n" id
+              (String.concat ", " (List.map fst experiments));
+            exit 1)
+      selected

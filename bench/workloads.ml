@@ -1,0 +1,201 @@
+(* Synthetic workload generation for the benchmark harness.
+
+   Substitutes for the Fortune-500 customer data of the paper's beta
+   deployments (see DESIGN.md, substitution table): deterministic
+   generators for relational customer/order data, dirty duplicates with
+   the anomaly classes of section 3.2 (abbreviations, truncations, case
+   and punctuation noise, typos, conflicting keys), and XML documents of
+   controlled size. *)
+
+let first_names =
+  [| "james"; "mary"; "robert"; "patricia"; "john"; "jennifer"; "michael";
+     "linda"; "david"; "elizabeth"; "william"; "barbara"; "richard"; "susan";
+     "joseph"; "jessica"; "thomas"; "sarah"; "charles"; "karen" |]
+
+let company_roots =
+  [| "acme"; "globex"; "initech"; "umbrella"; "stark"; "wayne"; "hooli";
+     "cyberdyne"; "tyrell"; "wonka"; "dunder"; "sterling"; "oscorp";
+     "massive"; "gringotts"; "weyland"; "aperture"; "virtucon"; "monarch";
+     "octan" |]
+
+let company_kinds = [| "industries"; "corporation"; "systems"; "logistics"; "holdings" |]
+
+let regions = [| "west"; "east"; "north"; "south"; "central" |]
+let items = [| "widget"; "gizmo"; "doohickey"; "gadget"; "server"; "sprocket" |]
+
+let company_name g =
+  Printf.sprintf "%s %s"
+    (String.capitalize_ascii (Prng.pick g company_roots))
+    (String.capitalize_ascii (Prng.pick g company_kinds))
+
+let person_name g =
+  Printf.sprintf "%s %s"
+    (String.capitalize_ascii (Prng.pick g first_names))
+    (String.capitalize_ascii (Prng.pick g company_roots))
+
+(* ------------------------------------------------------------------ *)
+(* Relational data                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A customers table with [n] rows in a fresh database named [name]. *)
+let customer_db g ~name ~rows =
+  let db = Rel_db.create ~name () in
+  ignore
+    (Rel_db.exec db
+       "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, region TEXT, tier INT, balance FLOAT)");
+  for i = 1 to rows do
+    let stmt =
+      Printf.sprintf "INSERT INTO customers VALUES (%d, '%s %d', '%s', %d, %g)" i
+        (company_name g) i (Prng.pick g regions) (1 + Prng.int g 3)
+        (float_of_int (Prng.int g 10_000) /. 10.0)
+    in
+    ignore (Rel_db.exec db stmt)
+  done;
+  db
+
+let orders_db g ~name ~rows ~customers =
+  let db = Rel_db.create ~name () in
+  ignore
+    (Rel_db.exec db
+       "CREATE TABLE orders (oid INT PRIMARY KEY, cust_id INT, item TEXT, amount FLOAT)");
+  for i = 1 to rows do
+    let stmt =
+      Printf.sprintf "INSERT INTO orders VALUES (%d, %d, '%s', %g)" i
+        (1 + Prng.int g customers) (Prng.pick g items)
+        (float_of_int (5 + Prng.int g 5000) /. 10.0)
+    in
+    ignore (Rel_db.exec db stmt)
+  done;
+  db
+
+(* ------------------------------------------------------------------ *)
+(* Dirty duplicates (section 3.2 anomaly classes)                      *)
+(* ------------------------------------------------------------------ *)
+
+let abbreviations =
+  [ ("corporation", "corp"); ("industries", "ind"); ("systems", "sys");
+    ("logistics", "log"); ("holdings", "hldg") ]
+
+let replace_word s (long, short) =
+  String.concat " "
+    (List.map
+       (fun w -> if String.lowercase_ascii w = long then short else w)
+       (String.split_on_char ' ' s))
+
+let typo g s =
+  if String.length s < 4 then s
+  else begin
+    let i = 1 + Prng.int g (String.length s - 2) in
+    let b = Bytes.of_string s in
+    (match Prng.int g 3 with
+    | 0 ->
+      (* transpose *)
+      let c = Bytes.get b i in
+      Bytes.set b i (Bytes.get b (i - 1));
+      Bytes.set b (i - 1) c
+    | 1 -> Bytes.set b i 'x' (* substitute *)
+    | _ -> Bytes.set b i (Bytes.get b (max 0 (i - 1))) (* double *));
+    Bytes.to_string b
+  end
+
+(* Produce a dirty variant of a clean name, exercising one anomaly. *)
+let dirty_variant g name =
+  match Prng.int g 6 with
+  | 0 -> String.uppercase_ascii name
+  | 1 -> List.fold_left replace_word name abbreviations
+  | 2 -> typo g name
+  | 3 -> name ^ ", Inc."
+  | 4 ->
+    (* truncation *)
+    if String.length name > 8 then String.sub name 0 (String.length name - 3) else name
+  | _ -> "  " ^ name ^ "  "
+
+type dirty_dataset = {
+  records : Cl_merge_purge.record list;
+  (* ground truth: pairs of keys that denote the same entity *)
+  true_pairs : (string * string) list;
+}
+
+(* A distinctive pronounceable company root (real-world names are mostly
+   unique strings, unlike cross products of a small vocabulary, so a
+   string matcher can separate entities). *)
+let coined_word g =
+  let consonants = "bcdfgklmnprstvz" and vowels = "aeiou" in
+  let len = 6 + Prng.int g 5 in
+  String.init len (fun i ->
+      if i mod 2 = 0 then consonants.[Prng.int g (String.length consonants)]
+      else vowels.[Prng.int g (String.length vowels)])
+
+(* [n] base entities; a [dup_rate] fraction get one dirty duplicate with
+   a conflicting key (the object-identity problem). *)
+let dirty_customers g ~n ~dup_rate =
+  let base =
+    List.init n (fun i ->
+        let name =
+          Printf.sprintf "%s %s"
+            (String.capitalize_ascii (coined_word g))
+            (String.capitalize_ascii (Prng.pick g company_kinds))
+        in
+        (Printf.sprintf "a:%04d" i, name))
+  in
+  let dups =
+    List.filter_map
+      (fun (key, name) ->
+        if Prng.bernoulli g dup_rate then
+          Some ((Printf.sprintf "b:%s" (String.sub key 2 4), dirty_variant g name), key)
+        else None)
+      base
+  in
+  let record (key, name) =
+    { Cl_merge_purge.key; data = Tuple.make [ ("name", Value.String name) ] }
+  in
+  let records = List.map record base @ List.map (fun (d, _) -> record d) dups in
+  let true_pairs = List.map (fun ((dkey, _), okey) -> (okey, dkey)) dups in
+  { records; true_pairs }
+
+(* ------------------------------------------------------------------ *)
+(* XML documents                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A catalog document with roughly [nodes] tree nodes: a 3-level
+   category/product/field hierarchy. *)
+let xml_catalog g ~nodes =
+  let products_needed = max 1 (nodes / 6) in
+  let buf = Buffer.create (nodes * 24) in
+  Buffer.add_string buf "<catalog>";
+  let cat_count = max 1 (products_needed / 20) in
+  let pid = ref 0 in
+  for c = 1 to cat_count do
+    Buffer.add_string buf (Printf.sprintf "<category name=\"cat%d\">" c);
+    for _ = 1 to products_needed / cat_count do
+      incr pid;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<product sku=\"P%05d\"><name>%s</name><price>%d</price><stock>%d</stock></product>"
+           !pid (Prng.pick g items) (1 + Prng.int g 500) (Prng.int g 100))
+    done;
+    Buffer.add_string buf "</category>"
+  done;
+  Buffer.add_string buf "</catalog>";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, (t1 -. t0) *. 1000.0)
+
+(* Median wall time of [runs] executions, discarding the first (warmup). *)
+let bench_ms ?(runs = 5) f =
+  ignore (f ());
+  let times =
+    List.init runs (fun _ ->
+        let _, ms = time_ms f in
+        ms)
+  in
+  let sorted = List.sort compare times in
+  List.nth sorted (runs / 2)

@@ -1,0 +1,329 @@
+(* The nimble command-line interface.
+
+   Sources are given as NAME=PATH options: CSV files become scan-only
+   flat-file sources, XML files become path-capable XML stores, and .sql
+   files (a list of SQL statements) are loaded into an in-memory
+   relational source.  With no sources, a small built-in demo federation
+   is used so every subcommand works out of the box.
+
+     nimble query  'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>'
+     nimble explain '...'
+     nimble repl --csv contacts=./contacts.csv
+*)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Source loading                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let split_spec spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+    (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  | None -> failwith (Printf.sprintf "source spec %S is not NAME=PATH" spec)
+
+let load_csv_source spec =
+  let name, path = split_spec spec in
+  let base = Filename.remove_extension (Filename.basename path) in
+  Csv_source.make ~name [ (base, read_file path) ]
+
+let load_xml_source spec =
+  let name, path = split_spec spec in
+  let base = Filename.remove_extension (Filename.basename path) in
+  Xml_source.of_xml_strings ~name [ (base, read_file path) ]
+
+let load_sql_source spec =
+  let name, path = split_spec spec in
+  let db = Rel_db.create ~name () in
+  let text = read_file path in
+  (* Statements separated by ';'. *)
+  List.iter
+    (fun stmt ->
+      let stmt = String.trim stmt in
+      if stmt <> "" then ignore (Rel_db.exec db stmt))
+    (String.split_on_char ';' text);
+  Rel_source.make db
+
+let demo_federation () =
+  let db = Rel_db.create ~name:"crm" () in
+  List.iter
+    (fun s -> ignore (Rel_db.exec db s))
+    [
+      "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, region TEXT, tier INT)";
+      "CREATE TABLE orders (oid INT PRIMARY KEY, cust_id INT, item TEXT, amount FLOAT)";
+      "INSERT INTO customers VALUES (1, 'Acme', 'west', 1), (2, 'Globex', 'east', 2), \
+       (3, 'Initech', 'west', 2)";
+      "INSERT INTO orders VALUES (100, 1, 'widget', 250.0), (101, 2, 'server', 9000.0), \
+       (102, 3, 'widget', 120.0)";
+    ];
+  let products =
+    Xml_source.of_xml_strings ~name:"products"
+      [
+        ( "catalog",
+          {|<catalog><product sku="widget"><price>25</price></product>
+            <product sku="server"><price>4500</price></product></catalog>|} );
+      ]
+  in
+  [ Rel_source.make db; products ]
+
+let build_system csvs xmls sqls =
+  let sys = Nimble.create () in
+  let sources =
+    List.map load_csv_source csvs
+    @ List.map load_xml_source xmls
+    @ List.map load_sql_source sqls
+  in
+  let sources = if sources = [] then demo_federation () else sources in
+  List.iter
+    (fun src ->
+      match Nimble.register_source sys src with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    sources;
+  sys
+
+(* ------------------------------------------------------------------ *)
+(* Subcommand bodies                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let device_of_flag s =
+  match Fe_format.device_of_string s with
+  | Some d -> d
+  | None -> failwith (Printf.sprintf "unknown device %S (web, wireless, text, xml)" s)
+
+(* Setup failures (bad flags, unreadable files, malformed source data)
+   become clean CLI errors rather than uncaught exceptions. *)
+let with_setup f =
+  try f () with
+  | Failure m -> `Error (false, m)
+  | Sys_error m -> `Error (false, m)
+  | Xml_parser.Parse_error e -> `Error (false, Xml_parser.error_to_string e)
+  | Rel_db.Sql_error m -> `Error (false, m)
+
+let run_query csvs xmls sqls partial device text =
+  with_setup @@ fun () ->
+  let sys = build_system csvs xmls sqls in
+  let device = device_of_flag device in
+  if partial then begin
+    match Nimble.query_partial sys text with
+    | Ok (trees, skipped) ->
+      print_endline (Fe_format.render device trees);
+      if skipped <> [] then
+        Printf.printf "-- incomplete: sources unavailable: %s\n" (String.concat ", " skipped);
+      `Ok ()
+    | Error m -> `Error (false, m)
+  end
+  else begin
+    match Nimble.query_formatted sys ~device text with
+    | Ok rendered ->
+      print_endline rendered;
+      `Ok ()
+    | Error m -> `Error (false, m)
+  end
+
+let run_explain csvs xmls sqls text =
+  with_setup @@ fun () ->
+  let sys = build_system csvs xmls sqls in
+  match Nimble.explain sys text with
+  | Ok plan ->
+    print_string plan;
+    `Ok ()
+  | Error m -> `Error (false, m)
+
+let run_report csvs xmls sqls =
+  with_setup @@ fun () ->
+  let sys = build_system csvs xmls sqls in
+  print_string (Nimble.report sys);
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* REPL                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let repl_help =
+  {|commands:
+  \help                       this message
+  \report                     system status
+  \exports                    addressable source exports
+  \define NAME := QUERY       define a mediated schema
+  \materialize NAME           materialize a view (manual refresh)
+  \refresh NAME               refresh a materialized view
+  \explain QUERY              show the physical plan
+  \partial QUERY              run in partial-results mode
+  \save FILE                  write views/materializations as a script
+  \load FILE                  replay a saved script
+  \quit                       exit
+anything else is run as an XML-QL query (end with ';' to span lines)|}
+
+let read_statement () =
+  (* Accumulate lines until one ends with ';' or the first line is a
+     backslash-command. *)
+  let rec go acc =
+    match In_channel.input_line stdin with
+    | None -> None
+    | Some line ->
+      let line = String.trim line in
+      if acc = "" && (line = "" || line.[0] = '\\') then Some line
+      else begin
+        let acc = if acc = "" then line else acc ^ " " ^ line in
+        if String.length acc > 0 && acc.[String.length acc - 1] = ';' then
+          Some (String.sub acc 0 (String.length acc - 1))
+        else if acc = "" then Some ""
+        else go acc
+      end
+  in
+  go ""
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let run_repl csvs xmls sqls =
+  with_setup @@ fun () ->
+  let sys = build_system csvs xmls sqls in
+  Printf.printf "nimble repl — %d source(s) registered, \\help for commands\n"
+    (List.length (Med_catalog.source_names (Nimble.catalog sys)));
+  let rec loop () =
+    print_string "nimble> ";
+    flush stdout;
+    match read_statement () with
+    | None -> ()
+    | Some "" -> loop ()
+    | Some "\\quit" -> ()
+    | Some "\\help" ->
+      print_endline repl_help;
+      loop ()
+    | Some "\\report" ->
+      print_string (Nimble.report sys);
+      loop ()
+    | Some "\\exports" ->
+      List.iter print_endline (Src_registry.exports (Med_catalog.registry (Nimble.catalog sys)));
+      loop ()
+    | Some line when starts_with "\\define " line -> (
+      let rest = String.sub line 8 (String.length line - 8) in
+      match String.index_opt rest ':' with
+      | Some i when i + 1 < String.length rest && rest.[i + 1] = '=' ->
+        let vname = String.trim (String.sub rest 0 i) in
+        let body = String.trim (String.sub rest (i + 2) (String.length rest - i - 2)) in
+        (match Nimble.define_view sys vname body with
+        | Ok () -> Printf.printf "defined view %s\n" vname
+        | Error m -> Printf.printf "error: %s\n" m);
+        loop ()
+      | _ ->
+        print_endline "usage: \\define NAME := QUERY";
+        loop ())
+    | Some line when starts_with "\\materialize " line ->
+      let vname = String.trim (String.sub line 13 (String.length line - 13)) in
+      (match Nimble.materialize_view sys vname with
+      | Ok () -> Printf.printf "materialized %s\n" vname
+      | Error m -> Printf.printf "error: %s\n" m);
+      loop ()
+    | Some line when starts_with "\\refresh " line ->
+      let vname = String.trim (String.sub line 9 (String.length line - 9)) in
+      (match Nimble.refresh_view sys vname with
+      | Ok () -> Printf.printf "refreshed %s\n" vname
+      | Error m -> Printf.printf "error: %s\n" m);
+      loop ()
+    | Some line when starts_with "\\save " line ->
+      let path = String.trim (String.sub line 6 (String.length line - 6)) in
+      (try
+         Out_channel.with_open_text path (fun oc ->
+             Out_channel.output_string oc (Nimble.save_config sys));
+         Printf.printf "saved configuration to %s\n" path
+       with Sys_error m -> Printf.printf "error: %s\n" m);
+      loop ()
+    | Some line when starts_with "\\load " line ->
+      let path = String.trim (String.sub line 6 (String.length line - 6)) in
+      (try
+         let script = read_file path in
+         match Nimble.load_config sys script with
+         | Ok () -> Printf.printf "loaded %s\n" path
+         | Error m -> Printf.printf "error: %s\n" m
+       with Sys_error m -> Printf.printf "error: %s\n" m);
+      loop ()
+    | Some line when starts_with "\\explain " line ->
+      let text = String.sub line 9 (String.length line - 9) in
+      (match Nimble.explain sys text with
+      | Ok plan -> print_string plan
+      | Error m -> Printf.printf "error: %s\n" m);
+      loop ()
+    | Some line when starts_with "\\partial " line ->
+      let text = String.sub line 9 (String.length line - 9) in
+      (match Nimble.query_partial sys text with
+      | Ok (trees, skipped) ->
+        print_string (Fe_format.render Fe_format.Text trees);
+        if skipped <> [] then
+          Printf.printf "-- incomplete: %s unavailable\n" (String.concat ", " skipped)
+      | Error m -> Printf.printf "error: %s\n" m);
+      loop ()
+    | Some line when starts_with "\\" line ->
+      Printf.printf "unknown command %s (try \\help)\n" line;
+      loop ()
+    | Some text ->
+      (match Nimble.query sys text with
+      | Ok trees -> print_string (Fe_format.render Fe_format.Text trees)
+      | Error m -> Printf.printf "error: %s\n" m);
+      loop ()
+  in
+  loop ();
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let csv_opt =
+  Arg.(value & opt_all string [] & info [ "csv" ] ~docv:"NAME=PATH" ~doc:"Register a CSV flat-file source.")
+
+let xml_opt =
+  Arg.(value & opt_all string [] & info [ "xml" ] ~docv:"NAME=PATH" ~doc:"Register an XML document source.")
+
+let sql_opt =
+  Arg.(value & opt_all string [] & info [ "sql" ] ~docv:"NAME=PATH" ~doc:"Load a .sql script into an in-memory relational source.")
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"XML-QL query text.")
+
+let partial_flag =
+  Arg.(value & flag & info [ "partial" ] ~doc:"Partial-results mode: skip unavailable sources and annotate.")
+
+let device_opt =
+  Arg.(value & opt string "text" & info [ "device" ] ~docv:"DEVICE" ~doc:"Output device: web, wireless, text or xml.")
+
+let wrap f = Term.(ret (const f))
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run an XML-QL query against the registered sources")
+    Term.(
+      ret (const run_query $ csv_opt $ xml_opt $ sql_opt $ partial_flag $ device_opt $ query_arg))
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the physical plan and pushed fragments for a query")
+    Term.(ret (const run_explain $ csv_opt $ xml_opt $ sql_opt $ query_arg))
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"Print the system status report")
+    Term.(ret (const run_report $ csv_opt $ xml_opt $ sql_opt))
+
+let repl_cmd =
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive shell: queries, view definitions, materialization")
+    Term.(ret (const run_repl $ csv_opt $ xml_opt $ sql_opt))
+
+let main =
+  let doc = "the Nimble XML data integration system" in
+  Cmd.group (Cmd.info "nimble" ~version:"1.0.0" ~doc) [ query_cmd; explain_cmd; report_cmd; repl_cmd ]
+
+let () =
+  ignore wrap;
+  exit (Cmd.eval main)

@@ -1,0 +1,92 @@
+(* Partial results under source unavailability: section 3.4.
+
+   "In many applications, it's never the case that all sources are
+   available … It is often not acceptable in this situation to simply
+   return an error or an empty result."
+
+   A federation of four regional order databases behind simulated
+   networks.  With every source up, strict mode answers completely.
+   When two regions go dark, strict mode fails — but partial mode
+   returns what the live regions know, annotated as incomplete.
+
+     dune exec examples/partial_results.exe
+*)
+
+let ok = function Ok v -> v | Error m -> failwith m
+
+let region_db name rows =
+  let db = Rel_db.create ~name () in
+  ignore (Rel_db.exec db "CREATE TABLE orders (oid INT PRIMARY KEY, item TEXT, amount FLOAT)");
+  List.iteri
+    (fun i (item, amount) ->
+      ignore
+        (Rel_db.exec db
+           (Printf.sprintf "INSERT INTO orders VALUES (%d, '%s', %g)" (i + 1) item amount)))
+    rows;
+  db
+
+let () =
+  let regions =
+    [
+      ("west", [ ("widget", 120.0); ("gizmo", 80.0) ], 1.0);
+      ("east", [ ("widget", 45.0); ("doohickey", 300.0) ], 1.0);
+      ("south", [ ("gizmo", 75.0) ], 0.0);   (* offline *)
+      ("north", [ ("widget", 60.0) ], 0.0);  (* offline *)
+    ]
+  in
+  let sys = Nimble.create () in
+  List.iter
+    (fun (name, rows, availability) ->
+      let src = Rel_source.make (region_db name rows) in
+      let wrapped, _ =
+        Net_sim.wrap { Net_sim.default_profile with Net_sim.availability } src
+      in
+      ok (Nimble.register_source sys wrapped))
+    regions;
+
+  (* One query per region, same shape; a production deployment would
+     union them behind a mediated schema per region. *)
+  let region_query region =
+    Printf.sprintf
+      {|WHERE <row><item>$i</item><amount>$a</amount></row> IN "%s.orders"
+        CONSTRUCT <order region="%s"><item>$i</item><amount>$a</amount></order>|}
+      region region
+  in
+
+  print_endline "== strict mode, region by region ==";
+  List.iter
+    (fun (region, _, _) ->
+      match Nimble.query sys (region_query region) with
+      | Ok trees -> Printf.printf "  %-6s %d orders\n" region (List.length trees)
+      | Error m -> Printf.printf "  %-6s FAILED: %s\n" region m)
+    regions;
+
+  print_endline "\n== partial mode: answer what we can, say what we missed ==";
+  let all_orders = ref [] in
+  let all_skipped = ref [] in
+  List.iter
+    (fun (region, _, _) ->
+      let trees, skipped = ok (Nimble.query_partial sys (region_query region)) in
+      all_orders := !all_orders @ trees;
+      all_skipped := !all_skipped @ skipped)
+    regions;
+  Printf.printf "  orders collected: %d\n" (List.length !all_orders);
+  Printf.printf "  incomplete: data from [%s] was not reachable\n"
+    (String.concat ", " (List.sort_uniq String.compare !all_skipped));
+
+  print_endline "\n== the partial answer itself ==";
+  print_string (Fe_format.render Fe_format.Text !all_orders);
+
+  (* The completeness annotation is what lets a UI tell users "results
+     were not complete" rather than silently under-reporting. *)
+  let total =
+    List.fold_left
+      (fun acc tree ->
+        match Dtree.first_named tree "amount" with
+        | Some a -> acc +. (Option.value ~default:0.0 (Value.to_float (Value.of_string_guess (Dtree.text a))))
+        | None -> acc)
+      0.0 !all_orders
+  in
+  Printf.printf "\nrevenue visible right now: %.2f (lower bound — %d region(s) offline)\n"
+    total
+    (List.length (List.sort_uniq String.compare !all_skipped))

@@ -1,0 +1,55 @@
+(* Quickstart: stand up an integration system over one relational source
+   and one XML source, and run an XML-QL query that joins them.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* 1. A relational source: the kind of departmental database the
+     mediator compiles SQL fragments for. *)
+  let db = Rel_db.create ~name:"crm" () in
+  List.iter
+    (fun stmt -> ignore (Rel_db.exec db stmt))
+    [
+      "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, region TEXT)";
+      "INSERT INTO customers VALUES (1, 'Acme', 'west'), (2, 'Globex', 'east'), \
+       (3, 'Initech', 'west')";
+    ];
+
+  (* 2. An XML source: a product catalog document. *)
+  let products =
+    Xml_source.of_xml_strings ~name:"products"
+      [
+        ( "catalog",
+          {|<catalog>
+              <product owner="1"><name>widget</name><price>25</price></product>
+              <product owner="3"><name>gizmo</name><price>99</price></product>
+            </catalog>|} );
+      ]
+  in
+
+  (* 3. The integration system. *)
+  let sys = Nimble.create () in
+  let ok = function Ok v -> v | Error m -> failwith m in
+  ok (Nimble.register_source sys (Rel_source.make db));
+  ok (Nimble.register_source sys products);
+
+  (* 4. One XML-QL query spanning both sources: which west-region
+     customers own which products?  The relational clause is compiled to
+     SQL and pushed into crm; the XML clause pattern-matches the catalog;
+     the mediator joins them on $i. *)
+  let query =
+    {|WHERE <row><id>$i</id><name>$n</name><region>"west"</region></row> IN "crm.customers",
+           <product owner=$i><name>$p</name><price>$c</price></product> IN "products.catalog"
+      CONSTRUCT <owns><customer>$n</customer><product>$p</product><price>$c</price></owns>|}
+  in
+
+  print_endline "-- plan --";
+  print_endline (ok (Nimble.explain sys query));
+
+  print_endline "-- results --";
+  let trees = ok (Nimble.query sys query) in
+  print_endline (Fe_format.render Fe_format.Text trees);
+
+  print_endline "-- same results, rendered for the web --";
+  print_endline (Fe_format.render Fe_format.Web trees)

@@ -1,0 +1,85 @@
+type estimate = {
+  rows : float;
+  cost : float;
+}
+
+let rec selectivity = function
+  | Alg_expr.Binop (Alg_expr.Eq, _, _) -> 0.05
+  | Alg_expr.Binop ((Alg_expr.Lt | Alg_expr.Le | Alg_expr.Gt | Alg_expr.Ge), _, _) -> 0.3
+  | Alg_expr.Binop (Alg_expr.Neq, _, _) -> 0.9
+  | Alg_expr.Binop (Alg_expr.And, a, b) -> selectivity a *. selectivity b
+  | Alg_expr.Binop (Alg_expr.Or, a, b) -> min 1.0 (selectivity a +. selectivity b)
+  | Alg_expr.Not e -> 1.0 -. selectivity e
+  | Alg_expr.Like _ -> 0.25
+  | Alg_expr.Is_null _ -> 0.1
+  | Alg_expr.Const (Value.Bool true) -> 1.0
+  | Alg_expr.Const (Value.Bool false) -> 0.0
+  | _ -> 0.5
+
+let fanout = 3.0
+
+let rec go source_rows plan =
+  match plan with
+  | Alg_plan.Scan { source; _ } ->
+    let n = max 1.0 (source_rows source) in
+    { rows = n; cost = n }
+  | Alg_plan.Const_envs envs ->
+    let n = float_of_int (List.length envs) in
+    { rows = n; cost = n }
+  | Alg_plan.Select (input, pred) ->
+    let e = go source_rows input in
+    { rows = max 1.0 (e.rows *. selectivity pred); cost = e.cost +. e.rows }
+  | Alg_plan.Project (input, _)
+  | Alg_plan.Rename (input, _)
+  | Alg_plan.Extend (input, _, _)
+  | Alg_plan.Extend_tree (input, _, _) ->
+    let e = go source_rows input in
+    { rows = e.rows; cost = e.cost +. e.rows }
+  | Alg_plan.Nl_join { left; right; pred } ->
+    let l = go source_rows left and r = go source_rows right in
+    let sel = match pred with Some p -> selectivity p | None -> 1.0 in
+    { rows = max 1.0 (l.rows *. r.rows *. sel); cost = l.cost +. r.cost +. (l.rows *. r.rows) }
+  | Alg_plan.Hash_join { left; right; residual; _ } ->
+    let l = go source_rows left and r = go source_rows right in
+    let sel = 0.05 *. match residual with Some p -> selectivity p | None -> 1.0 in
+    { rows = max 1.0 (l.rows *. r.rows *. sel); cost = l.cost +. r.cost +. l.rows +. r.rows }
+  | Alg_plan.Merge_join { left; right; _ } ->
+    let l = go source_rows left and r = go source_rows right in
+    let sort_cost x = x *. log (max 2.0 x) in
+    { rows = max 1.0 (l.rows *. r.rows *. 0.05);
+      cost = l.cost +. r.cost +. sort_cost l.rows +. sort_cost r.rows }
+  | Alg_plan.Dep_join { left; _ } ->
+    let l = go source_rows left in
+    { rows = l.rows; cost = l.cost +. l.rows }
+  | Alg_plan.Sort (input, _) ->
+    let e = go source_rows input in
+    { rows = e.rows; cost = e.cost +. (e.rows *. log (max 2.0 e.rows)) }
+  | Alg_plan.Distinct input ->
+    let e = go source_rows input in
+    { rows = max 1.0 (e.rows *. 0.8); cost = e.cost +. e.rows }
+  | Alg_plan.Group { input; keys; _ } ->
+    let e = go source_rows input in
+    let groups = if keys = [] then 1.0 else max 1.0 (e.rows *. 0.2) in
+    { rows = groups; cost = e.cost +. e.rows }
+  | Alg_plan.Union (a, b) ->
+    let ea = go source_rows a and eb = go source_rows b in
+    { rows = ea.rows +. eb.rows; cost = ea.cost +. eb.cost }
+  | Alg_plan.Outer_union (a, b) ->
+    let ea = go source_rows a and eb = go source_rows b in
+    { rows = ea.rows +. eb.rows; cost = ea.cost +. eb.cost +. ea.rows +. eb.rows }
+  | Alg_plan.Navigate { input; _ } | Alg_plan.Unnest { input; _ } ->
+    let e = go source_rows input in
+    { rows = e.rows *. fanout; cost = e.cost +. (e.rows *. fanout) }
+  | Alg_plan.Construct { input; _ } ->
+    let e = go source_rows input in
+    { rows = e.rows; cost = e.cost +. e.rows }
+  | Alg_plan.Limit (input, n) ->
+    let e = go source_rows input in
+    { rows = min e.rows (float_of_int n); cost = e.cost }
+
+let estimate ~source_rows plan = go source_rows plan
+
+let annotate ~source_rows plan =
+  let base = Alg_plan.explain plan in
+  let total = estimate ~source_rows plan in
+  Printf.sprintf "%s-- estimated: %.0f rows, %.0f work units\n" base total.rows total.cost

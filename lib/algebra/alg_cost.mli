@@ -1,0 +1,30 @@
+(** Cardinality and cost estimation for physical plans.
+
+    The estimates drive nothing automatically (the mediator's join order
+    is variable-connectivity-greedy), but they power EXPLAIN annotations
+    and let tests and benches reason about operator choice.  The model is
+    the textbook one: per-operator output cardinalities from input
+    estimates and predicate selectivities, and a unit-cost charge per
+    tuple touched. *)
+
+type estimate = {
+  rows : float;      (** expected output cardinality *)
+  cost : float;      (** cumulative work in touched-tuple units *)
+}
+
+val selectivity : Alg_expr.t -> float
+(** Heuristic predicate selectivity: equality 0.05, range 0.3, LIKE 0.25,
+    AND multiplies, OR saturating-adds, NOT complements, everything else
+    0.5. *)
+
+val estimate :
+  source_rows:(string -> float) -> Alg_plan.t -> estimate
+(** [estimate ~source_rows plan] — [source_rows name] supplies the
+    expected cardinality of each scan (return a default such as 1000.0
+    for unknown sources).  Dependent joins assume one expansion per input
+    row; navigate/unnest assume a fan-out of 3. *)
+
+val annotate :
+  source_rows:(string -> float) -> Alg_plan.t -> string
+(** {!Alg_plan.explain} output with an estimated-rows annotation per
+    operator line. *)

@@ -1,0 +1,109 @@
+type t = (string * Dtree.t) array
+
+let empty = [||]
+
+let of_bindings bindings =
+  let arr = Array.of_list bindings in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if String.equal (fst arr.(i)) (fst arr.(j)) then
+        invalid_arg (Printf.sprintf "Alg_env.of_bindings: duplicate variable %S" (fst arr.(i)))
+    done
+  done;
+  arr
+
+let of_tuple tup =
+  Array.of_list (List.map (fun (n, v) -> (n, Dtree.atom v)) (Tuple.fields tup))
+
+let bindings t = Array.to_list t
+let vars t = Array.to_list (Array.map fst t)
+let arity t = Array.length t
+
+let find_index t name =
+  let n = Array.length t in
+  let rec go i = if i >= n then -1 else if String.equal (fst t.(i)) name then i else go (i + 1) in
+  go 0
+
+let get t name =
+  let i = find_index t name in
+  if i < 0 then None else Some (snd t.(i))
+
+let get_exn t name =
+  let i = find_index t name in
+  if i < 0 then raise Not_found else snd t.(i)
+
+let mem t name = find_index t name >= 0
+
+let tree_value tree =
+  match Dtree.atom_value tree with
+  | Some v -> v
+  | None -> Value.String (Dtree.text tree)
+
+let value_of t name =
+  match get t name with
+  | None -> Value.Null
+  | Some tree -> tree_value tree
+
+let bind t name tree =
+  let i = find_index t name in
+  if i < 0 then Array.append t [| (name, tree) |]
+  else begin
+    let t' = Array.copy t in
+    t'.(i) <- (name, tree);
+    t'
+  end
+
+let bind_value t name v = bind t name (Dtree.atom v)
+
+let unbind t name =
+  let i = find_index t name in
+  if i < 0 then t
+  else Array.append (Array.sub t 0 i) (Array.sub t (i + 1) (Array.length t - i - 1))
+
+let project t names =
+  Array.of_list
+    (List.map
+       (fun name ->
+         match get t name with
+         | Some tree -> (name, tree)
+         | None -> (name, Dtree.atom Value.Null))
+       names)
+
+let rename t mapping =
+  Array.map
+    (fun (name, tree) ->
+      match List.assoc_opt name mapping with
+      | Some name' -> (name', tree)
+      | None -> (name, tree))
+    t
+
+let concat a b =
+  let extra = Array.to_list b |> List.filter (fun (name, _) -> find_index a name < 0) in
+  Array.append a (Array.of_list extra)
+
+let to_tuple t =
+  Tuple.make (List.map (fun (name, tree) -> (name, tree_value tree)) (bindings t))
+
+let compare a b =
+  let c = List.compare String.compare (vars a) (vars b) in
+  if c <> 0 then c
+  else List.compare Dtree.compare (List.map snd (bindings a)) (List.map snd (bindings b))
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc (name, tree) -> (acc * 31) + Hashtbl.hash name + Dtree.hash tree) 11 t
+
+let to_string t =
+  let binding (name, tree) =
+    let rendered =
+      match Dtree.atom_value tree with
+      | Some v -> Value.to_display v
+      | None -> Dtree.to_string tree
+    in
+    Printf.sprintf "%s=%s" name rendered
+  in
+  "{" ^ String.concat ", " (List.map binding (bindings t)) ^ "}"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,326 @@
+type source_fn = string -> string -> Alg_env.t Seq.t
+
+exception Source_unavailable of string
+exception Exec_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Template instantiation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec build_template env template =
+  match template with
+  | Alg_plan.T_value e -> Dtree.atom (Alg_expr.eval env e)
+  | Alg_plan.T_tree e -> (
+    match Alg_expr.eval_tree env e with
+    | Some tree -> tree
+    | None -> Dtree.atom Value.Null)
+  | Alg_plan.T_splice _ ->
+    (* A bare splice outside a node context degrades to its tree. *)
+    build_template env (Alg_plan.T_tree (splice_expr template))
+  | Alg_plan.T_node (label, attr_exprs, kid_templates) ->
+    let attrs = List.map (fun (n, e) -> (n, Alg_expr.eval env e)) attr_exprs in
+    let kids =
+      List.concat_map
+        (fun t ->
+          match t with
+          | Alg_plan.T_splice e -> (
+            match Alg_expr.eval_tree env e with
+            | Some tree -> Dtree.kids tree
+            | None -> [])
+          | t -> [ build_template env t ])
+        kid_templates
+    in
+    Dtree.node ~attrs label kids
+
+and splice_expr = function
+  | Alg_plan.T_splice e -> e
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Operator implementations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let seq_of_list l = List.to_seq l
+
+let compare_specs specs a b =
+  let rec go = function
+    | [] -> 0
+    | spec :: rest ->
+      let va = Alg_expr.eval a spec.Alg_plan.sort_key in
+      let vb = Alg_expr.eval b spec.Alg_plan.sort_key in
+      let c = Value.compare va vb in
+      if c <> 0 then if spec.Alg_plan.ascending then c else -c else go rest
+  in
+  go specs
+
+type agg_state = {
+  mutable count : int;
+  mutable nonnull : int;
+  mutable sum : Value.t;
+  mutable vmin : Value.t option;
+  mutable vmax : Value.t option;
+  mutable collected : Dtree.t list;  (* reversed *)
+}
+
+let new_state () =
+  { count = 0; nonnull = 0; sum = Value.Int 0; vmin = None; vmax = None; collected = [] }
+
+let feed env st = function
+  | Alg_plan.A_count -> st.count <- st.count + 1
+  | Alg_plan.A_count_expr e ->
+    if Alg_expr.eval env e <> Value.Null then st.nonnull <- st.nonnull + 1
+  | Alg_plan.A_sum e | Alg_plan.A_avg e -> (
+    match Alg_expr.eval env e with
+    | Value.Null -> ()
+    | v ->
+      st.nonnull <- st.nonnull + 1;
+      st.sum <- (try Value.add st.sum v with Invalid_argument _ -> st.sum))
+  | Alg_plan.A_min e -> (
+    match Alg_expr.eval env e with
+    | Value.Null -> ()
+    | v -> (
+      match st.vmin with
+      | None -> st.vmin <- Some v
+      | Some m -> if Value.compare v m < 0 then st.vmin <- Some v))
+  | Alg_plan.A_max e -> (
+    match Alg_expr.eval env e with
+    | Value.Null -> ()
+    | v -> (
+      match st.vmax with
+      | None -> st.vmax <- Some v
+      | Some m -> if Value.compare v m > 0 then st.vmax <- Some v))
+  | Alg_plan.A_collect e -> (
+    match Alg_expr.eval_tree env e with
+    | Some tree -> st.collected <- tree :: st.collected
+    | None -> ())
+
+let result st = function
+  | Alg_plan.A_count -> Dtree.atom (Value.Int st.count)
+  | Alg_plan.A_count_expr _ -> Dtree.atom (Value.Int st.nonnull)
+  | Alg_plan.A_sum _ -> Dtree.atom (if st.nonnull = 0 then Value.Null else st.sum)
+  | Alg_plan.A_avg _ ->
+    Dtree.atom
+      (if st.nonnull = 0 then Value.Null
+       else
+         match Value.to_float st.sum with
+         | Some total -> Value.Float (total /. float_of_int st.nonnull)
+         | None -> Value.Null)
+  | Alg_plan.A_min _ -> Dtree.atom (Option.value ~default:Value.Null st.vmin)
+  | Alg_plan.A_max _ -> Dtree.atom (Option.value ~default:Value.Null st.vmax)
+  | Alg_plan.A_collect _ -> Dtree.node "collection" (List.rev st.collected)
+
+let group_envs keys aggs input_envs =
+  let table : (Value.t list, Alg_env.t * agg_state list) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun env ->
+      let key = List.map (fun (_, e) -> Alg_expr.eval env e) keys in
+      let _, states =
+        match Hashtbl.find_opt table key with
+        | Some entry -> entry
+        | None ->
+          let entry = (env, List.map (fun _ -> new_state ()) aggs) in
+          Hashtbl.add table key entry;
+          order := key :: !order;
+          entry
+      in
+      List.iter2 (fun st (_, agg) -> feed env st agg) states aggs)
+    input_envs;
+  List.rev_map
+    (fun key ->
+      let _, states = Hashtbl.find table key in
+      let key_bindings = List.map2 (fun (var, _) v -> (var, Dtree.atom v)) keys key in
+      let agg_bindings = List.map2 (fun st (var, agg) -> (var, result st agg)) states aggs in
+      Alg_env.of_bindings (key_bindings @ agg_bindings))
+    !order
+
+(* All variables appearing in a list of envs, first-occurrence order. *)
+let all_vars envs =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun env ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            out := v :: !out
+          end)
+        (Alg_env.vars env))
+    envs;
+  List.rev !out
+
+let rec run sources plan : Alg_env.t Seq.t =
+  match plan with
+  | Alg_plan.Scan { source; binding } -> sources source binding
+  | Alg_plan.Const_envs envs -> seq_of_list envs
+  | Alg_plan.Select (input, pred) ->
+    Seq.filter (fun env -> Alg_expr.eval_pred env pred) (run sources input)
+  | Alg_plan.Project (input, vs) ->
+    Seq.map (fun env -> Alg_env.project env vs) (run sources input)
+  | Alg_plan.Rename (input, mapping) ->
+    Seq.map (fun env -> Alg_env.rename env mapping) (run sources input)
+  | Alg_plan.Extend (input, var, e) ->
+    Seq.map (fun env -> Alg_env.bind_value env var (Alg_expr.eval env e)) (run sources input)
+  | Alg_plan.Extend_tree (input, var, e) ->
+    Seq.map
+      (fun env ->
+        match Alg_expr.eval_tree env e with
+        | Some tree -> Alg_env.bind env var tree
+        | None -> Alg_env.bind env var (Dtree.atom Value.Null))
+      (run sources input)
+  | Alg_plan.Nl_join { left; right; pred } ->
+    let rights = List.of_seq (run sources right) in
+    Seq.concat_map
+      (fun lenv ->
+        seq_of_list
+          (List.filter_map
+             (fun renv ->
+               let joined = Alg_env.concat lenv renv in
+               match pred with
+               | None -> Some joined
+               | Some p -> if Alg_expr.eval_pred joined p then Some joined else None)
+             rights))
+      (run sources left)
+  | Alg_plan.Hash_join { left; right; left_key; right_key; residual } ->
+    let table : (Value.t, Alg_env.t list) Hashtbl.t = Hashtbl.create 64 in
+    let rights = List.of_seq (run sources right) in
+    List.iter
+      (fun renv ->
+        match Alg_expr.eval renv right_key with
+        | Value.Null -> ()
+        | k ->
+          Hashtbl.replace table k (renv :: Option.value ~default:[] (Hashtbl.find_opt table k)))
+      (List.rev rights);
+    Seq.concat_map
+      (fun lenv ->
+        match Alg_expr.eval lenv left_key with
+        | Value.Null -> Seq.empty
+        | k ->
+          seq_of_list
+            (Option.value ~default:[] (Hashtbl.find_opt table k)
+            |> List.filter_map (fun renv ->
+                   let joined = Alg_env.concat lenv renv in
+                   match residual with
+                   | None -> Some joined
+                   | Some p -> if Alg_expr.eval_pred joined p then Some joined else None)))
+      (run sources left)
+  | Alg_plan.Merge_join { left; right; left_key; right_key } ->
+    let keyed key_expr env = (Alg_expr.eval env key_expr, env) in
+    let ls =
+      List.map (keyed left_key) (List.of_seq (run sources left))
+      |> List.stable_sort (fun (a, _) (b, _) -> Value.compare a b)
+    in
+    let rs =
+      List.map (keyed right_key) (List.of_seq (run sources right))
+      |> List.stable_sort (fun (a, _) (b, _) -> Value.compare a b)
+    in
+    let out = ref [] in
+    let rec merge ls rs =
+      match ls, rs with
+      | [], _ | _, [] -> ()
+      | (lk, _) :: lrest, _ when lk = Value.Null -> merge lrest rs
+      | _, (rk, _) :: rrest when rk = Value.Null -> merge ls rrest
+      | (lk, _) :: lrest, (rk, _) :: _ when Value.compare lk rk < 0 -> merge lrest rs
+      | (lk, _) :: _, (rk, _) :: rrest when Value.compare lk rk > 0 -> merge ls rrest
+      | (lk, _) :: _, _ ->
+        (* equal keys: cross the two runs *)
+        let lrun, lrest = List.partition (fun (k, _) -> Value.compare k lk = 0) ls in
+        let rrun, rrest = List.partition (fun (k, _) -> Value.compare k lk = 0) rs in
+        List.iter
+          (fun (_, lenv) ->
+            List.iter (fun (_, renv) -> out := Alg_env.concat lenv renv :: !out) rrun)
+          lrun;
+        merge lrest rrest
+    in
+    merge ls rs;
+    seq_of_list (List.rev !out)
+  | Alg_plan.Dep_join { left; label = _; expand } ->
+    Seq.concat_map
+      (fun lenv -> Seq.map (fun renv -> Alg_env.concat lenv renv) (expand lenv))
+      (run sources left)
+  | Alg_plan.Sort (input, specs) ->
+    let envs = List.of_seq (run sources input) in
+    seq_of_list (List.stable_sort (compare_specs specs) envs)
+  | Alg_plan.Distinct input ->
+    let seen = Hashtbl.create 64 in
+    Seq.filter
+      (fun env ->
+        let key = Alg_env.hash env in
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt seen key) in
+        if List.exists (Alg_env.equal env) bucket then false
+        else begin
+          Hashtbl.replace seen key (env :: bucket);
+          true
+        end)
+      (run sources input)
+  | Alg_plan.Group { input; keys; aggs } ->
+    let envs = List.of_seq (run sources input) in
+    seq_of_list (group_envs keys aggs envs)
+  | Alg_plan.Union (a, b) -> Seq.append (run sources a) (run sources b)
+  | Alg_plan.Outer_union (a, b) ->
+    (* Materialize both sides to compute the union schema, then pad. *)
+    let la = List.of_seq (run sources a) in
+    let lb = List.of_seq (run sources b) in
+    let vars = all_vars (la @ lb) in
+    seq_of_list (List.map (fun env -> Alg_env.project env vars) (la @ lb))
+  | Alg_plan.Navigate { input; var; path; out } ->
+    Seq.concat_map
+      (fun env ->
+        match Alg_env.get env var with
+        | None -> Seq.empty
+        | Some tree ->
+          let elem = tree_to_element tree in
+          (match elem with
+          | None -> Seq.empty
+          | Some e ->
+            let matches = Xml_path.select path e in
+            seq_of_list
+              (List.map
+                 (fun m -> Alg_env.bind env out (Dtree.of_xml_element m))
+                 matches)))
+      (run sources input)
+  | Alg_plan.Unnest { input; var; label; out } ->
+    Seq.concat_map
+      (fun env ->
+        match Alg_env.get env var with
+        | None -> Seq.empty
+        | Some tree ->
+          let kids =
+            match label with
+            | Some l -> Dtree.kids_named tree l
+            | None -> Dtree.kids tree
+          in
+          seq_of_list (List.map (fun k -> Alg_env.bind env out k) kids))
+      (run sources input)
+  | Alg_plan.Construct { input; binding; template } ->
+    Seq.map
+      (fun env -> Alg_env.bind env binding (build_template env template))
+      (run sources input)
+  | Alg_plan.Limit (input, n) -> Seq.take n (run sources input)
+
+and tree_to_element tree =
+  match tree with
+  | Dtree.Node _ -> Some (Dtree.to_xml_element tree)
+  | Dtree.Atom _ -> None
+
+let run_list sources plan = List.of_seq (run sources plan)
+
+let run_partial sources plan =
+  let skipped = ref [] in
+  let guarded source binding =
+    try
+      (* Force the scan eagerly so unavailability surfaces here. *)
+      seq_of_list (List.of_seq (sources source binding))
+    with Source_unavailable name ->
+      if not (List.mem name !skipped) then skipped := name :: !skipped;
+      Seq.empty
+  in
+  let envs = run_list guarded plan in
+  (envs, List.rev !skipped)
+
+let of_tuples binding rows =
+  seq_of_list
+    (List.map
+       (fun row -> Alg_env.of_bindings [ (binding, Dtree.of_tuple binding row) ])
+       rows)

@@ -1,0 +1,38 @@
+(** Volcano-style execution of physical plans.
+
+    Plans pull environments lazily through [Seq.t]; blocking operators
+    (sort, group, distinct, hash-join build side) materialize their
+    input.  Sources are resolved through a caller-supplied function, so
+    the same plan can run against live sources, materialized views or
+    test fixtures. *)
+
+type source_fn = string -> string -> Alg_env.t Seq.t
+(** [source_fn source binding] yields the environments of a scan.  Raise
+    {!Source_unavailable} to signal an offline source (section 3.4). *)
+
+exception Source_unavailable of string
+exception Exec_error of string
+
+val run : source_fn -> Alg_plan.t -> Alg_env.t Seq.t
+(** Lazy execution; source and evaluation errors surface when the
+    sequence is forced. *)
+
+val run_list : source_fn -> Alg_plan.t -> Alg_env.t list
+(** Force the whole result. *)
+
+val run_partial :
+  source_fn -> Alg_plan.t -> Alg_env.t list * string list
+(** Partial-results mode (section 3.4): scans whose source raises
+    {!Source_unavailable} contribute no rows instead of failing; the
+    returned list names the sources that were skipped, so the caller can
+    annotate the answer as incomplete. *)
+
+val build_template :
+  Alg_env.t -> Alg_plan.template -> Dtree.t
+(** Instantiate a CONSTRUCT template against one environment. *)
+
+val of_tuples : string -> Tuple.t list -> Alg_env.t Seq.t
+(** Helper: wrap rows as environments binding one variable per row
+    ([binding] bound to the row as a tree labelled with the source
+    name)... see implementation note in the interface of the mediator:
+    each tuple becomes a tree [<binding><col>v</col>...</binding>]. *)

@@ -1,0 +1,218 @@
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type t =
+  | Var of string
+  | Const of Value.t
+  | Child of t * string
+  | Attr of t * string
+  | Text of t
+  | Label of t
+  | Binop of binop * t * t
+  | Not of t
+  | Neg of t
+  | Call of string * t list
+  | Like of t * string
+  | Is_null of t
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let tree_value tree =
+  match Dtree.atom_value tree with
+  | Some v -> v
+  | None -> Value.String (Dtree.text tree)
+
+let rec eval_tree env e =
+  match e with
+  | Var name -> Alg_env.get env name
+  | Const v -> Some (Dtree.atom v)
+  | Child (sub, label) -> (
+    match eval_tree env sub with
+    | Some tree -> Dtree.first_named tree label
+    | None -> None)
+  | Attr (sub, name) -> (
+    match eval_tree env sub with
+    | Some tree -> Option.map Dtree.atom (Dtree.attr tree name)
+    | None -> None)
+  | Text sub -> (
+    match eval_tree env sub with
+    | Some tree -> Some (Dtree.atom (Value.String (Dtree.text tree)))
+    | None -> None)
+  | Label sub -> (
+    match eval_tree env sub with
+    | Some tree -> Option.map (fun l -> Dtree.atom (Value.String l)) (Dtree.label tree)
+    | None -> None)
+  | Binop _ | Not _ | Neg _ | Call _ | Like _ | Is_null _ ->
+    Some (Dtree.atom (eval env e))
+
+and eval env e =
+  match e with
+  | Var name -> Alg_env.value_of env name
+  | Const v -> v
+  | Child _ | Attr _ | Text _ | Label _ -> (
+    match eval_tree env e with
+    | Some tree -> tree_value tree
+    | None -> Value.Null)
+  | Neg sub -> (
+    match eval env sub with
+    | Value.Null -> Value.Null
+    | v -> (
+      try Value.neg v
+      with Invalid_argument _ -> fail "cannot negate %s" (Value.to_display v)))
+  | Not sub -> (
+    match eval env sub with
+    | Value.Null -> Value.Null
+    | v -> Value.Bool (not (Value.is_truthy v)))
+  | Binop (And, a, b) -> (
+    match eval env a with
+    | Value.Bool false -> Value.Bool false
+    | va -> (
+      match eval env b with
+      | Value.Bool false -> Value.Bool false
+      | vb -> (
+        match va, vb with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Value.Bool (Value.is_truthy va && Value.is_truthy vb))))
+  | Binop (Or, a, b) -> (
+    match eval env a with
+    | Value.Bool true -> Value.Bool true
+    | va -> (
+      match eval env b with
+      | Value.Bool true -> Value.Bool true
+      | vb -> (
+        match va, vb with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Value.Bool (Value.is_truthy va || Value.is_truthy vb))))
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge) as op, a, b) -> (
+    match Value.compare_sql (eval env a) (eval env b) with
+    | None -> Value.Null
+    | Some c ->
+      Value.Bool
+        (match op with
+        | Eq -> c = 0
+        | Neq -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | Add | Sub | Mul | Div | And | Or -> assert false))
+  | Binop (Add, a, b) -> arith Value.add (eval env a) (eval env b)
+  | Binop (Sub, a, b) -> arith Value.sub (eval env a) (eval env b)
+  | Binop (Mul, a, b) -> arith Value.mul (eval env a) (eval env b)
+  | Binop (Div, a, b) -> arith Value.div (eval env a) (eval env b)
+  | Call (name, args) -> (
+    let tup = Tuple.empty in
+    ignore tup;
+    let vs = List.map (eval env) args in
+    (* Reuse the scalar-function table shape of the SQL substrate. *)
+    match name, vs with
+    | "upper", [ Value.Null ] | "lower", [ Value.Null ] | "trim", [ Value.Null ] -> Value.Null
+    | "upper", [ v ] -> Value.String (String.uppercase_ascii (Value.to_string v))
+    | "lower", [ v ] -> Value.String (String.lowercase_ascii (Value.to_string v))
+    | "trim", [ v ] -> Value.String (String.trim (Value.to_string v))
+    | "length", [ Value.Null ] -> Value.Null
+    | "length", [ v ] -> Value.Int (String.length (Value.to_string v))
+    | "abs", [ Value.Int i ] -> Value.Int (abs i)
+    | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
+    | "abs", [ Value.Null ] -> Value.Null
+    | "coalesce", vs ->
+      let rec first = function
+        | [] -> Value.Null
+        | Value.Null :: rest -> first rest
+        | v :: _ -> v
+      in
+      first vs
+    | "concat", vs -> Value.String (String.concat "" (List.map Value.to_string vs))
+    | name, vs -> fail "unknown function %s/%d" name (List.length vs))
+  | Like (sub, pattern) -> (
+    match eval env sub with
+    | Value.Null -> Value.Null
+    | v ->
+      (* Inline LIKE matcher (same semantics as the SQL substrate). *)
+      let s = Value.to_string v in
+      let pn = String.length pattern and sn = String.length s in
+      let rec go pi si star_pi star_si =
+        if pi < pn && pattern.[pi] = '%' then go (pi + 1) si (pi + 1) si
+        else if si < sn && pi < pn && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+          go (pi + 1) (si + 1) star_pi star_si
+        else if si >= sn then
+          pi >= pn || (pi < pn && pattern.[pi] = '%' && go (pi + 1) si star_pi star_si)
+        else if star_pi >= 0 then go star_pi (star_si + 1) star_pi (star_si + 1)
+        else false
+      in
+      Value.Bool (go 0 0 (-1) (-1)))
+  | Is_null sub -> Value.Bool (eval env sub = Value.Null)
+
+and arith f a b =
+  try f a b
+  with Invalid_argument _ ->
+    fail "type error in arithmetic on %s and %s" (Value.to_display a) (Value.to_display b)
+
+let eval_pred env e =
+  match eval env e with
+  | Value.Null -> false
+  | v -> Value.is_truthy v
+
+let free_vars e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      out := name :: !out
+    end
+  in
+  let rec go = function
+    | Var name -> add name
+    | Const _ -> ()
+    | Child (sub, _) | Attr (sub, _) | Text sub | Label sub | Not sub | Neg sub
+    | Like (sub, _) | Is_null sub -> go sub
+    | Binop (_, a, b) ->
+      go a;
+      go b
+    | Call (_, args) -> List.iter go args
+  in
+  go e;
+  List.rev !out
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let rec to_string = function
+  | Var name -> "$" ^ name
+  | Const v -> Value.to_display v
+  | Child (sub, label) -> Printf.sprintf "%s/%s" (to_string sub) label
+  | Attr (sub, name) -> Printf.sprintf "%s/@%s" (to_string sub) name
+  | Text sub -> Printf.sprintf "text(%s)" (to_string sub)
+  | Label sub -> Printf.sprintf "label(%s)" (to_string sub)
+  | Binop (op, a, b) -> Printf.sprintf "(%s %s %s)" (to_string a) (binop_str op) (to_string b)
+  | Not sub -> Printf.sprintf "NOT %s" (to_string sub)
+  | Neg sub -> Printf.sprintf "-%s" (to_string sub)
+  | Call (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map to_string args))
+  | Like (sub, pattern) -> Printf.sprintf "%s LIKE '%s'" (to_string sub) pattern
+  | Is_null sub -> Printf.sprintf "%s IS NULL" (to_string sub)
+
+let v name = Var name
+let c value = Const value
+let ci i = Const (Value.Int i)
+let cs s = Const (Value.String s)
+let ( =% ) a b = Binop (Eq, a, b)
+let ( <% ) a b = Binop (Lt, a, b)
+let ( &&% ) a b = Binop (And, a, b)
+let ( ||% ) a b = Binop (Or, a, b)

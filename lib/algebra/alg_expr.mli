@@ -1,0 +1,55 @@
+(** Scalar expressions of the physical algebra.
+
+    Expressions are evaluated against an {!Alg_env.t}.  They can reach
+    into tree bindings (child text, attributes, whole-tree text) so that
+    the same predicate machinery works over relational atoms and XML
+    subtrees.  Null follows SQL three-valued-logic conventions, matching
+    the substrate sources. *)
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type t =
+  | Var of string            (** atomic value of a binding (text for trees) *)
+  | Const of Value.t
+  | Child of t * string      (** value of first child with the label *)
+  | Attr of t * string       (** attribute value *)
+  | Text of t                (** full concatenated text *)
+  | Label of t               (** node label as a string *)
+  | Binop of binop * t * t
+  | Not of t
+  | Neg of t
+  | Call of string * t list  (** the scalar functions of {!Sql_eval} *)
+  | Like of t * string
+  | Is_null of t
+
+exception Error of string
+
+val eval : Alg_env.t -> t -> Value.t
+(** @raise Error on type errors or unknown functions.  Unbound variables
+    evaluate to [Null] (outer-union convention). *)
+
+val eval_pred : Alg_env.t -> t -> bool
+(** WHERE semantics: UNKNOWN is false. *)
+
+val eval_tree : Alg_env.t -> t -> Dtree.t option
+(** Tree-valued view: [Var] yields the bound subtree, [Child]/[Attr]
+    narrow it.  Value-producing forms wrap their result as an atom. *)
+
+val free_vars : t -> string list
+(** Distinct variables, first-occurrence order. *)
+
+val to_string : t -> string
+
+(** {1 Construction sugar} *)
+
+val v : string -> t
+val c : Value.t -> t
+val ci : int -> t
+val cs : string -> t
+val ( =% ) : t -> t -> t
+val ( <% ) : t -> t -> t
+val ( &&% ) : t -> t -> t
+val ( ||% ) : t -> t -> t

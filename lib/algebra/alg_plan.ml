@@ -1,0 +1,218 @@
+type agg =
+  | A_count
+  | A_count_expr of Alg_expr.t
+  | A_sum of Alg_expr.t
+  | A_avg of Alg_expr.t
+  | A_min of Alg_expr.t
+  | A_max of Alg_expr.t
+  | A_collect of Alg_expr.t
+
+type sort_spec = {
+  sort_key : Alg_expr.t;
+  ascending : bool;
+}
+
+type template =
+  | T_node of string * (string * Alg_expr.t) list * template list
+  | T_value of Alg_expr.t
+  | T_tree of Alg_expr.t
+  | T_splice of Alg_expr.t
+
+type t =
+  | Scan of { source : string; binding : string }
+  | Const_envs of Alg_env.t list
+  | Select of t * Alg_expr.t
+  | Project of t * string list
+  | Rename of t * (string * string) list
+  | Extend of t * string * Alg_expr.t
+  | Extend_tree of t * string * Alg_expr.t
+  | Nl_join of { left : t; right : t; pred : Alg_expr.t option }
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_key : Alg_expr.t;
+      right_key : Alg_expr.t;
+      residual : Alg_expr.t option;
+    }
+  | Merge_join of {
+      left : t;
+      right : t;
+      left_key : Alg_expr.t;
+      right_key : Alg_expr.t;
+    }
+  | Dep_join of {
+      left : t;
+      label : string;
+      expand : Alg_env.t -> Alg_env.t Seq.t;
+    }
+  | Sort of t * sort_spec list
+  | Distinct of t
+  | Group of {
+      input : t;
+      keys : (string * Alg_expr.t) list;
+      aggs : (string * agg) list;
+    }
+  | Union of t * t
+  | Outer_union of t * t
+  | Navigate of { input : t; var : string; path : Xml_path.t; out : string }
+  | Unnest of { input : t; var : string; label : string option; out : string }
+  | Construct of { input : t; binding : string; template : template }
+  | Limit of t * int
+
+let agg_to_string = function
+  | A_count -> "count(*)"
+  | A_count_expr e -> Printf.sprintf "count(%s)" (Alg_expr.to_string e)
+  | A_sum e -> Printf.sprintf "sum(%s)" (Alg_expr.to_string e)
+  | A_avg e -> Printf.sprintf "avg(%s)" (Alg_expr.to_string e)
+  | A_min e -> Printf.sprintf "min(%s)" (Alg_expr.to_string e)
+  | A_max e -> Printf.sprintf "max(%s)" (Alg_expr.to_string e)
+  | A_collect e -> Printf.sprintf "collect(%s)" (Alg_expr.to_string e)
+
+let explain plan =
+  let buf = Buffer.create 256 in
+  let line indent fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf (String.make (indent * 2) ' ');
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let rec go indent = function
+    | Scan { source; binding } -> line indent "SCAN %s AS $%s" source binding
+    | Const_envs envs -> line indent "CONST (%d envs)" (List.length envs)
+    | Select (input, pred) ->
+      line indent "SELECT %s" (Alg_expr.to_string pred);
+      go (indent + 1) input
+    | Project (input, vars) ->
+      line indent "PROJECT [%s]" (String.concat ", " vars);
+      go (indent + 1) input
+    | Rename (input, mapping) ->
+      line indent "RENAME [%s]"
+        (String.concat ", " (List.map (fun (a, b) -> a ^ "->" ^ b) mapping));
+      go (indent + 1) input
+    | Extend (input, var, e) ->
+      line indent "EXTEND $%s := %s" var (Alg_expr.to_string e);
+      go (indent + 1) input
+    | Extend_tree (input, var, e) ->
+      line indent "EXTEND-TREE $%s := %s" var (Alg_expr.to_string e);
+      go (indent + 1) input
+    | Nl_join { left; right; pred } ->
+      line indent "NESTED-LOOP%s"
+        (match pred with Some p -> " on " ^ Alg_expr.to_string p | None -> "");
+      go (indent + 1) left;
+      go (indent + 1) right
+    | Hash_join { left; right; left_key; right_key; residual } ->
+      line indent "HASH-JOIN %s = %s%s" (Alg_expr.to_string left_key)
+        (Alg_expr.to_string right_key)
+        (match residual with Some p -> " residual " ^ Alg_expr.to_string p | None -> "");
+      go (indent + 1) left;
+      go (indent + 1) right
+    | Merge_join { left; right; left_key; right_key } ->
+      line indent "MERGE-JOIN %s = %s" (Alg_expr.to_string left_key)
+        (Alg_expr.to_string right_key);
+      go (indent + 1) left;
+      go (indent + 1) right
+    | Dep_join { left; label; expand = _ } ->
+      line indent "DEPENDENT-JOIN [%s]" label;
+      go (indent + 1) left
+    | Sort (input, specs) ->
+      line indent "SORT [%s]"
+        (String.concat ", "
+           (List.map
+              (fun s ->
+                Alg_expr.to_string s.sort_key ^ if s.ascending then "" else " desc")
+              specs));
+      go (indent + 1) input
+    | Distinct input ->
+      line indent "DISTINCT";
+      go (indent + 1) input
+    | Group { input; keys; aggs } ->
+      line indent "GROUP keys[%s] aggs[%s]"
+        (String.concat ", "
+           (List.map (fun (v, e) -> v ^ ":" ^ Alg_expr.to_string e) keys))
+        (String.concat ", " (List.map (fun (v, a) -> v ^ ":" ^ agg_to_string a) aggs));
+      go (indent + 1) input
+    | Union (a, b) ->
+      line indent "UNION";
+      go (indent + 1) a;
+      go (indent + 1) b
+    | Outer_union (a, b) ->
+      line indent "OUTER-UNION";
+      go (indent + 1) a;
+      go (indent + 1) b
+    | Navigate { input; var; path; out } ->
+      line indent "NAVIGATE $%s %s AS $%s" var (Xml_path.to_string path) out;
+      go (indent + 1) input
+    | Unnest { input; var; label; out } ->
+      line indent "UNNEST $%s%s AS $%s" var
+        (match label with Some l -> "/" ^ l | None -> "")
+        out;
+      go (indent + 1) input
+    | Construct { input; binding; template = _ } ->
+      line indent "CONSTRUCT AS $%s" binding;
+      go (indent + 1) input
+    | Limit (input, n) ->
+      line indent "LIMIT %d" n;
+      go (indent + 1) input
+  in
+  go 0 plan;
+  Buffer.contents buf
+
+let free_sources plan =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      out := s :: !out
+    end
+  in
+  let rec go = function
+    | Scan { source; _ } -> add source
+    | Const_envs _ -> ()
+    | Select (i, _) | Project (i, _) | Rename (i, _) | Extend (i, _, _)
+    | Extend_tree (i, _, _) | Sort (i, _) | Distinct i | Limit (i, _) -> go i
+    | Nl_join { left; right; _ } | Hash_join { left; right; _ }
+    | Merge_join { left; right; _ } ->
+      go left;
+      go right
+    | Dep_join { left; _ } -> go left
+    | Group { input; _ } | Navigate { input; _ } | Unnest { input; _ }
+    | Construct { input; _ } -> go input
+    | Union (a, b) | Outer_union (a, b) ->
+      go a;
+      go b
+  in
+  go plan;
+  List.rev !out
+
+let rec output_vars = function
+  | Scan { binding; _ } -> [ binding ]
+  | Const_envs envs -> (
+    match envs with
+    | [] -> []
+    | env :: _ -> Alg_env.vars env)
+  | Select (i, _) | Sort (i, _) | Distinct i | Limit (i, _) -> output_vars i
+  | Project (_, vars) -> vars
+  | Rename (i, mapping) ->
+    List.map
+      (fun v -> match List.assoc_opt v mapping with Some v' -> v' | None -> v)
+      (output_vars i)
+  | Extend (i, var, _) | Extend_tree (i, var, _) ->
+    let vs = output_vars i in
+    if List.mem var vs then vs else vs @ [ var ]
+  | Nl_join { left; right; _ } | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
+    let l = output_vars left in
+    l @ List.filter (fun v -> not (List.mem v l)) (output_vars right)
+  | Dep_join { left; _ } -> output_vars left
+  | Group { keys; aggs; _ } -> List.map fst keys @ List.map fst aggs
+  | Union (a, b) | Outer_union (a, b) ->
+    let l = output_vars a in
+    l @ List.filter (fun v -> not (List.mem v l)) (output_vars b)
+  | Navigate { input; out; _ } | Unnest { input; out; _ } ->
+    let vs = output_vars input in
+    if List.mem out vs then vs else vs @ [ out ]
+  | Construct { input; binding; _ } ->
+    let vs = output_vars input in
+    if List.mem binding vs then vs else vs @ [ binding ]

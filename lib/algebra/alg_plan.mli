@@ -1,0 +1,99 @@
+(** The physical algebra: operator trees the query processor executes.
+
+    Per section 3.1, this is deliberately a {e physical} algebra — each
+    node is an operator the executor implements, not a logical
+    abstraction.  Plans are compiled from XML-QL by the mediator and run
+    by {!Alg_exec} under the Volcano (iterator) model.
+
+    The operator set covers the paper's feature list (section 4):
+    SQL-equivalent operators (select/project/join/sort/group), document
+    order and navigation ([Navigate], [Unnest]), result construction
+    ([Construct]), and the outer union that underlies partial results
+    (section 3.4). *)
+
+type agg =
+  | A_count                      (** rows in group *)
+  | A_count_expr of Alg_expr.t   (** non-null values *)
+  | A_sum of Alg_expr.t
+  | A_avg of Alg_expr.t
+  | A_min of Alg_expr.t
+  | A_max of Alg_expr.t
+  | A_collect of Alg_expr.t
+      (** collect the tree value of the expression across the group, in
+          input order, as a node labelled ["collection"] — the nesting
+          primitive behind XML-QL's grouped construction *)
+
+type sort_spec = {
+  sort_key : Alg_expr.t;
+  ascending : bool;
+}
+
+(** Templates describe constructed output trees (XML-QL CONSTRUCT). *)
+type template =
+  | T_node of string * (string * Alg_expr.t) list * template list
+      (** element with computed attributes and child templates *)
+  | T_value of Alg_expr.t   (** splice the atomic value *)
+  | T_tree of Alg_expr.t    (** splice the whole bound subtree *)
+  | T_splice of Alg_expr.t
+      (** splice the {e children} of the bound tree (used with
+          [A_collect] to nest grouped results) *)
+
+type t =
+  | Scan of { source : string; binding : string }
+      (** resolved through the executor's source function *)
+  | Const_envs of Alg_env.t list
+  | Select of t * Alg_expr.t
+  | Project of t * string list
+  | Rename of t * (string * string) list
+  | Extend of t * string * Alg_expr.t
+      (** bind a new variable to a computed atomic value *)
+  | Extend_tree of t * string * Alg_expr.t
+      (** bind a new variable to a computed subtree *)
+  | Nl_join of { left : t; right : t; pred : Alg_expr.t option }
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_key : Alg_expr.t;
+      right_key : Alg_expr.t;
+      residual : Alg_expr.t option;
+    }
+  | Merge_join of {
+      left : t;
+      right : t;
+      left_key : Alg_expr.t;
+      right_key : Alg_expr.t;
+    }
+  | Dep_join of {
+      left : t;
+      label : string;  (** shown by explain *)
+      expand : Alg_env.t -> Alg_env.t Seq.t;
+    }  (** dependent join: the right side is re-evaluated per left env *)
+  | Sort of t * sort_spec list
+  | Distinct of t
+  | Group of {
+      input : t;
+      keys : (string * Alg_expr.t) list;   (** output var, key expr *)
+      aggs : (string * agg) list;          (** output var, aggregate *)
+    }
+  | Union of t * t
+  | Outer_union of t * t
+      (** union with Null padding for variables missing on either side *)
+  | Navigate of { input : t; var : string; path : Xml_path.t; out : string }
+      (** for each tree matched by [path] from the binding of [var], emit
+          the input env extended with [out] — the up/down/sideways
+          navigation operator *)
+  | Unnest of { input : t; var : string; label : string option; out : string }
+      (** one output env per (optionally label-filtered) child *)
+  | Construct of { input : t; binding : string; template : template }
+  | Limit of t * int
+
+val explain : t -> string
+(** Indented operator tree. *)
+
+val free_sources : t -> string list
+(** Distinct [Scan] source names, first-occurrence order. *)
+
+val output_vars : t -> string list
+(** Best-effort static computation of the variables the plan emits
+    (unknowable pieces — e.g. [Dep_join] expansions — contribute
+    nothing). *)

@@ -1,0 +1,131 @@
+type verdict =
+  | Same
+  | Different
+  | Unsure
+
+type origin =
+  | Human
+  | Automatic of string
+
+type determination = {
+  key_a : string;
+  key_b : string;
+  verdict : verdict;
+  origin : origin;
+  seq : int;
+  note : string;
+}
+
+type t = {
+  (* pair key -> determinations, newest first *)
+  table : (string * string, determination list) Hashtbl.t;
+  mutable next_seq : int;
+}
+
+let create () = { table = Hashtbl.create 64; next_seq = 1 }
+
+let norm_pair a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let record t ?(note = "") origin verdict a b =
+  let key_a, key_b = norm_pair a b in
+  let d = { key_a; key_b; verdict; origin; seq = t.next_seq; note } in
+  t.next_seq <- t.next_seq + 1;
+  let prior = Option.value ~default:[] (Hashtbl.find_opt t.table (key_a, key_b)) in
+  Hashtbl.replace t.table (key_a, key_b) (d :: prior);
+  d
+
+let lookup t a b =
+  match Hashtbl.find_opt t.table (norm_pair a b) with
+  | Some (d :: _) -> Some d
+  | Some [] | None -> None
+
+let pending t =
+  Hashtbl.fold
+    (fun _ ds acc ->
+      match ds with
+      | ({ verdict = Unsure; _ } as d) :: _ -> d :: acc
+      | _ -> acc)
+    t.table []
+  |> List.sort (fun a b -> Int.compare a.seq b.seq)
+
+let resolve t ?note verdict a b = record t ?note Human verdict a b
+
+let history t a b =
+  match Hashtbl.find_opt t.table (norm_pair a b) with
+  | Some ds -> List.rev ds
+  | None -> []
+
+let rollback t seq =
+  let removed = ref 0 in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
+  List.iter
+    (fun k ->
+      let ds = Hashtbl.find t.table k in
+      let keep = List.filter (fun d -> d.seq <= seq) ds in
+      removed := !removed + (List.length ds - List.length keep);
+      if keep = [] then Hashtbl.remove t.table k else Hashtbl.replace t.table k keep)
+    keys;
+  !removed
+
+let size t = Hashtbl.length t.table
+
+let verdict_to_string = function
+  | Same -> "same"
+  | Different -> "different"
+  | Unsure -> "unsure"
+
+let verdict_of_string = function
+  | "same" -> Same
+  | "different" -> Different
+  | _ -> Unsure
+
+let origin_to_string = function
+  | Human -> "human"
+  | Automatic rule -> "auto:" ^ rule
+
+let origin_of_string s =
+  if s = "human" then Human
+  else if String.length s >= 5 && String.sub s 0 5 = "auto:" then
+    Automatic (String.sub s 5 (String.length s - 5))
+  else Automatic s
+
+let to_csv t =
+  let all =
+    Hashtbl.fold (fun _ ds acc -> ds @ acc) t.table []
+    |> List.sort (fun a b -> Int.compare a.seq b.seq)
+  in
+  let row d =
+    [
+      string_of_int d.seq; d.key_a; d.key_b; verdict_to_string d.verdict;
+      origin_to_string d.origin; d.note;
+    ]
+  in
+  Csv.print ([ "seq"; "key_a"; "key_b"; "verdict"; "origin"; "note" ] :: List.map row all)
+
+let of_csv text =
+  let t = create () in
+  let rows =
+    match Csv.parse text with
+    | _header :: rest -> rest
+    | [] -> []
+  in
+  List.iter
+    (fun row ->
+      match row with
+      | [ seq; key_a; key_b; verdict; origin; note ] ->
+        let d =
+          {
+            key_a;
+            key_b;
+            verdict = verdict_of_string verdict;
+            origin = origin_of_string origin;
+            seq = int_of_string seq;
+            note;
+          }
+        in
+        let prior = Option.value ~default:[] (Hashtbl.find_opt t.table (key_a, key_b)) in
+        Hashtbl.replace t.table (key_a, key_b) (d :: prior);
+        t.next_seq <- max t.next_seq (d.seq + 1)
+      | _ -> ())
+    rows;
+  t

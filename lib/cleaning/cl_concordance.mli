@@ -1,0 +1,61 @@
+(** The concordance database (section 3.2): "a separate data store …
+    created to serve to match records from two or more different original
+    data sources", recording determinations of object identity so that
+    "past human decisions are reapplied … and exceptions are trapped".
+
+    Determinations are keyed on an unordered pair of record keys
+    (typically [source:id] strings).  Each carries a verdict, who made
+    it, and a monotone sequence number so decisions can be audited and
+    rolled back in order. *)
+
+type verdict =
+  | Same        (** the two records denote the same real-world object *)
+  | Different
+  | Unsure      (** trapped for human review *)
+
+type origin =
+  | Human
+  | Automatic of string  (** rule / similarity measure that decided *)
+
+type determination = {
+  key_a : string;
+  key_b : string;
+  verdict : verdict;
+  origin : origin;
+  seq : int;
+  note : string;
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> ?note:string -> origin -> verdict -> string -> string -> determination
+(** Record a determination for the (unordered) key pair, superseding any
+    earlier one. *)
+
+val lookup : t -> string -> string -> determination option
+(** The latest determination for the pair, if any. *)
+
+val pending : t -> determination list
+(** All pairs whose latest verdict is [Unsure], oldest first — the human
+    work queue. *)
+
+val resolve : t -> ?note:string -> verdict -> string -> string -> determination
+(** A human answers a pending (or any) pair. *)
+
+val history : t -> string -> string -> determination list
+(** Every determination ever made for the pair, oldest first. *)
+
+val rollback : t -> int -> int
+(** [rollback t seq] removes all determinations with sequence number
+    [> seq]; returns how many were removed.  Earlier verdicts for the
+    affected pairs become current again. *)
+
+val size : t -> int
+(** Number of pairs with a current determination. *)
+
+val to_csv : t -> string
+val of_csv : string -> t
+(** Round-trip persistence for the store. *)

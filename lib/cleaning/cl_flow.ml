@@ -1,0 +1,184 @@
+type step =
+  | Normalize of { field : string; normalizer : string }
+  | Derive of { field : string; from_field : string; normalizer : string }
+  | Filter of { label : string; keep : Tuple.t -> bool }
+  | Dedupe of {
+      match_field : string;
+      blocking_fields : string list;
+      measure : string;
+      same_above : float;
+      different_below : float;
+      window : int;
+    }
+
+type flow = {
+  flow_name : string;
+  steps : step list;
+}
+
+type report = {
+  output : Cl_merge_purge.record list;
+  input_count : int;
+  merged_clusters : int;
+  exceptions : (string * string) list;
+  comparisons : int;
+}
+
+exception Flow_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Flow_error m)) fmt
+
+let normalizer_exn name =
+  match Cl_normalize.find name with
+  | Some f -> f
+  | None -> fail "unknown normalizer %S" name
+
+let measure_exn name =
+  match Cl_similarity.find name with
+  | Some f -> f
+  | None -> fail "unknown similarity measure %S" name
+
+let field_text tup field =
+  match Tuple.get tup field with
+  | Some v -> Value.to_string v
+  | None -> ""
+
+let merge_cluster records =
+  match List.sort (fun a b -> String.compare a.Cl_merge_purge.key b.Cl_merge_purge.key) records with
+  | [] -> invalid_arg "Cl_flow.merge_cluster: empty cluster"
+  | (first :: _) as ordered ->
+    (* Field-wise union: first non-null value in key order wins; fields
+       appear in first-seen order. *)
+    let merged =
+      List.fold_left
+        (fun acc r ->
+          List.fold_left
+            (fun acc (fname, v) ->
+              match Tuple.get acc fname with
+              | None -> Tuple.set acc fname v
+              | Some Value.Null when v <> Value.Null -> Tuple.set acc fname v
+              | Some _ -> acc)
+            acc
+            (Tuple.fields r.Cl_merge_purge.data))
+        Tuple.empty ordered
+    in
+    { Cl_merge_purge.key = first.Cl_merge_purge.key; data = merged }
+
+let records_of_tuples ~key_field tuples =
+  List.map
+    (fun tup -> { Cl_merge_purge.key = field_text tup key_field; data = tup })
+    tuples
+
+let apply_dedupe ?concordance ?lineage ~match_field ~blocking_fields ~measure ~same_above
+    ~different_below ~window records =
+  let base_matcher =
+    Cl_merge_purge.similarity_matcher ~field:match_field ~measure:(measure_exn measure)
+      ~same_above ~different_below ()
+  in
+  (* Index records by key so clusters can be merged afterwards. *)
+  let by_key = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace by_key r.Cl_merge_purge.key r) records;
+  let records, matcher =
+    match concordance with
+    | None -> (records, base_matcher)
+    | Some conc ->
+      (* Determinations key on the record keys; thread them through the
+         tuples in a reserved field the matcher can read back. *)
+      let tagged =
+        List.map
+          (fun r ->
+            { r with
+              Cl_merge_purge.data =
+                Tuple.set r.Cl_merge_purge.data "__key"
+                  (Value.String r.Cl_merge_purge.key) })
+          records
+      in
+      let key_of tup = field_text tup "__key" in
+      (tagged, Cl_merge_purge.with_concordance_keys conc ~key_of base_matcher)
+  in
+  let keys =
+    match blocking_fields with
+    | [] -> [ (fun tup -> field_text tup match_field) ]
+    | fields -> List.map (fun f tup -> field_text tup f) fields
+  in
+  let outcome = Cl_merge_purge.sorted_neighborhood ~window ~keys matcher records in
+  (* From here on, work with the untagged records in [by_key]. *)
+  let records =
+    List.map
+      (fun r ->
+        match Hashtbl.find_opt by_key r.Cl_merge_purge.key with
+        | Some original -> original
+        | None -> r)
+      records
+  in
+  (* Replace each cluster with its merged record. *)
+  let clustered_keys = Hashtbl.create 64 in
+  List.iter
+    (fun cluster -> List.iter (fun k -> Hashtbl.replace clustered_keys k ()) cluster)
+    outcome.Cl_merge_purge.clusters;
+  let merged_records =
+    List.map
+      (fun cluster ->
+        let members = List.filter_map (Hashtbl.find_opt by_key) cluster in
+        let merged = merge_cluster members in
+        (match lineage with
+        | Some lin ->
+          ignore
+            (Cl_lineage.derive lin ~operation:"merge"
+               ~detail:(String.concat "," cluster)
+               ~inputs:cluster
+               merged.Cl_merge_purge.key)
+        | None -> ());
+        merged)
+      outcome.Cl_merge_purge.clusters
+  in
+  let survivors =
+    List.filter (fun r -> not (Hashtbl.mem clustered_keys r.Cl_merge_purge.key)) records
+  in
+  ( survivors @ merged_records,
+    List.length outcome.Cl_merge_purge.clusters,
+    outcome.Cl_merge_purge.unsure_pairs,
+    outcome.Cl_merge_purge.comparisons )
+
+let run ?concordance ?lineage flow records =
+  let input_count = List.length records in
+  let merged = ref 0 and exceptions = ref [] and comparisons = ref 0 in
+  let step records s =
+    match s with
+    | Normalize { field; normalizer } ->
+      let f = normalizer_exn normalizer in
+      List.map
+        (fun r ->
+          match Tuple.get r.Cl_merge_purge.data field with
+          | Some v ->
+            let normalized = Value.String (f (Value.to_string v)) in
+            { r with Cl_merge_purge.data = Tuple.set r.Cl_merge_purge.data field normalized }
+          | None -> r)
+        records
+    | Derive { field; from_field; normalizer } ->
+      let f = normalizer_exn normalizer in
+      List.map
+        (fun r ->
+          let derived = Value.String (f (field_text r.Cl_merge_purge.data from_field)) in
+          { r with Cl_merge_purge.data = Tuple.set r.Cl_merge_purge.data field derived })
+        records
+    | Filter { label = _; keep } ->
+      List.filter (fun r -> keep r.Cl_merge_purge.data) records
+    | Dedupe { match_field; blocking_fields; measure; same_above; different_below; window } ->
+      let out, m, unsure, comps =
+        apply_dedupe ?concordance ?lineage ~match_field ~blocking_fields ~measure ~same_above
+          ~different_below ~window records
+      in
+      merged := !merged + m;
+      exceptions := !exceptions @ unsure;
+      comparisons := !comparisons + comps;
+      out
+  in
+  let output = List.fold_left step records flow.steps in
+  {
+    output;
+    input_count;
+    merged_clusters = !merged;
+    exceptions = !exceptions;
+    comparisons = !comparisons;
+  }

@@ -1,0 +1,63 @@
+(** Declarative data-cleaning flows (section 3.2: "We use a declarative
+    representation of the flow", citing Galhardas et al.).
+
+    A flow is a named list of steps applied to keyed records:
+
+    - [Normalize]: rewrite a field through a registered normalizer;
+    - [Derive]: compute a new field from existing ones;
+    - [Filter]: drop records failing a predicate;
+    - [Dedupe]: sorted-neighborhood duplicate detection over a field,
+      clusters merged into one record (non-null field union, lowest key
+      wins), with [Unsure] pairs trapped as exceptions for review.
+
+    Running a flow is the paper's {e extraction} phase: known
+    determinations replay from the concordance store, fresh [Unsure]
+    pairs are trapped without stopping the run, and merges are recorded
+    in the lineage store so they can be rolled back. *)
+
+type step =
+  | Normalize of { field : string; normalizer : string }
+      (** normalizer is a {!Cl_normalize} registry name *)
+  | Derive of { field : string; from_field : string; normalizer : string }
+      (** add [field] = normalizer([from_field]) without overwriting *)
+  | Filter of { label : string; keep : Tuple.t -> bool }
+  | Dedupe of {
+      match_field : string;      (** compared field *)
+      blocking_fields : string list;  (** multi-pass blocking keys *)
+      measure : string;          (** {!Cl_similarity} registry name *)
+      same_above : float;
+      different_below : float;
+      window : int;
+    }
+
+type flow = {
+  flow_name : string;
+  steps : step list;
+}
+
+type report = {
+  output : Cl_merge_purge.record list;
+  input_count : int;
+  merged_clusters : int;
+  exceptions : (string * string) list;  (** unsure pairs, for humans *)
+  comparisons : int;
+}
+
+exception Flow_error of string
+
+val run :
+  ?concordance:Cl_concordance.t ->
+  ?lineage:Cl_lineage.t ->
+  flow ->
+  Cl_merge_purge.record list ->
+  report
+(** @raise Flow_error for unknown normalizer/measure names. *)
+
+val merge_cluster :
+  Cl_merge_purge.record list -> Cl_merge_purge.record
+(** The merge rule: key of the lexicographically-smallest member,
+    field-wise first-non-null union in that member order.
+    @raise Invalid_argument on an empty cluster. *)
+
+val records_of_tuples : key_field:string -> Tuple.t list -> Cl_merge_purge.record list
+(** Key each tuple by the given field's textual value. *)

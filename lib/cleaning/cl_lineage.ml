@@ -1,0 +1,67 @@
+type entry = {
+  output_key : string;
+  input_keys : string list;
+  operation : string;
+  detail : string;
+  seq : int;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;  (* output key -> latest entry *)
+  mutable next_seq : int;
+}
+
+let create () = { entries = Hashtbl.create 64; next_seq = 1 }
+
+let derive t ?(detail = "") ~operation ~inputs output_key =
+  let e = { output_key; input_keys = inputs; operation; detail; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  Hashtbl.replace t.entries output_key e;
+  e
+
+let entry_of t key = Hashtbl.find_opt t.entries key
+
+let ancestry t key =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go k =
+    match Hashtbl.find_opt t.entries k with
+    | None -> if k <> key then out := k :: !out
+    | Some e ->
+      List.iter
+        (fun input ->
+          if not (Hashtbl.mem seen input) then begin
+            Hashtbl.add seen input ();
+            go input
+          end)
+        e.input_keys
+  in
+  go key;
+  List.sort_uniq String.compare !out
+
+let direct_children t key =
+  Hashtbl.fold
+    (fun out_key e acc -> if List.mem key e.input_keys then out_key :: acc else acc)
+    t.entries []
+
+let descendants t key =
+  let seen = Hashtbl.create 16 in
+  let rec go k =
+    List.iter
+      (fun child ->
+        if not (Hashtbl.mem seen child) then begin
+          Hashtbl.add seen child ();
+          go child
+        end)
+      (direct_children t k)
+  in
+  go key;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort String.compare
+
+let rollback t key =
+  let affected = key :: descendants t key in
+  let removed = List.filter (fun k -> Hashtbl.mem t.entries k) affected in
+  List.iter (fun k -> Hashtbl.remove t.entries k) removed;
+  List.sort String.compare removed
+
+let size t = Hashtbl.length t.entries

@@ -1,0 +1,41 @@
+(** Data lineage (section 3.2): "recording data ancestry, human
+    decisions, and supporting roll-back whenever possible."
+
+    Every derived record registered here points at the input record keys
+    it came from and the operation that produced it; chains compose, so
+    full ancestry walks back to raw source records. *)
+
+type entry = {
+  output_key : string;
+  input_keys : string list;
+  operation : string;      (** e.g. "normalize:name", "merge", "flow:dedupe" *)
+  detail : string;
+  seq : int;
+}
+
+type t
+
+val create : unit -> t
+
+val derive :
+  t -> ?detail:string -> operation:string -> inputs:string list -> string -> entry
+(** [derive t ~operation ~inputs output_key] records one derivation
+    step. *)
+
+val entry_of : t -> string -> entry option
+(** The derivation that produced a key (latest, when re-derived). *)
+
+val ancestry : t -> string -> string list
+(** Transitive input closure of a key (the key's raw ancestors), sorted,
+    without the key itself.  Keys never derived are their own raw
+    ancestors and return []. *)
+
+val descendants : t -> string -> string list
+(** Keys derived (transitively) from the given key, sorted. *)
+
+val rollback : t -> string -> string list
+(** Forget the derivation of a key and of everything derived from it;
+    returns the affected output keys.  The inputs are untouched — they
+    are what the rollback restores visibility of. *)
+
+val size : t -> int

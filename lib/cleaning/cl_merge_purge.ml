@@ -1,0 +1,96 @@
+type record = {
+  key : string;
+  data : Tuple.t;
+}
+
+type matcher = Tuple.t -> Tuple.t -> Cl_concordance.verdict
+
+let similarity_matcher ?(field = "name") ~measure ~same_above ~different_below () =
+  fun a b ->
+  let get tup =
+    match Tuple.get tup field with
+    | Some v -> Value.to_string v
+    | None -> ""
+  in
+  let score = measure (get a) (get b) in
+  if score >= same_above then Cl_concordance.Same
+  else if score < different_below then Cl_concordance.Different
+  else Cl_concordance.Unsure
+
+type outcome = {
+  clusters : string list list;
+  comparisons : int;
+  unsure_pairs : (string * string) list;
+}
+
+let run_pairs matcher pairs =
+  let uf = Cl_unionfind.create () in
+  let comparisons = ref 0 in
+  let unsure = ref [] in
+  List.iter
+    (fun (a, b) ->
+      (* Skip pairs already known to be the same entity. *)
+      if not (Cl_unionfind.same uf a.key b.key) then begin
+        incr comparisons;
+        match matcher a.data b.data with
+        | Cl_concordance.Same -> Cl_unionfind.union uf a.key b.key
+        | Cl_concordance.Different -> ()
+        | Cl_concordance.Unsure -> unsure := (a.key, b.key) :: !unsure
+      end)
+    pairs;
+  let clusters = List.filter (fun g -> List.length g >= 2) (Cl_unionfind.groups uf) in
+  { clusters; comparisons = !comparisons; unsure_pairs = List.rev !unsure }
+
+let naive_pairs matcher records =
+  let rec all_pairs acc = function
+    | [] -> List.rev acc
+    | r :: rest -> all_pairs (List.rev_append (List.map (fun r' -> (r, r')) rest) acc) rest
+  in
+  run_pairs matcher (all_pairs [] records)
+
+let sorted_neighborhood ?(window = 10) ~keys matcher records =
+  (* Collect candidate pairs from every pass, then run the matcher once
+     per distinct pair. *)
+  let seen = Hashtbl.create 256 in
+  let pairs = ref [] in
+  List.iter
+    (fun block_key ->
+      let sorted =
+        List.stable_sort
+          (fun a b -> String.compare (block_key a.data) (block_key b.data))
+          records
+      in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i + 1 to min (n - 1) (i + window - 1) do
+          let a = arr.(i) and b = arr.(j) in
+          let pair_key =
+            if String.compare a.key b.key <= 0 then (a.key, b.key) else (b.key, a.key)
+          in
+          if not (Hashtbl.mem seen pair_key) then begin
+            Hashtbl.add seen pair_key ();
+            pairs := (a, b) :: !pairs
+          end
+        done
+      done)
+    keys;
+  run_pairs matcher (List.rev !pairs)
+
+let with_concordance_keys conc ~key_of matcher =
+  fun a b ->
+  let ka = key_of a and kb = key_of b in
+  match Cl_concordance.lookup conc ka kb with
+  | Some d -> d.Cl_concordance.verdict
+  | None ->
+    let verdict = matcher a b in
+    ignore (Cl_concordance.record conc (Cl_concordance.Automatic "matcher") verdict ka kb);
+    verdict
+
+let with_concordance conc matcher =
+  with_concordance_keys conc
+    ~key_of:(fun tup ->
+      match Tuple.get tup "key" with
+      | Some v -> Value.to_string v
+      | None -> Tuple.to_string tup)
+    matcher

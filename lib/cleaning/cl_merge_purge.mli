@@ -1,0 +1,63 @@
+(** Duplicate detection: the merge/purge problem (Hernandez–Stolfo,
+    cited as [10, 11] in the paper).
+
+    Records are tuples tagged with a unique key.  A {e matcher} decides
+    whether two records denote the same entity.  Two algorithms:
+
+    - {!naive_pairs}: compare all O(n²) pairs — the correctness baseline;
+    - {!sorted_neighborhood}: sort by a blocking key and compare only
+      within a sliding window — the scalable method, optionally run over
+      several independent keys (multi-pass) whose results merge through
+      the transitive closure.
+
+    Both return entity clusters via union–find closure. *)
+
+type record = {
+  key : string;
+  data : Tuple.t;
+}
+
+type matcher = Tuple.t -> Tuple.t -> Cl_concordance.verdict
+
+val similarity_matcher :
+  ?field:string ->
+  measure:(string -> string -> float) ->
+  same_above:float ->
+  different_below:float ->
+  unit ->
+  matcher
+(** Compare one field (default ["name"]) under a similarity measure:
+    [Same] at or above [same_above], [Different] below
+    [different_below], [Unsure] in between (the human-review band). *)
+
+type outcome = {
+  clusters : string list list;        (** entity groups (size >= 2) *)
+  comparisons : int;                  (** matcher invocations *)
+  unsure_pairs : (string * string) list;
+}
+
+val naive_pairs : matcher -> record list -> outcome
+
+val sorted_neighborhood :
+  ?window:int ->
+  keys:(Tuple.t -> string) list ->
+  matcher ->
+  record list ->
+  outcome
+(** Multi-pass sorted neighborhood: one pass per blocking key (default
+    window 10), union-find closure across passes. *)
+
+val with_concordance :
+  Cl_concordance.t -> matcher -> matcher
+(** Wrap a matcher so recorded determinations short-circuit it (replaying
+    past human decisions), and new automatic verdicts — including
+    [Unsure] traps — are recorded.  Requires record keys; see
+    {!with_concordance_keys}. *)
+
+val with_concordance_keys :
+  Cl_concordance.t ->
+  key_of:(Tuple.t -> string) ->
+  matcher ->
+  matcher
+(** Like {!with_concordance} but extracts pair keys from the tuples via
+    [key_of]. *)

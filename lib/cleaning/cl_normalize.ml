@@ -1,0 +1,90 @@
+let collapse_whitespace s =
+  let buf = Buffer.create (String.length s) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then pending_space := true
+      else begin
+        if !pending_space && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        pending_space := false;
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+let strip_punctuation s =
+  let keep c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = ' '
+    || Char.code c >= 128
+  in
+  let buf = Buffer.create (String.length s) in
+  String.iter (fun c -> if keep c then Buffer.add_char buf c else Buffer.add_char buf ' ') s;
+  Buffer.contents buf
+
+let casefold = String.lowercase_ascii
+
+let basic s = collapse_whitespace (casefold (strip_punctuation s))
+
+let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let honorifics = [ "mr"; "mrs"; "ms"; "dr"; "prof"; "sir"; "jr"; "sr"; "ii"; "iii" ]
+let corp_suffixes = [ "inc"; "incorporated"; "corp"; "corporation"; "llc"; "ltd"; "co"; "gmbh"; "plc" ]
+
+let normalize_name s =
+  (* "last, first" reordering happens before punctuation stripping. *)
+  let s =
+    match String.index_opt s ',' with
+    | Some i when i > 0 && i < String.length s - 1 ->
+      let last = String.sub s 0 i in
+      let first = String.sub s (i + 1) (String.length s - i - 1) in
+      first ^ " " ^ last
+    | Some _ | None -> s
+  in
+  let words = split_words (basic s) in
+  let drop = honorifics @ corp_suffixes in
+  let words = List.filter (fun w -> not (List.mem w drop)) words in
+  String.concat " " words
+
+let address_abbrevs =
+  [
+    ("st", "street"); ("str", "street"); ("ave", "avenue"); ("av", "avenue");
+    ("blvd", "boulevard"); ("rd", "road"); ("dr", "drive"); ("ln", "lane");
+    ("ct", "court"); ("pl", "place"); ("sq", "square"); ("hwy", "highway");
+    ("pkwy", "parkway"); ("apt", "apartment"); ("ste", "suite"); ("fl", "floor");
+    ("n", "north"); ("s", "south"); ("e", "east"); ("w", "west");
+    ("ne", "northeast"); ("nw", "northwest"); ("se", "southeast"); ("sw", "southwest");
+  ]
+
+let normalize_address s =
+  let words = split_words (basic s) in
+  let expand w = match List.assoc_opt w address_abbrevs with Some full -> full | None -> w in
+  String.concat " " (List.map expand words)
+
+let normalize_phone s =
+  let digits = String.to_seq s |> Seq.filter (fun c -> c >= '0' && c <= '9') |> String.of_seq in
+  if String.length digits = 11 && digits.[0] = '1' then String.sub digits 1 10 else digits
+
+let registry : (string, string -> string) Hashtbl.t = Hashtbl.create 16
+
+let register name f = Hashtbl.replace registry name f
+
+let () =
+  register "identity" (fun s -> s);
+  register "casefold" casefold;
+  register "basic" basic;
+  register "name" normalize_name;
+  register "address" normalize_address;
+  register "phone" normalize_phone
+
+let find name = Hashtbl.find_opt registry name
+
+let apply name s =
+  match find name with
+  | Some f -> f s
+  | None -> raise Not_found
+
+let names () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort String.compare

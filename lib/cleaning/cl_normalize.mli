@@ -1,0 +1,46 @@
+(** Normalization functions for dynamic data cleaning (section 3.2).
+
+    The paper calls for an extensible framework "handling immediate needs
+    (e.g., name and address standardization)" with "domain-specific and
+    customer-provided normalization functions".  This module provides the
+    built-ins and a registry for custom ones. *)
+
+val collapse_whitespace : string -> string
+(** Trim and squeeze runs of whitespace to single spaces. *)
+
+val strip_punctuation : string -> string
+(** Remove punctuation characters (keeps letters, digits, spaces). *)
+
+val casefold : string -> string
+
+val basic : string -> string
+(** [casefold ∘ strip_punctuation ∘ collapse_whitespace] — the default
+    pre-matching normalization. *)
+
+val normalize_name : string -> string
+(** Person/company name standardization: basic normalization, plus
+    removal of honorifics (mr, mrs, dr, ...) and corporate suffixes
+    (inc, corp, llc, ltd, co, gmbh), and ["last, first"] reordering. *)
+
+val normalize_address : string -> string
+(** Street-address standardization: basic normalization plus the USPS
+    abbreviation dictionary (st -> street, ave -> avenue, ...). *)
+
+val normalize_phone : string -> string
+(** Keep digits only; strip a leading country [1] from 11-digit
+    numbers. *)
+
+(** {1 Extensibility} *)
+
+val register : string -> (string -> string) -> unit
+(** Register a custom normalizer.  Re-registering replaces. *)
+
+val find : string -> (string -> string) option
+(** Built-ins are pre-registered under "basic", "name", "address",
+    "phone", "casefold", "identity". *)
+
+val apply : string -> string -> string
+(** [apply name s] applies a registered normalizer.
+    @raise Not_found for unknown names. *)
+
+val names : unit -> string list

@@ -1,0 +1,176 @@
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let levenshtein_similarity a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else 1.0 -. (float_of_int (levenshtein a b) /. float_of_int (max la lb))
+
+let jaro a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else if la = 0 || lb = 0 then 0.0
+  else begin
+    let window = max 0 ((max la lb / 2) - 1) in
+    let a_matched = Array.make la false and b_matched = Array.make lb false in
+    let matches = ref 0 in
+    for i = 0 to la - 1 do
+      let lo = max 0 (i - window) and hi = min (lb - 1) (i + window) in
+      let rec scan j =
+        if j > hi then ()
+        else if (not b_matched.(j)) && a.[i] = b.[j] then begin
+          a_matched.(i) <- true;
+          b_matched.(j) <- true;
+          incr matches
+        end
+        else scan (j + 1)
+      in
+      scan lo
+    done;
+    if !matches = 0 then 0.0
+    else begin
+      (* Count transpositions among matched characters. *)
+      let transpositions = ref 0 in
+      let j = ref 0 in
+      for i = 0 to la - 1 do
+        if a_matched.(i) then begin
+          while not b_matched.(!j) do
+            incr j
+          done;
+          if a.[i] <> b.[!j] then incr transpositions;
+          incr j
+        end
+      done;
+      let m = float_of_int !matches in
+      let t = float_of_int (!transpositions / 2) in
+      ((m /. float_of_int la) +. (m /. float_of_int lb) +. ((m -. t) /. m)) /. 3.0
+    end
+  end
+
+let jaro_winkler ?(prefix_scale = 0.1) a b =
+  let base = jaro a b in
+  let max_prefix = min 4 (min (String.length a) (String.length b)) in
+  let rec prefix_len i = if i < max_prefix && a.[i] = b.[i] then prefix_len (i + 1) else i in
+  let l = float_of_int (prefix_len 0) in
+  base +. (l *. prefix_scale *. (1.0 -. base))
+
+let tokens s =
+  String.split_on_char ' ' (Cl_normalize.basic s) |> List.filter (fun w -> w <> "")
+
+let jaccard a b =
+  let ta = List.sort_uniq String.compare (tokens a) in
+  let tb = List.sort_uniq String.compare (tokens b) in
+  match ta, tb with
+  | [], [] -> 1.0
+  | _, _ ->
+    let inter = List.length (List.filter (fun t -> List.mem t tb) ta) in
+    let union = List.length ta + List.length tb - inter in
+    float_of_int inter /. float_of_int union
+
+let ngrams n s =
+  let padded = String.concat "" [ String.make (n - 1) '#'; s; String.make (n - 1) '#' ] in
+  let len = String.length padded in
+  if len < n then [ padded ]
+  else List.init (len - n + 1) (fun i -> String.sub padded i n)
+
+let ngram_similarity ?(n = 3) a b =
+  let ga = ngrams n (Cl_normalize.basic a) and gb = ngrams n (Cl_normalize.basic b) in
+  let count_common ga gb =
+    let table = Hashtbl.create 32 in
+    List.iter
+      (fun g -> Hashtbl.replace table g (1 + Option.value ~default:0 (Hashtbl.find_opt table g)))
+      gb;
+    List.fold_left
+      (fun acc g ->
+        match Hashtbl.find_opt table g with
+        | Some k when k > 0 ->
+          Hashtbl.replace table g (k - 1);
+          acc + 1
+        | Some _ | None -> acc)
+      0 ga
+  in
+  let common = count_common ga gb in
+  let total = List.length ga + List.length gb in
+  if total = 0 then 1.0 else 2.0 *. float_of_int common /. float_of_int total
+
+(* ------------------------------------------------------------------ *)
+(* TF-IDF cosine                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type corpus = {
+  doc_count : int;
+  doc_freq : (string, int) Hashtbl.t;
+}
+
+let corpus_of docs =
+  let doc_freq = Hashtbl.create 64 in
+  List.iter
+    (fun doc ->
+      let seen = List.sort_uniq String.compare (tokens doc) in
+      List.iter
+        (fun t ->
+          Hashtbl.replace doc_freq t (1 + Option.value ~default:0 (Hashtbl.find_opt doc_freq t)))
+        seen)
+    docs;
+  { doc_count = List.length docs; doc_freq }
+
+let idf corpus t =
+  let df = Option.value ~default:0 (Hashtbl.find_opt corpus.doc_freq t) in
+  log (float_of_int (corpus.doc_count + 1) /. float_of_int (df + 1)) +. 1.0
+
+let tfidf_vector corpus s =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun t -> Hashtbl.replace counts t (1 + Option.value ~default:0 (Hashtbl.find_opt counts t)))
+    (tokens s);
+  let vec = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun t tf -> Hashtbl.replace vec t (float_of_int tf *. idf corpus t))
+    counts;
+  vec
+
+let tfidf_cosine corpus a b =
+  let va = tfidf_vector corpus a and vb = tfidf_vector corpus b in
+  let dot = ref 0.0 in
+  Hashtbl.iter
+    (fun t wa ->
+      match Hashtbl.find_opt vb t with
+      | Some wb -> dot := !dot +. (wa *. wb)
+      | None -> ())
+    va;
+  let norm v = sqrt (Hashtbl.fold (fun _ w acc -> acc +. (w *. w)) v 0.0) in
+  let na = norm va and nb = norm vb in
+  if na = 0.0 || nb = 0.0 then if na = nb then 1.0 else 0.0 else !dot /. (na *. nb)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry : (string, string -> string -> float) Hashtbl.t = Hashtbl.create 16
+
+let register name f = Hashtbl.replace registry name f
+
+let () =
+  register "levenshtein" levenshtein_similarity;
+  register "jaro" jaro;
+  register "jaro_winkler" (fun a b -> jaro_winkler a b);
+  register "jaccard" jaccard;
+  register "ngram" (fun a b -> ngram_similarity a b);
+  register "exact" (fun a b -> if String.equal a b then 1.0 else 0.0)
+
+let find name = Hashtbl.find_opt registry name

@@ -1,0 +1,50 @@
+(** String similarity measures for record matching.
+
+    Covers the families the data-cleaning literature the paper cites
+    relies on: edit distance (Hernandez–Stolfo merge/purge), Jaro/
+    Jaro–Winkler (census-style name matching), token overlap and TF-IDF
+    cosine (Cohen's WHIRL — "queries based on textual similarity"). *)
+
+val levenshtein : string -> string -> int
+(** Classic edit distance (insert/delete/substitute, unit costs). *)
+
+val levenshtein_similarity : string -> string -> float
+(** [1 - distance / max-length], in [0, 1]; 1.0 for two empty strings. *)
+
+val jaro : string -> string -> float
+val jaro_winkler : ?prefix_scale:float -> string -> string -> float
+(** Standard Jaro–Winkler with prefix bonus (default scale 0.1, prefix
+    capped at 4). *)
+
+val tokens : string -> string list
+(** Whitespace tokens of the {!Cl_normalize.basic} form. *)
+
+val jaccard : string -> string -> float
+(** Token-set Jaccard similarity. *)
+
+val ngrams : int -> string -> string list
+(** Character n-grams (with boundary padding [#]). *)
+
+val ngram_similarity : ?n:int -> string -> string -> float
+(** Dice coefficient over character n-grams (default trigrams). *)
+
+(** {1 TF-IDF cosine (WHIRL)} *)
+
+type corpus
+(** Document-frequency statistics over a collection of strings. *)
+
+val corpus_of : string list -> corpus
+
+val tfidf_cosine : corpus -> string -> string -> float
+(** Cosine of the TF-IDF vectors of the two strings under the corpus's
+    document frequencies.  Rare tokens dominate, so "Acme Corp" and
+    "Acme Incorporated" score high even though "corp"/"incorporated"
+    differ. *)
+
+(** {1 Registry} *)
+
+val find : string -> (string -> string -> float) option
+(** Pre-registered measures: "levenshtein", "jaro", "jaro_winkler",
+    "jaccard", "ngram", "exact". *)
+
+val register : string -> (string -> string -> float) -> unit

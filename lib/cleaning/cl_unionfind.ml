@@ -1,0 +1,49 @@
+type t = {
+  parent : (string, string) Hashtbl.t;
+  rank : (string, int) Hashtbl.t;
+}
+
+let create () = { parent = Hashtbl.create 64; rank = Hashtbl.create 64 }
+
+let rec find t key =
+  match Hashtbl.find_opt t.parent key with
+  | None | Some "" -> key
+  | Some p when String.equal p key -> key
+  | Some p ->
+    let root = find t p in
+    Hashtbl.replace t.parent key root;
+    root
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if not (String.equal ra rb) then begin
+    let rank k = Option.value ~default:0 (Hashtbl.find_opt t.rank k) in
+    let ka = rank ra and kb = rank rb in
+    if ka < kb then Hashtbl.replace t.parent ra rb
+    else if ka > kb then Hashtbl.replace t.parent rb ra
+    else begin
+      Hashtbl.replace t.parent rb ra;
+      Hashtbl.replace t.rank ra (ka + 1)
+    end
+  end
+  else ();
+  (* Track membership even for self-unions so groups can report. *)
+  if not (Hashtbl.mem t.parent a) then Hashtbl.replace t.parent a (find t a);
+  if not (Hashtbl.mem t.parent b) then Hashtbl.replace t.parent b (find t b)
+
+let same t a b = String.equal (find t a) (find t b)
+
+let groups t =
+  let clusters : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.parent [] in
+  List.iter
+    (fun k ->
+      let root = find t k in
+      let members = Option.value ~default:[] (Hashtbl.find_opt clusters root) in
+      if not (List.mem k members) then Hashtbl.replace clusters root (k :: members))
+    keys;
+  Hashtbl.fold (fun _ members acc -> List.sort String.compare members :: acc) clusters []
+  |> List.sort (fun a b ->
+         match a, b with
+         | x :: _, y :: _ -> String.compare x y
+         | _, _ -> 0)

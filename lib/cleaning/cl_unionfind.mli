@@ -1,0 +1,17 @@
+(** Union–find over string keys, used for the transitive closure of
+    match decisions (if A=B and B=C then A, B, C are one entity). *)
+
+type t
+
+val create : unit -> t
+
+val union : t -> string -> string -> unit
+val find : t -> string -> string
+(** Canonical representative (the key itself when never unioned). *)
+
+val same : t -> string -> string -> bool
+
+val groups : t -> string list list
+(** Clusters with at least one member, each sorted, ordered by their
+    smallest member.  Singletons that were never mentioned do not
+    appear. *)

@@ -1,0 +1,350 @@
+type cleaner = {
+  cl_flow : Cl_flow.flow;
+  cl_key_field : string;
+  cl_query : Xq_ast.query;
+  cl_concordance : Cl_concordance.t;
+  cl_lineage : Cl_lineage.t;
+  mutable cl_exceptions : (string * string) list;
+}
+
+type t = {
+  sys_name : string;
+  cat : Med_catalog.t;
+  mat : Mat_store.t;
+  results : Mat_cache.t;
+  accounts : Fe_auth.t;
+  lenses : (string, Fe_lens.t) Hashtbl.t;
+  cleaners : (string, cleaner) Hashtbl.t;
+}
+
+let create ?(name = "nimble") ?(cache_capacity = 64) () =
+  let cat = Med_catalog.create () in
+  {
+    sys_name = name;
+    cat;
+    mat = Mat_store.create cat;
+    results = Mat_cache.create ~capacity:cache_capacity;
+    accounts = Fe_auth.create ();
+    lenses = Hashtbl.create 8;
+    cleaners = Hashtbl.create 4;
+  }
+
+let name t = t.sys_name
+let catalog t = t.cat
+let store t = t.mat
+let cache t = t.results
+let auth t = t.accounts
+
+(* Uniform error wrapping: every known subsystem exception becomes a
+   string error instead of escaping to the caller. *)
+let guard f =
+  try Ok (f ()) with
+  | Med_catalog.Catalog_error m
+  | Med_exec.Exec_error m
+  | Mat_store.Mat_error m
+  | Fe_lens.Lens_error m
+  | Fe_auth.Auth_error m
+  | Xq_eval.Eval_error m
+  | Cl_flow.Flow_error m
+  | Rel_db.Sql_error m -> Error m
+  | Med_planner.Plan_error m -> Error ("planning: " ^ m)
+  | Source.Unavailable s -> Error (Printf.sprintf "source %s is unavailable" s)
+  | Alg_exec.Source_unavailable s -> Error (Printf.sprintf "source %s is unavailable" s)
+  | Source.Query_rejected m -> Error ("source rejected query: " ^ m)
+  | Invalid_argument m -> Error m
+
+let register_source t src = guard (fun () -> Med_catalog.register_source t.cat src)
+
+let define_view t ?description vname text =
+  guard (fun () -> Med_catalog.define_view_text t.cat ?description vname text)
+
+let drop_view t vname =
+  guard (fun () ->
+      (* Catalog first: its dependency check may refuse, and the
+         materialized copy must survive a refused drop. *)
+      Med_catalog.drop_view t.cat vname;
+      Mat_store.drop t.mat vname)
+
+let materialize_view t ?policy vname =
+  guard (fun () -> ignore (Mat_store.materialize t.mat ?policy vname))
+
+let refresh_view t vname = guard (fun () -> Mat_store.refresh t.mat vname)
+
+let dematerialize_view t vname = Mat_store.drop t.mat vname
+
+let add_user t ?role uname password =
+  guard (fun () -> Fe_auth.add_user t.accounts ?role uname password)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic cleaning sources                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A query-time cleaning source: every access recomputes the base query
+   and runs the flow, replaying recorded determinations (section 3.2's
+   extraction phase). *)
+let register_cleaned_source t ~name ~key_field ~flow ~from_query =
+  match Xq_parser.parse from_query with
+  | Error m -> Error m
+  | Ok q ->
+    guard (fun () ->
+        let cleaner =
+          {
+            cl_flow = flow;
+            cl_key_field = key_field;
+            cl_query = q;
+            cl_concordance = Cl_concordance.create ();
+            cl_lineage = Cl_lineage.create ();
+            cl_exceptions = [];
+          }
+        in
+        let clean_rows () =
+          let trees = Med_exec.run t.cat cleaner.cl_query in
+          let tuples = List.map Dtree.to_tuple trees in
+          let records = Cl_flow.records_of_tuples ~key_field tuples in
+          let report =
+            Cl_flow.run ~concordance:cleaner.cl_concordance ~lineage:cleaner.cl_lineage
+              cleaner.cl_flow records
+          in
+          cleaner.cl_exceptions <- report.Cl_flow.exceptions;
+          List.map (fun r -> r.Cl_merge_purge.data) report.Cl_flow.output
+        in
+        let execute = function
+          | Source.Q_scan _ ->
+            let rows = clean_rows () in
+            let names =
+              match rows with
+              | row :: _ -> Tuple.field_names row
+              | [] -> []
+            in
+            Source.R_rows (names, rows)
+          | Source.Q_sql _ -> raise (Source.Query_rejected "cleaned sources accept scans only")
+          | Source.Q_path _ -> raise (Source.Query_rejected "cleaned sources accept scans only")
+        in
+        let src =
+          {
+            Source.name;
+            kind = Source.Flat_file;
+            capability = Source.scan_only;
+            relations = (fun () -> []);
+            document_names = (fun () -> [ name ]);
+            documents = (fun _ -> [ Source.table_document name (clean_rows ()) ]);
+            execute;
+            is_available = (fun () -> true);
+          }
+        in
+        Med_catalog.register_source t.cat src;
+        Hashtbl.replace t.cleaners name cleaner)
+
+let cleaning_exceptions t name =
+  match Hashtbl.find_opt t.cleaners name with
+  | Some c -> c.cl_exceptions
+  | None -> []
+
+let resolve_match t name verdict a b =
+  match Hashtbl.find_opt t.cleaners name with
+  | None -> Error (Printf.sprintf "no cleaned source named %s" name)
+  | Some c ->
+    ignore (Cl_concordance.resolve c.cl_concordance verdict a b);
+    Ok ()
+
+let cleaning_lineage t name =
+  Option.map (fun c -> c.cl_lineage) (Hashtbl.find_opt t.cleaners name)
+
+let report t =
+  Fe_admin.system_report t.cat ~store:t.mat ~cache:t.results ()
+
+(* ------------------------------------------------------------------ *)
+(* Configuration scripts                                               *)
+(* ------------------------------------------------------------------ *)
+
+let policy_to_directive = function
+  | Mat_store.Manual -> "manual"
+  | Mat_store.On_access -> "on-access"
+  | Mat_store.Every_n_queries n -> Printf.sprintf "every:%d" n
+
+let policy_of_directive = function
+  | "manual" -> Some Mat_store.Manual
+  | "on-access" -> Some Mat_store.On_access
+  | s when String.length s > 6 && String.sub s 0 6 = "every:" ->
+    Option.map
+      (fun n -> Mat_store.Every_n_queries n)
+      (int_of_string_opt (String.sub s 6 (String.length s - 6)))
+  | _ -> None
+
+let save_config t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "# nimble configuration script
+";
+  (* Views in dependency order so a replay re-creates them cleanly. *)
+  let views =
+    List.sort
+      (fun a b -> Int.compare (Med_catalog.view_depth t.cat a) (Med_catalog.view_depth t.cat b))
+      (Med_catalog.view_names t.cat)
+  in
+  List.iter
+    (fun vname ->
+      match Med_catalog.find_view t.cat vname with
+      | None -> ()
+      | Some v ->
+        Buffer.add_string buf
+          (Printf.sprintf "view %s := %s
+" vname
+             (String.concat " UNION "
+                (List.map Xq_pretty.query_to_string v.Med_catalog.definitions)));
+        if v.Med_catalog.description <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "describe %s %s
+" vname v.Med_catalog.description))
+    views;
+  List.iter
+    (fun vname ->
+      match Mat_store.peek t.mat vname with
+      | Some e ->
+        Buffer.add_string buf
+          (Printf.sprintf "materialize %s %s
+" vname (policy_to_directive e.Mat_store.policy))
+      | None -> ())
+    (Mat_store.materialized_names t.mat);
+  Buffer.contents buf
+
+let load_config t script =
+  let directive line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok ()
+    else
+      match String.index_opt line ' ' with
+      | None -> Error (Printf.sprintf "malformed directive %S" line)
+      | Some i -> (
+        let keyword = String.sub line 0 i in
+        let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+        match keyword with
+        | "view" -> (
+          match String.index_opt rest ' ' with
+          | Some j
+            when j + 2 < String.length rest
+                 && String.sub rest (j + 1) 2 = ":=" ->
+            let vname = String.sub rest 0 j in
+            let body = String.trim (String.sub rest (j + 3) (String.length rest - j - 3)) in
+            (match define_view t vname body with
+            | Ok () -> Ok ()
+            | Error m -> Error (Printf.sprintf "view %s: %s" vname m))
+          | _ -> Error (Printf.sprintf "malformed view directive %S" line))
+        | "describe" -> (
+          match String.index_opt rest ' ' with
+          | Some j ->
+            let vname = String.sub rest 0 j in
+            let desc = String.sub rest (j + 1) (String.length rest - j - 1) in
+            guard (fun () -> Med_catalog.set_description t.cat vname desc)
+          | None -> Error (Printf.sprintf "malformed describe directive %S" line))
+        | "materialize" -> (
+          match String.split_on_char ' ' rest with
+          | [ vname; pol ] -> (
+            match policy_of_directive pol with
+            | Some policy -> materialize_view t ~policy vname
+            | None -> Error (Printf.sprintf "unknown policy %S" pol))
+          | [ vname ] -> materialize_view t vname
+          | _ -> Error (Printf.sprintf "malformed materialize directive %S" line))
+        | kw -> Error (Printf.sprintf "unknown directive %S" kw))
+  in
+  let rec run_lines = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      match directive line with
+      | Ok () -> run_lines rest
+      | Error m -> Error m)
+  in
+  run_lines (String.split_on_char '\n' script)
+
+(* Source closure of a query: clause sources plus, through views, the
+   base sources they read — the invalidation tags of cached entries. *)
+let rec source_closure t q =
+  List.concat_map
+    (fun src_name ->
+      match Med_catalog.find_view t.cat src_name with
+      | Some v ->
+        src_name :: List.concat_map (source_closure t) v.Med_catalog.definitions
+      | None -> (
+        match Hashtbl.find_opt t.cleaners src_name with
+        (* Cleaned sources read through their base query, so updates to
+           the underlying sources must invalidate them too. *)
+        | Some cleaner -> src_name :: source_closure t cleaner.cl_query
+        | None -> (
+          match String.index_opt src_name '.' with
+          | Some i -> [ src_name; String.sub src_name 0 i ]
+          | None -> [ src_name ])))
+    (Xq_ast.all_sources_of q)
+  |> List.sort_uniq String.compare
+
+let invalidate_source t source_name = Mat_cache.invalidate_source t.results source_name
+
+let view_lookup t vname = Mat_store.lookup t.mat vname
+
+let parse_query text =
+  match Xq_parser.parse text with
+  | Ok q -> Ok q
+  | Error m -> Error m
+
+let query t text =
+  match parse_query text with
+  | Error m -> Error m
+  | Ok q ->
+    guard (fun () ->
+        Mat_store.tick t.mat;
+        Mat_cache.get_or_compute t.results ~sources:(source_closure t q) text (fun () ->
+            Med_exec.run ~view_lookup:(view_lookup t) t.cat q))
+
+let query_partial t text =
+  match parse_query text with
+  | Error m -> Error m
+  | Ok q ->
+    guard (fun () ->
+        Mat_store.tick t.mat;
+        match Mat_cache.get t.results text with
+        | Some trees -> (trees, [])
+        | None ->
+          let trees, skipped =
+            Med_exec.run_partial ~view_lookup:(view_lookup t) t.cat q
+          in
+          (* Only complete answers are worth caching. *)
+          if skipped = [] then
+            Mat_cache.put t.results ~sources:(source_closure t q) text trees;
+          (trees, skipped))
+
+let query_formatted t ~device text =
+  Result.map (Fe_format.render device) (query t text)
+
+let explain t text = guard (fun () -> Med_exec.explain_text t.cat text)
+
+let add_lens t lens =
+  guard (fun () ->
+      let lname = lens.Fe_lens.lens_name in
+      if Hashtbl.mem t.lenses lname then
+        invalid_arg (Printf.sprintf "lens %s already exists" lname);
+      Hashtbl.replace t.lenses lname lens)
+
+let lens_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.lenses [] |> List.sort String.compare
+
+let run_lens t ~user ~password ~lens ~query:query_name args =
+  match Hashtbl.find_opt t.lenses lens with
+  | None -> Error (Printf.sprintf "unknown lens %s" lens)
+  | Some l -> (
+    match Fe_auth.authenticate t.accounts user password with
+    | None -> Error "authentication failed"
+    | Some role ->
+      if not (Fe_auth.role_allows l.Fe_lens.required_role role) then
+        Error
+          (Printf.sprintf "user %s (%s) lacks the %s role required by lens %s" user
+             (Fe_auth.role_to_string role)
+             (Fe_auth.role_to_string l.Fe_lens.required_role)
+             lens)
+      else
+        guard (fun () ->
+            let q = Fe_lens.instantiate l query_name args in
+            Mat_store.tick t.mat;
+            let key = Xq_pretty.query_to_string q in
+            let trees =
+              Mat_cache.get_or_compute t.results ~sources:(source_closure t q) key
+                (fun () -> Med_exec.run ~view_lookup:(view_lookup t) t.cat q)
+            in
+            Fe_format.render l.Fe_lens.device trees))

@@ -1,0 +1,138 @@
+(** The Nimble data integration system: public facade.
+
+    One value of type {!t} is a running integration engine: a metadata
+    catalog of sources and hierarchical mediated schemas, a materialized-
+    view store with refresh policies, an LRU result cache, users/roles,
+    and lenses.  Queries are XML-QL text; answers are trees of the Nimble
+    data model (or device-formatted strings).
+
+    {[
+      let sys = Nimble.create () in
+      Nimble.register_source sys (Rel_source.make my_db);
+      match Nimble.query sys
+              {|WHERE <row><name>$n</name></row> IN "crm.customers"
+                CONSTRUCT <c>$n</c>|}
+      with
+      | Ok trees -> List.iter print_tree trees
+      | Error msg -> prerr_endline msg
+    ]} *)
+
+type t
+
+val create : ?name:string -> ?cache_capacity:int -> unit -> t
+(** Default cache capacity 64 entries; 0 disables result caching. *)
+
+val name : t -> string
+
+(** {1 Component access (for advanced use and tests)} *)
+
+val catalog : t -> Med_catalog.t
+val store : t -> Mat_store.t
+val cache : t -> Mat_cache.t
+val auth : t -> Fe_auth.t
+
+(** {1 Administration} *)
+
+val register_source : t -> Source.t -> (unit, string) result
+
+val define_view : t -> ?description:string -> string -> string -> (unit, string) result
+(** [define_view t name xmlql_text] adds a mediated schema. *)
+
+val drop_view : t -> string -> (unit, string) result
+
+val materialize_view :
+  t -> ?policy:Mat_store.policy -> string -> (unit, string) result
+(** Store a local copy of the view (section 3.3); subsequent queries
+    over it are answered from the copy, honouring its refresh policy. *)
+
+val refresh_view : t -> string -> (unit, string) result
+val dematerialize_view : t -> string -> unit
+
+val invalidate_source : t -> string -> int
+(** Drop cached results computed from the named source (call after
+    out-of-band updates); returns how many entries were dropped. *)
+
+val add_user : t -> ?role:Fe_auth.role -> string -> string -> (unit, string) result
+
+(** {1 Dynamic data cleaning (section 3.2)} *)
+
+val register_cleaned_source :
+  t ->
+  name:string ->
+  key_field:string ->
+  flow:Cl_flow.flow ->
+  from_query:string ->
+  (unit, string) result
+(** Register a derived source whose rows are the result trees of
+    [from_query] (which must construct flat records), run through the
+    cleaning flow {e at query time} — the paper's dynamic cleaning: "the
+    source data is unchanged, and at least some of the cleansing and
+    matching need to be performed dynamically."  The source is
+    addressable as ["name"] in later queries and views; match
+    determinations accumulate in a per-source concordance database and
+    merges are recorded in a lineage store. *)
+
+val cleaning_exceptions : t -> string -> (string * string) list
+(** Pairs the last runs of the named cleaned source trapped as unsure —
+    the human work queue.  [] for unknown names. *)
+
+val resolve_match :
+  t -> string -> Cl_concordance.verdict -> string -> string -> (unit, string) result
+(** A human answers a trapped pair of the named cleaned source; the
+    decision replays on every later query. *)
+
+val cleaning_lineage : t -> string -> Cl_lineage.t option
+(** The lineage store of a cleaned source (merge provenance /
+    rollback). *)
+
+val report : t -> string
+(** Status page: sources, schemas, materializations, cache. *)
+
+val save_config : t -> string
+(** A reloadable script of the system's mediated schemas (in dependency
+    order) and materialization policies:
+    {v
+      view <name> := <xml-ql text, UNION allowed>
+      describe <name> <description>
+      materialize <name> manual|on-access|every:N
+    v}
+    Sources, lenses and users are live objects and are not serialized. *)
+
+val load_config : t -> string -> (unit, string) result
+(** Replay a {!save_config} script (ignoring blank lines and [#]
+    comments).  Stops at the first failing directive with its message.
+    Sources referenced by the views must already be registered. *)
+
+(** {1 Querying} *)
+
+val query : t -> string -> (Dtree.t list, string) result
+(** Strict mode: any unavailable source fails the whole query with an
+    error naming it. *)
+
+val query_partial : t -> string -> (Dtree.t list * string list, string) result
+(** Partial-results mode (section 3.4): offline sources contribute
+    nothing; the second component names them (empty means the answer is
+    complete).  Incomplete answers are never cached. *)
+
+val query_formatted :
+  t -> device:Fe_format.device -> string -> (string, string) result
+
+val explain : t -> string -> (string, string) result
+(** The physical plan and the fragments shipped to each source. *)
+
+(** {1 Lenses} *)
+
+val add_lens : t -> Fe_lens.t -> (unit, string) result
+val lens_names : t -> string list
+
+val run_lens :
+  t ->
+  user:string ->
+  password:string ->
+  lens:string ->
+  query:string ->
+  (string * string) list ->
+  (string, string) result
+(** Authenticate, check the lens's required role, instantiate the named
+    query with the arguments, execute (through cache and materialized
+    views), and format for the lens's device. *)

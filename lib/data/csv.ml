@@ -1,0 +1,93 @@
+let parse ?(separator = ',') input =
+  let len = String.length input in
+  let rows = ref [] in
+  let row = ref [] in
+  let cell = Buffer.create 32 in
+  let flush_cell () =
+    row := Buffer.contents cell :: !row;
+    Buffer.clear cell
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  let saw_any = ref false in
+  while !i < len do
+    let c = input.[!i] in
+    saw_any := true;
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < len && input.[!i + 1] = '"' then begin
+          Buffer.add_char cell '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char cell c
+    end
+    else if c = '"' then in_quotes := true
+    else if c = separator then flush_cell ()
+    else if c = '\r' then ()
+    else if c = '\n' then flush_row ()
+    else Buffer.add_char cell c;
+    incr i
+  done;
+  (* Final row without trailing newline. *)
+  if Buffer.length cell > 0 || !row <> [] then flush_row ()
+  else if not !saw_any then ()
+  else ();
+  List.rev !rows
+
+let parse_rows ?separator ~header input =
+  match parse ?separator input with
+  | [] -> ([], [])
+  | first :: rest when header -> (first, rest)
+  | rows ->
+    let width = List.fold_left (fun acc r -> max acc (List.length r)) 0 rows in
+    let names = List.init width (fun i -> Printf.sprintf "c%d" (i + 1)) in
+    (names, rows)
+
+let to_tuples ?separator ~header input =
+  let names, rows = parse_rows ?separator ~header input in
+  let ncols = List.length names in
+  let row_to_tuple cells =
+    let cells = Array.of_list cells in
+    Tuple.make
+      (List.mapi
+         (fun i name ->
+           let v = if i < Array.length cells then Value.of_string_guess cells.(i) else Value.Null in
+           (name, v))
+         names)
+  in
+  List.filter_map
+    (fun cells -> if cells = [ "" ] && ncols > 1 then None else Some (row_to_tuple cells))
+    rows
+
+let needs_quoting separator cell =
+  String.exists (fun c -> c = separator || c = '"' || c = '\n' || c = '\r') cell
+
+let print ?(separator = ',') rows =
+  let buf = Buffer.create 256 in
+  let add_cell cell =
+    if needs_quoting separator cell then begin
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+        cell;
+      Buffer.add_char buf '"'
+    end
+    else Buffer.add_string buf cell
+  in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i > 0 then Buffer.add_char buf separator;
+          add_cell cell)
+        row;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** RFC-4180-style CSV parsing and printing for flat-file sources. *)
+
+val parse : ?separator:char -> string -> string list list
+(** Parse CSV text into rows of cells.  Handles double-quoted cells with
+    embedded separators, newlines and escaped quotes ([""]).  A trailing
+    final newline does not produce an empty row. *)
+
+val parse_rows :
+  ?separator:char -> header:bool -> string -> string list * string list list
+(** [parse_rows ~header s] returns [(column_names, rows)].  When [header]
+    is false, columns are named [c1], [c2], … by the widest row. *)
+
+val to_tuples : ?separator:char -> header:bool -> string -> Tuple.t list
+(** Parse into tuples with type-guessed values; short rows pad with
+    [Null], long rows drop extra cells. *)
+
+val print : ?separator:char -> string list list -> string
+(** Render rows, quoting cells that need it. *)

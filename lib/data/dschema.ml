@@ -1,0 +1,179 @@
+type column = {
+  col_name : string;
+  col_ty : Value.ty;
+  nullable : bool;
+}
+
+type relational = {
+  rel_name : string;
+  columns : column list;
+}
+
+let column ?(nullable = false) col_name col_ty = { col_name; col_ty; nullable }
+
+let relational rel_name columns =
+  let names = List.map (fun c -> c.col_name) columns in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg (Printf.sprintf "Dschema.relational %S: duplicate column names" rel_name);
+  { rel_name; columns }
+
+let find_column r name = List.find_opt (fun c -> String.equal c.col_name name) r.columns
+
+let column_names r = List.map (fun c -> c.col_name) r.columns
+
+let ty_compatible col_ty v =
+  match v, col_ty with
+  | Value.Null, _ -> true
+  | _, Value.TString -> true (* strings absorb anything textual *)
+  | v, ty when Value.type_of v = ty -> true
+  | Value.Int _, Value.TFloat -> true
+  | _, _ -> false
+
+let conforms r tup =
+  List.length (Tuple.fields tup) = List.length r.columns
+  && List.for_all
+       (fun c ->
+         match Tuple.get tup c.col_name with
+         | None -> false
+         | Some Value.Null -> c.nullable
+         | Some v -> ty_compatible c.col_ty v)
+       r.columns
+
+let coerce_tuple r tup =
+  let coerce_col c =
+    match Tuple.get tup c.col_name with
+    | None | Some Value.Null -> if c.nullable then Some (c.col_name, Value.Null) else None
+    | Some v -> (
+      if ty_compatible c.col_ty v && c.col_ty <> Value.TString then Some (c.col_name, v)
+      else
+        match Value.cast c.col_ty v with
+        | Some v' -> Some (c.col_name, v')
+        | None -> None)
+  in
+  let rec go acc = function
+    | [] -> Some (Tuple.make (List.rev acc))
+    | c :: rest -> (
+      match coerce_col c with
+      | Some binding -> go (binding :: acc) rest
+      | None -> None)
+  in
+  go [] r.columns
+
+let unify_ty a b =
+  match a, b with
+  | t, u when t = u -> t
+  | Value.TNull, t | t, Value.TNull -> t
+  | Value.TInt, Value.TFloat | Value.TFloat, Value.TInt -> Value.TFloat
+  | _, _ -> Value.TString
+
+let infer_relational name tuples =
+  (* First-seen column order. *)
+  let order : string list ref = ref [] in
+  let info : (string, Value.ty * bool) Hashtbl.t = Hashtbl.create 16 in
+  let observe tup =
+    List.iter
+      (fun (fname, v) ->
+        if not (Hashtbl.mem info fname) then begin
+          order := fname :: !order;
+          Hashtbl.replace info fname (Value.TNull, false)
+        end;
+        let ty, nullable = Hashtbl.find info fname in
+        match v with
+        | Value.Null -> Hashtbl.replace info fname (ty, true)
+        | v -> Hashtbl.replace info fname (unify_ty ty (Value.type_of v), nullable))
+      (Tuple.fields tup)
+  in
+  List.iter observe tuples;
+  (* Columns absent from some tuple are nullable. *)
+  let all = List.rev !order in
+  let missing_somewhere fname =
+    List.exists (fun tup -> not (Tuple.mem tup fname)) tuples
+  in
+  let columns =
+    List.map
+      (fun fname ->
+        let ty, nullable = Hashtbl.find info fname in
+        let ty = if ty = Value.TNull then Value.TString else ty in
+        { col_name = fname; col_ty = ty; nullable = nullable || missing_somewhere fname })
+      all
+  in
+  { rel_name = name; columns }
+
+let relational_to_string r =
+  let col c =
+    Printf.sprintf "%s %s%s" c.col_name (Value.ty_to_string c.col_ty)
+      (if c.nullable then "?" else "")
+  in
+  Printf.sprintf "%s(%s)" r.rel_name (String.concat ", " (List.map col r.columns))
+
+(* ------------------------------------------------------------------ *)
+(* Tree schemas                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type tree_rule = {
+  elem : string;
+  elem_attrs : string list;
+  elem_children : string list;
+  leaf : bool;
+}
+
+type tree = tree_rule list
+
+let infer_tree t =
+  let rules : (string, tree_rule) Hashtbl.t = Hashtbl.create 16 in
+  let add_sorted xs x = if List.mem x xs then xs else List.sort String.compare (x :: xs) in
+  let rec go = function
+    | Dtree.Atom _ -> ()
+    | Dtree.Node n ->
+      let rule =
+        match Hashtbl.find_opt rules n.Dtree.label with
+        | Some r -> r
+        | None -> { elem = n.Dtree.label; elem_attrs = []; elem_children = []; leaf = false }
+      in
+      let rule =
+        List.fold_left
+          (fun r (aname, _) -> { r with elem_attrs = add_sorted r.elem_attrs aname })
+          rule n.Dtree.attrs
+      in
+      let rule =
+        List.fold_left
+          (fun r k ->
+            match k with
+            | Dtree.Atom _ -> { r with leaf = true }
+            | Dtree.Node c -> { r with elem_children = add_sorted r.elem_children c.Dtree.label })
+          rule n.Dtree.kids
+      in
+      Hashtbl.replace rules n.Dtree.label rule;
+      List.iter go n.Dtree.kids
+  in
+  go t;
+  Hashtbl.fold (fun _ r acc -> r :: acc) rules []
+  |> List.sort (fun a b -> String.compare a.elem b.elem)
+
+let tree_conforms schema t =
+  let find label = List.find_opt (fun r -> String.equal r.elem label) schema in
+  let rec go = function
+    | Dtree.Atom _ -> true
+    | Dtree.Node n -> (
+      match find n.Dtree.label with
+      | None -> false
+      | Some rule ->
+        List.for_all (fun (aname, _) -> List.mem aname rule.elem_attrs) n.Dtree.attrs
+        && List.for_all
+             (fun k ->
+               match k with
+               | Dtree.Atom _ -> rule.leaf
+               | Dtree.Node c -> List.mem c.Dtree.label rule.elem_children && go k)
+             n.Dtree.kids)
+  in
+  go t
+
+let tree_to_string schema =
+  let rule r =
+    Printf.sprintf "%s: attrs[%s] children[%s]%s" r.elem
+      (String.concat "," r.elem_attrs)
+      (String.concat "," r.elem_children)
+      (if r.leaf then " +text" else "")
+  in
+  String.concat "\n" (List.map rule schema)

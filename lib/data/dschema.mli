@@ -1,0 +1,65 @@
+(** Schemas for the two shapes the engine cares about.
+
+    Relational schemas describe the tuples a source or operator produces:
+    an ordered list of typed columns.  Tree schemas are a DTD-lite for
+    XML-shaped data: which children and attributes an element label may
+    carry.  Both support inference from data and compatibility checks the
+    catalog uses when registering sources. *)
+
+(** {1 Relational schemas} *)
+
+type column = {
+  col_name : string;
+  col_ty : Value.ty;
+  nullable : bool;
+}
+
+type relational = {
+  rel_name : string;
+  columns : column list;
+}
+
+val column : ?nullable:bool -> string -> Value.ty -> column
+
+val relational : string -> column list -> relational
+(** @raise Invalid_argument on duplicate column names. *)
+
+val find_column : relational -> string -> column option
+val column_names : relational -> string list
+
+val conforms : relational -> Tuple.t -> bool
+(** Does the tuple have exactly the schema's fields with compatible types?
+    [Null] conforms to nullable columns; [Int] conforms to [TFloat]
+    columns. *)
+
+val coerce_tuple : relational -> Tuple.t -> Tuple.t option
+(** Reorder and cast a tuple into schema shape; [None] when a non-nullable
+    column is missing or a cast fails. *)
+
+val infer_relational : string -> Tuple.t list -> relational
+(** Infer column names (union, first-seen order), types (widened: Int+Float
+    becomes Float, any conflict becomes String) and nullability. *)
+
+val unify_ty : Value.ty -> Value.ty -> Value.ty
+(** Widening used by inference. *)
+
+val relational_to_string : relational -> string
+
+(** {1 Tree schemas} *)
+
+type tree_rule = {
+  elem : string;
+  elem_attrs : string list;
+  elem_children : string list;  (** allowed child labels; leaves allow atoms *)
+  leaf : bool;                  (** may contain atom children *)
+}
+
+type tree = tree_rule list
+
+val infer_tree : Dtree.t -> tree
+(** One rule per distinct label, merging observations. *)
+
+val tree_conforms : tree -> Dtree.t -> bool
+(** Every node's label has a rule admitting its attributes and children. *)
+
+val tree_to_string : tree -> string

@@ -1,0 +1,92 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* splitmix64 step *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = next_int64 t in
+  { state = s }
+
+let copy t = { state = t.state }
+
+let next_nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next_nonneg t mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let float t bound = unit_float t *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = unit_float t < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l = pick t (Array.of_list l)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Cache the harmonic normalizer per (n, theta) to keep repeated draws
+   cheap inside workload generators. *)
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_cdf n theta =
+  match Hashtbl.find_opt zipf_cache (n, theta) with
+  | Some c -> c
+  | None ->
+    let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (weights.(i) /. total);
+      cdf.(i) <- !acc
+    done;
+    Hashtbl.replace zipf_cache (n, theta) cdf;
+    cdf
+
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  if theta <= 0.0 then int t n
+  else begin
+    let cdf = zipf_cdf n theta in
+    let u = unit_float t in
+    (* binary search for the first index with cdf >= u *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let gaussian t =
+  let u1 = max 1e-12 (unit_float t) in
+  let u2 = unit_float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)

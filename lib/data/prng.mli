@@ -1,0 +1,46 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every random choice in the system — workload generators, network
+    simulation, availability sampling — flows through an explicit state of
+    this type, so tests and benchmarks are reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator.  Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument when
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element.  @raise Invalid_argument on an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipf-distributed rank in [0, n) with skew [theta] ([theta = 0] is
+    uniform).  Uses the standard CDF-inversion by search; adequate for
+    workload generation. *)
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)

@@ -1,0 +1,18 @@
+(** Management and monitoring reports (section 2.1/4: "configuration and
+    management tools that make it possible for administrators to set up,
+    monitor, and understand, the system"). *)
+
+val source_report : Med_catalog.t -> string
+(** One line per source: kind, capability summary, exports. *)
+
+val view_report : Med_catalog.t -> string
+(** One line per mediated schema: depth, dependencies, variables. *)
+
+val materialization_report : Mat_store.t -> string
+(** One line per materialized view: policy, version, size, hits. *)
+
+val cache_report : Mat_cache.t -> string
+
+val system_report :
+  Med_catalog.t -> ?store:Mat_store.t -> ?cache:Mat_cache.t -> unit -> string
+(** The full status page. *)

@@ -1,0 +1,72 @@
+type role =
+  | Admin
+  | Analyst
+  | Viewer
+
+type account = {
+  mutable acct_role : role;
+  salt : int;
+  password_hash : int64;
+}
+
+type t = {
+  accounts : (string, account) Hashtbl.t;
+  mutable salt_counter : int;
+}
+
+exception Auth_error of string
+
+let create () = { accounts = Hashtbl.create 16; salt_counter = 0x9747 }
+
+(* FNV-1a over salt + password. *)
+let hash_password salt password =
+  let h = ref 0xCBF29CE484222325L in
+  let feed c =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L
+  in
+  String.iter feed (string_of_int salt);
+  String.iter feed password;
+  !h
+
+let add_user t ?(role = Viewer) name password =
+  if Hashtbl.mem t.accounts name then
+    raise (Auth_error (Printf.sprintf "user %s already exists" name));
+  t.salt_counter <- t.salt_counter + 0x61C9;
+  let salt = t.salt_counter in
+  Hashtbl.replace t.accounts name
+    { acct_role = role; salt; password_hash = hash_password salt password }
+
+let authenticate t name password =
+  match Hashtbl.find_opt t.accounts name with
+  | Some acct when Int64.equal acct.password_hash (hash_password acct.salt password) ->
+    Some acct.acct_role
+  | Some _ | None -> None
+
+let role_of t name = Option.map (fun a -> a.acct_role) (Hashtbl.find_opt t.accounts name)
+
+let set_role t name role =
+  match Hashtbl.find_opt t.accounts name with
+  | Some acct -> acct.acct_role <- role
+  | None -> raise (Auth_error (Printf.sprintf "unknown user %s" name))
+
+let users t =
+  Hashtbl.fold (fun name acct acc -> (name, acct.acct_role) :: acc) t.accounts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let rank = function
+  | Admin -> 3
+  | Analyst -> 2
+  | Viewer -> 1
+
+let role_allows required actual = rank actual >= rank required
+
+let role_to_string = function
+  | Admin -> "admin"
+  | Analyst -> "analyst"
+  | Viewer -> "viewer"
+
+let role_of_string = function
+  | "admin" -> Some Admin
+  | "analyst" -> Some Analyst
+  | "viewer" -> Some Viewer
+  | _ -> None

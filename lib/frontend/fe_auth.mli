@@ -1,0 +1,37 @@
+(** Users, roles and access control — the "authentication information"
+    a lens carries (section 2.1).
+
+    Password handling is salted FNV-1a hashing: adequate for an offline
+    reproduction, and clearly {e not} a production password store. *)
+
+type role =
+  | Admin    (** manage sources, views, materialization *)
+  | Analyst  (** run ad-hoc queries and lenses *)
+  | Viewer   (** run lenses only *)
+
+type t
+
+exception Auth_error of string
+
+val create : unit -> t
+
+val add_user : t -> ?role:role -> string -> string -> unit
+(** [add_user t name password] (default role [Viewer]).
+    @raise Auth_error on duplicates. *)
+
+val authenticate : t -> string -> string -> role option
+(** [Some role] on success, [None] on bad user or password. *)
+
+val role_of : t -> string -> role option
+
+val set_role : t -> string -> role -> unit
+(** @raise Auth_error for unknown users. *)
+
+val users : t -> (string * role) list
+(** Sorted by user name. *)
+
+val role_allows : role -> role -> bool
+(** [role_allows required actual]: Admin ⊇ Analyst ⊇ Viewer. *)
+
+val role_to_string : role -> string
+val role_of_string : string -> role option

@@ -1,0 +1,138 @@
+type device =
+  | Web
+  | Wireless
+  | Text
+  | Raw_xml
+
+let device_of_string = function
+  | "web" -> Some Web
+  | "wireless" -> Some Wireless
+  | "text" -> Some Text
+  | "xml" -> Some Raw_xml
+  | _ -> None
+
+let device_to_string = function
+  | Web -> "web"
+  | Wireless -> "wireless"
+  | Text -> "text"
+  | Raw_xml -> "xml"
+
+let truncate n s =
+  if String.length s <= n then s
+  else if n <= 3 then String.sub s 0 n
+  else String.sub s 0 (n - 3) ^ "..."
+
+let html_escape s = Xml_print.escape_text s
+
+let rec render_web_tree buf tree =
+  match tree with
+  | Dtree.Atom v -> Buffer.add_string buf (html_escape (Value.to_display v))
+  | Dtree.Node n ->
+    Buffer.add_string buf "<dl class=\"";
+    Buffer.add_string buf (html_escape n.Dtree.label);
+    Buffer.add_string buf "\">";
+    List.iter
+      (fun (aname, v) ->
+        Buffer.add_string buf "<dt>@";
+        Buffer.add_string buf (html_escape aname);
+        Buffer.add_string buf "</dt><dd>";
+        Buffer.add_string buf (html_escape (Value.to_string v));
+        Buffer.add_string buf "</dd>")
+      n.Dtree.attrs;
+    List.iter
+      (fun kid ->
+        match kid with
+        | Dtree.Node kn ->
+          Buffer.add_string buf "<dt>";
+          Buffer.add_string buf (html_escape kn.Dtree.label);
+          Buffer.add_string buf "</dt><dd>";
+          (match Dtree.atom_value kid with
+          | Some v -> Buffer.add_string buf (html_escape (Value.to_display v))
+          | None -> render_web_tree buf kid);
+          Buffer.add_string buf "</dd>"
+        | Dtree.Atom v ->
+          Buffer.add_string buf "<dd>";
+          Buffer.add_string buf (html_escape (Value.to_display v));
+          Buffer.add_string buf "</dd>")
+      n.Dtree.kids;
+    Buffer.add_string buf "</dl>"
+
+let render_web trees =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "<div class=\"results\">\n";
+  List.iter
+    (fun tree ->
+      render_web_tree buf tree;
+      Buffer.add_char buf '\n')
+    trees;
+  Buffer.add_string buf "</div>";
+  Buffer.contents buf
+
+let rec render_text_tree buf indent tree =
+  let pad = String.make (indent * 2) ' ' in
+  match tree with
+  | Dtree.Atom v ->
+    Buffer.add_string buf pad;
+    Buffer.add_string buf (Value.to_display v);
+    Buffer.add_char buf '\n'
+  | Dtree.Node n ->
+    Buffer.add_string buf pad;
+    Buffer.add_string buf n.Dtree.label;
+    List.iter
+      (fun (aname, v) ->
+        Buffer.add_string buf (Printf.sprintf " @%s=%s" aname (Value.to_string v)))
+      n.Dtree.attrs;
+    (match Dtree.atom_value tree with
+    | Some v ->
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf (Value.to_display v);
+      Buffer.add_char buf '\n'
+    | None ->
+      Buffer.add_char buf '\n';
+      List.iter (fun kid -> render_text_tree buf (indent + 1) kid) n.Dtree.kids)
+
+let render_text trees =
+  let buf = Buffer.create 512 in
+  List.iter (fun tree -> render_text_tree buf 0 tree) trees;
+  Buffer.contents buf
+
+let render_wireless trees =
+  (* One line per result, "label: field=value|field=value", truncated. *)
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i tree ->
+      if i > 0 then Buffer.add_char buf '\n';
+      match tree with
+      | Dtree.Atom v -> Buffer.add_string buf (truncate 40 (Value.to_display v))
+      | Dtree.Node n ->
+        let field kid =
+          match kid with
+          | Dtree.Node kn ->
+            Some
+              (Printf.sprintf "%s=%s" kn.Dtree.label
+                 (truncate 16 (Dtree.text kid)))
+          | Dtree.Atom v -> Some (truncate 16 (Value.to_display v))
+        in
+        let fields = List.filter_map field n.Dtree.kids in
+        Buffer.add_string buf
+          (truncate 100 (Printf.sprintf "%s: %s" n.Dtree.label (String.concat "|" fields))))
+    trees;
+  Buffer.contents buf
+
+let render_xml trees =
+  String.concat "\n"
+    (List.map
+       (fun tree ->
+         match tree with
+         | Dtree.Node _ -> Xml_print.element_to_pretty_string (Dtree.to_xml_element tree)
+         | Dtree.Atom v -> Xml_print.escape_text (Value.to_display v))
+       trees)
+
+let render device trees =
+  match device with
+  | Web -> render_web trees
+  | Wireless -> render_wireless trees
+  | Text -> render_text trees
+  | Raw_xml -> render_xml trees
+
+let render_tree device tree = render device [ tree ]

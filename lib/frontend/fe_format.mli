@@ -1,0 +1,28 @@
+(** Device-targeted result formatting (section 2.1: "result formatting
+    can be targeted to specific devices (e.g., web interface, wireless
+    device)").
+
+    The same result trees render as an HTML fragment for the web, a
+    compact card-style text for constrained wireless devices, plain
+    indented text for terminals, or raw XML for programmatic
+    consumers. *)
+
+type device =
+  | Web       (** HTML fragment: one definition list per result *)
+  | Wireless  (** terse card text, truncated values *)
+  | Text      (** indented plain text *)
+  | Raw_xml   (** pretty-printed XML *)
+
+val device_of_string : string -> device option
+(** "web" / "wireless" / "text" / "xml". *)
+
+val device_to_string : device -> string
+
+val render : device -> Dtree.t list -> string
+(** Render a result list for the device. *)
+
+val render_tree : device -> Dtree.t -> string
+
+val truncate : int -> string -> string
+(** Cut to at most n characters with a ["…"]-style ASCII ellipsis
+    ([...]); used by the wireless renderer. *)

@@ -1,0 +1,133 @@
+type param = {
+  param_name : string;
+  param_ty : Value.ty;
+  default : Value.t option;
+}
+
+type t = {
+  lens_name : string;
+  queries : (string * string) list;
+  params : param list;
+  device : Fe_format.device;
+  required_role : Fe_auth.role;
+}
+
+exception Lens_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Lens_error m)) fmt
+
+let placeholders template =
+  let out = ref [] in
+  let n = String.length template in
+  let i = ref 0 in
+  while !i < n do
+    if template.[!i] = '%' then begin
+      match String.index_from_opt template (!i + 1) '%' with
+      | Some j when j > !i + 1 ->
+        let name = String.sub template (!i + 1) (j - !i - 1) in
+        let is_ident =
+          String.for_all
+            (fun c ->
+              (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_')
+            name
+        in
+        if is_ident then begin
+          if not (List.mem name !out) then out := !out @ [ name ];
+          i := j + 1
+        end
+        else incr i
+      | Some _ | None -> incr i
+    end
+    else incr i
+  done;
+  !out
+
+let param ?default param_name param_ty = { param_name; param_ty; default }
+
+let make ?(params = []) ?(device = Fe_format.Text) ?(required_role = Fe_auth.Viewer) ~name
+    queries =
+  let qnames = List.map fst queries in
+  if List.length (List.sort_uniq String.compare qnames) <> List.length qnames then
+    fail "lens %s: duplicate query names" name;
+  List.iter
+    (fun (qname, template) ->
+      List.iter
+        (fun ph ->
+          if not (List.exists (fun p -> p.param_name = ph) params) then
+            fail "lens %s, query %s: undeclared parameter %%%s%%" name qname ph)
+        (placeholders template))
+    queries;
+  { lens_name = name; queries; params; device; required_role }
+
+let literal_of_value v =
+  match v with
+  | Value.String s ->
+    (* XML-QL string literal with double quotes; escape embedded ones. *)
+    let escaped =
+      String.concat "\\\"" (String.split_on_char '"' s)
+    in
+    Printf.sprintf "\"%s\"" escaped
+  | Value.Null -> "NULL"
+  | Value.Bool true -> "TRUE"
+  | Value.Bool false -> "FALSE"
+  | Value.Date _ -> Printf.sprintf "\"%s\"" (Value.to_string v)
+  | Value.Int _ | Value.Float _ -> Value.to_string v
+
+let substitute template resolved =
+  let buf = Buffer.create (String.length template + 32) in
+  let n = String.length template in
+  let i = ref 0 in
+  while !i < n do
+    if template.[!i] = '%' then begin
+      match String.index_from_opt template (!i + 1) '%' with
+      | Some j when j > !i + 1 -> (
+        let name = String.sub template (!i + 1) (j - !i - 1) in
+        match List.assoc_opt name resolved with
+        | Some v ->
+          Buffer.add_string buf (literal_of_value v);
+          i := j + 1
+        | None ->
+          Buffer.add_char buf '%';
+          incr i)
+      | Some _ | None ->
+        Buffer.add_char buf '%';
+        incr i
+    end
+    else begin
+      Buffer.add_char buf template.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let instantiate lens query_name args =
+  let template =
+    match List.assoc_opt query_name lens.queries with
+    | Some t -> t
+    | None -> fail "lens %s has no query %S" lens.lens_name query_name
+  in
+  let resolve p =
+    match List.assoc_opt p.param_name args with
+    | Some raw -> (
+      match Value.parse_as p.param_ty raw with
+      | Some v -> (p.param_name, v)
+      | None ->
+        fail "lens %s: argument %s=%S is not a %s" lens.lens_name p.param_name raw
+          (Value.ty_to_string p.param_ty))
+    | None -> (
+      match p.default with
+      | Some v -> (p.param_name, v)
+      | None -> fail "lens %s: missing argument %s" lens.lens_name p.param_name)
+  in
+  let needed = placeholders template in
+  let resolved =
+    List.filter_map
+      (fun p -> if List.mem p.param_name needed then Some (resolve p) else None)
+      lens.params
+  in
+  let text = substitute template resolved in
+  match Xq_parser.parse text with
+  | Ok q -> q
+  | Error m -> fail "lens %s, query %s: %s" lens.lens_name query_name m
+
+let query_names lens = List.map fst lens.queries

@@ -1,0 +1,49 @@
+(** Lenses (section 2.1): "a lens is an object that contains a set of
+    XML queries, parameters, XSL formatting, and authentication
+    information."
+
+    A lens bundles named XML-QL query templates with declared parameters
+    (placeholders written [%name%] in the template text), a target
+    device for formatting, and the minimum role required to run it. *)
+
+type param = {
+  param_name : string;
+  param_ty : Value.ty;
+  default : Value.t option;
+}
+
+type t = {
+  lens_name : string;
+  queries : (string * string) list;  (** query name -> XML-QL template *)
+  params : param list;
+  device : Fe_format.device;
+  required_role : Fe_auth.role;
+}
+
+exception Lens_error of string
+
+val make :
+  ?params:param list ->
+  ?device:Fe_format.device ->
+  ?required_role:Fe_auth.role ->
+  name:string ->
+  (string * string) list ->
+  t
+(** Defaults: no parameters, [Text] device, [Viewer] role.
+    @raise Lens_error when a template mentions an undeclared [%param%]
+    or declares a duplicate query name. *)
+
+val param : ?default:Value.t -> string -> Value.ty -> param
+
+val instantiate :
+  t -> string -> (string * string) list -> Xq_ast.query
+(** [instantiate lens query_name args] substitutes each placeholder with
+    the (type-checked) argument rendered as an XML-QL literal, then
+    parses.  Missing arguments fall back to declared defaults.
+    @raise Lens_error on unknown query names, missing/ill-typed
+    arguments, or a template that fails to parse after substitution. *)
+
+val query_names : t -> string list
+
+val placeholders : string -> string list
+(** The distinct [%name%] placeholders of a template, in order. *)

@@ -1,0 +1,99 @@
+type stats = {
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type entry = {
+  value : Dtree.t list;
+  entry_sources : string list;
+  mutable last_used : int;
+}
+
+type t = {
+  cap : int;
+  table : (string, entry) Hashtbl.t;
+  st : stats;
+  mutable clock : int;
+}
+
+let create ~capacity =
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 1 capacity);
+    st = { cache_hits = 0; cache_misses = 0; evictions = 0; invalidations = 0 };
+    clock = 0;
+  }
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.last_used <- t.clock
+
+let get t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    t.st.cache_hits <- t.st.cache_hits + 1;
+    touch t entry;
+    Some entry.value
+  | None ->
+    t.st.cache_misses <- t.st.cache_misses + 1;
+    None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | None -> victim := Some (key, entry.last_used)
+      | Some (_, lu) -> if entry.last_used < lu then victim := Some (key, entry.last_used))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.st.evictions <- t.st.evictions + 1
+  | None -> ()
+
+let put t ?(sources = []) key value =
+  if t.cap > 0 then begin
+    if (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= t.cap then evict_lru t;
+    let entry = { value; entry_sources = sources; last_used = 0 } in
+    touch t entry;
+    Hashtbl.replace t.table key entry
+  end
+
+let get_or_compute t ?sources key compute =
+  match get t key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    put t ?sources key v;
+    v
+
+let invalidate t key =
+  if Hashtbl.mem t.table key then begin
+    Hashtbl.remove t.table key;
+    t.st.invalidations <- t.st.invalidations + 1;
+    true
+  end
+  else false
+
+let invalidate_source t source =
+  let victims =
+    Hashtbl.fold
+      (fun key entry acc -> if List.mem source entry.entry_sources then key :: acc else acc)
+      t.table []
+  in
+  List.iter (fun k -> Hashtbl.remove t.table k) victims;
+  t.st.invalidations <- t.st.invalidations + List.length victims;
+  List.length victims
+
+let clear t = Hashtbl.reset t.table
+
+let size t = Hashtbl.length t.table
+let capacity t = t.cap
+let stats t = t.st
+
+let hit_rate t =
+  let total = t.st.cache_hits + t.st.cache_misses in
+  if total = 0 then 0.0 else float_of_int t.st.cache_hits /. float_of_int total

@@ -1,0 +1,42 @@
+(** LRU cache of query results (section 4: "caching and other
+    performance tuning capabilities").
+
+    Keys are query texts; values are constructed result trees.  Eviction
+    is least-recently-used; entries can also carry the set of sources
+    they were computed from, so a source update invalidates exactly the
+    affected entries. *)
+
+type t
+
+type stats = {
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+val create : capacity:int -> t
+(** [capacity] is the maximum number of entries; 0 disables caching. *)
+
+val get : t -> string -> Dtree.t list option
+(** A hit refreshes the entry's recency. *)
+
+val put : t -> ?sources:string list -> string -> Dtree.t list -> unit
+(** Inserting over capacity evicts the least recently used entry.
+    Re-inserting an existing key replaces its value. *)
+
+val get_or_compute :
+  t -> ?sources:string list -> string -> (unit -> Dtree.t list) -> Dtree.t list
+
+val invalidate : t -> string -> bool
+(** Remove one entry by key; returns whether it existed. *)
+
+val invalidate_source : t -> string -> int
+(** Remove every entry tagged with the source; returns how many. *)
+
+val clear : t -> unit
+val size : t -> int
+val capacity : t -> int
+val stats : t -> stats
+val hit_rate : t -> float
+(** Hits / (hits + misses); 0 when nothing was looked up. *)

@@ -1,0 +1,111 @@
+type candidate = {
+  cand_view : string;
+  storage : int;
+  virtual_cost : float;
+  local_cost : float;
+}
+
+type workload = (string * int) list
+
+type selection = {
+  chosen : string list;
+  total_storage : int;
+  total_benefit : float;
+}
+
+let benefit c freq =
+  max 0.0 (float_of_int freq *. (c.virtual_cost -. c.local_cost))
+
+let freq_of workload name =
+  Option.value ~default:0 (List.assoc_opt name workload)
+
+let select ~budget candidates workload =
+  let scored =
+    List.filter_map
+      (fun c ->
+        let b = benefit c (freq_of workload c.cand_view) in
+        if b <= 0.0 || c.storage <= 0 then None
+        else Some (c, b, b /. float_of_int c.storage))
+      candidates
+  in
+  let ordered =
+    List.sort
+      (fun (c1, _, r1) (c2, _, r2) ->
+        let c = Float.compare r2 r1 in
+        if c <> 0 then c else String.compare c1.cand_view c2.cand_view)
+      scored
+  in
+  let chosen, storage, total =
+    List.fold_left
+      (fun (chosen, used, total) (c, b, _) ->
+        if used + c.storage <= budget then (c.cand_view :: chosen, used + c.storage, total +. b)
+        else (chosen, used, total))
+      ([], 0, 0.0) ordered
+  in
+  { chosen = List.sort String.compare chosen; total_storage = storage; total_benefit = total }
+
+let select_optimal ~budget candidates workload =
+  let arr = Array.of_list candidates in
+  let n = Array.length arr in
+  let best = ref { chosen = []; total_storage = 0; total_benefit = 0.0 } in
+  (* Enumerate subsets (candidates are few in any sane configuration). *)
+  let rec go i chosen storage bene =
+    if bene > !best.total_benefit then
+      best := { chosen = List.sort String.compare chosen; total_storage = storage; total_benefit = bene };
+    if i < n then begin
+      let c = arr.(i) in
+      if storage + c.storage <= budget then
+        go (i + 1) (c.cand_view :: chosen) (storage + c.storage)
+          (bene +. benefit c (freq_of workload c.cand_view));
+      go (i + 1) chosen storage bene
+    end
+  in
+  go 0 [] 0 0.0;
+  !best
+
+let evaluate candidates workload materialized =
+  List.fold_left
+    (fun acc c ->
+      let freq = float_of_int (freq_of workload c.cand_view) in
+      let per_query =
+        if List.mem c.cand_view materialized then c.local_cost else c.virtual_cost
+      in
+      acc +. (freq *. per_query))
+    0.0 candidates
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive monitor                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type monitor = {
+  budget : int;
+  candidates : candidate list;
+  counts : (string, int) Hashtbl.t;
+  mutable last : selection;
+}
+
+let monitor ~budget candidates =
+  { budget; candidates; counts = Hashtbl.create 16;
+    last = { chosen = []; total_storage = 0; total_benefit = 0.0 } }
+
+let observe m view =
+  Hashtbl.replace m.counts view (1 + Option.value ~default:0 (Hashtbl.find_opt m.counts view))
+
+let observed_workload m = Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.counts []
+
+let current_selection m = select ~budget:m.budget m.candidates (observed_workload m)
+
+let reselect_if_drifted m ~threshold =
+  let fresh = current_selection m in
+  if fresh.chosen = m.last.chosen then None
+  else begin
+    let improvement =
+      if m.last.total_benefit <= 0.0 then infinity
+      else (fresh.total_benefit -. m.last.total_benefit) /. m.last.total_benefit
+    in
+    if improvement > threshold then begin
+      m.last <- fresh;
+      Some fresh
+    end
+    else None
+  end

@@ -1,0 +1,59 @@
+(** View selection under a storage budget (section 3.3).
+
+    The paper flags this as the open research problem of its hybrid
+    architecture: "algorithms that decide which data (and over which
+    sources) need to be materialized", complicated by a query load that
+    shifts over time.  We implement the standard greedy benefit-per-unit-
+    storage heuristic (the shape of Agrawal et al.'s index/view advisor,
+    the paper's [2]), applied to observed per-view statistics, plus an
+    adaptive loop that re-selects when the observed load drifts. *)
+
+type candidate = {
+  cand_view : string;
+  storage : int;           (** tree nodes the materialization occupies *)
+  virtual_cost : float;    (** per-query cost when answered from sources *)
+  local_cost : float;      (** per-query cost when answered from the copy *)
+}
+
+type workload = (string * int) list
+(** view name -> number of queries that would use it *)
+
+type selection = {
+  chosen : string list;
+  total_storage : int;
+  total_benefit : float;   (** saved cost over the workload *)
+}
+
+val benefit : candidate -> int -> float
+(** [benefit c freq = freq * (virtual_cost - local_cost)], floored at
+    0. *)
+
+val select : budget:int -> candidate list -> workload -> selection
+(** Greedy by benefit/storage ratio; candidates with non-positive
+    benefit or that would overflow the remaining budget are skipped.
+    Deterministic: ties break on view name. *)
+
+val select_optimal : budget:int -> candidate list -> workload -> selection
+(** Exhaustive 0/1-knapsack reference (exponential — for small candidate
+    sets in tests and the ablation bench). *)
+
+val evaluate : candidate list -> workload -> string list -> float
+(** Total workload cost when exactly the given views are materialized
+    (others answered virtually). *)
+
+(** {1 Adaptive re-selection} *)
+
+type monitor
+
+val monitor : budget:int -> candidate list -> monitor
+
+val observe : monitor -> string -> unit
+(** Record that a query used the named view. *)
+
+val current_selection : monitor -> selection
+(** Greedy selection over the observations so far. *)
+
+val reselect_if_drifted : monitor -> threshold:float -> selection option
+(** Re-run selection; [Some] when the chosen set changed and the
+    benefit improvement over the previous selection's benefit exceeds
+    [threshold] (a fraction, e.g. 0.1 = 10%). *)

@@ -1,0 +1,81 @@
+type policy =
+  | Manual
+  | On_access
+  | Every_n_queries of int
+
+type entry = {
+  view_name : string;
+  policy : policy;
+  mutable data : Dtree.t list;
+  mutable version : int;
+  mutable refreshed_at : int;
+  mutable hits : int;
+}
+
+type t = {
+  catalog : Med_catalog.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+exception Mat_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Mat_error m)) fmt
+
+let create catalog = { catalog; entries = Hashtbl.create 16; clock = 0 }
+
+let tick t = t.clock <- t.clock + 1
+
+let now t = t.clock
+
+let compute t view_name =
+  match Med_catalog.find_view t.catalog view_name with
+  | None -> fail "unknown view %s" view_name
+  | Some v -> List.concat_map (Med_exec.run t.catalog) v.Med_catalog.definitions
+
+let materialize t ?(policy = Manual) view_name =
+  let data = compute t view_name in
+  let entry =
+    { view_name; policy; data; version = 1; refreshed_at = t.clock; hits = 0 }
+  in
+  Hashtbl.replace t.entries view_name entry;
+  entry
+
+let do_refresh t entry =
+  entry.data <- compute t entry.view_name;
+  entry.version <- entry.version + 1;
+  entry.refreshed_at <- t.clock
+
+let due t entry =
+  match entry.policy with
+  | Manual -> false
+  | On_access -> true
+  | Every_n_queries n -> t.clock - entry.refreshed_at >= n
+
+let lookup t view_name =
+  match Hashtbl.find_opt t.entries view_name with
+  | None -> None
+  | Some entry ->
+    if due t entry then do_refresh t entry;
+    entry.hits <- entry.hits + 1;
+    Some entry.data
+
+let peek t view_name = Hashtbl.find_opt t.entries view_name
+
+let refresh t view_name =
+  match Hashtbl.find_opt t.entries view_name with
+  | None -> fail "view %s is not materialized" view_name
+  | Some entry -> do_refresh t entry
+
+let refresh_all t = Hashtbl.iter (fun _ entry -> do_refresh t entry) t.entries
+
+let drop t view_name = Hashtbl.remove t.entries view_name
+
+let materialized_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort String.compare
+
+let entry_size entry =
+  List.fold_left (fun acc tree -> acc + Dtree.size tree) 0 entry.data
+
+let storage_used t =
+  Hashtbl.fold (fun _ entry acc -> acc + entry_size entry) t.entries 0

@@ -1,0 +1,65 @@
+(** Materialized views over mediated schemas (section 3.3).
+
+    "One does not design a warehouse schema.  Instead, one materializes
+    views over the mediated schema."  Each entry stores the result trees
+    of one catalog view, together with a refresh policy; the query
+    processor (the [Nimble] facade) consults the store before going to
+    the sources, which is the paper's "the query processor knows to make
+    use of local copies of data when available".
+
+    Time is logical: the caller ticks the store once per query, and
+    periodic policies count queries, which keeps runs deterministic. *)
+
+type policy =
+  | Manual             (** refresh only when {!refresh} is called *)
+  | On_access          (** refresh every time the view is read (always fresh) *)
+  | Every_n_queries of int
+      (** refresh when the view is read and at least n queries have been
+          ticked since its last refresh *)
+
+type entry = {
+  view_name : string;
+  policy : policy;
+  mutable data : Dtree.t list;
+  mutable version : int;          (** number of refreshes *)
+  mutable refreshed_at : int;     (** logical time of last refresh *)
+  mutable hits : int;             (** reads served from the copy *)
+}
+
+type t
+
+exception Mat_error of string
+
+val create : Med_catalog.t -> t
+
+val tick : t -> unit
+(** Advance the logical clock (call once per user query). *)
+
+val now : t -> int
+
+val materialize : t -> ?policy:policy -> string -> entry
+(** Compute the named catalog view through the mediator and store the
+    result.  @raise Mat_error for unknown views. *)
+
+val lookup : t -> string -> Dtree.t list option
+(** The materialized trees of a view, honouring its policy ([On_access]
+    and due [Every_n_queries] entries refresh first).  [None] when the
+    view is not materialized. *)
+
+val peek : t -> string -> entry option
+(** The entry without triggering any refresh. *)
+
+val refresh : t -> string -> unit
+(** Force a recomputation.  @raise Mat_error for unknown entries. *)
+
+val refresh_all : t -> unit
+
+val drop : t -> string -> unit
+
+val materialized_names : t -> string list
+
+val storage_used : t -> int
+(** Total tree-node count across entries — the storage-budget unit of
+    the view-selection algorithm. *)
+
+val entry_size : entry -> int

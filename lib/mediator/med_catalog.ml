@@ -1,0 +1,101 @@
+type view = {
+  view_name : string;
+  definitions : Xq_ast.query list;
+  description : string;
+}
+
+type t = {
+  reg : Src_registry.t;
+  views : (string, view) Hashtbl.t;
+}
+
+exception Catalog_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Catalog_error m)) fmt
+
+let create () = { reg = Src_registry.create (); views = Hashtbl.create 16 }
+
+let registry t = t.reg
+
+let register_source t src =
+  try Src_registry.register t.reg src
+  with Invalid_argument m -> fail "%s" m
+
+let source_names t = Src_registry.names t.reg
+
+let find_view t name = Hashtbl.find_opt t.views name
+
+let view_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.views [] |> List.sort String.compare
+
+let is_known_name t name =
+  Hashtbl.mem t.views name || Src_registry.resolve_export t.reg name <> None
+
+let view_sources v =
+  List.concat_map Xq_ast.all_sources_of v.definitions
+  |> List.sort_uniq String.compare
+
+let dependencies t name =
+  match find_view t name with
+  | None -> []
+  | Some v -> view_sources v
+
+(* Would defining [name := qs] introduce a cycle through existing views? *)
+let creates_cycle t name qs =
+  let rec reachable seen from =
+    if List.mem from seen then seen
+    else
+      let seen = from :: seen in
+      match find_view t from with
+      | None -> seen
+      | Some v -> List.fold_left reachable seen (view_sources v)
+  in
+  let deps = List.concat_map Xq_ast.all_sources_of qs in
+  let reached = List.fold_left reachable [] deps in
+  List.mem name reached
+
+let define_union_view t ?(description = "") name qs =
+  if qs = [] then fail "view %s: empty definition" name;
+  if Hashtbl.mem t.views name then fail "view %s already defined" name;
+  if Src_registry.resolve_export t.reg name <> None then
+    fail "name %s collides with a source export" name;
+  List.iter
+    (fun dep ->
+      if not (is_known_name t dep) then
+        fail "view %s references unknown source or view %S" name dep)
+    (List.concat_map Xq_ast.all_sources_of qs);
+  if creates_cycle t name qs then fail "view %s would create a cyclic definition" name;
+  Hashtbl.replace t.views name { view_name = name; definitions = qs; description }
+
+let define_view t ?description name q = define_union_view t ?description name [ q ]
+
+let define_view_text t ?description name text =
+  match Xq_parser.parse_union text with
+  | Ok qs -> define_union_view t ?description name qs
+  | Error m -> fail "view %s: %s" name m
+
+let set_description t name description =
+  match Hashtbl.find_opt t.views name with
+  | Some v -> Hashtbl.replace t.views name { v with description }
+  | None -> fail "unknown view %s" name
+
+let drop_view t name =
+  if not (Hashtbl.mem t.views name) then fail "unknown view %s" name;
+  let dependents =
+    Hashtbl.fold
+      (fun vname v acc ->
+        if vname <> name && List.mem name (view_sources v) then
+          vname :: acc
+        else acc)
+      t.views []
+  in
+  if dependents <> [] then
+    fail "cannot drop view %s: required by %s" name (String.concat ", " dependents);
+  Hashtbl.remove t.views name
+
+let rec view_depth t name =
+  match find_view t name with
+  | None -> 0
+  | Some v ->
+    let deps = view_sources v in
+    1 + List.fold_left (fun acc dep -> max acc (view_depth t dep)) 0 deps

@@ -1,0 +1,61 @@
+(** The metadata server (section 2.1): sources plus mediated schemas.
+
+    A {e mediated schema} is a named XML-QL view over source exports
+    and/or other mediated schemas (global-as-view).  Views compose
+    hierarchically — "we can define successive schemas as views over
+    other underlying schemas" — and the catalog enforces acyclicity so
+    expansion terminates. *)
+
+type t
+
+type view = {
+  view_name : string;
+  definitions : Xq_ast.query list;
+      (** one or more queries; results concatenate (bag UNION) *)
+  description : string;
+}
+
+exception Catalog_error of string
+
+val create : unit -> t
+
+val registry : t -> Src_registry.t
+
+(** {1 Sources} *)
+
+val register_source : t -> Source.t -> unit
+val source_names : t -> string list
+
+(** {1 Mediated schemas} *)
+
+val define_view : t -> ?description:string -> string -> Xq_ast.query -> unit
+(** @raise Catalog_error when the name collides, a clause references an
+    unknown source/view, or the definition would create a cycle. *)
+
+val define_union_view :
+  t -> ?description:string -> string -> Xq_ast.query list -> unit
+(** A mediated schema integrating several queries (typically one per
+    source) into one shape; answers concatenate in query order.
+    @raise Catalog_error on an empty list or any {!define_view} error. *)
+
+val define_view_text : t -> ?description:string -> string -> string -> unit
+(** Parse the XML-QL text first — [UNION]-separated queries define a
+    union view.  @raise Catalog_error on syntax errors. *)
+
+val set_description : t -> string -> string -> unit
+(** @raise Catalog_error for unknown views. *)
+
+val drop_view : t -> string -> unit
+(** @raise Catalog_error when other views depend on it. *)
+
+val find_view : t -> string -> view option
+val view_names : t -> string list
+
+val view_depth : t -> string -> int
+(** 1 for a view over base sources only; 1 + max child depth otherwise. *)
+
+val is_known_name : t -> string -> bool
+(** Is the name resolvable as a view or a source export? *)
+
+val dependencies : t -> string -> string list
+(** Direct sources/views a view reads from. *)

@@ -1,0 +1,176 @@
+type result = {
+  trees : Dtree.t list;
+  bindings : Alg_env.t list;
+  skipped_sources : string list;
+}
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
+
+let compile = Med_planner.compile
+
+type view_lookup = string -> Dtree.t list option
+
+let no_lookup : view_lookup = fun _ -> None
+
+(* The reference resolver: exports serve documents, views evaluate
+   recursively by direct pattern matching. *)
+let rec direct_resolver catalog name =
+  match Med_catalog.find_view catalog name with
+  | Some view ->
+    List.concat_map
+      (Xq_eval.eval (fun n -> direct_resolver catalog n))
+      view.Med_catalog.definitions
+  | None -> Src_registry.documents (Med_catalog.registry catalog) name
+
+(* ------------------------------------------------------------------ *)
+(* Access execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let envs_of_sql_rows (fragment : Med_sqlgen.fragment) rows =
+  List.map
+    (fun row ->
+      let var_bindings =
+        List.map
+          (fun (var, col) ->
+            let v = Option.value ~default:Value.Null (Tuple.get row col) in
+            (var, Dtree.atom v))
+          fragment.Med_sqlgen.binds
+      in
+      let row_binding =
+        match fragment.Med_sqlgen.row_var with
+        | Some var -> [ (var, Dtree.of_tuple "row" row) ]
+        | None -> []
+      in
+      Alg_env.of_bindings (var_bindings @ row_binding))
+    rows
+
+let match_documents pattern docs =
+  List.concat_map (fun doc -> Xq_eval.match_anywhere pattern doc) docs
+
+(* The XML view of an export, shipping rows (not trees) for tabular
+   sources and rebuilding the document client-side. *)
+let export_documents (src : Source.t) export =
+  match src.Source.kind with
+  | Source.Relational | Source.Flat_file -> (
+    match src.Source.execute (Source.Q_scan export) with
+    | Source.R_rows (_, rows) -> [ Source.table_document export rows ]
+    | Source.R_trees trees -> trees)
+  | Source.Xml_store -> src.Source.documents export
+
+(* Execute one access; may recurse through the compiler for views. *)
+let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
+  match access with
+  | Med_planner.A_sql { source_name; export; fragment; pattern } -> (
+    let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
+    try
+      match src.Source.execute (Source.Q_sql fragment.Med_sqlgen.sql_text) with
+      | Source.R_rows (_, rows) -> envs_of_sql_rows fragment rows
+      | Source.R_trees trees -> match_documents pattern trees
+    with Source.Query_rejected _ ->
+      (* Capability miss at runtime: ship the whole export and re-apply
+         the conditions the fragment would have evaluated (they left the
+         residual pool at plan time). *)
+      let envs = match_documents pattern (export_documents src export) in
+      List.filter
+        (fun env ->
+          List.for_all
+            (fun cond -> Alg_expr.eval_pred env cond)
+            fragment.Med_sqlgen.pushed_conditions)
+        envs)
+  | Med_planner.A_sql_join { source_name; fragment; exports = _ } -> (
+    let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
+    match src.Source.execute (Source.Q_sql fragment.Med_sqlgen.jf_sql_text) with
+    | Source.R_rows (_, rows) ->
+      List.map
+        (fun row ->
+          Alg_env.of_bindings
+            (List.map
+               (fun (var, col) ->
+                 (var, Dtree.atom (Option.value ~default:Value.Null (Tuple.get row col))))
+               fragment.Med_sqlgen.jf_binds))
+        rows
+    | Source.R_trees _ -> fail "join fragment returned trees from %s" source_name)
+  | Med_planner.A_path { source_name; export; path; pattern } -> (
+    let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
+    try
+      match src.Source.execute (Source.Q_path (export, path)) with
+      | Source.R_trees candidates ->
+        (* Preselection is a superset; full matching verifies and binds. *)
+        List.concat_map (Xq_eval.match_pattern pattern) candidates
+      | Source.R_rows _ -> match_documents pattern (export_documents src export)
+    with Source.Query_rejected _ ->
+      match_documents pattern (export_documents src export))
+  | Med_planner.A_match { source_name; export; pattern } ->
+    let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
+    match_documents pattern (export_documents src export)
+  | Med_planner.A_view { view; pattern } -> (
+    match view_lookup view with
+    | Some trees -> match_documents pattern trees
+    | None -> (
+      match Med_catalog.find_view catalog view with
+      | None -> fail "unknown view %s" view
+      | Some v ->
+        let trees =
+          List.concat_map
+            (fun def ->
+              let sub = Med_planner.compile ~opts catalog def in
+              (exec catalog ~opts ~partial:false ~view_lookup sub).trees)
+            v.Med_catalog.definitions
+        in
+        match_documents pattern trees))
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+and source_fn_of catalog ~opts ~view_lookup (compiled : Med_planner.compiled) :
+    Alg_exec.source_fn =
+ fun access_id _binding ->
+  match List.assoc_opt access_id compiled.Med_planner.accesses with
+  | None -> fail "internal: unknown access id %s" access_id
+  | Some access -> (
+    try List.to_seq (run_access catalog ~opts ~view_lookup access)
+    with Source.Unavailable name -> raise (Alg_exec.Source_unavailable name))
+
+and exec catalog ~opts ~partial ~view_lookup (compiled : Med_planner.compiled) =
+  let sources = source_fn_of catalog ~opts ~view_lookup compiled in
+  let envs, skipped =
+    if partial then Alg_exec.run_partial sources compiled.Med_planner.plan
+    else (Alg_exec.run_list sources compiled.Med_planner.plan, [])
+  in
+  (* Instantiate the CONSTRUCT template per binding.  Correlated
+     subqueries re-enter through the direct resolver. *)
+  let resolver = direct_resolver catalog in
+  let trees =
+    List.concat_map
+      (fun env -> Xq_eval.instantiate resolver env compiled.Med_planner.construct)
+      envs
+  in
+  { trees; bindings = envs; skipped_sources = skipped }
+
+let run_compiled ?(view_lookup = no_lookup) catalog compiled =
+  exec catalog ~opts:Med_sqlgen.default_options ~partial:false ~view_lookup compiled
+
+let run_compiled_partial ?(view_lookup = no_lookup) catalog compiled =
+  exec catalog ~opts:Med_sqlgen.default_options ~partial:true ~view_lookup compiled
+
+let run ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup) catalog q =
+  (exec catalog ~opts ~partial:false ~view_lookup (Med_planner.compile ~opts catalog q)).trees
+
+let run_text ?opts ?view_lookup catalog text =
+  match Xq_parser.parse text with
+  | Ok q -> run ?opts ?view_lookup catalog q
+  | Error m -> fail "%s" m
+
+let run_partial ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup) catalog q =
+  let r =
+    exec catalog ~opts ~partial:true ~view_lookup (Med_planner.compile ~opts catalog q)
+  in
+  (r.trees, r.skipped_sources)
+
+let explain_text catalog text =
+  match Xq_parser.parse text with
+  | Ok q -> Med_planner.explain (Med_planner.compile catalog q)
+  | Error m -> fail "%s" m

@@ -1,0 +1,60 @@
+(** Execution of compiled queries against the catalog's live sources.
+
+    Two modes, per section 3.4: {e strict} (any offline source aborts
+    the query) and {e partial} (offline sources contribute nothing and
+    the answer is annotated with the skipped source names, so callers can
+    tell the user "the results were not complete"). *)
+
+type result = {
+  trees : Dtree.t list;          (** constructed results, in order *)
+  bindings : Alg_env.t list;     (** the variable bindings behind them *)
+  skipped_sources : string list; (** non-empty only in partial mode *)
+}
+
+exception Exec_error of string
+
+val compile :
+  ?opts:Med_sqlgen.options -> Med_catalog.t -> Xq_ast.query -> Med_planner.compiled
+
+type view_lookup = string -> Dtree.t list option
+(** Hook consulted before a mediated schema is recomputed: when it
+    returns [Some trees] (a materialized local copy, section 3.3), the
+    executor matches against the copy instead of going to the sources. *)
+
+val run_compiled :
+  ?view_lookup:view_lookup -> Med_catalog.t -> Med_planner.compiled -> result
+(** Strict mode.  @raise Source.Unavailable when a source is offline. *)
+
+val run_compiled_partial :
+  ?view_lookup:view_lookup -> Med_catalog.t -> Med_planner.compiled -> result
+
+val run :
+  ?opts:Med_sqlgen.options ->
+  ?view_lookup:view_lookup ->
+  Med_catalog.t ->
+  Xq_ast.query ->
+  Dtree.t list
+(** Compile-and-run, strict. *)
+
+val run_text :
+  ?opts:Med_sqlgen.options ->
+  ?view_lookup:view_lookup ->
+  Med_catalog.t ->
+  string ->
+  Dtree.t list
+(** Parse, compile and run.  @raise Exec_error on syntax errors. *)
+
+val run_partial :
+  ?opts:Med_sqlgen.options ->
+  ?view_lookup:view_lookup ->
+  Med_catalog.t ->
+  Xq_ast.query ->
+  Dtree.t list * string list
+
+val explain_text : Med_catalog.t -> string -> string
+
+val direct_resolver : Med_catalog.t -> Xq_eval.resolver
+(** The reference-semantics resolver: source exports serve their XML
+    view; mediated schemas evaluate their definitions recursively via
+    {!Xq_eval} (no compilation).  Used as the oracle in tests and for
+    correlated subqueries inside templates. *)

@@ -1,0 +1,39 @@
+let compile_pattern (p : Xq_ast.pattern) =
+  if p.Xq_ast.tag = "*" then None
+  else begin
+    let attr_preds =
+      List.map
+        (fun (aname, ap) ->
+          match ap with
+          | Xq_ast.A_lit s -> Xml_path.Attr_cmp (aname, Xml_path.Eq, s)
+          | Xq_ast.A_var _ -> Xml_path.Has_attr aname)
+        p.Xq_ast.attrs
+    in
+    let child_preds =
+      List.filter_map
+        (fun child ->
+          match child with
+          | Xq_ast.P_element sub when sub.Xq_ast.tag <> "*" -> (
+            match sub.Xq_ast.children with
+            | [ Xq_ast.P_text s ] ->
+              Some (Xml_path.Child_cmp (sub.Xq_ast.tag, Xml_path.Eq, s))
+            | _ -> Some (Xml_path.Child_exists sub.Xq_ast.tag))
+          (* Content bindings and top-level text matches derive no safe
+             predicate (whitespace handling differs between the XML and
+             tree views), so they stay client-side. *)
+          | Xq_ast.P_element _ | Xq_ast.P_var _ | Xq_ast.P_text _ -> None)
+        p.Xq_ast.children
+    in
+    Some
+      {
+        Xml_path.absolute = true;
+        steps =
+          [
+            {
+              Xml_path.axis = Xml_path.Descendant_or_self;
+              test = Xml_path.Name p.Xq_ast.tag;
+              preds = attr_preds @ child_preds;
+            };
+          ];
+      }
+  end

@@ -1,0 +1,17 @@
+(** The path half of the query compiler: pushing pattern preselection
+    into XML stores that declare the [can_path] capability.
+
+    From a clause pattern we derive a path whose matches are a
+    {e superset} of the elements the pattern matches —
+    [descendant-or-self::tag] with necessary-condition predicates from
+    literal attributes, attribute presence, child-tag existence and
+    literal child text.  The engine then runs full pattern matching only
+    on the returned candidates, so far fewer tree nodes cross the
+    simulated network.
+
+    Soundness rule: every derived predicate must be {e implied} by the
+    pattern (never narrower), so preselection can only drop guaranteed
+    non-matches. *)
+
+val compile_pattern : Xq_ast.pattern -> Xml_path.t option
+(** [None] when no useful narrowing exists (wildcard tag). *)

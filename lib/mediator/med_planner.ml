@@ -1,0 +1,372 @@
+type access =
+  | A_sql of {
+      source_name : string;
+      export : string;
+      fragment : Med_sqlgen.fragment;
+      pattern : Xq_ast.pattern;
+    }
+  | A_sql_join of {
+      source_name : string;
+      fragment : Med_sqlgen.join_fragment;
+      exports : string list;
+    }
+  | A_path of {
+      source_name : string;
+      export : string;
+      path : Xml_path.t;
+      pattern : Xq_ast.pattern;
+    }
+  | A_match of {
+      source_name : string;
+      export : string;
+      pattern : Xq_ast.pattern;
+    }
+  | A_view of {
+      view : string;
+      pattern : Xq_ast.pattern;
+    }
+
+type compiled = {
+  plan : Alg_plan.t;
+  accesses : (string * access) list;
+  construct : Xq_ast.template;
+  source_query : Xq_ast.query;
+  residual_conditions : Alg_expr.t list;
+}
+
+exception Plan_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Plan_error m)) fmt
+
+(* Variables an access binds. *)
+let access_vars = function
+  | A_sql { fragment; _ } ->
+    List.map fst fragment.Med_sqlgen.binds
+    @ (match fragment.Med_sqlgen.row_var with Some v -> [ v ] | None -> [])
+  | A_sql_join { fragment; _ } -> List.map fst fragment.Med_sqlgen.jf_binds
+  | A_path { pattern; _ } | A_match { pattern; _ } | A_view { pattern; _ } ->
+    Xq_ast.pattern_vars pattern
+
+(* Pick the access path for one clause, absorbing pushable conditions. *)
+let clause_access opts catalog (clause : Xq_ast.clause) candidates =
+  let name = clause.Xq_ast.clause_source in
+  match Med_catalog.find_view catalog name with
+  | Some _ -> (A_view { view = name; pattern = clause.Xq_ast.clause_pattern }, [])
+  | None -> (
+    match Src_registry.resolve_export (Med_catalog.registry catalog) name with
+    | None -> fail "unknown source or view %S" name
+    | Some (src, export) -> (
+      let fallback = A_match { source_name = src.Source.name; export; pattern = clause.Xq_ast.clause_pattern } in
+      match src.Source.kind with
+      | Source.Xml_store ->
+        (* Path preselection when the store accepts it. *)
+        if src.Source.capability.Source.can_path && opts.Med_sqlgen.pushdown_select then
+          match Med_pathgen.compile_pattern clause.Xq_ast.clause_pattern with
+          | Some path ->
+            ( A_path
+                { source_name = src.Source.name; export; path;
+                  pattern = clause.Xq_ast.clause_pattern },
+              [] )
+          | None -> (fallback, [])
+        else (fallback, [])
+      | Source.Flat_file -> (fallback, [])
+      | Source.Relational -> (
+        if not src.Source.capability.Source.can_select then (fallback, [])
+        else
+          let schema =
+            List.find_opt
+              (fun r -> String.equal r.Dschema.rel_name export)
+              (src.Source.relations ())
+          in
+          match schema with
+          | None -> (fallback, [])
+          | Some schema -> (
+            (* Only the canonical row shape compiles to SQL. *)
+            let pattern = clause.Xq_ast.clause_pattern in
+            if pattern.Xq_ast.tag <> "row" && pattern.Xq_ast.tag <> "*" then (fallback, [])
+            else
+              match Med_sqlgen.compile_clause opts schema pattern candidates with
+              | None -> (fallback, [])
+              | Some fragment ->
+                ( A_sql { source_name = src.Source.name; export; fragment; pattern },
+                  fragment.Med_sqlgen.pushed_conditions )))))
+
+(* Join [left] (vars [lvars]) with the scan of [access_id] (vars [rvars])
+   on their shared variables.  The right side's shared variables are
+   renamed so both keys stay addressable, then projected away. *)
+let join_step left lvars right rvars =
+  let shared = List.filter (fun v -> List.mem v lvars) rvars in
+  let out_vars = lvars @ List.filter (fun v -> not (List.mem v lvars)) rvars in
+  match shared with
+  | [] ->
+    (Alg_plan.Nl_join { left; right; pred = None }, out_vars)
+  | key :: rest ->
+    let rename_map = List.map (fun v -> (v, v ^ "#r")) shared in
+    let renamed = Alg_plan.Rename (right, rename_map) in
+    let residual =
+      match rest with
+      | [] -> None
+      | rest ->
+        let eqs =
+          List.map
+            (fun v -> Alg_expr.Binop (Alg_expr.Eq, Alg_expr.Var v, Alg_expr.Var (v ^ "#r")))
+            rest
+        in
+        Some (List.fold_left (fun acc e -> Alg_expr.Binop (Alg_expr.And, acc, e)) (List.hd eqs) (List.tl eqs))
+    in
+    let join =
+      Alg_plan.Hash_join
+        {
+          left;
+          right = renamed;
+          left_key = Alg_expr.Var key;
+          right_key = Alg_expr.Var (key ^ "#r");
+          residual;
+        }
+    in
+    (Alg_plan.Project (join, out_vars), out_vars)
+
+(* When several clauses address tables of the same join-capable
+   relational source, try to compile them into one SQL join fragment.
+   Returns (grouped access option, indices it covers). *)
+let try_join_group opts catalog (clauses : Xq_ast.clause list) candidates =
+  let reg = Med_catalog.registry catalog in
+  let resolved =
+    List.mapi
+      (fun i clause ->
+        if Med_catalog.find_view catalog clause.Xq_ast.clause_source <> None then (i, None)
+        else
+          match Src_registry.resolve_export reg clause.Xq_ast.clause_source with
+          | Some (src, export)
+            when src.Source.kind = Source.Relational
+                 && src.Source.capability.Source.can_join
+                 && src.Source.capability.Source.can_select ->
+            (i, Some (src, export, clause.Xq_ast.clause_pattern))
+          | Some _ | None -> (i, None))
+      clauses
+  in
+  (* Group indices by source name. *)
+  let by_source : (string, (int * Source.t * string * Xq_ast.pattern) list) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  List.iter
+    (fun (i, entry) ->
+      match entry with
+      | Some (src, export, pattern) ->
+        let key = src.Source.name in
+        let prior = Option.value ~default:[] (Hashtbl.find_opt by_source key) in
+        Hashtbl.replace by_source key (prior @ [ (i, src, export, pattern) ])
+      | None -> ())
+    resolved;
+  Hashtbl.fold
+    (fun _ group acc ->
+      match acc with
+      | Some _ -> acc (* one group per compile pass; others handled next passes *)
+      | None ->
+        if List.length group < 2 then None
+        else begin
+          let schemas_ok =
+            List.map
+              (fun (_, src, export, pattern) ->
+                match
+                  List.find_opt
+                    (fun r -> String.equal r.Dschema.rel_name export)
+                    (src.Source.relations ())
+                with
+                | Some schema -> Some (schema, pattern, export)
+                | None -> None)
+              group
+          in
+          if List.exists Option.is_none schemas_ok then None
+          else begin
+            let entries = List.map Option.get schemas_ok in
+            match
+              Med_sqlgen.compile_join_clauses opts
+                (List.map (fun (schema, pattern, _) -> (schema, pattern)) entries)
+                candidates
+            with
+            | None -> None
+            | Some fragment ->
+              let _, src, _, _ = List.hd group in
+              Some
+                ( A_sql_join
+                    {
+                      source_name = src.Source.name;
+                      fragment;
+                      exports = List.map (fun (_, _, e) -> e) entries;
+                    },
+                  List.map (fun (i, _, _, _) -> i) group,
+                  fragment.Med_sqlgen.jf_pushed_conditions )
+          end
+        end)
+    by_source None
+
+let compile ?(opts = Med_sqlgen.default_options) catalog (q : Xq_ast.query) =
+  (* Resolve accesses clause by clause; once a condition is pushed into a
+     fragment it leaves the residual pool. *)
+  let residual = ref q.Xq_ast.conditions in
+  (* First, try to collapse same-source clause groups into single SQL
+     join fragments (repeat until no group remains). *)
+  let grouped : (string * access) list ref = ref [] in
+  let covered : int list ref = ref [] in
+  let next_group_id = ref 0 in
+  let continue = ref opts.Med_sqlgen.pushdown_join in
+  while !continue do
+    let remaining_clauses =
+      List.filteri (fun i _ -> not (List.mem i !covered)) q.Xq_ast.clauses
+    in
+    let index_map =
+      List.filteri (fun i _ -> not (List.mem i !covered))
+        (List.mapi (fun i _ -> i) q.Xq_ast.clauses)
+    in
+    match try_join_group opts catalog remaining_clauses !residual with
+    | Some (access, local_indices, pushed) ->
+      let global = List.map (List.nth index_map) local_indices in
+      covered := !covered @ global;
+      residual := List.filter (fun c -> not (List.memq c pushed)) !residual;
+      grouped := !grouped @ [ (Printf.sprintf "j%d" !next_group_id, access) ];
+      incr next_group_id
+    | None -> continue := false
+  done;
+  let singles =
+    List.concat
+      (List.mapi
+         (fun i clause ->
+           if List.mem i !covered then []
+           else begin
+             let access, pushed = clause_access opts catalog clause !residual in
+             residual := List.filter (fun c -> not (List.memq c pushed)) !residual;
+             [ (Printf.sprintf "a%d" i, access) ]
+           end)
+         q.Xq_ast.clauses)
+  in
+  let accesses = !grouped @ singles in
+  (* Greedy connected join order: start from the first access, prefer
+     joining accesses that share variables with the accumulated set. *)
+  let scan (aid, _) = Alg_plan.Scan { source = aid; binding = "*" } in
+  let plan, plan_vars =
+    match accesses with
+    | [] -> fail "query has no clauses"
+    | first :: rest ->
+      let pending = ref rest in
+      let current = ref (scan first) in
+      let current_vars = ref (access_vars (snd first)) in
+      while !pending <> [] do
+        let connected, disconnected =
+          List.partition
+            (fun (_, access) ->
+              List.exists (fun v -> List.mem v !current_vars) (access_vars access))
+            !pending
+        in
+        let next, remaining =
+          match connected, disconnected with
+          | next :: others, disc -> (next, others @ disc)
+          | [], next :: others -> (next, others)
+          | [], [] -> assert false
+        in
+        let joined, vars =
+          join_step !current !current_vars (scan next) (access_vars (snd next))
+        in
+        current := joined;
+        current_vars := vars;
+        pending := remaining
+      done;
+      (!current, !current_vars)
+  in
+  ignore plan_vars;
+  (* Residual conditions filter on top. *)
+  let plan =
+    List.fold_left (fun p cond -> Alg_plan.Select (p, cond)) plan !residual
+  in
+  (* ORDER BY / LIMIT: when the whole query is a single SQL fragment with
+     nothing filtering above it, ship the ordering and the limit to the
+     source (only the first rows cross the wire). *)
+  let accesses, order_pushed =
+    match accesses, !residual with
+    | [ (aid, A_sql ({ fragment; _ } as spec)) ], []
+      when q.Xq_ast.order_by <> [] || q.Xq_ast.limit <> None ->
+      let translated =
+        List.map
+          (fun (e, asc) ->
+            Option.map
+              (fun sql_e -> { Sql_ast.order_expr = sql_e; ascending = asc })
+              (Med_sqlgen.translate_condition fragment.Med_sqlgen.binds e))
+          q.Xq_ast.order_by
+      in
+      if List.exists Option.is_none translated then (accesses, false)
+      else begin
+        let select =
+          {
+            fragment.Med_sqlgen.sql with
+            Sql_ast.order_by = List.map Option.get translated;
+            limit = q.Xq_ast.limit;
+          }
+        in
+        let fragment =
+          {
+            fragment with
+            Med_sqlgen.sql = select;
+            sql_text = Sql_print.select_to_string select;
+          }
+        in
+        ([ (aid, A_sql { spec with fragment }) ], true)
+      end
+    | _, _ -> (accesses, false)
+  in
+  ignore order_pushed;
+  (* Ordering and limit stay in the plan even when shipped: re-applying
+     them over an already ordered/limited stream is a no-op, and it keeps
+     the capability fallback (which ships unordered rows) correct. *)
+  let plan =
+    match q.Xq_ast.order_by with
+    | [] -> plan
+    | specs ->
+      Alg_plan.Sort
+        (plan, List.map (fun (e, asc) -> { Alg_plan.sort_key = e; ascending = asc }) specs)
+  in
+  let plan =
+    match q.Xq_ast.limit with
+    | None -> plan
+    | Some n -> Alg_plan.Limit (plan, n)
+  in
+  {
+    plan;
+    accesses;
+    construct = q.Xq_ast.construct;
+    source_query = q;
+    residual_conditions = !residual;
+  }
+
+let access_to_string (aid, access) =
+  match access with
+  | A_sql { source_name; fragment; _ } ->
+    Printf.sprintf "  %s -> SQL @%s: %s" aid source_name fragment.Med_sqlgen.sql_text
+  | A_sql_join { source_name; fragment; _ } ->
+    Printf.sprintf "  %s -> SQL-JOIN @%s: %s" aid source_name fragment.Med_sqlgen.jf_sql_text
+  | A_path { source_name; export; path; pattern } ->
+    Printf.sprintf "  %s -> PATH @%s.%s: %s then match %s" aid source_name export
+      (Xml_path.to_string path)
+      (Xq_pretty.pattern_to_string pattern)
+  | A_match { source_name; export; pattern } ->
+    Printf.sprintf "  %s -> MATCH @%s.%s: %s" aid source_name export
+      (Xq_pretty.pattern_to_string pattern)
+  | A_view { view; pattern } ->
+    Printf.sprintf "  %s -> VIEW %s: %s" aid view (Xq_pretty.pattern_to_string pattern)
+
+let explain compiled =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Alg_plan.explain compiled.plan);
+  Buffer.add_string buf "accesses:\n";
+  List.iter
+    (fun entry ->
+      Buffer.add_string buf (access_to_string entry);
+      Buffer.add_char buf '\n')
+    compiled.accesses;
+  (match compiled.residual_conditions with
+  | [] -> ()
+  | conds ->
+    Buffer.add_string buf "residual conditions:\n";
+    List.iter
+      (fun c -> Buffer.add_string buf (Printf.sprintf "  %s\n" (Alg_expr.to_string c)))
+      conds);
+  Buffer.contents buf

@@ -1,0 +1,74 @@
+(** The query compiler: XML-QL to physical plans.
+
+    Pipeline (section 3.1: "we translate a query into an internal
+    representation, and from there directly to query execution plans in
+    the physical algebra"):
+
+    + each clause gets an {e access}: a SQL fragment pushed into a
+      relational source ({!Med_sqlgen}), a path-preselected or plain
+      client-side pattern match over an export's XML view, or a match
+      over another mediated schema (hierarchical composition); clause
+      groups over one join-capable relational source collapse into a
+      single SQL join fragment when {e all} of the group's clauses are
+      row-shaped and variable-connected (a partially-connected group
+      falls back to per-clause fragments — correct, but it ships rows
+      the source could have joined);
+    + conditions whose variables one SQL clause binds travel into that
+      fragment's WHERE when the source's capability allows;
+    + clauses join on their shared variables (hash join, greedy
+      connected order), remaining conditions filter on top;
+    + ORDER BY / LIMIT become Sort / Limit operators.
+
+    The CONSTRUCT template is carried alongside the plan; {!Med_exec}
+    instantiates it per binding (templates may contain correlated
+    subqueries, which re-enter the mediator). *)
+
+type access =
+  | A_sql of {
+      source_name : string;
+      export : string;              (** table *)
+      fragment : Med_sqlgen.fragment;
+      pattern : Xq_ast.pattern;     (** kept for capability fallback *)
+    }
+  | A_sql_join of {
+      source_name : string;
+      fragment : Med_sqlgen.join_fragment;
+      exports : string list;        (** the grouped tables *)
+    }
+      (** several clauses over one join-capable relational source,
+          compiled into a single SQL join fragment.  The source's
+          declared [can_join] capability is trusted: a runtime rejection
+          of the fragment is an error, not a fallback. *)
+  | A_path of {
+      source_name : string;
+      export : string;
+      path : Xml_path.t;         (** preselection pushed to the store *)
+      pattern : Xq_ast.pattern;  (** verified on the candidates *)
+    }
+  | A_match of {
+      source_name : string;
+      export : string;
+      pattern : Xq_ast.pattern;
+    }
+  | A_view of {
+      view : string;
+      pattern : Xq_ast.pattern;
+    }
+
+type compiled = {
+  plan : Alg_plan.t;
+  accesses : (string * access) list;  (** access id -> spec, for Scan leaves *)
+  construct : Xq_ast.template;
+  source_query : Xq_ast.query;
+  residual_conditions : Alg_expr.t list;
+}
+
+exception Plan_error of string
+
+val compile :
+  ?opts:Med_sqlgen.options -> Med_catalog.t -> Xq_ast.query -> compiled
+(** @raise Plan_error on unknown sources. *)
+
+val explain : compiled -> string
+(** Operator tree plus, per SQL access, the fragment shipped to the
+    source. *)

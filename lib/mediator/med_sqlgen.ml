@@ -1,0 +1,372 @@
+type fragment = {
+  sql : Sql_ast.select;
+  sql_text : string;
+  binds : (string * string) list;
+  row_var : string option;
+  pushed_conditions : Alg_expr.t list;
+}
+
+type options = {
+  pushdown_select : bool;
+  pushdown_project : bool;
+  pushdown_join : bool;
+}
+
+let default_options = { pushdown_select = true; pushdown_project = true; pushdown_join = true }
+let no_pushdown = { pushdown_select = false; pushdown_project = false; pushdown_join = false }
+let no_join_pushdown = { default_options with pushdown_join = false }
+
+let rec translate_condition binds e =
+  let open Alg_expr in
+  let binop op a b =
+    match translate_condition binds a, translate_condition binds b with
+    | Some a', Some b' -> Some (Sql_ast.Binop (op, a', b'))
+    | _, _ -> None
+  in
+  match e with
+  | Var v -> Option.map (fun col -> Sql_ast.Col (None, col)) (List.assoc_opt v binds)
+  | Const value -> Some (Sql_ast.Lit value)
+  | Binop (And, a, b) -> binop Sql_ast.And a b
+  | Binop (Or, a, b) -> binop Sql_ast.Or a b
+  | Binop (Add, a, b) -> binop Sql_ast.Add a b
+  | Binop (Sub, a, b) -> binop Sql_ast.Sub a b
+  | Binop (Mul, a, b) -> binop Sql_ast.Mul a b
+  | Binop (Div, a, b) -> binop Sql_ast.Div a b
+  | Binop (Eq, a, b) -> binop Sql_ast.Eq a b
+  | Binop (Neq, a, b) -> binop Sql_ast.Neq a b
+  | Binop (Lt, a, b) -> binop Sql_ast.Lt a b
+  | Binop (Le, a, b) -> binop Sql_ast.Le a b
+  | Binop (Gt, a, b) -> binop Sql_ast.Gt a b
+  | Binop (Ge, a, b) -> binop Sql_ast.Ge a b
+  | Not sub ->
+    Option.map (fun s -> Sql_ast.Unop (Sql_ast.Not, s)) (translate_condition binds sub)
+  | Neg sub ->
+    Option.map (fun s -> Sql_ast.Unop (Sql_ast.Neg, s)) (translate_condition binds sub)
+  | Like (sub, pattern) ->
+    Option.map (fun s -> Sql_ast.Like (s, pattern)) (translate_condition binds sub)
+  | Is_null sub -> Option.map (fun s -> Sql_ast.Is_null s) (translate_condition binds sub)
+  | Call (fname, args) when List.mem fname Sql_eval.scalar_functions ->
+    let rec all acc = function
+      | [] -> Some (List.rev acc)
+      | a :: rest -> (
+        match translate_condition binds a with
+        | Some a' -> all (a' :: acc) rest
+        | None -> None)
+    in
+    Option.map (fun args' -> Sql_ast.Fncall (fname, args')) (all [] args)
+  | Call _ | Child _ | Attr _ | Text _ | Label _ -> None
+
+(* A pattern is row-shaped when it matches the canonical [<row>] trees of
+   a table's XML view without nesting or content bindings. *)
+let analyze_row_pattern schema (p : Xq_ast.pattern) =
+  let tag_ok =
+    p.Xq_ast.tag = "row" || p.Xq_ast.tag = "*" || p.Xq_ast.tag = schema.Dschema.rel_name
+  in
+  if (not tag_ok) || p.Xq_ast.attrs <> [] then None
+  else begin
+    let column name = Dschema.find_column schema name in
+    (* Each child must be a flat column pattern. *)
+    let step acc child =
+      match acc with
+      | None -> None
+      | Some (binds, eqs) -> (
+        match child with
+        | Xq_ast.P_var _ | Xq_ast.P_text _ -> None (* content binding: not relational *)
+        | Xq_ast.P_element sub -> (
+          if sub.Xq_ast.attrs <> [] || sub.Xq_ast.element_as <> None then None
+          else
+            match column sub.Xq_ast.tag with
+            | None -> None
+            | Some col -> (
+              match sub.Xq_ast.children with
+              | [] -> Some (binds, eqs) (* bare presence: no constraint *)
+              | [ Xq_ast.P_var v ] -> Some ((v, col.Dschema.col_name) :: binds, eqs)
+              | [ Xq_ast.P_text s ] -> Some (binds, (col, s) :: eqs)
+              | _ -> None)))
+    in
+    match List.fold_left step (Some ([], [])) p.Xq_ast.children with
+    | None -> None
+    | Some (binds, eqs) -> Some (List.rev binds, List.rev eqs)
+  end
+
+let literal_condition (col : Dschema.column) s =
+  let value =
+    match Value.parse_as col.Dschema.col_ty s with
+    | Some v -> v
+    | None -> Value.String s
+  in
+  Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Col (None, col.Dschema.col_name), Sql_ast.Lit value)
+
+let compile_clause opts schema (p : Xq_ast.pattern) candidates =
+  match analyze_row_pattern schema p with
+  | None -> None
+  | Some (raw_binds, eqs) ->
+    (* A variable bound twice in the pattern forces column equality. *)
+    let rec dedup_binds acc extra_eqs = function
+      | [] -> (List.rev acc, List.rev extra_eqs)
+      | (v, col) :: rest -> (
+        match List.assoc_opt v acc with
+        | Some col0 ->
+          dedup_binds acc
+            (Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Col (None, col0), Sql_ast.Col (None, col))
+            :: extra_eqs)
+            rest
+        | None -> dedup_binds ((v, col) :: acc) extra_eqs rest)
+    in
+    let binds, var_eqs = dedup_binds [] [] raw_binds in
+    if (not opts.pushdown_select) && (eqs <> [] || var_eqs <> []) then
+      (* With selection pushdown disabled, literal and repeated-variable
+         constraints must be evaluated client-side: reject the fragment
+         so the planner ships the table and pattern-matches locally. *)
+      None
+    else begin
+    let lit_conds = List.map (fun (col, s) -> literal_condition col s) eqs in
+    (* Absorb candidate conditions whose variables this clause binds. *)
+    let pushed, where_extras =
+      if not opts.pushdown_select then ([], [])
+      else
+        List.fold_left
+          (fun (pushed, wheres) cond ->
+            let vars = Alg_expr.free_vars cond in
+            let local = List.for_all (fun v -> List.mem_assoc v binds) vars in
+            if not local then (pushed, wheres)
+            else
+              match translate_condition binds cond with
+              | Some sql_cond -> (cond :: pushed, sql_cond :: wheres)
+              | None -> (pushed, wheres))
+          ([], []) candidates
+    in
+    let row_var = p.Xq_ast.element_as in
+    let items =
+      if (not opts.pushdown_project) || row_var <> None || binds = [] then [ Sql_ast.Star ]
+      else
+        List.map (fun (_, col) -> Sql_ast.Expr_item (Sql_ast.Col (None, col), None)) binds
+        |> List.sort_uniq compare
+    in
+    let where = Sql_ast.conjoin (lit_conds @ var_eqs @ List.rev where_extras) in
+    let select =
+      {
+        Sql_ast.distinct = false;
+        items;
+        from = Some (Sql_ast.From_table { table = schema.Dschema.rel_name; alias = None });
+        where;
+        group_by = [];
+        having = None;
+        order_by = [];
+        limit = None;
+      }
+    in
+    Some
+      {
+        sql = select;
+        sql_text = Sql_print.select_to_string select;
+        binds;
+        row_var;
+        pushed_conditions = List.rev pushed;
+      }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Join fragments                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type join_fragment = {
+  jf_sql_text : string;
+  jf_binds : (string * string) list;
+  jf_pushed_conditions : Alg_expr.t list;
+}
+
+let compile_join_clauses opts clauses candidates =
+  if (not opts.pushdown_join) || List.length clauses < 2 then None
+  else begin
+    (* Analyze every clause; all must be row-shaped without ELEMENT_AS. *)
+    let analyzed =
+      List.mapi
+        (fun i (schema, pattern) ->
+          if pattern.Xq_ast.element_as <> None then None
+          else
+            match analyze_row_pattern schema pattern with
+            | None -> None
+            | Some (binds, eqs) -> Some (Printf.sprintf "t%d" i, schema, binds, eqs))
+        clauses
+    in
+    if List.exists Option.is_none analyzed then None
+    else begin
+      let analyzed = List.map Option.get analyzed in
+      (* Global variable map: var -> (alias, column) of first binding;
+         later bindings of the same var contribute join equalities. *)
+      let first_of : (string, string * string) Hashtbl.t = Hashtbl.create 16 in
+      let join_eqs = ref [] in
+      List.iter
+        (fun (alias, _, binds, _) ->
+          List.iter
+            (fun (v, col) ->
+              match Hashtbl.find_opt first_of v with
+              | None -> Hashtbl.replace first_of v (alias, col)
+              | Some (alias0, col0) ->
+                if not (String.equal alias0 alias && String.equal col0 col) then
+                  join_eqs :=
+                    Sql_ast.Binop
+                      (Sql_ast.Eq, Sql_ast.Col (Some alias0, col0), Sql_ast.Col (Some alias, col))
+                    :: !join_eqs)
+            binds)
+        analyzed;
+      (* Connectivity: each clause after the first must share a variable
+         with an earlier clause (we refuse to push cross products). *)
+      let rec connected seen = function
+        | [] -> true
+        | (_, _, binds, _) :: rest ->
+          let vars = List.map fst binds in
+          if seen = [] then connected vars rest
+          else if List.exists (fun v -> List.mem v seen) vars then
+            connected (seen @ vars) rest
+          else false
+      in
+      if not (connected [] analyzed) then None
+      else begin
+        (* Literal equalities, qualified per alias. *)
+        let lit_conds =
+          List.concat_map
+            (fun (alias, _, _, eqs) ->
+              List.map
+                (fun ((col : Dschema.column), s) ->
+                  let value =
+                    match Value.parse_as col.Dschema.col_ty s with
+                    | Some v -> v
+                    | None -> Value.String s
+                  in
+                  Sql_ast.Binop
+                    (Sql_ast.Eq, Sql_ast.Col (Some alias, col.Dschema.col_name), Sql_ast.Lit value))
+                eqs)
+            analyzed
+        in
+        (* Output columns: one generated alias per variable. *)
+        let var_list =
+          Hashtbl.fold (fun v loc acc -> (v, loc) :: acc) first_of []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        let items, jf_binds =
+          List.split
+            (List.mapi
+               (fun k (v, (alias, col)) ->
+                 let out = Printf.sprintf "c%d" k in
+                 (Sql_ast.Expr_item (Sql_ast.Col (Some alias, col), Some out), (v, out)))
+               var_list)
+        in
+        (* Conditions: translate against qualified columns. *)
+        let qualified_binds =
+          List.map (fun (v, (alias, col)) -> (v, alias ^ "." ^ col)) var_list
+        in
+        (* translate_condition emits Col (None, name); a dotted name would
+           not resolve, so translate with a custom variable mapping. *)
+        let translate cond =
+          let rec subst e =
+            match e with
+            | Alg_expr.Var v -> (
+              match List.assoc_opt v qualified_binds with
+              | Some dotted -> (
+                match String.index_opt dotted '.' with
+                | Some i ->
+                  Some
+                    (Sql_ast.Col
+                       ( Some (String.sub dotted 0 i),
+                         String.sub dotted (i + 1) (String.length dotted - i - 1) ))
+                | None -> Some (Sql_ast.Col (None, dotted)))
+              | None -> None)
+            | Alg_expr.Const value -> Some (Sql_ast.Lit value)
+            | Alg_expr.Binop (op, a, b) -> (
+              let sql_op =
+                match op with
+                | Alg_expr.And -> Some Sql_ast.And
+                | Alg_expr.Or -> Some Sql_ast.Or
+                | Alg_expr.Add -> Some Sql_ast.Add
+                | Alg_expr.Sub -> Some Sql_ast.Sub
+                | Alg_expr.Mul -> Some Sql_ast.Mul
+                | Alg_expr.Div -> Some Sql_ast.Div
+                | Alg_expr.Eq -> Some Sql_ast.Eq
+                | Alg_expr.Neq -> Some Sql_ast.Neq
+                | Alg_expr.Lt -> Some Sql_ast.Lt
+                | Alg_expr.Le -> Some Sql_ast.Le
+                | Alg_expr.Gt -> Some Sql_ast.Gt
+                | Alg_expr.Ge -> Some Sql_ast.Ge
+              in
+              match sql_op, subst a, subst b with
+              | Some op, Some a', Some b' -> Some (Sql_ast.Binop (op, a', b'))
+              | _, _, _ -> None)
+            | Alg_expr.Not sub ->
+              Option.map (fun s -> Sql_ast.Unop (Sql_ast.Not, s)) (subst sub)
+            | Alg_expr.Neg sub ->
+              Option.map (fun s -> Sql_ast.Unop (Sql_ast.Neg, s)) (subst sub)
+            | Alg_expr.Like (sub, pat) ->
+              Option.map (fun s -> Sql_ast.Like (s, pat)) (subst sub)
+            | Alg_expr.Is_null sub -> Option.map (fun s -> Sql_ast.Is_null s) (subst sub)
+            | Alg_expr.Call (fname, args) when List.mem fname Sql_eval.scalar_functions ->
+              let rec all acc = function
+                | [] -> Some (List.rev acc)
+                | a :: rest -> (
+                  match subst a with
+                  | Some a' -> all (a' :: acc) rest
+                  | None -> None)
+              in
+              Option.map (fun args' -> Sql_ast.Fncall (fname, args')) (all [] args)
+            | Alg_expr.Call _ | Alg_expr.Child _ | Alg_expr.Attr _ | Alg_expr.Text _
+            | Alg_expr.Label _ -> None
+          in
+          subst cond
+        in
+        let pushed, where_extras =
+          if not opts.pushdown_select then ([], [])
+          else
+            List.fold_left
+              (fun (pushed, wheres) cond ->
+                let vars = Alg_expr.free_vars cond in
+                let local = List.for_all (fun v -> List.mem_assoc v qualified_binds) vars in
+                if not local then (pushed, wheres)
+                else
+                  match translate cond with
+                  | Some sql_cond -> (cond :: pushed, sql_cond :: wheres)
+                  | None -> (pushed, wheres))
+              ([], []) candidates
+        in
+        (* FROM: first table, then JOIN each next on its equalities to
+           earlier aliases.  For simplicity all join equalities go into
+           WHERE and the joins carry TRUE; the source's own planner pools
+           conjuncts and picks hash joins anyway. *)
+        let from =
+          match analyzed with
+          | [] -> None
+          | (alias0, schema0, _, _) :: rest ->
+            Some
+              (List.fold_left
+                 (fun acc (alias, (schema : Dschema.relational), _, _) ->
+                   Sql_ast.From_join
+                     ( acc,
+                       Sql_ast.Inner,
+                       { Sql_ast.table = schema.Dschema.rel_name; alias = Some alias },
+                       Sql_ast.Lit (Value.Bool true) ))
+                 (Sql_ast.From_table
+                    { Sql_ast.table = schema0.Dschema.rel_name; alias = Some alias0 })
+                 rest)
+        in
+        let where = Sql_ast.conjoin (!join_eqs @ lit_conds @ List.rev where_extras) in
+        let select =
+          {
+            Sql_ast.distinct = false;
+            items;
+            from;
+            where;
+            group_by = [];
+            having = None;
+            order_by = [];
+            limit = None;
+          }
+        in
+        Some
+          {
+            jf_sql_text = Sql_print.select_to_string select;
+            jf_binds;
+            jf_pushed_conditions = List.rev pushed;
+          }
+      end
+    end
+  end

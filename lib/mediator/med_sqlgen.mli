@@ -1,0 +1,70 @@
+(** The SQL half of the query compiler (section 2.1: "if an RDB is being
+    queried, then the compiler generates SQL").
+
+    Given an XML-QL clause whose source is a relational table export, we
+    try to compile the pattern plus any pushable conditions into a single
+    SELECT: bound leaf children become projected columns, literal
+    children and pushable conditions become the WHERE clause.  Patterns
+    that exceed the relational shape (nested structure, content
+    bindings, wildcard attribute use) are rejected and the planner falls
+    back to client-side matching over the table's XML view. *)
+
+type fragment = {
+  sql : Sql_ast.select;
+  sql_text : string;                 (** what is shipped to the source *)
+  binds : (string * string) list;    (** pattern variable -> output column *)
+  row_var : string option;           (** ELEMENT_AS variable, rebuilt client-side *)
+  pushed_conditions : Alg_expr.t list;  (** conditions folded into WHERE *)
+}
+
+type options = {
+  pushdown_select : bool;   (** put predicates in the fragment's WHERE *)
+  pushdown_project : bool;  (** prune unused columns *)
+  pushdown_join : bool;
+      (** compile clause groups over one join-capable relational source
+          into a single SQL join fragment *)
+}
+
+val default_options : options
+val no_pushdown : options
+val no_join_pushdown : options
+(** Selection/projection pushdown without the join grouping — the
+    ablation point of experiment E3b. *)
+
+val compile_clause :
+  options ->
+  Dschema.relational ->
+  Xq_ast.pattern ->
+  Alg_expr.t list ->
+  fragment option
+(** [compile_clause opts schema pattern candidate_conditions] returns the
+    fragment and records which of the candidate conditions it absorbed;
+    [None] when the pattern is not row-shaped over this schema. *)
+
+val translate_condition :
+  (string * string) list -> Alg_expr.t -> Sql_ast.expr option
+(** Translate an algebra condition to SQL over the variable/column
+    binding; [None] when it uses tree accessors or functions the SQL
+    subset lacks. *)
+
+(** {1 Join fragments} *)
+
+type join_fragment = {
+  jf_sql_text : string;
+  jf_binds : (string * string) list;
+      (** pattern variable -> output column (generated aliases) *)
+  jf_pushed_conditions : Alg_expr.t list;
+}
+
+val compile_join_clauses :
+  options ->
+  (Dschema.relational * Xq_ast.pattern) list ->
+  Alg_expr.t list ->
+  join_fragment option
+(** Compile several row-shaped clauses over tables of {e one} relational
+    source into a single SELECT with JOINs on their shared variables.
+    Requirements: at least two clauses, every pattern row-shaped with no
+    [ELEMENT_AS], and each adjacent clause connected to the earlier ones
+    by at least one shared variable (no cross products are pushed).
+    NULL join keys do not join (SQL semantics — matching the engine's
+    hash join). *)

@@ -1,0 +1,270 @@
+(* A B+tree multimap with linked leaves.
+
+   Nodes are mutable arrays managed as sorted key vectors.  Internal nodes
+   hold separator keys: child i holds keys < keys.(i) ... actually we use
+   the convention: for an internal node with n keys there are n+1 children
+   and all keys in children.(i) are < keys.(i) and keys in children.(i+1)
+   are >= keys.(i).  Leaves hold (key, value bag) entries and a link to
+   the next leaf. *)
+
+type ('k, 'v) leaf = {
+  mutable lkeys : 'k array;
+  mutable lvals : 'v list array;  (* parallel to lkeys; newest-last bags *)
+  mutable lnext : ('k, 'v) leaf option;
+}
+
+type ('k, 'v) node =
+  | Leaf of ('k, 'v) leaf
+  | Internal of ('k, 'v) internal
+
+and ('k, 'v) internal = {
+  mutable ikeys : 'k array;
+  mutable children : ('k, 'v) node array;
+}
+
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  order : int;
+  mutable root : ('k, 'v) node;
+  mutable count : int;
+}
+
+let create ?(order = 32) ~cmp () =
+  let order = max 4 order in
+  { cmp; order; root = Leaf { lkeys = [||]; lvals = [||]; lnext = None }; count = 0 }
+
+(* Index of the first key >= [k], i.e. lower bound. *)
+let lower_bound cmp keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child slot to descend into for key [k]. *)
+let child_slot cmp ikeys k =
+  let lo = ref 0 and hi = ref (Array.length ikeys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp ikeys.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+let array_remove arr i =
+  let n = Array.length arr in
+  let out = Array.sub arr 0 (n - 1) in
+  Array.blit arr (i + 1) out i (n - i - 1);
+  out
+
+(* Split a full leaf in two; returns (separator key, new right sibling). *)
+let split_leaf leaf =
+  let n = Array.length leaf.lkeys in
+  let mid = n / 2 in
+  let right =
+    {
+      lkeys = Array.sub leaf.lkeys mid (n - mid);
+      lvals = Array.sub leaf.lvals mid (n - mid);
+      lnext = leaf.lnext;
+    }
+  in
+  leaf.lkeys <- Array.sub leaf.lkeys 0 mid;
+  leaf.lvals <- Array.sub leaf.lvals 0 mid;
+  leaf.lnext <- Some right;
+  (right.lkeys.(0), right)
+
+let split_internal node =
+  let n = Array.length node.ikeys in
+  let mid = n / 2 in
+  let sep = node.ikeys.(mid) in
+  let right =
+    {
+      ikeys = Array.sub node.ikeys (mid + 1) (n - mid - 1);
+      children = Array.sub node.children (mid + 1) (n - mid);
+    }
+  in
+  node.ikeys <- Array.sub node.ikeys 0 mid;
+  node.children <- Array.sub node.children 0 (mid + 1);
+  (sep, right)
+
+(* Insert into subtree; returns Some (sep, right) when the node split. *)
+let rec insert_node t node k v =
+  match node with
+  | Leaf leaf ->
+    let i = lower_bound t.cmp leaf.lkeys k in
+    if i < Array.length leaf.lkeys && t.cmp leaf.lkeys.(i) k = 0 then begin
+      leaf.lvals.(i) <- leaf.lvals.(i) @ [ v ];
+      None
+    end
+    else begin
+      leaf.lkeys <- array_insert leaf.lkeys i k;
+      leaf.lvals <- array_insert leaf.lvals i [ v ];
+      if Array.length leaf.lkeys > t.order then begin
+        let sep, right = split_leaf leaf in
+        Some (sep, Leaf right)
+      end
+      else None
+    end
+  | Internal node ->
+    let slot = child_slot t.cmp node.ikeys k in
+    (match insert_node t node.children.(slot) k v with
+    | None -> ()
+    | Some (sep, right) ->
+      node.ikeys <- array_insert node.ikeys slot sep;
+      node.children <- array_insert node.children (slot + 1) right);
+    if Array.length node.ikeys > t.order then begin
+      let sep, right = split_internal node in
+      Some (sep, Internal right)
+    end
+    else None
+
+let insert t k v =
+  (match insert_node t t.root k v with
+  | None -> ()
+  | Some (sep, right) ->
+    t.root <- Internal { ikeys = [| sep |]; children = [| t.root; right |] });
+  t.count <- t.count + 1
+
+let rec find_leaf t node k =
+  match node with
+  | Leaf leaf -> leaf
+  | Internal node -> find_leaf t node.children.(child_slot t.cmp node.ikeys k) k
+
+let find_all t k =
+  let leaf = find_leaf t t.root k in
+  let i = lower_bound t.cmp leaf.lkeys k in
+  if i < Array.length leaf.lkeys && t.cmp leaf.lkeys.(i) k = 0 then leaf.lvals.(i) else []
+
+let mem t k = find_all t k <> []
+
+let remove t k v =
+  let leaf = find_leaf t t.root k in
+  let i = lower_bound t.cmp leaf.lkeys k in
+  if i < Array.length leaf.lkeys && t.cmp leaf.lkeys.(i) k = 0 then begin
+    let bag = leaf.lvals.(i) in
+    let rec drop_one acc = function
+      | [] -> None
+      | x :: rest -> if x = v then Some (List.rev_append acc rest) else drop_one (x :: acc) rest
+    in
+    match drop_one [] bag with
+    | None -> false
+    | Some [] ->
+      leaf.lkeys <- array_remove leaf.lkeys i;
+      leaf.lvals <- array_remove leaf.lvals i;
+      t.count <- t.count - 1;
+      true
+    | Some bag' ->
+      leaf.lvals.(i) <- bag';
+      t.count <- t.count - 1;
+      true
+  end
+  else false
+
+let rec leftmost_leaf = function
+  | Leaf leaf -> leaf
+  | Internal node -> leftmost_leaf node.children.(0)
+
+let range t ?lo ?hi () =
+  let start_leaf =
+    match lo with
+    | Some (k, _) -> find_leaf t t.root k
+    | None -> leftmost_leaf t.root
+  in
+  let in_lo k =
+    match lo with
+    | None -> true
+    | Some (bound, inclusive) ->
+      let c = t.cmp k bound in
+      if inclusive then c >= 0 else c > 0
+  in
+  let past_hi k =
+    match hi with
+    | None -> false
+    | Some (bound, inclusive) ->
+      let c = t.cmp k bound in
+      if inclusive then c > 0 else c >= 0
+  in
+  let out = ref [] in
+  let rec walk leaf =
+    let n = Array.length leaf.lkeys in
+    let stop = ref false in
+    let i = ref 0 in
+    while (not !stop) && !i < n do
+      let k = leaf.lkeys.(!i) in
+      if past_hi k then stop := true
+      else begin
+        if in_lo k then List.iter (fun v -> out := (k, v) :: !out) leaf.lvals.(!i);
+        incr i
+      end
+    done;
+    if not !stop then
+      match leaf.lnext with
+      | Some next -> walk next
+      | None -> ()
+  in
+  walk start_leaf;
+  List.rev !out
+
+let iter f t =
+  let rec walk leaf =
+    Array.iteri (fun i k -> List.iter (fun v -> f k v) leaf.lvals.(i)) leaf.lkeys;
+    match leaf.lnext with
+    | Some next -> walk next
+    | None -> ()
+  in
+  walk (leftmost_leaf t.root)
+
+let size t = t.count
+
+let height t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Internal node -> 1 + go node.children.(0)
+  in
+  go t.root
+
+let check_invariants t =
+  let ok = ref true in
+  let check_sorted keys =
+    for i = 0 to Array.length keys - 2 do
+      if t.cmp keys.(i) keys.(i + 1) >= 0 then ok := false
+    done
+  in
+  (* Bounds: every key in a subtree must lie in (lo, hi). *)
+  let in_bounds lo hi k =
+    (match lo with None -> true | Some b -> t.cmp k b >= 0)
+    && match hi with None -> true | Some b -> t.cmp k b < 0
+  in
+  let rec go lo hi = function
+    | Leaf leaf ->
+      check_sorted leaf.lkeys;
+      Array.iter (fun k -> if not (in_bounds lo hi k) then ok := false) leaf.lkeys;
+      Array.iter (fun bag -> if bag = [] then ok := false) leaf.lvals
+    | Internal node ->
+      check_sorted node.ikeys;
+      if Array.length node.children <> Array.length node.ikeys + 1 then ok := false;
+      Array.iter (fun k -> if not (in_bounds lo hi k) then ok := false) node.ikeys;
+      Array.iteri
+        (fun i child ->
+          let clo = if i = 0 then lo else Some node.ikeys.(i - 1) in
+          let chi = if i = Array.length node.ikeys then hi else Some node.ikeys.(i) in
+          go clo chi child)
+        node.children
+  in
+  go None None t.root;
+  (* Leaf chain covers exactly the keys in order. *)
+  let chain = ref [] in
+  iter (fun k _ -> chain := k :: !chain) t;
+  let keys = List.rev !chain in
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> t.cmp a b <= 0 && sorted rest
+  in
+  !ok && sorted keys && List.length keys = t.count

@@ -1,0 +1,43 @@
+(** A B+tree multimap.
+
+    The ordered index structure behind [CREATE INDEX] in the relational
+    substrate.  Keys are ordered by a user-supplied comparison; duplicate
+    keys are allowed (each key holds a bag of values).  Leaves are linked
+    for cheap range scans, which is what makes pushed-down range
+    predicates profitable in experiment E3. *)
+
+type ('k, 'v) t
+
+val create : ?order:int -> cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+(** [order] is the maximum number of keys per node (default 32, minimum 4). *)
+
+val insert : ('k, 'v) t -> 'k -> 'v -> unit
+
+val remove : ('k, 'v) t -> 'k -> 'v -> bool
+(** Remove one (key, value) pair (value compared with polymorphic
+    equality).  Returns false when not present.  Leaves may underflow;
+    this implementation tolerates sparse leaves rather than rebalancing
+    on delete, trading strict height bounds for simplicity — the workload
+    (source tables) is read-mostly. *)
+
+val find_all : ('k, 'v) t -> 'k -> 'v list
+(** All values bound to the key, in insertion order. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val range :
+  ('k, 'v) t -> ?lo:'k * bool -> ?hi:'k * bool -> unit -> ('k * 'v) list
+(** [range t ~lo:(k, inclusive) ~hi:(k', inclusive') ()] returns pairs in
+    key order.  Omitted bounds are unbounded. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** In key order. *)
+
+val size : ('k, 'v) t -> int
+(** Number of (key, value) pairs. *)
+
+val height : ('k, 'v) t -> int
+
+val check_invariants : ('k, 'v) t -> bool
+(** Internal consistency: sortedness, key bounds, leaf links.  Used by
+    property tests. *)

@@ -1,0 +1,102 @@
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Col of string option * string
+  | Lit of Value.t
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Fncall of string * expr list
+  | Like of expr * string
+  | In_list of expr * expr list
+  | Between of expr * expr * expr
+  | Is_null of expr
+  | Is_not_null of expr
+
+type agg_fn = Count | Count_star | Sum | Avg | Min | Max
+
+type select_item =
+  | Star
+  | Qualified_star of string
+  | Expr_item of expr * string option
+  | Agg_item of agg_fn * expr option * string option
+
+type table_ref = {
+  table : string;
+  alias : string option;
+}
+
+type join_kind = Inner | Left_outer
+
+type from_clause =
+  | From_table of table_ref
+  | From_join of from_clause * join_kind * table_ref * expr
+
+type order_item = {
+  order_expr : expr;
+  ascending : bool;
+}
+
+type select = {
+  distinct : bool;
+  items : select_item list;
+  from : from_clause option;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : order_item list;
+  limit : int option;
+}
+
+type column_def = {
+  cd_name : string;
+  cd_ty : Value.ty;
+  cd_nullable : bool;
+  cd_primary : bool;
+}
+
+type statement =
+  | Select of select
+  | Create_table of string * column_def list
+  | Create_index of { unique_ignored : bool; index_table : string; index_column : string; btree : bool }
+  | Insert of string * string list option * Value.t list list
+  | Update of string * (string * expr) list * expr option
+  | Delete of string * expr option
+  | Drop_table of string
+
+let col name = Col (None, name)
+let qcol q name = Col (Some q, name)
+let lit_int i = Lit (Value.Int i)
+let lit_str s = Lit (Value.String s)
+let ( &&& ) a b = Binop (And, a, b)
+let ( ||| ) a b = Binop (Or, a, b)
+let eq a b = Binop (Eq, a, b)
+
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left ( &&& ) e rest)
+
+let rec expr_columns = function
+  | Col (q, n) -> [ (q, n) ]
+  | Lit _ -> []
+  | Unop (_, e) | Like (e, _) | Is_null e | Is_not_null e -> expr_columns e
+  | Binop (_, a, b) -> expr_columns a @ expr_columns b
+  | Fncall (_, args) -> List.concat_map expr_columns args
+  | In_list (e, es) -> expr_columns e @ List.concat_map expr_columns es
+  | Between (e, lo, hi) -> expr_columns e @ expr_columns lo @ expr_columns hi
+
+let agg_fn_name = function
+  | Count -> "COUNT"
+  | Count_star -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"

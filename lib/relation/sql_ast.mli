@@ -1,0 +1,103 @@
+(** Abstract syntax for the SQL subset the relational substrate accepts.
+
+    This is also the *target language* of the mediator's compiler
+    (section 2.1: "if an RDB is being queried, then the compiler generates
+    SQL"), so the printer in {!Sql_print} round-trips through the parser.
+
+    Supported statements: SELECT (joins, WHERE, GROUP BY, HAVING,
+    ORDER BY, LIMIT, DISTINCT), CREATE TABLE, CREATE INDEX, INSERT,
+    UPDATE, DELETE. *)
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Col of string option * string  (** optional table qualifier, column *)
+  | Lit of Value.t
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Fncall of string * expr list   (** scalar functions: upper, lower, abs, length, coalesce, substr *)
+  | Like of expr * string          (** pattern with [%] and [_] wildcards *)
+  | In_list of expr * expr list
+  | Between of expr * expr * expr
+  | Is_null of expr
+  | Is_not_null of expr
+
+type agg_fn = Count | Count_star | Sum | Avg | Min | Max
+
+type select_item =
+  | Star
+  | Qualified_star of string       (** [t.*] *)
+  | Expr_item of expr * string option         (** expression AS alias *)
+  | Agg_item of agg_fn * expr option * string option
+      (** COUNT-star carries no expr; the others carry their argument *)
+
+type table_ref = {
+  table : string;
+  alias : string option;
+}
+
+type join_kind = Inner | Left_outer
+
+type from_clause =
+  | From_table of table_ref
+  | From_join of from_clause * join_kind * table_ref * expr  (** ON condition *)
+
+type order_item = {
+  order_expr : expr;
+  ascending : bool;
+}
+
+type select = {
+  distinct : bool;
+  items : select_item list;
+  from : from_clause option;   (** [None] for SELECT of constants *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : order_item list;
+  limit : int option;
+}
+
+type column_def = {
+  cd_name : string;
+  cd_ty : Value.ty;
+  cd_nullable : bool;
+  cd_primary : bool;
+}
+
+type statement =
+  | Select of select
+  | Create_table of string * column_def list
+  | Create_index of { unique_ignored : bool; index_table : string; index_column : string; btree : bool }
+  | Insert of string * string list option * Value.t list list
+      (** table, optional column list, rows of literal values *)
+  | Update of string * (string * expr) list * expr option
+  | Delete of string * expr option
+  | Drop_table of string
+
+(** {1 Helpers} *)
+
+val col : string -> expr
+val qcol : string -> string -> expr
+val lit_int : int -> expr
+val lit_str : string -> expr
+val ( &&& ) : expr -> expr -> expr
+val ( ||| ) : expr -> expr -> expr
+val eq : expr -> expr -> expr
+
+val conjuncts : expr -> expr list
+(** Flatten a tree of ANDs into its conjuncts. *)
+
+val conjoin : expr list -> expr option
+(** Inverse of {!conjuncts}; [None] for the empty list. *)
+
+val expr_columns : expr -> (string option * string) list
+(** All column references in an expression, left-to-right, duplicates
+    preserved. *)
+
+val agg_fn_name : agg_fn -> string

@@ -1,0 +1,173 @@
+exception Eval_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Eval_error m)) fmt
+
+let resolve tup qualifier name =
+  match qualifier with
+  | Some q -> (
+    let full = q ^ "." ^ name in
+    match Tuple.get tup full with
+    | Some v -> v
+    | None -> (
+      (* A bare-named field also answers a qualified reference when it is
+         the only candidate (single-table queries need no prefixes). *)
+      match Tuple.get tup name with
+      | Some v -> v
+      | None -> fail "unknown column %s.%s" q name))
+  | None -> (
+    match Tuple.get tup name with
+    | Some v -> v
+    | None -> (
+      let suffix = "." ^ name in
+      let candidates =
+        List.filter
+          (fun (fname, _) -> String.ends_with ~suffix fname)
+          (Tuple.fields tup)
+      in
+      match candidates with
+      | [ (_, v) ] -> v
+      | [] -> fail "unknown column %s" name
+      | _ :: _ :: _ -> fail "ambiguous column %s" name))
+
+let like_match ~pattern s =
+  let pn = String.length pattern and sn = String.length s in
+  (* Classic two-pointer LIKE matcher with backtracking on '%'. *)
+  let rec go pi si star_pi star_si =
+    if pi < pn && pattern.[pi] = '%' then go (pi + 1) si (pi + 1) si
+    else if si < sn && pi < pn && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_pi star_si
+    else if si >= sn then pi >= pn || (pi < pn && pattern.[pi] = '%' && go (pi + 1) si star_pi star_si)
+    else if star_pi >= 0 then go star_pi (star_si + 1) star_pi (star_si + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+let scalar_functions =
+  [ "upper"; "lower"; "length"; "abs"; "coalesce"; "substr"; "trim"; "round"; "concat" ]
+
+let apply_function name args =
+  match name, args with
+  | "upper", [ Value.Null ] | "lower", [ Value.Null ] | "trim", [ Value.Null ] -> Value.Null
+  | "upper", [ v ] -> Value.String (String.uppercase_ascii (Value.to_string v))
+  | "lower", [ v ] -> Value.String (String.lowercase_ascii (Value.to_string v))
+  | "trim", [ v ] -> Value.String (String.trim (Value.to_string v))
+  | "length", [ Value.Null ] -> Value.Null
+  | "length", [ v ] -> Value.Int (String.length (Value.to_string v))
+  | "abs", [ Value.Null ] -> Value.Null
+  | "abs", [ Value.Int i ] -> Value.Int (abs i)
+  | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
+  | "round", [ Value.Null ] -> Value.Null
+  | "round", [ Value.Float f ] -> Value.Int (int_of_float (Float.round f))
+  | "round", [ Value.Int i ] -> Value.Int i
+  | "coalesce", args ->
+    let rec first = function
+      | [] -> Value.Null
+      | Value.Null :: rest -> first rest
+      | v :: _ -> v
+    in
+    first args
+  | "substr", [ v; Value.Int start ] ->
+    let s = Value.to_string v in
+    let start = max 1 start - 1 in
+    if start >= String.length s then Value.String ""
+    else Value.String (String.sub s start (String.length s - start))
+  | "substr", [ v; Value.Int start; Value.Int count ] ->
+    let s = Value.to_string v in
+    let start = max 1 start - 1 in
+    if start >= String.length s then Value.String ""
+    else Value.String (String.sub s start (min count (String.length s - start)))
+  | "concat", args ->
+    Value.String (String.concat "" (List.map Value.to_string args))
+  | name, args -> fail "unknown function %s/%d" name (List.length args)
+
+let bool3 = function
+  | None -> Value.Null
+  | Some b -> Value.Bool b
+
+let compare3 op a b =
+  match Value.compare_sql a b with
+  | None -> Value.Null
+  | Some c ->
+    let r =
+      match op with
+      | Sql_ast.Eq -> c = 0
+      | Sql_ast.Neq -> c <> 0
+      | Sql_ast.Lt -> c < 0
+      | Sql_ast.Le -> c <= 0
+      | Sql_ast.Gt -> c > 0
+      | Sql_ast.Ge -> c >= 0
+      | Sql_ast.Add | Sql_ast.Sub | Sql_ast.Mul | Sql_ast.Div | Sql_ast.And | Sql_ast.Or ->
+        fail "compare3: not a comparison"
+    in
+    Value.Bool r
+
+let rec eval tup expr =
+  match expr with
+  | Sql_ast.Col (q, n) -> resolve tup q n
+  | Sql_ast.Lit v -> v
+  | Sql_ast.Unop (Sql_ast.Neg, e) -> (
+    match eval tup e with
+    | Value.Null -> Value.Null
+    | v -> (
+      try Value.neg v with Invalid_argument _ -> fail "cannot negate %s" (Value.to_display v)))
+  | Sql_ast.Unop (Sql_ast.Not, e) -> (
+    match eval tup e with
+    | Value.Null -> Value.Null
+    | v -> Value.Bool (not (Value.is_truthy v)))
+  | Sql_ast.Binop (Sql_ast.And, a, b) -> (
+    (* Kleene AND: F dominates. *)
+    match eval tup a with
+    | Value.Bool false -> Value.Bool false
+    | va -> (
+      match eval tup b with
+      | Value.Bool false -> Value.Bool false
+      | vb -> (
+        match va, vb with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Value.Bool (Value.is_truthy va && Value.is_truthy vb))))
+  | Sql_ast.Binop (Sql_ast.Or, a, b) -> (
+    match eval tup a with
+    | Value.Bool true -> Value.Bool true
+    | va -> (
+      match eval tup b with
+      | Value.Bool true -> Value.Bool true
+      | vb -> (
+        match va, vb with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Value.Bool (Value.is_truthy va || Value.is_truthy vb))))
+  | Sql_ast.Binop ((Sql_ast.Eq | Sql_ast.Neq | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge) as op, a, b) ->
+    compare3 op (eval tup a) (eval tup b)
+  | Sql_ast.Binop (Sql_ast.Add, a, b) -> arith Value.add (eval tup a) (eval tup b)
+  | Sql_ast.Binop (Sql_ast.Sub, a, b) -> arith Value.sub (eval tup a) (eval tup b)
+  | Sql_ast.Binop (Sql_ast.Mul, a, b) -> arith Value.mul (eval tup a) (eval tup b)
+  | Sql_ast.Binop (Sql_ast.Div, a, b) -> arith Value.div (eval tup a) (eval tup b)
+  | Sql_ast.Fncall (name, args) -> apply_function name (List.map (eval tup) args)
+  | Sql_ast.Like (e, pattern) -> (
+    match eval tup e with
+    | Value.Null -> Value.Null
+    | v -> Value.Bool (like_match ~pattern (Value.to_string v)))
+  | Sql_ast.In_list (e, es) -> (
+    match eval tup e with
+    | Value.Null -> Value.Null
+    | v ->
+      let vs = List.map (eval tup) es in
+      if List.exists (fun x -> Value.compare_sql v x = Some 0) vs then Value.Bool true
+      else if List.exists (fun x -> x = Value.Null) vs then Value.Null
+      else Value.Bool false)
+  | Sql_ast.Between (e, lo, hi) -> (
+    let v = eval tup e and vlo = eval tup lo and vhi = eval tup hi in
+    match Value.compare_sql v vlo, Value.compare_sql v vhi with
+    | Some a, Some b -> Value.Bool (a >= 0 && b <= 0)
+    | _, _ -> Value.Null)
+  | Sql_ast.Is_null e -> bool3 (Some (eval tup e = Value.Null))
+  | Sql_ast.Is_not_null e -> bool3 (Some (eval tup e <> Value.Null))
+
+and arith f a b =
+  try f a b
+  with Invalid_argument _ ->
+    fail "type error in arithmetic on %s and %s" (Value.to_display a) (Value.to_display b)
+
+let eval_pred tup expr =
+  match eval tup expr with
+  | Value.Null -> false
+  | v -> Value.is_truthy v

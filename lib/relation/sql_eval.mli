@@ -1,0 +1,27 @@
+(** Evaluation of SQL expressions over tuples, with SQL's three-valued
+    logic ([Value.Null] plays UNKNOWN). *)
+
+exception Eval_error of string
+
+val resolve : Tuple.t -> string option -> string -> Value.t
+(** Column resolution against a tuple whose fields may be qualified
+    ([alias.column]).  Unqualified references match a field named exactly,
+    else a unique field with that suffix.
+    @raise Eval_error on unknown or ambiguous references. *)
+
+val eval : Tuple.t -> Sql_ast.expr -> Value.t
+(** Evaluate a scalar expression.  Comparisons return [Bool] or [Null];
+    [And]/[Or] follow Kleene logic.
+    @raise Eval_error on unknown columns or functions. *)
+
+val eval_pred : Tuple.t -> Sql_ast.expr -> bool
+(** True only when the expression evaluates to a truthy non-null value —
+    SQL WHERE semantics (UNKNOWN rows are dropped). *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE with [%] (any run) and [_] (any single char), case
+    sensitive. *)
+
+val scalar_functions : string list
+(** Names accepted by [Fncall]: upper, lower, length, abs, coalesce,
+    substr, trim, round, concat. *)

@@ -1,0 +1,137 @@
+type token =
+  | KW of string
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | SYM of string
+  | EOF
+
+exception Lex_error of int * string
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "LIMIT";
+    "DISTINCT"; "AS"; "AND"; "OR"; "NOT"; "NULL"; "IS"; "IN"; "LIKE";
+    "BETWEEN"; "JOIN"; "INNER"; "LEFT"; "OUTER"; "ON"; "ASC"; "DESC";
+    "CREATE"; "TABLE"; "INDEX"; "UNIQUE"; "USING"; "INSERT"; "INTO";
+    "VALUES"; "UPDATE"; "SET"; "DELETE"; "DROP"; "PRIMARY"; "KEY";
+    "INT"; "INTEGER"; "FLOAT"; "REAL"; "DOUBLE"; "TEXT"; "VARCHAR";
+    "BOOLEAN"; "BOOL"; "DATE"; "TRUE"; "FALSE"; "COUNT"; "SUM"; "AVG";
+    "MIN"; "MAX"; "HASH"; "BTREE";
+  ]
+
+let keyword_set =
+  let h = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let out = ref [] in
+  let peek k = if !pos + k < len then input.[!pos + k] else '\000' in
+  let emit tok = out := tok :: !out in
+  while !pos < len do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && peek 1 = '-' then begin
+      while !pos < len && input.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < len && is_ident_char input.[!pos] do
+        incr pos
+      done;
+      let word = String.sub input start (!pos - start) in
+      let upper = String.uppercase_ascii word in
+      if Hashtbl.mem keyword_set upper then emit (KW upper) else emit (IDENT word)
+    end
+    else if is_digit c || (c = '.' && is_digit (peek 1)) then begin
+      let start = !pos in
+      while !pos < len && is_digit input.[!pos] do
+        incr pos
+      done;
+      let is_float = ref false in
+      if !pos < len && input.[!pos] = '.' && is_digit (peek 1) then begin
+        is_float := true;
+        incr pos;
+        while !pos < len && is_digit input.[!pos] do
+          incr pos
+        done
+      end;
+      if !pos < len && (input.[!pos] = 'e' || input.[!pos] = 'E') then begin
+        is_float := true;
+        incr pos;
+        if !pos < len && (input.[!pos] = '+' || input.[!pos] = '-') then incr pos;
+        while !pos < len && is_digit input.[!pos] do
+          incr pos
+        done
+      end;
+      let word = String.sub input start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt word with
+        | Some f -> emit (FLOAT f)
+        | None -> raise (Lex_error (start, "malformed number " ^ word))
+      else
+        match int_of_string_opt word with
+        | Some i -> emit (INT i)
+        | None -> raise (Lex_error (start, "malformed number " ^ word))
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let finished = ref false in
+      while not !finished do
+        if !pos >= len then raise (Lex_error (!pos, "unterminated string literal"));
+        let c = input.[!pos] in
+        if c = '\'' then
+          if peek 1 = '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2
+          end
+          else begin
+            incr pos;
+            finished := true
+          end
+        else begin
+          Buffer.add_char buf c;
+          incr pos
+        end
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !pos + 1 < len then String.sub input !pos 2 else "" in
+      match two with
+      | "<>" | "!=" | "<=" | ">=" ->
+        emit (SYM (if two = "!=" then "<>" else two));
+        pos := !pos + 2
+      | _ -> (
+        match c with
+        | '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '=' | '<' | '>' | ';' ->
+          emit (SYM (String.make 1 c));
+          incr pos
+        | c -> raise (Lex_error (!pos, Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  emit EOF;
+  List.rev !out
+
+let token_to_string = function
+  | KW k -> k
+  | IDENT i -> i
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | SYM s -> s
+  | EOF -> "<eof>"

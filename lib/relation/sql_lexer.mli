@@ -1,0 +1,20 @@
+(** Tokenizer for the SQL subset. *)
+
+type token =
+  | KW of string        (** uppercased keyword *)
+  | IDENT of string     (** identifier, case preserved *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string    (** contents of a ['...'] literal, quotes decoded *)
+  | SYM of string       (** punctuation / operator: ( ) , . * = <> etc. *)
+  | EOF
+
+exception Lex_error of int * string
+(** Offset and message. *)
+
+val tokenize : string -> token list
+(** Full token stream ending in [EOF].  Keywords are recognized
+    case-insensitively from a fixed list; everything else alphabetic is an
+    identifier.  Supports [--] line comments. *)
+
+val token_to_string : token -> string

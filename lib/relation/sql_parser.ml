@@ -1,0 +1,521 @@
+exception Parse_error of string
+
+type cursor = {
+  toks : Sql_lexer.token array;
+  mutable i : int;
+}
+
+let fail msg = raise (Parse_error msg)
+
+let peek c = c.toks.(c.i)
+let peek2 c = if c.i + 1 < Array.length c.toks then c.toks.(c.i + 1) else Sql_lexer.EOF
+let advance c = c.i <- c.i + 1
+
+let next c =
+  let t = peek c in
+  advance c;
+  t
+
+let expect_kw c kw =
+  match next c with
+  | Sql_lexer.KW k when k = kw -> ()
+  | t -> fail (Printf.sprintf "expected %s, found %s" kw (Sql_lexer.token_to_string t))
+
+let expect_sym c sym =
+  match next c with
+  | Sql_lexer.SYM s when s = sym -> ()
+  | t -> fail (Printf.sprintf "expected %S, found %s" sym (Sql_lexer.token_to_string t))
+
+let accept_kw c kw =
+  match peek c with
+  | Sql_lexer.KW k when k = kw ->
+    advance c;
+    true
+  | _ -> false
+
+let accept_sym c sym =
+  match peek c with
+  | Sql_lexer.SYM s when s = sym ->
+    advance c;
+    true
+  | _ -> false
+
+let ident c =
+  match next c with
+  | Sql_lexer.IDENT name -> name
+  | t -> fail (Printf.sprintf "expected an identifier, found %s" (Sql_lexer.token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                    *)
+(*   OR < AND < NOT < comparison/LIKE/IN/BETWEEN/IS < add < mul < unary *)
+(* ------------------------------------------------------------------ *)
+
+let agg_of_kw = function
+  | "COUNT" -> Some Sql_ast.Count
+  | "SUM" -> Some Sql_ast.Sum
+  | "AVG" -> Some Sql_ast.Avg
+  | "MIN" -> Some Sql_ast.Min
+  | "MAX" -> Some Sql_ast.Max
+  | _ -> None
+
+let rec parse_or c =
+  let lhs = parse_and c in
+  if accept_kw c "OR" then Sql_ast.Binop (Sql_ast.Or, lhs, parse_or c) else lhs
+
+and parse_and c =
+  let lhs = parse_not c in
+  if accept_kw c "AND" then Sql_ast.Binop (Sql_ast.And, lhs, parse_and c) else lhs
+
+and parse_not c =
+  if accept_kw c "NOT" then Sql_ast.Unop (Sql_ast.Not, parse_not c) else parse_cmp c
+
+and parse_cmp c =
+  let lhs = parse_add c in
+  match peek c with
+  | Sql_lexer.SYM "=" ->
+    advance c;
+    Sql_ast.Binop (Sql_ast.Eq, lhs, parse_add c)
+  | Sql_lexer.SYM "<>" ->
+    advance c;
+    Sql_ast.Binop (Sql_ast.Neq, lhs, parse_add c)
+  | Sql_lexer.SYM "<" ->
+    advance c;
+    Sql_ast.Binop (Sql_ast.Lt, lhs, parse_add c)
+  | Sql_lexer.SYM "<=" ->
+    advance c;
+    Sql_ast.Binop (Sql_ast.Le, lhs, parse_add c)
+  | Sql_lexer.SYM ">" ->
+    advance c;
+    Sql_ast.Binop (Sql_ast.Gt, lhs, parse_add c)
+  | Sql_lexer.SYM ">=" ->
+    advance c;
+    Sql_ast.Binop (Sql_ast.Ge, lhs, parse_add c)
+  | Sql_lexer.KW "LIKE" ->
+    advance c;
+    (match next c with
+    | Sql_lexer.STRING pat -> Sql_ast.Like (lhs, pat)
+    | t -> fail (Printf.sprintf "LIKE requires a string pattern, found %s" (Sql_lexer.token_to_string t)))
+  | Sql_lexer.KW "BETWEEN" ->
+    advance c;
+    let lo = parse_add c in
+    expect_kw c "AND";
+    let hi = parse_add c in
+    Sql_ast.Between (lhs, lo, hi)
+  | Sql_lexer.KW "IN" ->
+    advance c;
+    expect_sym c "(";
+    let rec items acc =
+      let e = parse_add c in
+      if accept_sym c "," then items (e :: acc) else List.rev (e :: acc)
+    in
+    let es = items [] in
+    expect_sym c ")";
+    Sql_ast.In_list (lhs, es)
+  | Sql_lexer.KW "IS" ->
+    advance c;
+    if accept_kw c "NOT" then begin
+      expect_kw c "NULL";
+      Sql_ast.Is_not_null lhs
+    end
+    else begin
+      expect_kw c "NULL";
+      Sql_ast.Is_null lhs
+    end
+  | _ -> lhs
+
+and parse_add c =
+  let rec go lhs =
+    if accept_sym c "+" then go (Sql_ast.Binop (Sql_ast.Add, lhs, parse_mul c))
+    else if accept_sym c "-" then go (Sql_ast.Binop (Sql_ast.Sub, lhs, parse_mul c))
+    else lhs
+  in
+  go (parse_mul c)
+
+and parse_mul c =
+  let rec go lhs =
+    if accept_sym c "*" then go (Sql_ast.Binop (Sql_ast.Mul, lhs, parse_unary c))
+    else if accept_sym c "/" then go (Sql_ast.Binop (Sql_ast.Div, lhs, parse_unary c))
+    else lhs
+  in
+  go (parse_unary c)
+
+and parse_unary c =
+  if accept_sym c "-" then Sql_ast.Unop (Sql_ast.Neg, parse_unary c) else parse_atom c
+
+and parse_atom c =
+  match next c with
+  | Sql_lexer.INT i -> Sql_ast.Lit (Value.Int i)
+  | Sql_lexer.FLOAT f -> Sql_ast.Lit (Value.Float f)
+  | Sql_lexer.STRING s -> Sql_ast.Lit (Value.String s)
+  | Sql_lexer.KW "NULL" -> Sql_ast.Lit Value.Null
+  | Sql_lexer.KW "TRUE" -> Sql_ast.Lit (Value.Bool true)
+  | Sql_lexer.KW "FALSE" -> Sql_ast.Lit (Value.Bool false)
+  | Sql_lexer.KW "DATE" -> (
+    (* DATE 'YYYY-MM-DD' *)
+    match next c with
+    | Sql_lexer.STRING s -> (
+      match Value.parse_as Value.TDate s with
+      | Some d -> Sql_ast.Lit d
+      | None -> fail (Printf.sprintf "malformed date literal %S" s))
+    | t -> fail (Printf.sprintf "DATE requires a string literal, found %s" (Sql_lexer.token_to_string t)))
+  | Sql_lexer.SYM "(" ->
+    let e = parse_or c in
+    expect_sym c ")";
+    e
+  | Sql_lexer.IDENT name ->
+    if accept_sym c "(" then begin
+      (* scalar function call *)
+      if accept_sym c ")" then Sql_ast.Fncall (String.lowercase_ascii name, [])
+      else begin
+        let rec args acc =
+          let e = parse_or c in
+          if accept_sym c "," then args (e :: acc) else List.rev (e :: acc)
+        in
+        let es = args [] in
+        expect_sym c ")";
+        Sql_ast.Fncall (String.lowercase_ascii name, es)
+      end
+    end
+    else if accept_sym c "." then begin
+      match next c with
+      | Sql_lexer.IDENT col -> Sql_ast.Col (Some name, col)
+      | Sql_lexer.SYM "*" -> fail "qualified star is only allowed in a select list"
+      | t -> fail (Printf.sprintf "expected a column after '.', found %s" (Sql_lexer.token_to_string t))
+    end
+    else Sql_ast.Col (None, name)
+  | t -> fail (Printf.sprintf "unexpected token %s in expression" (Sql_lexer.token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_select_item c =
+  match peek c with
+  | Sql_lexer.SYM "*" ->
+    advance c;
+    Sql_ast.Star
+  | Sql_lexer.IDENT name
+    when (match peek2 c with Sql_lexer.SYM "." -> true | _ -> false)
+         && c.i + 2 < Array.length c.toks
+         && c.toks.(c.i + 2) = Sql_lexer.SYM "*" ->
+    advance c;
+    advance c;
+    advance c;
+    Sql_ast.Qualified_star name
+  | Sql_lexer.KW kw when agg_of_kw kw <> None ->
+    advance c;
+    expect_sym c "(";
+    let fn = Option.get (agg_of_kw kw) in
+    let fn, arg =
+      if accept_sym c "*" then
+        if fn = Sql_ast.Count then (Sql_ast.Count_star, None)
+        else fail (Printf.sprintf "%s(*) is only valid for COUNT" kw)
+      else (fn, Some (parse_or c))
+    in
+    expect_sym c ")";
+    let alias = if accept_kw c "AS" then Some (ident c) else None in
+    Sql_ast.Agg_item (fn, arg, alias)
+  | _ ->
+    let e = parse_or c in
+    let alias =
+      if accept_kw c "AS" then Some (ident c)
+      else
+        match peek c with
+        | Sql_lexer.IDENT a ->
+          advance c;
+          Some a
+        | _ -> None
+    in
+    Sql_ast.Expr_item (e, alias)
+
+let parse_table_ref c =
+  let table = ident c in
+  let alias =
+    if accept_kw c "AS" then Some (ident c)
+    else
+      match peek c with
+      | Sql_lexer.IDENT a ->
+        advance c;
+        Some a
+      | _ -> None
+  in
+  { Sql_ast.table; alias }
+
+let parse_from c =
+  let rec joins lhs =
+    let kind =
+      if accept_kw c "JOIN" then Some Sql_ast.Inner
+      else if accept_kw c "INNER" then begin
+        expect_kw c "JOIN";
+        Some Sql_ast.Inner
+      end
+      else if accept_kw c "LEFT" then begin
+        ignore (accept_kw c "OUTER");
+        expect_kw c "JOIN";
+        Some Sql_ast.Left_outer
+      end
+      else None
+    in
+    match kind with
+    | None -> lhs
+    | Some k ->
+      let rhs = parse_table_ref c in
+      expect_kw c "ON";
+      let cond = parse_or c in
+      joins (Sql_ast.From_join (lhs, k, rhs, cond))
+  in
+  (* comma-separated cross products become inner joins with TRUE *)
+  let first = Sql_ast.From_table (parse_table_ref c) in
+  let rec commas lhs =
+    if accept_sym c "," then begin
+      let rhs = parse_table_ref c in
+      commas (Sql_ast.From_join (lhs, Sql_ast.Inner, rhs, Sql_ast.Lit (Value.Bool true)))
+    end
+    else lhs
+  in
+  joins (commas (joins first))
+
+let parse_select_body c =
+  let distinct = accept_kw c "DISTINCT" in
+  let rec items acc =
+    let item = parse_select_item c in
+    if accept_sym c "," then items (item :: acc) else List.rev (item :: acc)
+  in
+  let items = items [] in
+  let from = if accept_kw c "FROM" then Some (parse_from c) else None in
+  let where = if accept_kw c "WHERE" then Some (parse_or c) else None in
+  let group_by =
+    if accept_kw c "GROUP" then begin
+      expect_kw c "BY";
+      let rec exprs acc =
+        let e = parse_or c in
+        if accept_sym c "," then exprs (e :: acc) else List.rev (e :: acc)
+      in
+      exprs []
+    end
+    else []
+  in
+  let having = if accept_kw c "HAVING" then Some (parse_or c) else None in
+  let order_by =
+    if accept_kw c "ORDER" then begin
+      expect_kw c "BY";
+      let rec orders acc =
+        let e = parse_or c in
+        let asc =
+          if accept_kw c "DESC" then false
+          else begin
+            ignore (accept_kw c "ASC");
+            true
+          end
+        in
+        let item = { Sql_ast.order_expr = e; ascending = asc } in
+        if accept_sym c "," then orders (item :: acc) else List.rev (item :: acc)
+      in
+      orders []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw c "LIMIT" then begin
+      match next c with
+      | Sql_lexer.INT n -> Some n
+      | t -> fail (Printf.sprintf "LIMIT requires an integer, found %s" (Sql_lexer.token_to_string t))
+    end
+    else None
+  in
+  { Sql_ast.distinct; items; from; where; group_by; having; order_by; limit }
+
+(* ------------------------------------------------------------------ *)
+(* DDL / DML                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ty c =
+  match next c with
+  | Sql_lexer.KW ("INT" | "INTEGER") -> Value.TInt
+  | Sql_lexer.KW ("FLOAT" | "REAL" | "DOUBLE") -> Value.TFloat
+  | Sql_lexer.KW ("TEXT" | "VARCHAR") ->
+    (* optional (n) *)
+    if accept_sym c "(" then begin
+      (match next c with
+      | Sql_lexer.INT _ -> ()
+      | t -> fail (Printf.sprintf "expected a length, found %s" (Sql_lexer.token_to_string t)));
+      expect_sym c ")"
+    end;
+    Value.TString
+  | Sql_lexer.KW ("BOOLEAN" | "BOOL") -> Value.TBool
+  | Sql_lexer.KW "DATE" -> Value.TDate
+  | t -> fail (Printf.sprintf "expected a type, found %s" (Sql_lexer.token_to_string t))
+
+let parse_column_def c =
+  let name = ident c in
+  let ty = parse_ty c in
+  let nullable = ref true and primary = ref false in
+  let rec modifiers () =
+    if accept_kw c "NOT" then begin
+      expect_kw c "NULL";
+      nullable := false;
+      modifiers ()
+    end
+    else if accept_kw c "PRIMARY" then begin
+      expect_kw c "KEY";
+      primary := true;
+      nullable := false;
+      modifiers ()
+    end
+    else if accept_kw c "NULL" then begin
+      nullable := true;
+      modifiers ()
+    end
+  in
+  modifiers ();
+  { Sql_ast.cd_name = name; cd_ty = ty; cd_nullable = !nullable; cd_primary = !primary }
+
+let parse_literal c =
+  match next c with
+  | Sql_lexer.INT i -> Value.Int i
+  | Sql_lexer.FLOAT f -> Value.Float f
+  | Sql_lexer.STRING s -> Value.String s
+  | Sql_lexer.KW "NULL" -> Value.Null
+  | Sql_lexer.KW "TRUE" -> Value.Bool true
+  | Sql_lexer.KW "FALSE" -> Value.Bool false
+  | Sql_lexer.KW "DATE" -> (
+    match next c with
+    | Sql_lexer.STRING s -> (
+      match Value.parse_as Value.TDate s with
+      | Some d -> d
+      | None -> fail (Printf.sprintf "malformed date literal %S" s))
+    | t -> fail (Printf.sprintf "DATE requires a string, found %s" (Sql_lexer.token_to_string t)))
+  | Sql_lexer.SYM "-" -> (
+    match next c with
+    | Sql_lexer.INT i -> Value.Int (-i)
+    | Sql_lexer.FLOAT f -> Value.Float (-.f)
+    | t -> fail (Printf.sprintf "expected a number after '-', found %s" (Sql_lexer.token_to_string t)))
+  | t -> fail (Printf.sprintf "expected a literal, found %s" (Sql_lexer.token_to_string t))
+
+let parse_statement c =
+  match next c with
+  | Sql_lexer.KW "SELECT" -> Sql_ast.Select (parse_select_body c)
+  | Sql_lexer.KW "CREATE" ->
+    if accept_kw c "TABLE" then begin
+      let tname = ident c in
+      expect_sym c "(";
+      let rec defs acc =
+        let d = parse_column_def c in
+        if accept_sym c "," then defs (d :: acc) else List.rev (d :: acc)
+      in
+      let defs = defs [] in
+      expect_sym c ")";
+      Sql_ast.Create_table (tname, defs)
+    end
+    else begin
+      let unique = accept_kw c "UNIQUE" in
+      expect_kw c "INDEX";
+      (* optional index name *)
+      (match peek c with
+      | Sql_lexer.IDENT _ when peek2 c = Sql_lexer.KW "ON" -> advance c
+      | _ -> ());
+      expect_kw c "ON";
+      let tname = ident c in
+      expect_sym c "(";
+      let colname = ident c in
+      expect_sym c ")";
+      let btree =
+        if accept_kw c "USING" then
+          if accept_kw c "HASH" then false
+          else begin
+            expect_kw c "BTREE";
+            true
+          end
+        else true
+      in
+      Sql_ast.Create_index
+        { unique_ignored = unique; index_table = tname; index_column = colname; btree }
+    end
+  | Sql_lexer.KW "INSERT" ->
+    expect_kw c "INTO";
+    let tname = ident c in
+    let cols =
+      if accept_sym c "(" then begin
+        let rec names acc =
+          let n = ident c in
+          if accept_sym c "," then names (n :: acc) else List.rev (n :: acc)
+        in
+        let names = names [] in
+        expect_sym c ")";
+        Some names
+      end
+      else None
+    in
+    expect_kw c "VALUES";
+    let parse_row () =
+      expect_sym c "(";
+      let rec vals acc =
+        let v = parse_literal c in
+        if accept_sym c "," then vals (v :: acc) else List.rev (v :: acc)
+      in
+      let vs = vals [] in
+      expect_sym c ")";
+      vs
+    in
+    let rec rows acc =
+      let r = parse_row () in
+      if accept_sym c "," then rows (r :: acc) else List.rev (r :: acc)
+    in
+    Sql_ast.Insert (tname, cols, rows [])
+  | Sql_lexer.KW "UPDATE" ->
+    let tname = ident c in
+    expect_kw c "SET";
+    let rec assigns acc =
+      let cname = ident c in
+      expect_sym c "=";
+      let e = parse_or c in
+      if accept_sym c "," then assigns ((cname, e) :: acc) else List.rev ((cname, e) :: acc)
+    in
+    let assigns = assigns [] in
+    let where = if accept_kw c "WHERE" then Some (parse_or c) else None in
+    Sql_ast.Update (tname, assigns, where)
+  | Sql_lexer.KW "DELETE" ->
+    expect_kw c "FROM";
+    let tname = ident c in
+    let where = if accept_kw c "WHERE" then Some (parse_or c) else None in
+    Sql_ast.Delete (tname, where)
+  | Sql_lexer.KW "DROP" ->
+    expect_kw c "TABLE";
+    Sql_ast.Drop_table (ident c)
+  | t -> fail (Printf.sprintf "expected a statement, found %s" (Sql_lexer.token_to_string t))
+
+let finish c =
+  ignore (accept_sym c ";");
+  match peek c with
+  | Sql_lexer.EOF -> ()
+  | t -> fail (Printf.sprintf "trailing input: %s" (Sql_lexer.token_to_string t))
+
+let parse_exn input =
+  let toks =
+    try Sql_lexer.tokenize input
+    with Sql_lexer.Lex_error (off, msg) ->
+      fail (Printf.sprintf "lexical error at offset %d: %s" off msg)
+  in
+  let c = { toks = Array.of_list toks; i = 0 } in
+  let stmt = parse_statement c in
+  finish c;
+  stmt
+
+let parse input =
+  try Ok (parse_exn input) with Parse_error m -> Error m
+
+let parse_select_exn input =
+  match parse_exn input with
+  | Sql_ast.Select s -> s
+  | _ -> fail "expected a SELECT statement"
+
+let parse_expr_exn input =
+  let toks =
+    try Sql_lexer.tokenize input
+    with Sql_lexer.Lex_error (off, msg) ->
+      fail (Printf.sprintf "lexical error at offset %d: %s" off msg)
+  in
+  let c = { toks = Array.of_list toks; i = 0 } in
+  let e = parse_or c in
+  finish c;
+  e

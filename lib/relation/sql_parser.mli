@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the SQL subset of {!Sql_ast}. *)
+
+exception Parse_error of string
+
+val parse : string -> (Sql_ast.statement, string) result
+(** Parse a single statement (optionally [;]-terminated). *)
+
+val parse_exn : string -> Sql_ast.statement
+
+val parse_select_exn : string -> Sql_ast.select
+(** @raise Parse_error when the statement is not a SELECT. *)
+
+val parse_expr_exn : string -> Sql_ast.expr
+(** Parse a standalone scalar/boolean expression (used in tests and by
+    the mediator when translating predicates). *)

@@ -1,0 +1,63 @@
+(** Physical planning for the relational substrate.
+
+    The planner turns the FROM/WHERE part of a SELECT into a physical
+    plan: access paths per table (sequential scan, index equality, index
+    range) and a join tree (hash join for equi-joins, nested loop
+    otherwise).  Inner-join-only queries are reordered greedily by
+    estimated cardinality; any outer join freezes the syntactic order.
+
+    Grouping, projection, ordering and limits are applied by
+    {!Sql_exec} above the plan. *)
+
+type catalog = {
+  table_of : string -> Rel_table.t option;
+}
+
+type access =
+  | Seq_scan
+  | Index_eq of string * Value.t
+      (** column and key; served by a hash or B+tree index *)
+  | Index_range of string * (Value.t * bool) option * (Value.t * bool) option
+      (** column, lo bound, hi bound (value, inclusive); B+tree only *)
+
+type plan =
+  | Scan of {
+      table : string;
+      binding : string;  (** alias fields are prefixed with *)
+      access : access;
+      filter : Sql_ast.expr option;  (** residual single-table predicate *)
+      est : float;
+    }
+  | Nl_join of {
+      left : plan;
+      right : plan;
+      kind : Sql_ast.join_kind;
+      cond : Sql_ast.expr option;
+      est : float;
+    }
+  | Hash_join of {
+      left : plan;
+      right : plan;
+      kind : Sql_ast.join_kind;
+      left_key : Sql_ast.expr;   (** evaluated against left tuples *)
+      right_key : Sql_ast.expr;  (** evaluated against right tuples *)
+      residual : Sql_ast.expr option;
+      est : float;
+    }
+
+exception Plan_error of string
+
+val plan_select : catalog -> Sql_ast.select -> plan option
+(** [None] when the select has no FROM clause. *)
+
+val estimated_rows : plan -> float
+
+val bindings_of_plan : plan -> string list
+(** Aliases produced, left to right. *)
+
+val explain : plan -> string
+(** Indented operator tree with access paths and estimates — the
+    EXPLAIN output. *)
+
+val selectivity : Sql_ast.expr -> float
+(** Heuristic selectivity of a predicate (used for estimates). *)

@@ -1,0 +1,183 @@
+let value_literal v =
+  match v with
+  | Value.Null -> "NULL"
+  | Value.Bool true -> "TRUE"
+  | Value.Bool false -> "FALSE"
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%g" f
+  | Value.String s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | Value.Date _ -> Printf.sprintf "DATE '%s'" (Value.to_string v)
+
+let binop_str = function
+  | Sql_ast.Add -> "+"
+  | Sql_ast.Sub -> "-"
+  | Sql_ast.Mul -> "*"
+  | Sql_ast.Div -> "/"
+  | Sql_ast.Eq -> "="
+  | Sql_ast.Neq -> "<>"
+  | Sql_ast.Lt -> "<"
+  | Sql_ast.Le -> "<="
+  | Sql_ast.Gt -> ">"
+  | Sql_ast.Ge -> ">="
+  | Sql_ast.And -> "AND"
+  | Sql_ast.Or -> "OR"
+
+(* Precedence levels matching the parser. *)
+let prec = function
+  | Sql_ast.Or -> 1
+  | Sql_ast.And -> 2
+  | Sql_ast.Eq | Sql_ast.Neq | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge -> 4
+  | Sql_ast.Add | Sql_ast.Sub -> 5
+  | Sql_ast.Mul | Sql_ast.Div -> 6
+
+let rec expr_prec = function
+  | Sql_ast.Col _ | Sql_ast.Lit _ | Sql_ast.Fncall _ -> 10
+  | Sql_ast.Unop (Sql_ast.Neg, _) -> 7
+  | Sql_ast.Unop (Sql_ast.Not, _) -> 3
+  | Sql_ast.Binop (op, _, _) -> prec op
+  | Sql_ast.Like _ | Sql_ast.In_list _ | Sql_ast.Between _ | Sql_ast.Is_null _
+  | Sql_ast.Is_not_null _ -> 4
+
+and expr_to_string e =
+  let paren_ge level sub =
+    let s = expr_to_string sub in
+    if expr_prec sub < level then "(" ^ s ^ ")" else s
+  in
+  match e with
+  | Sql_ast.Col (None, n) -> n
+  | Sql_ast.Col (Some q, n) -> q ^ "." ^ n
+  | Sql_ast.Lit v -> value_literal v
+  | Sql_ast.Unop (Sql_ast.Neg, sub) -> "-" ^ paren_ge 7 sub
+  | Sql_ast.Unop (Sql_ast.Not, sub) -> "NOT " ^ paren_ge 3 sub
+  | Sql_ast.Binop (op, a, b) ->
+    let level = prec op in
+    (* Right operand needs strictly-higher precedence for left-assoc ops;
+       AND/OR chains are parsed right-recursively but are associative, so
+       equal precedence on the right is fine. *)
+    let rhs_level =
+      match op with Sql_ast.And | Sql_ast.Or -> level | _ -> level + 1
+    in
+    Printf.sprintf "%s %s %s" (paren_ge level a) (binop_str op) (paren_ge rhs_level b)
+  | Sql_ast.Fncall (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_to_string args))
+  | Sql_ast.Like (sub, pat) ->
+    Printf.sprintf "%s LIKE %s" (paren_ge 5 sub) (value_literal (Value.String pat))
+  | Sql_ast.In_list (sub, es) ->
+    Printf.sprintf "%s IN (%s)" (paren_ge 5 sub)
+      (String.concat ", " (List.map expr_to_string es))
+  | Sql_ast.Between (sub, lo, hi) ->
+    Printf.sprintf "%s BETWEEN %s AND %s" (paren_ge 5 sub) (paren_ge 5 lo) (paren_ge 5 hi)
+  | Sql_ast.Is_null sub -> Printf.sprintf "%s IS NULL" (paren_ge 5 sub)
+  | Sql_ast.Is_not_null sub -> Printf.sprintf "%s IS NOT NULL" (paren_ge 5 sub)
+
+let select_item_to_string = function
+  | Sql_ast.Star -> "*"
+  | Sql_ast.Qualified_star q -> q ^ ".*"
+  | Sql_ast.Expr_item (e, None) -> expr_to_string e
+  | Sql_ast.Expr_item (e, Some a) -> Printf.sprintf "%s AS %s" (expr_to_string e) a
+  | Sql_ast.Agg_item (Sql_ast.Count_star, _, alias) ->
+    "COUNT(*)" ^ (match alias with Some a -> " AS " ^ a | None -> "")
+  | Sql_ast.Agg_item (fn, arg, alias) ->
+    Printf.sprintf "%s(%s)%s" (Sql_ast.agg_fn_name fn)
+      (match arg with Some e -> expr_to_string e | None -> "*")
+      (match alias with Some a -> " AS " ^ a | None -> "")
+
+let table_ref_to_string { Sql_ast.table; alias } =
+  match alias with
+  | Some a when a <> table -> Printf.sprintf "%s AS %s" table a
+  | Some _ | None -> table
+
+let rec from_to_string = function
+  | Sql_ast.From_table tr -> table_ref_to_string tr
+  | Sql_ast.From_join (lhs, kind, rhs, cond) ->
+    let kw = match kind with Sql_ast.Inner -> "JOIN" | Sql_ast.Left_outer -> "LEFT JOIN" in
+    Printf.sprintf "%s %s %s ON %s" (from_to_string lhs) kw (table_ref_to_string rhs)
+      (expr_to_string cond)
+
+let select_to_string s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.Sql_ast.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map select_item_to_string s.Sql_ast.items));
+  (match s.Sql_ast.from with
+  | Some f ->
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf (from_to_string f)
+  | None -> ());
+  (match s.Sql_ast.where with
+  | Some w ->
+    Buffer.add_string buf " WHERE ";
+    Buffer.add_string buf (expr_to_string w)
+  | None -> ());
+  (match s.Sql_ast.group_by with
+  | [] -> ()
+  | es ->
+    Buffer.add_string buf " GROUP BY ";
+    Buffer.add_string buf (String.concat ", " (List.map expr_to_string es)));
+  (match s.Sql_ast.having with
+  | Some h ->
+    Buffer.add_string buf " HAVING ";
+    Buffer.add_string buf (expr_to_string h)
+  | None -> ());
+  (match s.Sql_ast.order_by with
+  | [] -> ()
+  | items ->
+    Buffer.add_string buf " ORDER BY ";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun { Sql_ast.order_expr; ascending } ->
+              expr_to_string order_expr ^ if ascending then "" else " DESC")
+            items)));
+  (match s.Sql_ast.limit with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)
+  | None -> ());
+  Buffer.contents buf
+
+let ty_sql = function
+  | Value.TInt -> "INT"
+  | Value.TFloat -> "FLOAT"
+  | Value.TString -> "TEXT"
+  | Value.TBool -> "BOOLEAN"
+  | Value.TDate -> "DATE"
+  | Value.TNull -> "TEXT"
+
+let statement_to_string = function
+  | Sql_ast.Select s -> select_to_string s
+  | Sql_ast.Create_table (name, defs) ->
+    let def d =
+      Printf.sprintf "%s %s%s%s" d.Sql_ast.cd_name (ty_sql d.Sql_ast.cd_ty)
+        (if d.Sql_ast.cd_primary then " PRIMARY KEY" else "")
+        (if (not d.Sql_ast.cd_nullable) && not d.Sql_ast.cd_primary then " NOT NULL" else "")
+    in
+    Printf.sprintf "CREATE TABLE %s (%s)" name (String.concat ", " (List.map def defs))
+  | Sql_ast.Create_index { unique_ignored; index_table; index_column; btree } ->
+    Printf.sprintf "CREATE %sINDEX ON %s (%s) USING %s"
+      (if unique_ignored then "UNIQUE " else "")
+      index_table index_column
+      (if btree then "BTREE" else "HASH")
+  | Sql_ast.Insert (name, cols, rows) ->
+    let cols_str =
+      match cols with
+      | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+      | None -> ""
+    in
+    let row vs = Printf.sprintf "(%s)" (String.concat ", " (List.map value_literal vs)) in
+    Printf.sprintf "INSERT INTO %s%s VALUES %s" name cols_str
+      (String.concat ", " (List.map row rows))
+  | Sql_ast.Update (name, assigns, where) ->
+    Printf.sprintf "UPDATE %s SET %s%s" name
+      (String.concat ", "
+         (List.map (fun (cname, e) -> Printf.sprintf "%s = %s" cname (expr_to_string e)) assigns))
+      (match where with Some w -> " WHERE " ^ expr_to_string w | None -> "")
+  | Sql_ast.Delete (name, where) ->
+    Printf.sprintf "DELETE FROM %s%s" name
+      (match where with Some w -> " WHERE " ^ expr_to_string w | None -> "")
+  | Sql_ast.Drop_table name -> Printf.sprintf "DROP TABLE %s" name

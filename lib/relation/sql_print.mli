@@ -1,0 +1,16 @@
+(** Render {!Sql_ast} back to SQL text.
+
+    This is the emission half of the mediator's compiler (section 2.1):
+    translated fragments are printed and shipped to relational sources as
+    text.  Output round-trips through {!Sql_parser}. *)
+
+val expr_to_string : Sql_ast.expr -> string
+(** Fully parenthesized where precedence requires it. *)
+
+val select_to_string : Sql_ast.select -> string
+
+val statement_to_string : Sql_ast.statement -> string
+
+val value_literal : Value.t -> string
+(** SQL literal syntax for a value (strings quoted with [''] doubling,
+    dates as [DATE '...']). *)

@@ -1,0 +1,35 @@
+let make ~name files =
+  let tables =
+    List.map
+      (fun (file_name, text) ->
+        let rows = Csv.to_tuples ~header:true text in
+        let schema = Dschema.infer_relational file_name rows in
+        (file_name, schema, rows))
+      files
+  in
+  let find file_name =
+    match List.find_opt (fun (fname, _, _) -> String.equal fname file_name) tables with
+    | Some entry -> entry
+    | None ->
+      raise (Source.Query_rejected (Printf.sprintf "unknown file %s in %s" file_name name))
+  in
+  let execute = function
+    | Source.Q_scan file_name ->
+      let _, schema, rows = find file_name in
+      Source.R_rows (Dschema.column_names schema, rows)
+    | Source.Q_sql _ -> raise (Source.Query_rejected "flat files do not accept SQL")
+    | Source.Q_path _ -> raise (Source.Query_rejected "flat files do not accept paths")
+  in
+  {
+    Source.name;
+    kind = Source.Flat_file;
+    capability = Source.scan_only;
+    relations = (fun () -> List.map (fun (_, schema, _) -> schema) tables);
+    document_names = (fun () -> List.map (fun (fname, _, _) -> fname) tables);
+    documents =
+      (fun file_name ->
+        let fname, _, rows = find file_name in
+        [ Source.table_document fname rows ]);
+    execute;
+    is_available = (fun () -> true);
+  }

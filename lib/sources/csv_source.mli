@@ -1,0 +1,7 @@
+(** Flat-file source: CSV content exposed as scan-only relations —
+    the "legacy system" end of the capability spectrum. *)
+
+val make : name:string -> (string * string) list -> Source.t
+(** [make ~name files] with [(file_name, csv_text)] pairs; the first row
+    of each file is the header.  Capability: scan only — every pushed
+    predicate is rejected, forcing client-side filtering. *)

@@ -1,0 +1,78 @@
+type profile = {
+  latency_ms : float;
+  per_tuple_ms : float;
+  availability : float;
+}
+
+let default_profile = { latency_ms = 5.0; per_tuple_ms = 0.01; availability = 1.0 }
+
+type stats = {
+  mutable calls : int;
+  mutable rejected : int;
+  mutable failed : int;
+  mutable tuples_shipped : int;
+  mutable virtual_ms : float;
+}
+
+let new_stats () =
+  { calls = 0; rejected = 0; failed = 0; tuples_shipped = 0; virtual_ms = 0.0 }
+
+let reset s =
+  s.calls <- 0;
+  s.rejected <- 0;
+  s.failed <- 0;
+  s.tuples_shipped <- 0;
+  s.virtual_ms <- 0.0
+
+let result_volume = function
+  | Source.R_rows (_, rows) -> List.length rows
+  | Source.R_trees trees -> List.fold_left (fun acc t -> acc + Dtree.size t) 0 trees
+
+let wrap ?(seed = 1) profile inner =
+  let stats = new_stats () in
+  let rng = Prng.create (seed lxor Hashtbl.hash inner.Source.name) in
+  let sample_up () = Prng.bernoulli rng profile.availability in
+  let charge_call () =
+    stats.calls <- stats.calls + 1;
+    stats.virtual_ms <- stats.virtual_ms +. profile.latency_ms
+  in
+  let charge_volume n =
+    stats.tuples_shipped <- stats.tuples_shipped + n;
+    stats.virtual_ms <- stats.virtual_ms +. (profile.per_tuple_ms *. float_of_int n)
+  in
+  let guard f =
+    charge_call ();
+    if not (sample_up ()) then begin
+      stats.failed <- stats.failed + 1;
+      raise (Source.Unavailable inner.Source.name)
+    end;
+    try f ()
+    with Source.Query_rejected _ as e ->
+      stats.rejected <- stats.rejected + 1;
+      raise e
+  in
+  let execute q =
+    guard (fun () ->
+        let r = inner.Source.execute q in
+        charge_volume (result_volume r);
+        r)
+  in
+  let documents doc_name =
+    guard (fun () ->
+        let trees = inner.Source.documents doc_name in
+        charge_volume (List.fold_left (fun acc t -> acc + Dtree.size t) 0 trees);
+        trees)
+  in
+  let wrapped =
+    {
+      inner with
+      Source.execute;
+      documents;
+      is_available = (fun () -> sample_up ());
+    }
+  in
+  (wrapped, stats)
+
+let stats_to_string s =
+  Printf.sprintf "calls=%d rejected=%d failed=%d tuples=%d virtual_ms=%.2f" s.calls s.rejected
+    s.failed s.tuples_shipped s.virtual_ms

@@ -1,0 +1,36 @@
+(** Deterministic network simulation around a source.
+
+    Substitutes for the paper's corporate-network deployment: each
+    wrapped call pays a fixed per-query latency plus a per-tuple (or
+    per-tree-node) transfer cost on a {e virtual clock}, and may be
+    sampled offline with a configured probability.  Virtual time makes
+    the warehousing-vs-virtual trade-off (section 3.3) and the
+    availability experiments (section 3.4) measurable without wall-clock
+    sleeps, and the seeded PRNG makes every run reproducible. *)
+
+type profile = {
+  latency_ms : float;       (** fixed cost per remote call *)
+  per_tuple_ms : float;     (** marginal cost per shipped row / tree node *)
+  availability : float;     (** probability a call finds the source up *)
+}
+
+val default_profile : profile
+(** 5 ms latency, 0.01 ms/tuple, always available. *)
+
+type stats = {
+  mutable calls : int;
+  mutable rejected : int;        (** capability rejections *)
+  mutable failed : int;          (** unavailability events *)
+  mutable tuples_shipped : int;
+  mutable virtual_ms : float;    (** accumulated simulated time *)
+}
+
+val wrap : ?seed:int -> profile -> Source.t -> Source.t * stats
+(** The wrapped source charges the profile's costs into [stats] on every
+    [execute]/[documents] call and raises {!Source.Unavailable} when the
+    availability sample fails.  [is_available] consults (and advances)
+    the same sample stream. *)
+
+val reset : stats -> unit
+
+val stats_to_string : stats -> string

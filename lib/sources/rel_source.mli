@@ -1,0 +1,14 @@
+(** Relational source adapter: wraps an in-memory {!Rel_db.t} behind the
+    {!Source.t} contract.  Accepts SQL text (what the mediator's compiler
+    emits), exports table schemas, and serves the canonical XML view of
+    each table. *)
+
+val make : Rel_db.t -> Source.t
+(** Full capability: select, project, join and aggregate fragments are
+    all accepted. *)
+
+val make_limited : Source.capability -> Rel_db.t -> Source.t
+(** Same adapter with a restricted capability record — used to model
+    legacy sources that only accept scans or single-table selections.
+    Queries outside the declared capability raise
+    {!Source.Query_rejected}. *)

@@ -1,0 +1,53 @@
+type kind =
+  | Relational
+  | Xml_store
+  | Flat_file
+
+type capability = {
+  can_select : bool;
+  can_project : bool;
+  can_join : bool;
+  can_aggregate : bool;
+  can_path : bool;
+}
+
+type query =
+  | Q_sql of string
+  | Q_path of string * Xml_path.t
+  | Q_scan of string
+
+type result =
+  | R_rows of string list * Tuple.t list
+  | R_trees of Dtree.t list
+
+exception Unavailable of string
+exception Query_rejected of string
+
+type t = {
+  name : string;
+  kind : kind;
+  capability : capability;
+  relations : unit -> Dschema.relational list;
+  document_names : unit -> string list;
+  documents : string -> Dtree.t list;
+  execute : query -> result;
+  is_available : unit -> bool;
+}
+
+let full_capability =
+  { can_select = true; can_project = true; can_join = true; can_aggregate = true; can_path = true }
+
+let scan_only =
+  { can_select = false; can_project = false; can_join = false; can_aggregate = false;
+    can_path = false }
+
+let rows_of_result = function
+  | R_rows (_, rows) -> rows
+  | R_trees _ -> invalid_arg "Source.rows_of_result: tree result"
+
+let table_document name rows =
+  Dtree.node name (List.map (fun row -> Dtree.of_tuple "row" row) rows)
+
+let trees_of_result = function
+  | R_trees trees -> trees
+  | R_rows (_, rows) -> List.map (fun row -> Dtree.of_tuple "row" row) rows

@@ -1,0 +1,51 @@
+type t = {
+  sources : (string, Source.t) Hashtbl.t;
+}
+
+let create () = { sources = Hashtbl.create 16 }
+
+let register t src =
+  if Hashtbl.mem t.sources src.Source.name then
+    invalid_arg (Printf.sprintf "Src_registry.register: duplicate source %S" src.Source.name);
+  Hashtbl.replace t.sources src.Source.name src
+
+let remove t name = Hashtbl.remove t.sources name
+
+let find t name = Hashtbl.find_opt t.sources name
+
+let find_exn t name =
+  match find t name with
+  | Some src -> src
+  | None -> raise Not_found
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.sources [] |> List.sort String.compare
+
+let resolve_export t name =
+  match String.index_opt name '.' with
+  | Some i ->
+    let sname = String.sub name 0 i in
+    let export = String.sub name (i + 1) (String.length name - i - 1) in
+    Option.map (fun src -> (src, export)) (find t sname)
+  | None -> (
+    match find t name with
+    | None -> None
+    | Some src -> (
+      match src.Source.document_names () with
+      | [ single ] -> Some ((src : Source.t), single)
+      | exports ->
+        (* A document export named like the source itself wins. *)
+        if List.mem name exports then Some (src, name)
+        else Some (src, name)))
+
+let documents t name =
+  match resolve_export t name with
+  | None -> raise Not_found
+  | Some (src, export) -> src.Source.documents export
+
+let exports t =
+  Hashtbl.fold
+    (fun sname src acc ->
+      List.map (fun e -> sname ^ "." ^ e) (src.Source.document_names ()) @ acc)
+    t.sources []
+  |> List.sort String.compare

@@ -1,0 +1,33 @@
+(** Registry of data sources known to the integration engine — the part
+    of the metadata server (section 2.1) that maps names to adapters.
+
+    Export naming convention: a query addresses a source export as
+    ["source.export"] (e.g. ["crm.customers"] for table [customers] of
+    relational source [crm]), or just ["source"] when the source has a
+    single export or exports a document under its own name. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> Source.t -> unit
+(** @raise Invalid_argument on duplicate source names. *)
+
+val remove : t -> string -> unit
+
+val find : t -> string -> Source.t option
+val find_exn : t -> string -> Source.t
+val names : t -> string list
+
+val resolve_export : t -> string -> (Source.t * string) option
+(** Split ["source.export"] (or bare ["source"]) into the source and the
+    export name it serves.  For a bare name with a relational source of
+    exactly one table, that table is the export. *)
+
+val documents : t -> string -> Dtree.t list
+(** The XML view of an export — the resolver used by direct evaluation.
+    @raise Not_found for unknown names.
+    @raise Source.Unavailable when the source is offline. *)
+
+val exports : t -> string list
+(** Every addressable ["source.export"] name. *)

@@ -1,0 +1,60 @@
+(* Mutable backing store, shared by the closures of one source; retained
+   in a registry so add_document can find it again. *)
+type store = {
+  mutable docs : (string * Dtree.t) list;
+}
+
+let stores : (string, store) Hashtbl.t = Hashtbl.create 8
+
+let capability =
+  {
+    Source.can_select = true;
+    can_project = false;
+    can_join = false;
+    can_aggregate = false;
+    can_path = true;
+  }
+
+let make ~name docs =
+  let store = { docs } in
+  Hashtbl.replace stores name store;
+  let find doc_name =
+    match List.assoc_opt doc_name store.docs with
+    | Some tree -> [ tree ]
+    | None ->
+      raise (Source.Query_rejected (Printf.sprintf "unknown document %s in %s" doc_name name))
+  in
+  let execute = function
+    | Source.Q_scan doc_name -> Source.R_trees (find doc_name)
+    | Source.Q_path (doc_name, path) ->
+      let trees = find doc_name in
+      let matches =
+        List.concat_map
+          (fun tree -> Xml_path.select path (Dtree.to_xml_element tree))
+          trees
+      in
+      Source.R_trees (List.map Dtree.of_xml_element matches)
+    | Source.Q_sql _ -> raise (Source.Query_rejected "XML stores do not accept SQL")
+  in
+  {
+    Source.name;
+    kind = Source.Xml_store;
+    capability;
+    relations = (fun () -> []);
+    document_names = (fun () -> List.map fst store.docs);
+    documents = find;
+    execute;
+    is_available = (fun () -> true);
+  }
+
+let of_xml_strings ~name texts =
+  make ~name
+    (List.map
+       (fun (doc_name, text) ->
+         (doc_name, Dtree.of_xml_element (Xml_parser.parse_element_exn text)))
+       texts)
+
+let add_document source doc_name tree =
+  match Hashtbl.find_opt stores source.Source.name with
+  | Some store -> store.docs <- store.docs @ [ (doc_name, tree) ]
+  | None -> invalid_arg "Xml_source.add_document: not an Xml_source-backed source"

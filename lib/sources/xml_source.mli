@@ -1,0 +1,15 @@
+(** XML document source: a named collection of documents supporting path
+    selection pushdown. *)
+
+val make : name:string -> (string * Dtree.t) list -> Source.t
+(** [make ~name docs] with [(doc_name, tree)] pairs.  Capability:
+    select/path pushdown, no joins or aggregates. *)
+
+val of_xml_strings : name:string -> (string * string) list -> Source.t
+(** Parse each document from text.
+    @raise Xml_parser.Parse_error on malformed input. *)
+
+val add_document : Source.t -> string -> Dtree.t -> unit
+(** Sources made by this module are backed by a mutable store; adding a
+    document makes it visible to subsequent queries.
+    @raise Invalid_argument when the source was not made here. *)

@@ -1,0 +1,75 @@
+type t = {
+  element : Xml_types.element;
+  (* Chain to the root: each ancestor together with this node's index
+     among that ancestor's *element* children. *)
+  up : (Xml_types.element * int) list;
+}
+
+let of_root root = { element = root; up = [] }
+
+let element c = c.element
+
+let path c = List.rev_map snd c.up
+
+let children c =
+  List.mapi
+    (fun i child -> { element = child; up = (c.element, i) :: c.up })
+    (Xml_types.child_elements c.element)
+
+let parent c =
+  match c.up with
+  | [] -> None
+  | (p, _) :: rest -> Some { element = p; up = rest }
+
+let rec ancestors c =
+  match parent c with
+  | None -> []
+  | Some p -> p :: ancestors p
+
+let sibling_index c =
+  match c.up with
+  | [] -> None
+  | (_, i) :: _ -> Some i
+
+let nth_sibling c k =
+  match parent c with
+  | None -> None
+  | Some p ->
+    let siblings = children p in
+    if k >= 0 && k < List.length siblings then Some (List.nth siblings k) else None
+
+let next_sibling c =
+  match sibling_index c with
+  | None -> None
+  | Some i -> nth_sibling c (i + 1)
+
+let prev_sibling c =
+  match sibling_index c with
+  | None -> None
+  | Some i -> nth_sibling c (i - 1)
+
+let following_siblings c =
+  match sibling_index c, parent c with
+  | Some i, Some p ->
+    let siblings = children p in
+    List.filteri (fun j _ -> j > i) siblings
+  | _, _ -> []
+
+let preceding_siblings c =
+  match sibling_index c, parent c with
+  | Some i, Some p ->
+    let siblings = children p in
+    List.rev (List.filteri (fun j _ -> j < i) siblings)
+  | _, _ -> []
+
+let rec descendants_or_self c =
+  c :: List.concat_map descendants_or_self (children c)
+
+let descendants c = List.concat_map descendants_or_self (children c)
+
+let rec root c =
+  match parent c with
+  | None -> c
+  | Some p -> root p
+
+let compare_order a b = compare (path a) (path b)

@@ -1,0 +1,53 @@
+(** Navigation cursors over an XML tree.
+
+    The paper's feature list (section 4) requires "navigation-style
+    access" that moves up, down and sideways through the document while
+    respecting document order.  A cursor pairs an element with the path of
+    sibling indices that reaches it from the root, which makes parent and
+    sibling moves cheap and gives a total document order. *)
+
+type t
+(** A cursor positioned on an element. *)
+
+val of_root : Xml_types.element -> t
+(** Cursor on the document root. *)
+
+val element : t -> Xml_types.element
+(** The element under the cursor. *)
+
+val path : t -> int list
+(** Sibling-index path from the root (root is []).  Lexicographic order on
+    paths is document (preorder) order. *)
+
+(** {1 Axes} *)
+
+val children : t -> t list
+(** Element children, in document order. *)
+
+val parent : t -> t option
+(** [None] at the root. *)
+
+val ancestors : t -> t list
+(** Nearest first, ending with the root. *)
+
+val next_sibling : t -> t option
+(** The next element sibling. *)
+
+val prev_sibling : t -> t option
+
+val following_siblings : t -> t list
+val preceding_siblings : t -> t list
+(** Nearest first. *)
+
+val descendants : t -> t list
+(** Proper element descendants, in document order. *)
+
+val descendants_or_self : t -> t list
+
+val root : t -> t
+
+(** {1 Order} *)
+
+val compare_order : t -> t -> int
+(** Document-order comparison.  Both cursors must come from the same
+    tree for the result to be meaningful. *)

@@ -1,0 +1,350 @@
+type error = {
+  position : int;
+  line : int;
+  column : int;
+  message : string;
+}
+
+exception Parse_error of error
+
+let error_to_string e =
+  Printf.sprintf "XML parse error at line %d, column %d: %s" e.line e.column e.message
+
+(* Mutable scanning state over the input string. *)
+type state = {
+  input : string;
+  len : int;
+  mutable pos : int;
+}
+
+let make_state input = { input; len = String.length input; pos = 0 }
+
+let line_col st pos =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min pos (st.len - 1) - 1 do
+    if st.input.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let fail st message =
+  let line, column = line_col st st.pos in
+  raise (Parse_error { position = st.pos; line; column; message })
+
+let eof st = st.pos >= st.len
+let peek st = if eof st then '\000' else st.input.[st.pos]
+
+let peek_at st k =
+  if st.pos + k >= st.len then '\000' else st.input.[st.pos + k]
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= st.len && String.sub st.input st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else fail st (Printf.sprintf "expected %S" prefix)
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':' || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Decode one entity reference starting at '&'; append to [buf]. *)
+let read_entity st buf =
+  expect st "&";
+  if peek st = '#' then begin
+    advance st;
+    let hex = peek st = 'x' || peek st = 'X' in
+    if hex then advance st;
+    let start = st.pos in
+    let valid c =
+      if hex then
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      else c >= '0' && c <= '9'
+    in
+    while (not (eof st)) && valid (peek st) do
+      advance st
+    done;
+    if st.pos = start then fail st "empty character reference";
+    let digits = String.sub st.input start (st.pos - start) in
+    expect st ";";
+    let code =
+      try int_of_string (if hex then "0x" ^ digits else digits)
+      with Failure _ -> fail st "invalid character reference"
+    in
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else begin
+      (* Encode as UTF-8. *)
+      if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else if code < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    end
+  end
+  else begin
+    let name = read_name st in
+    expect st ";";
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "quot" -> Buffer.add_char buf '"'
+    | "apos" -> Buffer.add_char buf '\''
+    | other -> fail st (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let read_quoted_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected a quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else
+      match peek st with
+      | c when c = quote -> advance st
+      | '&' ->
+        read_entity st buf;
+        go ()
+      | '<' -> fail st "'<' not allowed in attribute value"
+      | c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_attribute st =
+  let name = read_name st in
+  skip_space st;
+  expect st "=";
+  skip_space st;
+  let value = read_quoted_value st in
+  { Xml_types.attr_name = name; attr_value = value }
+
+let read_attributes st =
+  let rec go acc =
+    skip_space st;
+    if is_name_start (peek st) then go (read_attribute st :: acc) else List.rev acc
+  in
+  go []
+
+let read_comment st =
+  expect st "<!--";
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "-->" then begin
+      let body = String.sub st.input start (st.pos - start) in
+      st.pos <- st.pos + 3;
+      body
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let read_cdata st =
+  expect st "<![CDATA[";
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then begin
+      let body = String.sub st.input start (st.pos - start) in
+      st.pos <- st.pos + 3;
+      body
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let read_pi st =
+  expect st "<?";
+  let target = read_name st in
+  skip_space st;
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated processing instruction"
+    else if looking_at st "?>" then begin
+      let body = String.sub st.input start (st.pos - start) in
+      st.pos <- st.pos + 2;
+      body
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  let content = go () in
+  (target, content)
+
+let skip_doctype st =
+  expect st "<!DOCTYPE";
+  (* Skip to the matching '>', allowing one level of bracketed subset. *)
+  let rec go depth =
+    if eof st then fail st "unterminated DOCTYPE"
+    else
+      match peek st with
+      | '[' ->
+        advance st;
+        go (depth + 1)
+      | ']' ->
+        advance st;
+        go (depth - 1)
+      | '>' when depth = 0 -> advance st
+      | _ ->
+        advance st;
+        go depth
+  in
+  go 0
+
+let read_text st =
+  let buf = Buffer.create 32 in
+  let rec go () =
+    if eof st then ()
+    else
+      match peek st with
+      | '<' -> ()
+      | '&' ->
+        read_entity st buf;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec read_element st =
+  expect st "<";
+  let tag = read_name st in
+  let attrs = read_attributes st in
+  skip_space st;
+  if looking_at st "/>" then begin
+    st.pos <- st.pos + 2;
+    { Xml_types.tag; attrs; children = [] }
+  end
+  else begin
+    expect st ">";
+    let children = read_content st tag in
+    { Xml_types.tag; attrs; children }
+  end
+
+(* Read child content until the matching close tag of [parent_tag]. *)
+and read_content st parent_tag =
+  let rec go acc =
+    if eof st then fail st (Printf.sprintf "missing close tag </%s>" parent_tag)
+    else if looking_at st "</" then begin
+      st.pos <- st.pos + 2;
+      let name = read_name st in
+      skip_space st;
+      expect st ">";
+      if name <> parent_tag then
+        fail st (Printf.sprintf "mismatched close tag </%s>, expected </%s>" name parent_tag);
+      List.rev acc
+    end
+    else if looking_at st "<!--" then go (Xml_types.Comment (read_comment st) :: acc)
+    else if looking_at st "<![CDATA[" then go (Xml_types.Cdata (read_cdata st) :: acc)
+    else if looking_at st "<?" then begin
+      let target, content = read_pi st in
+      go (Xml_types.Pi (target, content) :: acc)
+    end
+    else if peek st = '<' && peek_at st 1 = '!' then fail st "unexpected markup declaration"
+    else if peek st = '<' then go (Xml_types.Element (read_element st) :: acc)
+    else begin
+      let s = read_text st in
+      if String.length s = 0 then go acc else go (Xml_types.Text s :: acc)
+    end
+  in
+  go []
+
+let read_declaration st =
+  if looking_at st "<?xml" && is_space (peek_at st 5) then begin
+    st.pos <- st.pos + 5;
+    let attrs = read_attributes st in
+    skip_space st;
+    expect st "?>";
+    List.map (fun a -> (a.Xml_types.attr_name, a.Xml_types.attr_value)) attrs
+  end
+  else []
+
+let rec skip_misc st =
+  skip_space st;
+  if looking_at st "<!--" then begin
+    ignore (read_comment st);
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    skip_doctype st;
+    skip_misc st
+  end
+  else if looking_at st "<?" && not (looking_at st "<?xml") then begin
+    ignore (read_pi st);
+    skip_misc st
+  end
+
+let parse_document_exn input =
+  let st = make_state input in
+  skip_space st;
+  let decl = read_declaration st in
+  skip_misc st;
+  if eof st || peek st <> '<' then fail st "expected root element";
+  let root = read_element st in
+  skip_misc st;
+  if not (eof st) then fail st "trailing content after root element";
+  { Xml_types.decl; root }
+
+let parse_document input =
+  try Ok (parse_document_exn input) with Parse_error e -> Error e
+
+let parse_element_exn input =
+  let st = make_state input in
+  skip_space st;
+  if eof st || peek st <> '<' then fail st "expected an element";
+  let e = read_element st in
+  skip_space st;
+  if not (eof st) then fail st "trailing content after element";
+  e
+
+let parse_element input =
+  try Ok (parse_element_exn input) with Parse_error e -> Error e

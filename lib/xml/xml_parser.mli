@@ -1,0 +1,31 @@
+(** A from-scratch, non-validating XML parser.
+
+    Supports elements, attributes (single- or double-quoted), text,
+    character data sections, comments, processing instructions, the XML
+    declaration, the five predefined entities and numeric character
+    references (decimal and hexadecimal).  DOCTYPE declarations are
+    skipped.  Namespaces are not resolved; prefixed names are kept
+    verbatim, which suffices for the integration engine. *)
+
+type error = {
+  position : int;   (** byte offset into the input *)
+  line : int;       (** 1-based line number *)
+  column : int;     (** 1-based column number *)
+  message : string;
+}
+
+exception Parse_error of error
+
+val error_to_string : error -> string
+
+val parse_document : string -> (Xml_types.document, error) result
+(** Parse a complete document: optional declaration, optional misc
+    (comments / PIs), exactly one root element. *)
+
+val parse_document_exn : string -> Xml_types.document
+(** @raise Parse_error on malformed input. *)
+
+val parse_element : string -> (Xml_types.element, error) result
+(** Parse a single element (a document fragment with no prolog). *)
+
+val parse_element_exn : string -> Xml_types.element

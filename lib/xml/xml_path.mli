@@ -1,0 +1,86 @@
+(** A compact path language over XML trees.
+
+    This is the navigation component of the engine: an XPath-like subset
+    sufficient for source queries and the construct/navigate operators of
+    the physical algebra.
+
+    Grammar:
+    {v
+      path  ::= ("/" | "//")? step (("/" | "//") step)*
+      step  ::= (axis "::")? test pred*
+      axis  ::= child | descendant | descendant-or-self | parent
+              | ancestor | self | following-sibling | preceding-sibling
+      test  ::= NAME | "*" | "." | ".." | "text()" | "@" NAME
+      pred  ::= "[" pexpr "]"
+      pexpr ::= "@" NAME (op STRING)?      (* attribute presence / compare *)
+              | NAME (op STRING)?          (* child-element text compare  *)
+              | "text()" op STRING
+              | "position()" "=" INT
+      op    ::= "=" | "!=" | "<" | "<=" | ">" | ">="
+    v}
+    [//] before a step means the descendant axis.  String literals use
+    single or double quotes.  Comparisons are numeric when both sides
+    parse as numbers, string otherwise. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Self
+  | Following_sibling
+  | Preceding_sibling
+
+type test =
+  | Name of string
+  | Any_element
+  | Text_node
+  | Attribute of string  (** final [@name] step selecting an attribute *)
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type pred =
+  | Has_attr of string
+  | Attr_cmp of string * cmp_op * string
+  | Child_exists of string
+  | Child_cmp of string * cmp_op * string
+  | Text_cmp of cmp_op * string
+  | Position of int
+
+type step = {
+  axis : axis;
+  test : test;
+  preds : pred list;
+}
+
+type t = {
+  absolute : bool;  (** evaluate from the tree root rather than the context *)
+  steps : step list;
+}
+
+exception Syntax_error of string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+val to_string : t -> string
+(** Re-render a parsed path (canonical axis syntax). *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> Xml_cursor.t -> Xml_cursor.t list
+(** Matching element cursors, deduplicated, in document order.  A final
+    [text()] test selects the elements whose text is examined; use
+    {!select_strings} to obtain the strings themselves. *)
+
+val select : t -> Xml_types.element -> Xml_types.element list
+(** Evaluate against the root of a tree. *)
+
+val select_strings : t -> Xml_types.element -> string list
+(** Like {!select} but returns the text content of each match; when the
+    path ends in an attribute step [.../@name] it returns the attribute
+    values instead. *)
+
+val matches : t -> Xml_types.element -> bool
+(** [matches p root] is true when [select p root] is non-empty. *)

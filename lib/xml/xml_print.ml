@@ -1,0 +1,127 @@
+let escape generic s =
+  let needs_escape c =
+    match c with
+    | '&' | '<' | '>' -> true
+    | '"' -> generic
+    | _ -> false
+  in
+  if String.exists needs_escape s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '"' when generic -> Buffer.add_string buf "&quot;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+  else s
+
+let escape_text s = escape false s
+let escape_attr s = escape true s
+
+let add_attrs buf attrs =
+  List.iter
+    (fun a ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf a.Xml_types.attr_name;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr a.Xml_types.attr_value);
+      Buffer.add_char buf '"')
+    attrs
+
+let rec add_node buf = function
+  | Xml_types.Text s -> Buffer.add_string buf (escape_text s)
+  | Xml_types.Cdata s ->
+    Buffer.add_string buf "<![CDATA[";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "]]>"
+  | Xml_types.Comment s ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Xml_types.Pi (target, content) ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf target;
+    if content <> "" then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf content
+    end;
+    Buffer.add_string buf "?>"
+  | Xml_types.Element e -> add_element buf e
+
+and add_element buf e =
+  Buffer.add_char buf '<';
+  Buffer.add_string buf e.Xml_types.tag;
+  add_attrs buf e.Xml_types.attrs;
+  match e.Xml_types.children with
+  | [] -> Buffer.add_string buf "/>"
+  | children ->
+    Buffer.add_char buf '>';
+    List.iter (add_node buf) children;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf e.Xml_types.tag;
+    Buffer.add_char buf '>'
+
+let node_to_string n =
+  let buf = Buffer.create 256 in
+  add_node buf n;
+  Buffer.contents buf
+
+let element_to_string e =
+  let buf = Buffer.create 256 in
+  add_element buf e;
+  Buffer.contents buf
+
+let document_to_string d =
+  let buf = Buffer.create 256 in
+  if d.Xml_types.decl <> [] then begin
+    Buffer.add_string buf "<?xml";
+    List.iter
+      (fun (n, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf n;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_attr v);
+        Buffer.add_char buf '"')
+      d.Xml_types.decl;
+    Buffer.add_string buf "?>\n"
+  end;
+  add_element buf d.Xml_types.root;
+  Buffer.contents buf
+
+let only_text_children e =
+  List.for_all
+    (function Xml_types.Text _ | Xml_types.Cdata _ -> true | _ -> false)
+    e.Xml_types.children
+
+let pp_attrs ppf attrs =
+  List.iter
+    (fun a ->
+      Format.fprintf ppf " %s=\"%s\"" a.Xml_types.attr_name (escape_attr a.Xml_types.attr_value))
+    attrs
+
+let has_element_child e =
+  List.exists (function Xml_types.Element _ -> true | _ -> false) e.Xml_types.children
+
+let rec pp_element ppf e =
+  match e.Xml_types.children with
+  | [] -> Format.fprintf ppf "<%s%a/>" e.Xml_types.tag pp_attrs e.Xml_types.attrs
+  | _ when only_text_children e || not (has_element_child e) ->
+    Format.fprintf ppf "%s" (element_to_string e)
+  | children ->
+    Format.fprintf ppf "@[<v 2><%s%a>" e.Xml_types.tag pp_attrs e.Xml_types.attrs;
+    List.iter
+      (fun n ->
+        match n with
+        | Xml_types.Text s when String.trim s = "" -> ()
+        | Xml_types.Element c -> Format.fprintf ppf "@,%a" pp_element c
+        | n -> Format.fprintf ppf "@,%s" (node_to_string n))
+      children;
+    Format.fprintf ppf "@]@,</%s>" e.Xml_types.tag
+
+let element_to_pretty_string e =
+  Format.asprintf "@[<v>%a@]" pp_element e

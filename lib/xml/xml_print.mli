@@ -1,0 +1,23 @@
+(** Serialization of the XML data model back to text. *)
+
+val escape_text : string -> string
+(** Escape [&], [<] and [>] for text content. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and double quote for double-quoted
+    attribute values. *)
+
+val node_to_string : Xml_types.node -> string
+(** Compact (no added whitespace) serialization of a node. *)
+
+val element_to_string : Xml_types.element -> string
+
+val document_to_string : Xml_types.document -> string
+(** Declaration followed by the compact root element. *)
+
+val pp_element : Format.formatter -> Xml_types.element -> unit
+(** Indented pretty-printer.  Elements whose children are only text are
+    kept on one line; mixed content is emitted compactly to preserve
+    document order faithfully. *)
+
+val element_to_pretty_string : Xml_types.element -> string

@@ -1,0 +1,126 @@
+type attribute = {
+  attr_name : string;
+  attr_value : string;
+}
+
+type node =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of string * string
+
+and element = {
+  tag : string;
+  attrs : attribute list;
+  children : node list;
+}
+
+type document = {
+  decl : (string * string) list;
+  root : element;
+}
+
+let elem ?(attrs = []) tag children =
+  let attrs = List.map (fun (n, v) -> { attr_name = n; attr_value = v }) attrs in
+  { tag; attrs; children }
+
+let el ?attrs tag children = Element (elem ?attrs tag children)
+
+let text s = Text s
+
+let doc root = { decl = [ ("version", "1.0") ]; root }
+
+let attr e name =
+  let rec find = function
+    | [] -> None
+    | a :: rest -> if String.equal a.attr_name name then Some a.attr_value else find rest
+  in
+  find e.attrs
+
+let attr_exn e name =
+  match attr e name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let child_elements e =
+  List.filter_map (function Element c -> Some c | Text _ | Cdata _ | Comment _ | Pi _ -> None) e.children
+
+let children_named e name =
+  List.filter (fun c -> String.equal c.tag name) (child_elements e)
+
+let first_child_named e name =
+  let rec find = function
+    | [] -> None
+    | Element c :: _ when String.equal c.tag name -> Some c
+    | _ :: rest -> find rest
+  in
+  find e.children
+
+let text_content e =
+  let buf = Buffer.create 64 in
+  let rec go_node = function
+    | Text s | Cdata s -> Buffer.add_string buf s
+    | Element c -> go_elem c
+    | Comment _ | Pi _ -> ()
+  and go_elem c = List.iter go_node c.children in
+  go_elem e;
+  Buffer.contents buf
+
+let node_text_content = function
+  | Text s | Cdata s -> s
+  | Element e -> text_content e
+  | Comment _ | Pi _ -> ""
+
+let rec equal_node a b =
+  match a, b with
+  | Text x, Text y | Cdata x, Cdata y | Comment x, Comment y -> String.equal x y
+  | Pi (t1, c1), Pi (t2, c2) -> String.equal t1 t2 && String.equal c1 c2
+  | Element x, Element y -> equal_element x y
+  | (Text _ | Cdata _ | Comment _ | Pi _ | Element _), _ -> false
+
+and equal_element a b =
+  String.equal a.tag b.tag
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2
+       (fun x y -> String.equal x.attr_name y.attr_name && String.equal x.attr_value y.attr_value)
+       a.attrs b.attrs
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal_node a.children b.children
+
+let rec count_nodes e =
+  let child_count = function
+    | Element c -> count_nodes c
+    | Text _ | Cdata _ | Comment _ | Pi _ -> 1
+  in
+  1 + List.fold_left (fun acc n -> acc + child_count n) 0 e.children
+
+let rec depth e =
+  let child_depth = function
+    | Element c -> depth c
+    | Text _ | Cdata _ | Comment _ | Pi _ -> 0
+  in
+  1 + List.fold_left (fun acc n -> max acc (child_depth n)) 0 e.children
+
+let rec map_elements f e =
+  let map_child = function
+    | Element c -> Element (map_elements f c)
+    | (Text _ | Cdata _ | Comment _ | Pi _) as n -> n
+  in
+  f { e with children = List.map map_child e.children }
+
+let rec iter_elements f e =
+  f e;
+  let iter_child = function
+    | Element c -> iter_elements f c
+    | Text _ | Cdata _ | Comment _ | Pi _ -> ()
+  in
+  List.iter iter_child e.children
+
+let rec fold_elements f acc e =
+  let acc = f acc e in
+  let fold_child acc = function
+    | Element c -> fold_elements f acc c
+    | Text _ | Cdata _ | Comment _ | Pi _ -> acc
+  in
+  List.fold_left fold_child acc e.children

@@ -1,0 +1,86 @@
+(** Core XML data model.
+
+    The model is a conventional ordered-tree representation of XML:
+    elements carry a tag, an ordered attribute list and an ordered child
+    list.  Document order is the preorder traversal of this tree, which is
+    the order the paper's feature list (section 4) requires the query
+    processor to preserve. *)
+
+type attribute = {
+  attr_name : string;
+  attr_value : string;
+}
+
+type node =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of string * string  (** processing instruction: target, content *)
+
+and element = {
+  tag : string;
+  attrs : attribute list;
+  children : node list;
+}
+
+type document = {
+  decl : (string * string) list;  (** pseudo-attributes of [<?xml ...?>] *)
+  root : element;
+}
+
+(** {1 Constructors} *)
+
+val elem : ?attrs:(string * string) list -> string -> node list -> element
+(** [elem tag children] builds an element node. *)
+
+val el : ?attrs:(string * string) list -> string -> node list -> node
+(** Like {!elem} but wrapped as a [node]. *)
+
+val text : string -> node
+
+val doc : element -> document
+(** Document with the default declaration. *)
+
+(** {1 Accessors} *)
+
+val attr : element -> string -> string option
+(** [attr e name] is the value of attribute [name], if present. *)
+
+val attr_exn : element -> string -> string
+(** @raise Not_found when the attribute is absent. *)
+
+val child_elements : element -> element list
+(** Element children, in document order. *)
+
+val children_named : element -> string -> element list
+(** Element children with the given tag, in document order. *)
+
+val first_child_named : element -> string -> element option
+
+val text_content : element -> string
+(** Concatenation of all descendant text and CDATA, in document order. *)
+
+val node_text_content : node -> string
+
+(** {1 Structural operations} *)
+
+val equal_node : node -> node -> bool
+(** Structural equality (attribute order significant, as in our model). *)
+
+val equal_element : element -> element -> bool
+
+val count_nodes : element -> int
+(** Number of nodes in the subtree rooted at the element (inclusive). *)
+
+val depth : element -> int
+(** Height of the subtree (a leaf element has depth 1). *)
+
+val map_elements : (element -> element) -> element -> element
+(** Bottom-up rewrite of every element in the tree. *)
+
+val iter_elements : (element -> unit) -> element -> unit
+(** Preorder visit of every element in the tree. *)
+
+val fold_elements : ('a -> element -> 'a) -> 'a -> element -> 'a
+(** Preorder fold over every element in the tree. *)

@@ -1,0 +1,80 @@
+type attr_pattern =
+  | A_var of string
+  | A_lit of string
+
+type pattern = {
+  tag : string;
+  attrs : (string * attr_pattern) list;
+  children : child_pattern list;
+  element_as : string option;
+}
+
+and child_pattern =
+  | P_element of pattern
+  | P_var of string
+  | P_text of string
+
+type clause = {
+  clause_pattern : pattern;
+  clause_source : string;
+}
+
+type agg_kind = Ag_count | Ag_sum | Ag_avg | Ag_min | Ag_max
+
+type template =
+  | Tpl_element of string * (string * tattr) list * template list
+  | Tpl_var of string
+  | Tpl_text of string
+  | Tpl_expr of Alg_expr.t
+  | Tpl_subquery of query
+  | Tpl_agg of agg_kind * query
+
+and tattr =
+  | TA_var of string
+  | TA_lit of string
+  | TA_expr of Alg_expr.t
+
+and query = {
+  clauses : clause list;
+  conditions : Alg_expr.t list;
+  construct : template;
+  order_by : (Alg_expr.t * bool) list;
+  limit : int option;
+}
+
+let dedup names =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
+let rec pattern_vars_raw p =
+  List.concat_map (fun (_, ap) -> match ap with A_var v -> [ v ] | A_lit _ -> []) p.attrs
+  @ List.concat_map
+      (function
+        | P_element sub -> pattern_vars_raw sub
+        | P_var v -> [ v ]
+        | P_text _ -> [])
+      p.children
+  @ (match p.element_as with Some v -> [ v ] | None -> [])
+
+let pattern_vars p = dedup (pattern_vars_raw p)
+
+let query_vars q = dedup (List.concat_map (fun c -> pattern_vars_raw c.clause_pattern) q.clauses)
+
+let free_condition_vars q = dedup (List.concat_map Alg_expr.free_vars q.conditions)
+
+let sources_of q = dedup (List.map (fun c -> c.clause_source) q.clauses)
+
+let rec all_sources_of q =
+  let rec template_sources = function
+    | Tpl_element (_, _, kids) -> List.concat_map template_sources kids
+    | Tpl_var _ | Tpl_text _ | Tpl_expr _ -> []
+    | Tpl_subquery sub | Tpl_agg (_, sub) -> all_sources_of sub
+  in
+  dedup (List.map (fun c -> c.clause_source) q.clauses @ template_sources q.construct)

@@ -1,0 +1,80 @@
+(** Abstract syntax of XML-QL.
+
+    The system's query language (section 2.1): XML-QL was "the only
+    existing expressive query language for XML" when the product was
+    designed.  We implement the WHERE-pattern / CONSTRUCT-template core
+    of the W3C note the paper cites, plus the SQL-equivalent extensions
+    the feature list (section 4) demands: boolean conditions, ORDER BY,
+    LIMIT, and nested (correlated) subqueries in templates for grouped
+    construction.
+
+    Example:
+    {v
+      WHERE <book year=$y>
+              <title>$t</title>
+            </book> IN "bib",
+            $y > 1995
+      CONSTRUCT <result><title>$t</title></result>
+    v} *)
+
+type attr_pattern =
+  | A_var of string     (** [attr=$v] binds the attribute value *)
+  | A_lit of string     (** [attr="x"] requires equality *)
+
+type pattern = {
+  tag : string;  (** element name; ["*"] matches any *)
+  attrs : (string * attr_pattern) list;
+  children : child_pattern list;
+  element_as : string option;  (** [ELEMENT_AS $e] binds the element *)
+}
+
+and child_pattern =
+  | P_element of pattern  (** must match some child element; one binding
+                              per matching child (multi-match semantics) *)
+  | P_var of string       (** binds the element content *)
+  | P_text of string      (** requires the text content to equal *)
+
+type clause = {
+  clause_pattern : pattern;
+  clause_source : string;  (** [IN "source"] *)
+}
+
+type agg_kind = Ag_count | Ag_sum | Ag_avg | Ag_min | Ag_max
+
+type template =
+  | Tpl_element of string * (string * tattr) list * template list
+  | Tpl_var of string          (** splice a bound value / content *)
+  | Tpl_text of string
+  | Tpl_expr of Alg_expr.t     (** computed value in braces *)
+  | Tpl_subquery of query      (** correlated nested query *)
+  | Tpl_agg of agg_kind * query
+      (** aggregate over a correlated subquery's result values, e.g.
+          [{COUNT WHERE ... CONSTRUCT ...}] *)
+
+and tattr =
+  | TA_var of string
+  | TA_lit of string
+  | TA_expr of Alg_expr.t
+
+and query = {
+  clauses : clause list;
+  conditions : Alg_expr.t list;   (** over the pattern variables *)
+  construct : template;
+  order_by : (Alg_expr.t * bool) list;  (** expr, ascending *)
+  limit : int option;
+}
+
+val pattern_vars : pattern -> string list
+(** Variables bound by the pattern, first-occurrence order. *)
+
+val query_vars : query -> string list
+(** Variables bound by all clauses. *)
+
+val free_condition_vars : query -> string list
+(** Variables mentioned in conditions. *)
+
+val sources_of : query -> string list
+(** Distinct sources of the query (not of nested subqueries). *)
+
+val all_sources_of : query -> string list
+(** Including nested subqueries, first-occurrence order. *)

@@ -1,0 +1,47 @@
+(** Reference (direct) evaluator for XML-QL.
+
+    This module defines the semantics of the language by brute force:
+    patterns are matched against whole documents, clause bindings are
+    joined with consistency on shared variables, conditions filter, and
+    the template is instantiated once per binding.  The mediator's
+    compiled plans (which decompose, push down and reorder) are tested
+    against this evaluator — it is the oracle, not the fast path.
+
+    Pattern-matching semantics: a clause pattern matches {e any element}
+    of its source documents (root or descendant); each child pattern
+    [P_element] matches every qualifying child separately, producing one
+    binding per combination (XML-QL multi-match semantics); shared
+    variables between patterns and clauses must bind equal trees. *)
+
+type resolver = string -> Dtree.t list
+(** Documents of a named source.
+    @raise Not_found for unknown sources. *)
+
+exception Eval_error of string
+
+val match_pattern : Xq_ast.pattern -> Dtree.t -> Alg_env.t list
+(** All ways the pattern matches {e at} this tree (not descendants). *)
+
+val match_anywhere : Xq_ast.pattern -> Dtree.t -> Alg_env.t list
+(** All ways the pattern matches the tree or any descendant element, in
+    document order. *)
+
+val bindings : resolver -> ?outer:Alg_env.t -> Xq_ast.query -> Alg_env.t list
+(** Joined, condition-filtered, ordered and limited bindings of the
+    query.  [outer] seeds correlated variables for nested subqueries. *)
+
+val eval : resolver -> ?outer:Alg_env.t -> Xq_ast.query -> Dtree.t list
+(** One constructed tree per binding. *)
+
+val instantiate : resolver -> Alg_env.t -> Xq_ast.template -> Dtree.t list
+(** Instantiate a template against one binding (a list because content
+    splices and subqueries contribute several siblings).  Exposed so the
+    compiled execution path shares the construction semantics. *)
+
+val eval_to_xml : resolver -> Xq_ast.query -> Xml_types.element
+(** Results wrapped in a [<results>] element. *)
+
+val content_of : Dtree.t -> Dtree.t
+(** The content-binding rule for [P_var]: an element's single child when
+    there is exactly one, otherwise a node labelled ["content"] holding
+    all children. *)

@@ -1,0 +1,139 @@
+type token =
+  | KW of string
+  | NAME of string
+  | VAR of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | SYM of string
+  | EOF
+
+exception Lex_error of int * string
+
+let keywords =
+  [
+    "WHERE"; "CONSTRUCT"; "IN"; "ELEMENT_AS"; "ORDER"; "BY"; "LIMIT"; "UNION"; "AND";
+    "OR"; "NOT"; "LIKE"; "IS"; "NULL"; "TRUE"; "FALSE"; "DESC"; "ASC";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX";
+  ]
+
+let keyword_set =
+  let h = Hashtbl.create 32 in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = ':' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let out = ref [] in
+  let peek k = if !pos + k < len then input.[!pos + k] else '\000' in
+  let emit tok = out := tok :: !out in
+  while !pos < len do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '#' then
+      while !pos < len && input.[!pos] <> '\n' do
+        incr pos
+      done
+    else if c = '$' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < len && is_name_char input.[!pos] do
+        incr pos
+      done;
+      if !pos = start then raise (Lex_error (start, "expected a variable name after '$'"));
+      emit (VAR (String.sub input start (!pos - start)))
+    end
+    else if is_name_start c then begin
+      let start = !pos in
+      while !pos < len && is_name_char input.[!pos] do
+        incr pos
+      done;
+      let word = String.sub input start (!pos - start) in
+      (* Keywords are case-sensitive (all caps), so element names like
+         [order] or [in] remain ordinary names. *)
+      if Hashtbl.mem keyword_set word then emit (KW word) else emit (NAME word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < len && is_digit input.[!pos] do
+        incr pos
+      done;
+      let is_float = ref false in
+      if !pos < len && input.[!pos] = '.' && is_digit (peek 1) then begin
+        is_float := true;
+        incr pos;
+        while !pos < len && is_digit input.[!pos] do
+          incr pos
+        done
+      end;
+      let word = String.sub input start (!pos - start) in
+      if !is_float then emit (FLOAT (float_of_string word))
+      else
+        match int_of_string_opt word with
+        | Some i -> emit (INT i)
+        | None -> raise (Lex_error (start, "malformed number " ^ word))
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      incr pos;
+      let buf = Buffer.create 16 in
+      let finished = ref false in
+      while not !finished do
+        if !pos >= len then raise (Lex_error (!pos, "unterminated string literal"));
+        let c = input.[!pos] in
+        if c = quote then begin
+          incr pos;
+          finished := true
+        end
+        else if c = '\\' && !pos + 1 < len then begin
+          (match input.[!pos + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | c -> Buffer.add_char buf c);
+          pos := !pos + 2
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr pos
+        end
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !pos + 1 < len then String.sub input !pos 2 else "" in
+      match two with
+      | "</" | "/>" | "<>" | "<=" | ">=" ->
+        emit (SYM two);
+        pos := !pos + 2
+      | "!=" ->
+        emit (SYM "<>");
+        pos := !pos + 2
+      | _ -> (
+        match c with
+        | '<' | '>' | '=' | '(' | ')' | '{' | '}' | ',' | '+' | '-' | '*' | '/' | '@' ->
+          emit (SYM (String.make 1 c));
+          incr pos
+        | c -> raise (Lex_error (!pos, Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  emit EOF;
+  List.rev !out
+
+let token_to_string = function
+  | KW k -> k
+  | NAME n -> n
+  | VAR v -> "$" ^ v
+  | STRING s -> Printf.sprintf "%S" s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | SYM s -> s
+  | EOF -> "<eof>"

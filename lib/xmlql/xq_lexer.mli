@@ -1,0 +1,22 @@
+(** Tokenizer for XML-QL. *)
+
+type token =
+  | KW of string      (** uppercased keyword: WHERE, CONSTRUCT, IN, ... *)
+  | NAME of string    (** tag / attribute / function identifier *)
+  | VAR of string     (** [$x], without the dollar *)
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | SYM of string     (** punctuation: [<] [</] [/>] [>] [=] [<>] [<=] [>=]
+                          [(] [)] [{] [}] [,] [+] [-] [*] [/] *)
+  | EOF
+
+exception Lex_error of int * string
+
+val tokenize : string -> token list
+(** Keywords (case-sensitive, always upper case, so element names like
+    [order] or [in] stay ordinary names): WHERE CONSTRUCT IN ELEMENT_AS
+    ORDER BY LIMIT UNION AND OR NOT LIKE IS NULL TRUE FALSE DESC ASC.
+    Supports [#] line comments. *)
+
+val token_to_string : token -> string

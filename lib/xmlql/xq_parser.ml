@@ -1,0 +1,392 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type cursor = {
+  toks : Xq_lexer.token array;
+  mutable i : int;
+}
+
+let peek c = c.toks.(c.i)
+let peek_at c k = if c.i + k < Array.length c.toks then c.toks.(c.i + k) else Xq_lexer.EOF
+let advance c = c.i <- c.i + 1
+
+let next c =
+  let t = peek c in
+  advance c;
+  t
+
+let expect_sym c s =
+  match next c with
+  | Xq_lexer.SYM s' when s' = s -> ()
+  | t -> fail "expected %S, found %s" s (Xq_lexer.token_to_string t)
+
+let expect_kw c k =
+  match next c with
+  | Xq_lexer.KW k' when k' = k -> ()
+  | t -> fail "expected %s, found %s" k (Xq_lexer.token_to_string t)
+
+let accept_sym c s =
+  match peek c with
+  | Xq_lexer.SYM s' when s' = s ->
+    advance c;
+    true
+  | _ -> false
+
+let accept_kw c k =
+  match peek c with
+  | Xq_lexer.KW k' when k' = k ->
+    advance c;
+    true
+  | _ -> false
+
+let name c =
+  match next c with
+  | Xq_lexer.NAME n -> n
+  | t -> fail "expected a name, found %s" (Xq_lexer.token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Conditions: precedence climbing over Alg_expr                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_or c =
+  let lhs = parse_and c in
+  if accept_kw c "OR" then Alg_expr.Binop (Alg_expr.Or, lhs, parse_or c) else lhs
+
+and parse_and c =
+  let lhs = parse_not c in
+  if accept_kw c "AND" then Alg_expr.Binop (Alg_expr.And, lhs, parse_and c) else lhs
+
+and parse_not c =
+  if accept_kw c "NOT" then Alg_expr.Not (parse_not c) else parse_cmp c
+
+and parse_cmp c =
+  let lhs = parse_add c in
+  let bin op =
+    advance c;
+    Alg_expr.Binop (op, lhs, parse_add c)
+  in
+  match peek c with
+  | Xq_lexer.SYM "=" -> bin Alg_expr.Eq
+  | Xq_lexer.SYM "<>" -> bin Alg_expr.Neq
+  | Xq_lexer.SYM "<" -> bin Alg_expr.Lt
+  | Xq_lexer.SYM "<=" -> bin Alg_expr.Le
+  | Xq_lexer.SYM ">" -> bin Alg_expr.Gt
+  | Xq_lexer.SYM ">=" -> bin Alg_expr.Ge
+  | Xq_lexer.KW "LIKE" -> (
+    advance c;
+    match next c with
+    | Xq_lexer.STRING pat -> Alg_expr.Like (lhs, pat)
+    | t -> fail "LIKE requires a string pattern, found %s" (Xq_lexer.token_to_string t))
+  | Xq_lexer.KW "IS" ->
+    advance c;
+    if accept_kw c "NOT" then begin
+      expect_kw c "NULL";
+      Alg_expr.Not (Alg_expr.Is_null lhs)
+    end
+    else begin
+      expect_kw c "NULL";
+      Alg_expr.Is_null lhs
+    end
+  | _ -> lhs
+
+and parse_add c =
+  let rec go lhs =
+    if accept_sym c "+" then go (Alg_expr.Binop (Alg_expr.Add, lhs, parse_mul c))
+    else if accept_sym c "-" then go (Alg_expr.Binop (Alg_expr.Sub, lhs, parse_mul c))
+    else lhs
+  in
+  go (parse_mul c)
+
+and parse_mul c =
+  let rec go lhs =
+    if accept_sym c "*" then go (Alg_expr.Binop (Alg_expr.Mul, lhs, parse_unary c))
+    else if accept_sym c "/" then go (Alg_expr.Binop (Alg_expr.Div, lhs, parse_unary c))
+    else lhs
+  in
+  go (parse_unary c)
+
+and parse_unary c =
+  if accept_sym c "-" then Alg_expr.Neg (parse_unary c) else parse_atom c
+
+and parse_atom c =
+  match next c with
+  | Xq_lexer.VAR v -> parse_postfix c (Alg_expr.Var v)
+  | Xq_lexer.INT i -> Alg_expr.Const (Value.Int i)
+  | Xq_lexer.FLOAT f -> Alg_expr.Const (Value.Float f)
+  | Xq_lexer.STRING s -> Alg_expr.Const (Value.String s)
+  | Xq_lexer.KW "NULL" -> Alg_expr.Const Value.Null
+  | Xq_lexer.KW "TRUE" -> Alg_expr.Const (Value.Bool true)
+  | Xq_lexer.KW "FALSE" -> Alg_expr.Const (Value.Bool false)
+  | Xq_lexer.SYM "(" ->
+    let e = parse_or c in
+    expect_sym c ")";
+    e
+  | Xq_lexer.NAME fname ->
+    expect_sym c "(";
+    if accept_sym c ")" then Alg_expr.Call (String.lowercase_ascii fname, [])
+    else begin
+      let rec args acc =
+        let e = parse_or c in
+        if accept_sym c "," then args (e :: acc) else List.rev (e :: acc)
+      in
+      let es = args [] in
+      expect_sym c ")";
+      Alg_expr.Call (String.lowercase_ascii fname, es)
+    end
+  | t -> fail "unexpected token %s in condition" (Xq_lexer.token_to_string t)
+
+(* Postfix tree accessors on variables: [$v/child], [$v/@attr]. *)
+and parse_postfix c e =
+  if accept_sym c "/" then
+    if accept_sym c "@" then parse_postfix c (Alg_expr.Attr (e, name c))
+    else parse_postfix c (Alg_expr.Child (e, name c))
+  else e
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_pattern c =
+  expect_sym c "<";
+  let tag =
+    match next c with
+    | Xq_lexer.NAME n -> n
+    | Xq_lexer.SYM "*" -> "*"
+    | t -> fail "expected a tag name, found %s" (Xq_lexer.token_to_string t)
+  in
+  let rec attrs acc =
+    match peek c with
+    | Xq_lexer.NAME aname ->
+      advance c;
+      expect_sym c "=";
+      let ap =
+        match next c with
+        | Xq_lexer.VAR v -> Xq_ast.A_var v
+        | Xq_lexer.STRING s -> Xq_ast.A_lit s
+        | Xq_lexer.INT i -> Xq_ast.A_lit (string_of_int i)
+        | t -> fail "expected $var or literal for attribute, found %s" (Xq_lexer.token_to_string t)
+      in
+      attrs ((aname, ap) :: acc)
+    | _ -> List.rev acc
+  in
+  let attrs = attrs [] in
+  let pattern =
+    if accept_sym c "/>" then { Xq_ast.tag; attrs; children = []; element_as = None }
+    else begin
+      expect_sym c ">";
+      let rec kids acc =
+        match peek c with
+        | Xq_lexer.SYM "</" ->
+          advance c;
+          (match peek c with
+          | Xq_lexer.NAME n ->
+            advance c;
+            if n <> tag then fail "mismatched close tag </%s>, expected </%s>" n tag
+          | Xq_lexer.SYM "*" -> advance c
+          | _ -> ());
+          expect_sym c ">";
+          List.rev acc
+        | Xq_lexer.SYM "<" -> kids (Xq_ast.P_element (parse_pattern c) :: acc)
+        | Xq_lexer.VAR v ->
+          advance c;
+          kids (Xq_ast.P_var v :: acc)
+        | Xq_lexer.STRING s ->
+          advance c;
+          kids (Xq_ast.P_text s :: acc)
+        | t -> fail "unexpected token %s in pattern content" (Xq_lexer.token_to_string t)
+      in
+      { Xq_ast.tag; attrs; children = kids []; element_as = None }
+    end
+  in
+  if accept_kw c "ELEMENT_AS" then begin
+    match next c with
+    | Xq_lexer.VAR v -> { pattern with Xq_ast.element_as = Some v }
+    | t -> fail "ELEMENT_AS requires a variable, found %s" (Xq_lexer.token_to_string t)
+  end
+  else pattern
+
+(* ------------------------------------------------------------------ *)
+(* Templates                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_template c =
+  match peek c with
+  | Xq_lexer.SYM "<" -> parse_template_element c
+  | Xq_lexer.VAR v ->
+    advance c;
+    Xq_ast.Tpl_var v
+  | Xq_lexer.STRING s ->
+    advance c;
+    Xq_ast.Tpl_text s
+  | Xq_lexer.SYM "{" -> (
+    advance c;
+    let agg_kind =
+      match peek c with
+      | Xq_lexer.KW "COUNT" -> Some Xq_ast.Ag_count
+      | Xq_lexer.KW "SUM" -> Some Xq_ast.Ag_sum
+      | Xq_lexer.KW "AVG" -> Some Xq_ast.Ag_avg
+      | Xq_lexer.KW "MIN" -> Some Xq_ast.Ag_min
+      | Xq_lexer.KW "MAX" -> Some Xq_ast.Ag_max
+      | _ -> None
+    in
+    match agg_kind with
+    | Some kind ->
+      advance c;
+      let q = parse_query c in
+      expect_sym c "}";
+      Xq_ast.Tpl_agg (kind, q)
+    | None ->
+      if peek c = Xq_lexer.KW "WHERE" then begin
+        let q = parse_query c in
+        expect_sym c "}";
+        Xq_ast.Tpl_subquery q
+      end
+      else begin
+        let e = parse_or c in
+        expect_sym c "}";
+        Xq_ast.Tpl_expr e
+      end)
+  | t -> fail "unexpected token %s in template" (Xq_lexer.token_to_string t)
+
+and parse_template_element c =
+  expect_sym c "<";
+  let tag = name c in
+  let rec attrs acc =
+    match peek c with
+    | Xq_lexer.NAME aname ->
+      advance c;
+      expect_sym c "=";
+      let ta =
+        match next c with
+        | Xq_lexer.VAR v -> Xq_ast.TA_var v
+        | Xq_lexer.STRING s -> Xq_ast.TA_lit s
+        | Xq_lexer.INT i -> Xq_ast.TA_lit (string_of_int i)
+        | Xq_lexer.SYM "{" ->
+          let e = parse_or c in
+          expect_sym c "}";
+          Xq_ast.TA_expr e
+        | t -> fail "bad template attribute value: %s" (Xq_lexer.token_to_string t)
+      in
+      attrs ((aname, ta) :: acc)
+    | _ -> List.rev acc
+  in
+  let attrs = attrs [] in
+  if accept_sym c "/>" then Xq_ast.Tpl_element (tag, attrs, [])
+  else begin
+    expect_sym c ">";
+    let rec kids acc =
+      match peek c with
+      | Xq_lexer.SYM "</" ->
+        advance c;
+        (match peek c with
+        | Xq_lexer.NAME n ->
+          advance c;
+          if n <> tag then fail "mismatched close tag </%s>, expected </%s>" n tag
+        | _ -> ());
+        expect_sym c ">";
+        List.rev acc
+      | _ -> kids (parse_template c :: acc)
+    in
+    Xq_ast.Tpl_element (tag, attrs, kids [])
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+and parse_query c =
+  expect_kw c "WHERE";
+  let rec items patterns conds =
+    (* A clause item is either a pattern (starts with '<') or a
+       condition. *)
+    let patterns, conds =
+      match peek c, peek_at c 1 with
+      | Xq_lexer.SYM "<", (Xq_lexer.NAME _ | Xq_lexer.SYM "*") ->
+        let p = parse_pattern c in
+        expect_kw c "IN";
+        let src =
+          match next c with
+          | Xq_lexer.STRING s -> s
+          | Xq_lexer.NAME n -> n
+          | t -> fail "expected a source name, found %s" (Xq_lexer.token_to_string t)
+        in
+        ({ Xq_ast.clause_pattern = p; clause_source = src } :: patterns, conds)
+      | _, _ -> (patterns, parse_or c :: conds)
+    in
+    if accept_sym c "," then items patterns conds else (List.rev patterns, List.rev conds)
+  in
+  let clauses, conditions = items [] [] in
+  if clauses = [] then fail "a query needs at least one pattern clause";
+  expect_kw c "CONSTRUCT";
+  let construct = parse_template c in
+  let order_by =
+    if accept_kw c "ORDER" then begin
+      expect_kw c "BY";
+      let rec specs acc =
+        let e = parse_or c in
+        let asc =
+          if accept_kw c "DESC" then false
+          else begin
+            ignore (accept_kw c "ASC");
+            true
+          end
+        in
+        if accept_sym c "," then specs ((e, asc) :: acc) else List.rev ((e, asc) :: acc)
+      in
+      specs []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw c "LIMIT" then begin
+      match next c with
+      | Xq_lexer.INT n -> Some n
+      | t -> fail "LIMIT requires an integer, found %s" (Xq_lexer.token_to_string t)
+    end
+    else None
+  in
+  { Xq_ast.clauses; conditions; construct; order_by; limit }
+
+let parse_exn input =
+  let toks =
+    try Xq_lexer.tokenize input
+    with Xq_lexer.Lex_error (off, msg) -> fail "lexical error at offset %d: %s" off msg
+  in
+  let c = { toks = Array.of_list toks; i = 0 } in
+  let q = parse_query c in
+  match peek c with
+  | Xq_lexer.EOF -> q
+  | t -> fail "trailing input: %s" (Xq_lexer.token_to_string t)
+
+let parse input =
+  try Ok (parse_exn input) with Parse_error m -> Error m
+
+let parse_union_exn input =
+  let toks =
+    try Xq_lexer.tokenize input
+    with Xq_lexer.Lex_error (off, msg) -> fail "lexical error at offset %d: %s" off msg
+  in
+  let c = { toks = Array.of_list toks; i = 0 } in
+  let rec go acc =
+    let q = parse_query c in
+    if accept_kw c "UNION" then go (q :: acc) else List.rev (q :: acc)
+  in
+  let qs = go [] in
+  match peek c with
+  | Xq_lexer.EOF -> qs
+  | t -> fail "trailing input: %s" (Xq_lexer.token_to_string t)
+
+let parse_union input =
+  try Ok (parse_union_exn input) with Parse_error m -> Error m
+
+let parse_condition_exn input =
+  let toks =
+    try Xq_lexer.tokenize input
+    with Xq_lexer.Lex_error (off, msg) -> fail "lexical error at offset %d: %s" off msg
+  in
+  let c = { toks = Array.of_list toks; i = 0 } in
+  let e = parse_or c in
+  match peek c with
+  | Xq_lexer.EOF -> e
+  | t -> fail "trailing input: %s" (Xq_lexer.token_to_string t)

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for XML-QL. *)
+
+exception Parse_error of string
+
+val parse : string -> (Xq_ast.query, string) result
+val parse_exn : string -> Xq_ast.query
+
+val parse_union_exn : string -> Xq_ast.query list
+(** Parse [q1 UNION q2 UNION ...] — one or more queries whose results
+    concatenate (bag union, in query order).  Used for mediated-schema
+    definitions that integrate several sources into one shape. *)
+
+val parse_union : string -> (Xq_ast.query list, string) result
+
+val parse_condition_exn : string -> Alg_expr.t
+(** Parse a standalone condition expression ([$x > 3 AND ...]); variable
+    references lose their dollar sign in the resulting {!Alg_expr}. *)

@@ -1,0 +1,120 @@
+let quote s = Printf.sprintf "\"%s\"" (String.concat "\\\"" (String.split_on_char '"' s))
+
+(* Alg_expr.to_string prints variables as [$v] already, and its syntax
+   for the supported forms coincides with the condition grammar, except
+   that string constants need quoting.  We re-render here to stay
+   parseable. *)
+let rec expr_to_string e =
+  let bin op a b = Printf.sprintf "(%s %s %s)" (expr_to_string a) op (expr_to_string b) in
+  match e with
+  | Alg_expr.Var v -> "$" ^ v
+  | Alg_expr.Const (Value.String s) -> quote s
+  | Alg_expr.Const Value.Null -> "NULL"
+  | Alg_expr.Const (Value.Bool true) -> "TRUE"
+  | Alg_expr.Const (Value.Bool false) -> "FALSE"
+  | Alg_expr.Const v -> Value.to_string v
+  | Alg_expr.Child (sub, l) -> Printf.sprintf "%s/%s" (expr_to_string sub) l
+  | Alg_expr.Attr (sub, a) -> Printf.sprintf "%s/@%s" (expr_to_string sub) a
+  | Alg_expr.Text sub -> Printf.sprintf "text(%s)" (expr_to_string sub)
+  | Alg_expr.Label sub -> Printf.sprintf "label(%s)" (expr_to_string sub)
+  | Alg_expr.Binop (op, a, b) ->
+    let s =
+      match op with
+      | Alg_expr.Add -> "+"
+      | Alg_expr.Sub -> "-"
+      | Alg_expr.Mul -> "*"
+      | Alg_expr.Div -> "/"
+      | Alg_expr.Eq -> "="
+      | Alg_expr.Neq -> "<>"
+      | Alg_expr.Lt -> "<"
+      | Alg_expr.Le -> "<="
+      | Alg_expr.Gt -> ">"
+      | Alg_expr.Ge -> ">="
+      | Alg_expr.And -> "AND"
+      | Alg_expr.Or -> "OR"
+    in
+    bin s a b
+  | Alg_expr.Not sub -> Printf.sprintf "NOT %s" (expr_to_string sub)
+  | Alg_expr.Neg sub -> Printf.sprintf "-%s" (expr_to_string sub)
+  | Alg_expr.Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Alg_expr.Like (sub, pat) -> Printf.sprintf "%s LIKE %s" (expr_to_string sub) (quote pat)
+  | Alg_expr.Is_null sub -> Printf.sprintf "%s IS NULL" (expr_to_string sub)
+
+let rec pattern_to_string (p : Xq_ast.pattern) =
+  let attr (aname, ap) =
+    match ap with
+    | Xq_ast.A_var v -> Printf.sprintf " %s=$%s" aname v
+    | Xq_ast.A_lit s -> Printf.sprintf " %s=%s" aname (quote s)
+  in
+  let attrs = String.concat "" (List.map attr p.Xq_ast.attrs) in
+  let suffix =
+    match p.Xq_ast.element_as with
+    | Some v -> Printf.sprintf " ELEMENT_AS $%s" v
+    | None -> ""
+  in
+  match p.Xq_ast.children with
+  | [] -> Printf.sprintf "<%s%s/>%s" p.Xq_ast.tag attrs suffix
+  | kids ->
+    let kid = function
+      | Xq_ast.P_element sub -> pattern_to_string sub
+      | Xq_ast.P_var v -> "$" ^ v
+      | Xq_ast.P_text s -> quote s
+    in
+    Printf.sprintf "<%s%s>%s</%s>%s" p.Xq_ast.tag attrs
+      (String.concat "" (List.map kid kids))
+      p.Xq_ast.tag suffix
+
+let rec template_to_string = function
+  | Xq_ast.Tpl_var v -> "$" ^ v
+  | Xq_ast.Tpl_text s -> quote s
+  | Xq_ast.Tpl_expr e -> Printf.sprintf "{%s}" (expr_to_string e)
+  | Xq_ast.Tpl_subquery q -> Printf.sprintf "{ %s }" (query_to_string q)
+  | Xq_ast.Tpl_agg (kind, q) ->
+    let kw =
+      match kind with
+      | Xq_ast.Ag_count -> "COUNT"
+      | Xq_ast.Ag_sum -> "SUM"
+      | Xq_ast.Ag_avg -> "AVG"
+      | Xq_ast.Ag_min -> "MIN"
+      | Xq_ast.Ag_max -> "MAX"
+    in
+    Printf.sprintf "{ %s %s }" kw (query_to_string q)
+  | Xq_ast.Tpl_element (tag, attrs, kids) ->
+    let attr (aname, ta) =
+      match ta with
+      | Xq_ast.TA_var v -> Printf.sprintf " %s=$%s" aname v
+      | Xq_ast.TA_lit s -> Printf.sprintf " %s=%s" aname (quote s)
+      | Xq_ast.TA_expr e -> Printf.sprintf " %s={%s}" aname (expr_to_string e)
+    in
+    let attrs = String.concat "" (List.map attr attrs) in
+    (match kids with
+    | [] -> Printf.sprintf "<%s%s/>" tag attrs
+    | kids ->
+      Printf.sprintf "<%s%s>%s</%s>" tag attrs
+        (String.concat " " (List.map template_to_string kids))
+        tag)
+
+and query_to_string (q : Xq_ast.query) =
+  let clause c =
+    Printf.sprintf "%s IN %s" (pattern_to_string c.Xq_ast.clause_pattern)
+      (quote c.Xq_ast.clause_source)
+  in
+  let where_items =
+    List.map clause q.Xq_ast.clauses @ List.map expr_to_string q.Xq_ast.conditions
+  in
+  let order =
+    match q.Xq_ast.order_by with
+    | [] -> ""
+    | specs ->
+      " ORDER BY "
+      ^ String.concat ", "
+          (List.map
+             (fun (e, asc) -> expr_to_string e ^ if asc then "" else " DESC")
+             specs)
+  in
+  let limit = match q.Xq_ast.limit with Some n -> Printf.sprintf " LIMIT %d" n | None -> "" in
+  Printf.sprintf "WHERE %s CONSTRUCT %s%s%s"
+    (String.concat ", " where_items)
+    (template_to_string q.Xq_ast.construct)
+    order limit

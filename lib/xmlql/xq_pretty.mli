@@ -1,0 +1,6 @@
+(** Rendering of XML-QL queries back to concrete syntax.  Output parses
+    back through {!Xq_parser} to an equivalent query. *)
+
+val pattern_to_string : Xq_ast.pattern -> string
+val template_to_string : Xq_ast.template -> string
+val query_to_string : Xq_ast.query -> string

@@ -1,0 +1,65 @@
+The CLI ships a built-in demo federation so every subcommand works
+without configuration.
+
+  $ export NIMBLE=../../bin/nimble_cli.exe
+
+A simple query over the demo CRM:
+
+  $ $NIMBLE query 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>'
+  c: Acme
+  c: Globex
+  c: Initech
+  
+
+Explain shows the SQL fragment pushed into the source:
+
+  $ $NIMBLE explain 'WHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 2 CONSTRUCT <c>$n</c>'
+  SCAN a0 AS $*
+  accesses:
+    a0 -> SQL @crm: SELECT name, tier FROM customers WHERE tier = 2
+
+A cross-source join, rendered for the web:
+
+  $ $NIMBLE query --device web 'WHERE <row><item>$s</item><amount>$a</amount></row> IN "crm.orders", <product sku=$s><price>$p</price></product> IN "products.catalog" CONSTRUCT <line><sku>$s</sku><amt>$a</amt></line>'
+  <div class="results">
+  <dl class="line"><dt>sku</dt><dd>widget</dd><dt>amt</dt><dd>250.0</dd></dl>
+  <dl class="line"><dt>sku</dt><dd>server</dd><dt>amt</dt><dd>9000.0</dd></dl>
+  <dl class="line"><dt>sku</dt><dd>widget</dd><dt>amt</dt><dd>120.0</dd></dl>
+  </div>
+
+The status report lists sources and their capabilities:
+
+  $ $NIMBLE report
+  === Nimble system status ===
+  sources:
+    crm              relational select+project+join+agg+path exports: customers, orders
+    products         xml        select+path                  exports: catalog
+  mediated schemas:
+  materialized views (clock=0, storage=0 nodes):
+  result cache: 0/64 entries, hits=0 misses=0 evictions=0 invalidations=0 (hit rate 0.0%)
+
+Errors are reported, not crashed on:
+
+  $ $NIMBLE query 'WHERE <x>$v</x> IN "missing" CONSTRUCT <y/>' 2>&1 | head -1
+  nimble: planning: unknown source or view "missing"
+
+A CSV file becomes a queryable source:
+
+  $ cat > contacts.csv <<'CSV'
+  > name,email
+  > Ann,ann@example.com
+  > Bob,bob@example.com
+  > CSV
+  $ $NIMBLE query --csv book=contacts.csv 'WHERE <row><email>$e</email></row> IN "book.contacts" CONSTRUCT <e>$e</e>'
+  e: ann@example.com
+  e: bob@example.com
+  
+
+The repl defines and queries views interactively:
+
+  $ printf '\\define v := WHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t >= 2 CONSTRUCT <cust><name>$n</name></cust>\nWHERE <cust><name>$n</name></cust> IN "v" CONSTRUCT <hit>$n</hit>;\n\\quit\n' | $NIMBLE repl
+  nimble repl — 2 source(s) registered, \help for commands
+  nimble> defined view v
+  nimble> hit: Globex
+  hit: Initech
+  nimble> 

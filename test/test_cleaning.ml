@@ -1,0 +1,413 @@
+(* Tests for the dynamic data cleaning subsystem: normalization,
+   similarity measures, the concordance database, merge/purge, lineage
+   and declarative flows. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+let float_t = Alcotest.float 1e-6
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_normalize_basic () =
+  check string_t "whitespace" "a b c" (Cl_normalize.collapse_whitespace "  a \t b \n c ");
+  check string_t "punctuation" "a b  c" (Cl_normalize.strip_punctuation "a-b, c");
+  check string_t "basic" "acme corp" (Cl_normalize.basic "  ACME,  Corp.  ")
+
+let test_normalize_name () =
+  check string_t "honorific" "jane doe" (Cl_normalize.normalize_name "Dr. Jane Doe");
+  check string_t "corp suffix" "acme" (Cl_normalize.normalize_name "ACME Inc.");
+  check string_t "last-first" "jane doe" (Cl_normalize.normalize_name "Doe, Jane");
+  check string_t "idempotent" "jane doe"
+    (Cl_normalize.normalize_name (Cl_normalize.normalize_name "Doe, Jane"))
+
+let test_normalize_address () =
+  check string_t "abbrevs" "123 north main street apartment 4"
+    (Cl_normalize.normalize_address "123 N. Main St. Apt 4");
+  check string_t "avenue" "9 fifth avenue" (Cl_normalize.normalize_address "9 Fifth Ave")
+
+let test_normalize_phone () =
+  check string_t "formatted" "2065551234" (Cl_normalize.normalize_phone "(206) 555-1234");
+  check string_t "country code" "2065551234" (Cl_normalize.normalize_phone "+1 206 555 1234")
+
+let test_normalize_registry () =
+  Cl_normalize.register "shout" String.uppercase_ascii;
+  check string_t "custom applies" "HI" (Cl_normalize.apply "shout" "hi");
+  check bool_t "builtin present" true (Cl_normalize.find "address" <> None);
+  check bool_t "unknown absent" true (Cl_normalize.find "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Similarity                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_levenshtein () =
+  check int_t "kitten/sitting" 3 (Cl_similarity.levenshtein "kitten" "sitting");
+  check int_t "identical" 0 (Cl_similarity.levenshtein "abc" "abc");
+  check int_t "empty" 3 (Cl_similarity.levenshtein "" "abc");
+  check float_t "similarity" 1.0 (Cl_similarity.levenshtein_similarity "x" "x")
+
+let test_jaro_winkler () =
+  check float_t "identical" 1.0 (Cl_similarity.jaro_winkler "martha" "martha");
+  check bool_t "close names" true (Cl_similarity.jaro_winkler "martha" "marhta" > 0.94);
+  check bool_t "prefix helps" true
+    (Cl_similarity.jaro_winkler "dwayne" "duane" > Cl_similarity.jaro "dwayne" "duane");
+  check float_t "disjoint" 0.0 (Cl_similarity.jaro "abc" "xyz")
+
+let test_jaccard_ngram () =
+  check float_t "same tokens any order" 1.0 (Cl_similarity.jaccard "acme corp" "CORP Acme");
+  check bool_t "partial overlap" true
+    (let s = Cl_similarity.jaccard "acme corp" "acme inc" in
+     s > 0.3 && s < 0.4);
+  check bool_t "ngram catches typos" true
+    (Cl_similarity.ngram_similarity "globex" "globbex" > 0.7)
+
+let test_tfidf_cosine () =
+  let corpus =
+    Cl_similarity.corpus_of
+      [ "acme corporation"; "globex corporation"; "initech corporation"; "umbrella corporation" ]
+  in
+  (* "corporation" is common, so the distinctive token dominates. *)
+  let same = Cl_similarity.tfidf_cosine corpus "acme corporation" "acme" in
+  let diff = Cl_similarity.tfidf_cosine corpus "acme corporation" "globex corporation" in
+  check bool_t "rare token dominates" true (same > diff);
+  check bool_t "shared common token scores low" true (diff < 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Concordance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_concordance_basics () =
+  let c = Cl_concordance.create () in
+  ignore (Cl_concordance.record c (Cl_concordance.Automatic "jw") Cl_concordance.Same "a:1" "b:2");
+  (match Cl_concordance.lookup c "b:2" "a:1" with
+  | Some d -> check bool_t "order-insensitive" true (d.Cl_concordance.verdict = Cl_concordance.Same)
+  | None -> Alcotest.fail "expected determination");
+  check int_t "size" 1 (Cl_concordance.size c)
+
+let test_concordance_pending_resolve () =
+  let c = Cl_concordance.create () in
+  ignore (Cl_concordance.record c (Cl_concordance.Automatic "jw") Cl_concordance.Unsure "a" "b");
+  ignore (Cl_concordance.record c (Cl_concordance.Automatic "jw") Cl_concordance.Unsure "a" "c");
+  check int_t "two pending" 2 (List.length (Cl_concordance.pending c));
+  ignore (Cl_concordance.resolve c Cl_concordance.Same "a" "b");
+  check int_t "one pending after human" 1 (List.length (Cl_concordance.pending c));
+  (match Cl_concordance.lookup c "a" "b" with
+  | Some d ->
+    check bool_t "human decision wins" true (d.Cl_concordance.origin = Cl_concordance.Human)
+  | None -> Alcotest.fail "expected determination");
+  check int_t "history kept" 2 (List.length (Cl_concordance.history c "a" "b"))
+
+let test_concordance_rollback () =
+  let c = Cl_concordance.create () in
+  let d1 = Cl_concordance.record c (Cl_concordance.Automatic "m") Cl_concordance.Different "x" "y" in
+  ignore (Cl_concordance.resolve c Cl_concordance.Same "x" "y");
+  check int_t "rolled back one" 1 (Cl_concordance.rollback c d1.Cl_concordance.seq);
+  match Cl_concordance.lookup c "x" "y" with
+  | Some d -> check bool_t "earlier verdict restored" true (d.Cl_concordance.verdict = Cl_concordance.Different)
+  | None -> Alcotest.fail "expected restored determination"
+
+let test_concordance_csv_roundtrip () =
+  let c = Cl_concordance.create () in
+  ignore (Cl_concordance.record c ~note:"looks same" Cl_concordance.Human Cl_concordance.Same "a" "b");
+  ignore (Cl_concordance.record c (Cl_concordance.Automatic "jw") Cl_concordance.Unsure "c" "d");
+  let c2 = Cl_concordance.of_csv (Cl_concordance.to_csv c) in
+  check int_t "size preserved" (Cl_concordance.size c) (Cl_concordance.size c2);
+  match Cl_concordance.lookup c2 "a" "b" with
+  | Some d ->
+    check bool_t "verdict preserved" true (d.Cl_concordance.verdict = Cl_concordance.Same);
+    check string_t "note preserved" "looks same" d.Cl_concordance.note
+  | None -> Alcotest.fail "expected persisted determination"
+
+(* ------------------------------------------------------------------ *)
+(* Union-find and merge/purge                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_unionfind () =
+  let uf = Cl_unionfind.create () in
+  Cl_unionfind.union uf "a" "b";
+  Cl_unionfind.union uf "b" "c";
+  Cl_unionfind.union uf "x" "y";
+  check bool_t "transitive" true (Cl_unionfind.same uf "a" "c");
+  check bool_t "separate" false (Cl_unionfind.same uf "a" "x");
+  check int_t "two groups" 2 (List.length (Cl_unionfind.groups uf));
+  check (Alcotest.list string_t) "sorted members" [ "a"; "b"; "c" ]
+    (List.hd (Cl_unionfind.groups uf))
+
+let mk_records names =
+  List.mapi
+    (fun i n ->
+      { Cl_merge_purge.key = Printf.sprintf "r%02d" i;
+        data = Tuple.make [ ("name", Value.String n) ] })
+    names
+
+let dup_names =
+  [
+    "Acme Corporation"; "ACME Corp"; "Globex"; "Globex Inc"; "Initech";
+    "Umbrella"; "Umbrela"; "Stark Industries"; "Wayne Enterprises"; "Initech LLC";
+  ]
+
+let name_matcher () =
+  let measure a b =
+    Cl_similarity.jaro_winkler (Cl_normalize.normalize_name a) (Cl_normalize.normalize_name b)
+  in
+  Cl_merge_purge.similarity_matcher ~measure ~same_above:0.92 ~different_below:0.7 ()
+
+let test_naive_pairs_finds_dups () =
+  let outcome = Cl_merge_purge.naive_pairs (name_matcher ()) (mk_records dup_names) in
+  check int_t "all pairs compared" 45 outcome.Cl_merge_purge.comparisons;
+  check bool_t "found acme pair" true
+    (List.exists
+       (fun g -> List.mem "r00" g && List.mem "r01" g)
+       outcome.Cl_merge_purge.clusters)
+
+let test_sorted_neighborhood_fewer_comparisons () =
+  let records = mk_records dup_names in
+  let key tup = Cl_normalize.normalize_name (Value.to_string (Tuple.get_exn tup "name")) in
+  let naive = Cl_merge_purge.naive_pairs (name_matcher ()) records in
+  let snm =
+    Cl_merge_purge.sorted_neighborhood ~window:3 ~keys:[ key ] (name_matcher ()) records
+  in
+  check bool_t "fewer comparisons" true
+    (snm.Cl_merge_purge.comparisons < naive.Cl_merge_purge.comparisons);
+  (* Sorting by normalized name puts duplicates adjacent, so the window
+     finds the same clusters here. *)
+  check int_t "same cluster count" (List.length naive.Cl_merge_purge.clusters)
+    (List.length snm.Cl_merge_purge.clusters)
+
+let test_concordance_replay_short_circuits () =
+  let conc = Cl_concordance.create () in
+  let calls = ref 0 in
+  let counting_matcher a b =
+    incr calls;
+    (name_matcher ()) a b
+  in
+  let records = mk_records dup_names in
+  let key_of tup = Value.to_string (Tuple.get_exn tup "name") in
+  let matcher = Cl_merge_purge.with_concordance_keys conc ~key_of counting_matcher in
+  let key tup = Cl_normalize.normalize_name (Value.to_string (Tuple.get_exn tup "name")) in
+  let run () = Cl_merge_purge.sorted_neighborhood ~window:3 ~keys:[ key ] matcher records in
+  let o1 = run () in
+  let cold = !calls in
+  let o2 = run () in
+  let warm = !calls - cold in
+  check int_t "no matcher calls on replay" 0 warm;
+  check int_t "same clusters" (List.length o1.Cl_merge_purge.clusters)
+    (List.length o2.Cl_merge_purge.clusters);
+  check bool_t "concordance populated" true (Cl_concordance.size conc > 0)
+
+(* Property: sorted-neighborhood clusters never split an exact-duplicate
+   pair that sorts adjacently. *)
+let prop_snm_exact_dups =
+  QCheck2.Test.make ~name:"snm groups exact duplicates" ~count:50
+    QCheck2.Gen.(list_size (int_range 2 30) (oneofl [ "aa"; "bb"; "cc"; "dd" ]))
+    (fun names ->
+      let records = mk_records names in
+      let matcher =
+        Cl_merge_purge.similarity_matcher
+          ~measure:(fun a b -> if a = b then 1.0 else 0.0)
+          ~same_above:0.5 ~different_below:0.5 ()
+      in
+      let key tup = Value.to_string (Tuple.get_exn tup "name") in
+      let outcome = Cl_merge_purge.sorted_neighborhood ~window:2 ~keys:[ key ] matcher records in
+      (* every name occurring k>=2 times forms one cluster of size k *)
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun n -> Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
+        names;
+      Hashtbl.fold
+        (fun n k acc ->
+          acc
+          && (k < 2
+             || List.exists
+                  (fun cluster -> List.length cluster = k
+                    && List.for_all
+                         (fun key ->
+                           let idx = int_of_string (String.sub key 1 2) in
+                           List.nth names idx = n)
+                         cluster)
+                  outcome.Cl_merge_purge.clusters))
+        counts true)
+
+(* ------------------------------------------------------------------ *)
+(* Lineage                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_lineage_ancestry () =
+  let lin = Cl_lineage.create () in
+  ignore (Cl_lineage.derive lin ~operation:"merge" ~inputs:[ "a"; "b" ] "m1");
+  ignore (Cl_lineage.derive lin ~operation:"merge" ~inputs:[ "m1"; "c" ] "m2");
+  check (Alcotest.list string_t) "raw ancestors" [ "a"; "b"; "c" ] (Cl_lineage.ancestry lin "m2");
+  check (Alcotest.list string_t) "descendants of a" [ "m1"; "m2" ] (Cl_lineage.descendants lin "a")
+
+let test_lineage_rollback () =
+  let lin = Cl_lineage.create () in
+  ignore (Cl_lineage.derive lin ~operation:"merge" ~inputs:[ "a"; "b" ] "m1");
+  ignore (Cl_lineage.derive lin ~operation:"merge" ~inputs:[ "m1"; "c" ] "m2");
+  let removed = Cl_lineage.rollback lin "m1" in
+  check (Alcotest.list string_t) "both derivations removed" [ "m1"; "m2" ] removed;
+  check int_t "empty" 0 (Cl_lineage.size lin)
+
+(* ------------------------------------------------------------------ *)
+(* Flows                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let customer_tuples =
+  [
+    [ ("id", Value.String "s1:1"); ("name", Value.String "ACME, Corp."); ("city", Value.String "Seattle") ];
+    [ ("id", Value.String "s1:2"); ("name", Value.String "Globex Inc"); ("city", Value.Null) ];
+    [ ("id", Value.String "s2:1"); ("name", Value.String "Acme Corporation"); ("city", Value.Null) ];
+    [ ("id", Value.String "s2:2"); ("name", Value.String "Globex"); ("city", Value.String "NYC") ];
+    [ ("id", Value.String "s2:3"); ("name", Value.String "Initech"); ("city", Value.String "Austin") ];
+  ]
+  |> List.map Tuple.make
+
+let dedupe_flow =
+  {
+    Cl_flow.flow_name = "customer-dedupe";
+    steps =
+      [
+        Cl_flow.Derive { field = "norm_name"; from_field = "name"; normalizer = "name" };
+        Cl_flow.Dedupe
+          {
+            match_field = "norm_name";
+            blocking_fields = [ "norm_name" ];
+            measure = "jaro_winkler";
+            same_above = 0.9;
+            different_below = 0.6;
+            window = 4;
+          };
+      ];
+  }
+
+let test_flow_dedupe_merges () =
+  let records = Cl_flow.records_of_tuples ~key_field:"id" customer_tuples in
+  let report = Cl_flow.run dedupe_flow records in
+  check int_t "input count" 5 report.Cl_flow.input_count;
+  check int_t "two clusters merged" 2 report.Cl_flow.merged_clusters;
+  check int_t "three entities remain" 3 (List.length report.Cl_flow.output);
+  (* merged record unions fields: Globex keeps the NYC city *)
+  let globex =
+    List.find
+      (fun r ->
+        Cl_normalize.normalize_name
+          (Value.to_string (Tuple.get_exn r.Cl_merge_purge.data "name"))
+        = "globex")
+      report.Cl_flow.output
+  in
+  check string_t "city survives merge" "NYC"
+    (Value.to_string (Tuple.get_exn globex.Cl_merge_purge.data "city"))
+
+let test_flow_lineage_records_merges () =
+  let lineage = Cl_lineage.create () in
+  let records = Cl_flow.records_of_tuples ~key_field:"id" customer_tuples in
+  let report = Cl_flow.run ~lineage dedupe_flow records in
+  check int_t "two merge entries" 2 (Cl_lineage.size lineage);
+  ignore report;
+  let merged_key = "s1:1" in
+  check bool_t "merge lineage present" true (Cl_lineage.entry_of lineage merged_key <> None);
+  check (Alcotest.list string_t) "ancestry is both sources" [ "s2:1" ]
+    (Cl_lineage.ancestry lineage merged_key)
+
+let test_flow_filter_normalize () =
+  let flow =
+    {
+      Cl_flow.flow_name = "f";
+      steps =
+        [
+          Cl_flow.Normalize { field = "name"; normalizer = "basic" };
+          Cl_flow.Filter
+            { label = "has-city"; keep = (fun tup -> Tuple.get tup "city" <> Some Value.Null) };
+        ];
+    }
+  in
+  let records = Cl_flow.records_of_tuples ~key_field:"id" customer_tuples in
+  let report = Cl_flow.run flow records in
+  check int_t "three with city" 3 (List.length report.Cl_flow.output);
+  let first = List.hd report.Cl_flow.output in
+  check string_t "normalized in place" "acme corp"
+    (Value.to_string (Tuple.get_exn first.Cl_merge_purge.data "name"))
+
+let test_flow_exceptions_trapped () =
+  let flow =
+    {
+      Cl_flow.flow_name = "strict";
+      steps =
+        [
+          Cl_flow.Dedupe
+            {
+              match_field = "name";
+              blocking_fields = [];
+              measure = "jaro_winkler";
+              same_above = 0.97;       (* very strict: near-dups become unsure *)
+              different_below = 0.8;
+              window = 5;
+            };
+        ];
+    }
+  in
+  let records = Cl_flow.records_of_tuples ~key_field:"id" customer_tuples in
+  let report = Cl_flow.run flow records in
+  check bool_t "unsure pairs trapped, run continues" true
+    (List.length report.Cl_flow.exceptions >= 1)
+
+let test_flow_unknown_normalizer () =
+  let flow =
+    { Cl_flow.flow_name = "bad";
+      steps = [ Cl_flow.Normalize { field = "name"; normalizer = "nope" } ] }
+  in
+  try
+    ignore (Cl_flow.run flow []);
+    Alcotest.fail "expected Flow_error"
+  with Cl_flow.Flow_error _ -> ()
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_snm_exact_dups ] in
+  Alcotest.run "cleaning"
+    [
+      ( "normalize",
+        [
+          Alcotest.test_case "basic" `Quick test_normalize_basic;
+          Alcotest.test_case "names" `Quick test_normalize_name;
+          Alcotest.test_case "addresses" `Quick test_normalize_address;
+          Alcotest.test_case "phones" `Quick test_normalize_phone;
+          Alcotest.test_case "registry" `Quick test_normalize_registry;
+        ] );
+      ( "similarity",
+        [
+          Alcotest.test_case "levenshtein" `Quick test_levenshtein;
+          Alcotest.test_case "jaro-winkler" `Quick test_jaro_winkler;
+          Alcotest.test_case "jaccard / ngram" `Quick test_jaccard_ngram;
+          Alcotest.test_case "tfidf cosine" `Quick test_tfidf_cosine;
+        ] );
+      ( "concordance",
+        [
+          Alcotest.test_case "record/lookup" `Quick test_concordance_basics;
+          Alcotest.test_case "pending and resolve" `Quick test_concordance_pending_resolve;
+          Alcotest.test_case "rollback" `Quick test_concordance_rollback;
+          Alcotest.test_case "csv roundtrip" `Quick test_concordance_csv_roundtrip;
+        ] );
+      ( "merge-purge",
+        [
+          Alcotest.test_case "union-find" `Quick test_unionfind;
+          Alcotest.test_case "naive pairs" `Quick test_naive_pairs_finds_dups;
+          Alcotest.test_case "sorted neighborhood" `Quick test_sorted_neighborhood_fewer_comparisons;
+          Alcotest.test_case "concordance replay" `Quick test_concordance_replay_short_circuits;
+        ]
+        @ props );
+      ( "lineage",
+        [
+          Alcotest.test_case "ancestry" `Quick test_lineage_ancestry;
+          Alcotest.test_case "rollback" `Quick test_lineage_rollback;
+        ] );
+      ( "flows",
+        [
+          Alcotest.test_case "dedupe merges" `Quick test_flow_dedupe_merges;
+          Alcotest.test_case "lineage recorded" `Quick test_flow_lineage_records_merges;
+          Alcotest.test_case "filter + normalize" `Quick test_flow_filter_normalize;
+          Alcotest.test_case "exceptions trapped" `Quick test_flow_exceptions_trapped;
+          Alcotest.test_case "unknown normalizer" `Quick test_flow_unknown_normalizer;
+        ] );
+    ]

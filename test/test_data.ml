@@ -1,0 +1,402 @@
+(* Tests for the Nimble data model: values, tuples, trees, schemas, CSV
+   and the deterministic PRNG. *)
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let value_t =
+  Alcotest.testable (fun ppf v -> Value.pp ppf v) Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_guess () =
+  check value_t "int" (Value.Int 42) (Value.of_string_guess "42");
+  check value_t "float" (Value.Float 3.5) (Value.of_string_guess "3.5");
+  check value_t "bool" (Value.Bool true) (Value.of_string_guess "true");
+  check value_t "date" (Value.date 2001 4 2) (Value.of_string_guess "2001-04-02");
+  check value_t "string" (Value.String "hello") (Value.of_string_guess "hello");
+  check value_t "null" Value.Null (Value.of_string_guess "")
+
+let test_value_parse_as () =
+  check (Alcotest.option value_t) "as int" (Some (Value.Int 7)) (Value.parse_as Value.TInt "7");
+  check (Alcotest.option value_t) "not int" None (Value.parse_as Value.TInt "x");
+  check (Alcotest.option value_t) "as bool t" (Some (Value.Bool true)) (Value.parse_as Value.TBool "T");
+  check (Alcotest.option value_t) "bad date" None (Value.parse_as Value.TDate "2001-02-30")
+
+let test_value_compare_numeric () =
+  check bool_t "int vs float" true (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  check bool_t "equal across kinds" true (Value.equal (Value.Int 2) (Value.Float 2.0));
+  check bool_t "null smallest" true (Value.compare Value.Null (Value.Bool false) < 0)
+
+let test_value_sql_compare () =
+  check (Alcotest.option int_t) "null unknown" None
+    (Value.compare_sql Value.Null (Value.Int 1));
+  check (Alcotest.option int_t) "ordinary" (Some 0)
+    (Value.compare_sql (Value.Int 1) (Value.Int 1))
+
+let test_value_arith () =
+  check value_t "add ints" (Value.Int 5) (Value.add (Value.Int 2) (Value.Int 3));
+  check value_t "add mixed" (Value.Float 5.5) (Value.add (Value.Int 2) (Value.Float 3.5));
+  check value_t "concat" (Value.String "ab") (Value.add (Value.String "a") (Value.String "b"));
+  check value_t "null propagates" Value.Null (Value.add Value.Null (Value.Int 3));
+  check value_t "div by zero is null" Value.Null (Value.div (Value.Int 3) (Value.Int 0))
+
+let test_value_date_days () =
+  check int_t "epoch" 0 (Value.date_to_days { Value.year = 1970; month = 1; day = 1 });
+  check int_t "next day" 1 (Value.date_to_days { Value.year = 1970; month = 1; day = 2 });
+  check int_t "y2k" 10957 (Value.date_to_days { Value.year = 2000; month = 1; day = 1 })
+
+let test_value_date_validation () =
+  (try
+     ignore (Value.date 2001 2 29);
+     Alcotest.fail "expected invalid date"
+   with Invalid_argument _ -> ());
+  ignore (Value.date 2000 2 29) (* leap year ok *)
+
+let test_value_cast () =
+  check (Alcotest.option value_t) "string->int" (Some (Value.Int 12))
+    (Value.cast Value.TInt (Value.String "12"));
+  check (Alcotest.option value_t) "int->string" (Some (Value.String "12"))
+    (Value.cast Value.TString (Value.Int 12));
+  check (Alcotest.option value_t) "string->date" (Some (Value.date 1999 12 31))
+    (Value.cast Value.TDate (Value.String "1999-12-31"));
+  check (Alcotest.option value_t) "int->date fails" None (Value.cast Value.TDate (Value.Int 3))
+
+let test_value_hash_consistent () =
+  check bool_t "equal values hash alike" true
+    (Value.hash (Value.Int 3) = Value.hash (Value.Float 3.0))
+
+(* ------------------------------------------------------------------ *)
+(* Tuple                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let t1 () = Tuple.make [ ("a", Value.Int 1); ("b", Value.String "x") ]
+
+let test_tuple_basic () =
+  let t = t1 () in
+  check int_t "arity" 2 (Tuple.arity t);
+  check (Alcotest.option value_t) "get a" (Some (Value.Int 1)) (Tuple.get t "a");
+  check (Alcotest.option value_t) "get missing" None (Tuple.get t "z");
+  check (Alcotest.list string_t) "names in order" [ "a"; "b" ] (Tuple.field_names t)
+
+let test_tuple_duplicate_rejected () =
+  try
+    ignore (Tuple.make [ ("a", Value.Int 1); ("a", Value.Int 2) ]);
+    Alcotest.fail "expected duplicate rejection"
+  with Invalid_argument _ -> ()
+
+let test_tuple_set_remove () =
+  let t = Tuple.set (t1 ()) "a" (Value.Int 9) in
+  check (Alcotest.option value_t) "updated" (Some (Value.Int 9)) (Tuple.get t "a");
+  let t = Tuple.set t "c" (Value.Bool true) in
+  check int_t "appended" 3 (Tuple.arity t);
+  let t = Tuple.remove t "b" in
+  check bool_t "removed" false (Tuple.mem t "b")
+
+let test_tuple_project_pads_null () =
+  let p = Tuple.project (t1 ()) [ "b"; "zz" ] in
+  check (Alcotest.list string_t) "projection order" [ "b"; "zz" ] (Tuple.field_names p);
+  check (Alcotest.option value_t) "missing is null" (Some Value.Null) (Tuple.get p "zz")
+
+let test_tuple_concat_left_wins () =
+  let l = Tuple.make [ ("a", Value.Int 1) ] in
+  let r = Tuple.make [ ("a", Value.Int 2); ("b", Value.Int 3) ] in
+  let c = Tuple.concat l r in
+  check (Alcotest.option value_t) "left wins" (Some (Value.Int 1)) (Tuple.get c "a");
+  check int_t "merged arity" 2 (Tuple.arity c)
+
+let test_tuple_rename_prefix () =
+  let t = Tuple.rename (t1 ()) [ ("a", "alpha") ] in
+  check bool_t "renamed" true (Tuple.mem t "alpha");
+  let t = Tuple.prefix "p" (t1 ()) in
+  check bool_t "prefixed" true (Tuple.mem t "p.a")
+
+(* ------------------------------------------------------------------ *)
+(* Dtree                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_dtree_xml_roundtrip () =
+  let e = Xml_parser.parse_element_exn {|<o id="7"><n>Alice</n><amt>12.5</amt></o>|} in
+  let d = Dtree.of_xml_element e in
+  check (Alcotest.option value_t) "typed attr" (Some (Value.Int 7)) (Dtree.attr d "id");
+  (match Dtree.first_named d "amt" with
+  | Some amt -> check (Alcotest.option value_t) "typed leaf" (Some (Value.Float 12.5)) (Dtree.atom_value amt)
+  | None -> Alcotest.fail "expected amt");
+  let e' = Dtree.to_xml_element d in
+  check string_t "tag preserved" "o" e'.Xml_types.tag
+
+let test_dtree_tuple_roundtrip () =
+  let tup = Tuple.make [ ("id", Value.Int 1); ("name", Value.String "Bob") ] in
+  let d = Dtree.of_tuple "row" tup in
+  check (Alcotest.option string_t) "label" (Some "row") (Dtree.label d);
+  let tup' = Dtree.to_tuple d in
+  check bool_t "tuple roundtrip" true (Tuple.equal tup tup')
+
+let test_dtree_text () =
+  let d = Dtree.node "r" [ Dtree.leaf "x" (Value.Int 1); Dtree.leaf "y" (Value.String "a") ] in
+  check string_t "text" "1a" (Dtree.text d);
+  check int_t "size" 5 (Dtree.size d)
+
+let test_dtree_compare_total () =
+  let a = Dtree.leaf "x" (Value.Int 1) in
+  let b = Dtree.leaf "x" (Value.Int 2) in
+  check bool_t "ordered" true (Dtree.compare a b < 0);
+  check bool_t "equal" true (Dtree.equal a a)
+
+(* ------------------------------------------------------------------ *)
+(* Dschema                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_infer () =
+  let rows =
+    [
+      Tuple.make [ ("id", Value.Int 1); ("price", Value.Int 10) ];
+      Tuple.make [ ("id", Value.Int 2); ("price", Value.Float 9.5) ];
+      Tuple.make [ ("id", Value.Int 3); ("price", Value.Null) ];
+    ]
+  in
+  let s = Dschema.infer_relational "t" rows in
+  let price = Option.get (Dschema.find_column s "price") in
+  check string_t "widened to float" "float" (Value.ty_to_string price.Dschema.col_ty);
+  check bool_t "nullable" true price.Dschema.nullable;
+  let id = Option.get (Dschema.find_column s "id") in
+  check bool_t "id not nullable" false id.Dschema.nullable
+
+let test_schema_conforms_coerce () =
+  let s =
+    Dschema.relational "t"
+      [ Dschema.column "id" Value.TInt; Dschema.column ~nullable:true "name" Value.TString ]
+  in
+  check bool_t "conforms" true
+    (Dschema.conforms s (Tuple.make [ ("id", Value.Int 1); ("name", Value.Null) ]));
+  check bool_t "wrong type" false
+    (Dschema.conforms s (Tuple.make [ ("id", Value.String "x"); ("name", Value.Null) ]));
+  (match Dschema.coerce_tuple s (Tuple.make [ ("name", Value.String "n"); ("id", Value.String "5") ]) with
+  | Some t ->
+    check (Alcotest.option value_t) "cast applied" (Some (Value.Int 5)) (Tuple.get t "id");
+    check (Alcotest.list string_t) "reordered" [ "id"; "name" ] (Tuple.field_names t)
+  | None -> Alcotest.fail "expected coercion");
+  check bool_t "missing non-nullable" true
+    (Dschema.coerce_tuple s (Tuple.make [ ("name", Value.String "n") ]) = None)
+
+let test_tree_schema () =
+  let d =
+    Dtree.node "order"
+      ~attrs:[ ("id", Value.Int 1) ]
+      [ Dtree.leaf "item" (Value.String "x"); Dtree.leaf "item" (Value.String "y") ]
+  in
+  let schema = Dschema.infer_tree d in
+  check bool_t "conforms to own schema" true (Dschema.tree_conforms schema d);
+  let other = Dtree.node "order" [ Dtree.node "unknown" [] ] in
+  check bool_t "unknown child rejected" false (Dschema.tree_conforms schema other)
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_basic () =
+  let rows = Csv.parse "a,b,c\n1,2,3\n" in
+  check int_t "two rows" 2 (List.length rows);
+  check (Alcotest.list string_t) "first row" [ "a"; "b"; "c" ] (List.hd rows)
+
+let test_csv_quotes () =
+  let rows = Csv.parse "\"x,y\",\"he said \"\"hi\"\"\",\"multi\nline\"\n" in
+  check (Alcotest.list string_t) "decoded"
+    [ "x,y"; {|he said "hi"|}; "multi\nline" ]
+    (List.hd rows)
+
+let test_csv_roundtrip () =
+  let rows = [ [ "a"; "b,c"; "d\"e" ]; [ "1"; ""; "x\ny" ] ] in
+  let printed = Csv.print rows in
+  check bool_t "roundtrip" true (Csv.parse printed = rows)
+
+let test_csv_tuples () =
+  let tuples = Csv.to_tuples ~header:true "id,name\n1,Ann\n2,Bob\n" in
+  check int_t "two tuples" 2 (List.length tuples);
+  check (Alcotest.option value_t) "typed id" (Some (Value.Int 1)) (Tuple.get (List.hd tuples) "id")
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let seq g = List.init 20 (fun _ -> Prng.int g 1000) in
+  check (Alcotest.list int_t) "same seed, same stream" (seq a) (seq b)
+
+let test_prng_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in g 5 8 in
+    if v < 5 || v > 8 then Alcotest.fail "int_in out of bounds"
+  done
+
+let test_prng_zipf_skew () =
+  let g = Prng.create 11 in
+  let n = 100 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 10_000 do
+    let r = Prng.zipf g ~n ~theta:1.0 in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check bool_t "rank 0 dominates rank 50" true (counts.(0) > 10 * max 1 counts.(50))
+
+let test_prng_bernoulli () =
+  let g = Prng.create 3 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bernoulli g 0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  check bool_t "close to 0.25" true (rate > 0.22 && rate < 0.28)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create 5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check bool_t "is a permutation" true (Array.to_list sorted = List.init 50 (fun i -> i))
+
+let prop_tuple_project_subset =
+  QCheck2.Test.make ~name:"project keeps requested names" ~count:200
+    QCheck2.Gen.(
+      pair
+        (small_list (pair (oneofl [ "a"; "b"; "c"; "d" ]) small_int))
+        (small_list (oneofl [ "a"; "b"; "c"; "z" ])))
+    (fun (fields, names) ->
+      (* dedupe *)
+      let seen = Hashtbl.create 4 in
+      let fields =
+        List.filter
+          (fun (n, _) ->
+            if Hashtbl.mem seen n then false
+            else begin
+              Hashtbl.add seen n ();
+              true
+            end)
+          fields
+      in
+      let t = Tuple.make (List.map (fun (n, i) -> (n, Value.Int i)) fields) in
+      let p = Tuple.project t names in
+      Tuple.field_names p = names)
+
+let prop_value_compare_total_order =
+  let gen_value =
+    QCheck2.Gen.(
+      oneof
+        [
+          return Value.Null;
+          map (fun b -> Value.Bool b) bool;
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun f -> Value.Float f) (float_bound_inclusive 100.0);
+          map (fun s -> Value.String s) (small_string ~gen:printable);
+        ])
+  in
+  QCheck2.Test.make ~name:"value compare is antisymmetric and transitive-ish" ~count:300
+    QCheck2.Gen.(triple gen_value gen_value gen_value)
+    (fun (a, b, c) ->
+      let ab = Value.compare a b and ba = Value.compare b a in
+      let anti = (ab = 0 && ba = 0) || (ab < 0 && ba > 0) || (ab > 0 && ba < 0) in
+      let trans =
+        not (Value.compare a b <= 0 && Value.compare b c <= 0) || Value.compare a c <= 0
+      in
+      anti && trans)
+
+let test_csv_edge_cases () =
+  check int_t "empty input" 0 (List.length (Csv.parse ""));
+  check (Alcotest.list (Alcotest.list string_t)) "trailing separator keeps empty cell"
+    [ [ "a"; "" ] ] (Csv.parse "a,\n");
+  check (Alcotest.list (Alcotest.list string_t)) "lone newline row dropped"
+    [ [ "x" ] ] (Csv.parse "x\n");
+  let names, rows = Csv.parse_rows ~header:false "1,2\n3,4,5\n" in
+  check (Alcotest.list string_t) "generated names by widest row" [ "c1"; "c2"; "c3" ] names;
+  check int_t "rows kept" 2 (List.length rows)
+
+let test_value_float_rendering () =
+  check string_t "integral float keeps .0" "55.0" (Value.to_string (Value.Float 55.0));
+  check string_t "fractional float" "2.5" (Value.to_string (Value.Float 2.5));
+  check string_t "negative int" "-3" (Value.to_string (Value.Int (-3)))
+
+let test_dschema_relational_duplicate_rejected () =
+  try
+    ignore
+      (Dschema.relational "t" [ Dschema.column "a" Value.TInt; Dschema.column "a" Value.TInt ]);
+    Alcotest.fail "expected duplicate rejection"
+  with Invalid_argument _ -> ()
+
+let test_prng_split_independence () =
+  let a = Prng.create 9 in
+  let b = Prng.split a in
+  let xs = List.init 10 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Prng.int b 1000) in
+  check bool_t "streams differ" true (xs <> ys)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest [ prop_tuple_project_subset; prop_value_compare_total_order ] in
+  Alcotest.run "data"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "type guessing" `Quick test_value_guess;
+          Alcotest.test_case "parse_as" `Quick test_value_parse_as;
+          Alcotest.test_case "numeric comparison" `Quick test_value_compare_numeric;
+          Alcotest.test_case "sql comparison" `Quick test_value_sql_compare;
+          Alcotest.test_case "arithmetic" `Quick test_value_arith;
+          Alcotest.test_case "date arithmetic" `Quick test_value_date_days;
+          Alcotest.test_case "date validation" `Quick test_value_date_validation;
+          Alcotest.test_case "casts" `Quick test_value_cast;
+          Alcotest.test_case "hash consistency" `Quick test_value_hash_consistent;
+          Alcotest.test_case "float rendering" `Quick test_value_float_rendering;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basics" `Quick test_tuple_basic;
+          Alcotest.test_case "duplicates rejected" `Quick test_tuple_duplicate_rejected;
+          Alcotest.test_case "set/remove" `Quick test_tuple_set_remove;
+          Alcotest.test_case "project pads null" `Quick test_tuple_project_pads_null;
+          Alcotest.test_case "concat left wins" `Quick test_tuple_concat_left_wins;
+          Alcotest.test_case "rename/prefix" `Quick test_tuple_rename_prefix;
+        ]
+        @ q );
+      ( "dtree",
+        [
+          Alcotest.test_case "xml roundtrip" `Quick test_dtree_xml_roundtrip;
+          Alcotest.test_case "tuple roundtrip" `Quick test_dtree_tuple_roundtrip;
+          Alcotest.test_case "text and size" `Quick test_dtree_text;
+          Alcotest.test_case "total order" `Quick test_dtree_compare_total;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "inference" `Quick test_schema_infer;
+          Alcotest.test_case "conformance and coercion" `Quick test_schema_conforms_coerce;
+          Alcotest.test_case "tree schema" `Quick test_tree_schema;
+          Alcotest.test_case "duplicate columns rejected" `Quick
+            test_dschema_relational_duplicate_rejected;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "basic" `Quick test_csv_basic;
+          Alcotest.test_case "quoting" `Quick test_csv_quotes;
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "typed tuples" `Quick test_csv_tuples;
+          Alcotest.test_case "edge cases" `Quick test_csv_edge_cases;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "zipf skew" `Quick test_prng_zipf_skew;
+          Alcotest.test_case "bernoulli rate" `Quick test_prng_bernoulli;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independence;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Fuzz tests: every parser in the system must either succeed or fail
+   through its documented error channel — never a stray exception, an
+   assertion failure or a stack overflow — on arbitrary input. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* Characters likely to stress each grammar. *)
+let xmlish_chars = "<>/=\"'& ;abcZ019!-[]?%#\\\n\t"
+let sqlish_chars = "SELECTFROMWHERE*(),.'=<>-+09az _;\n"
+let xqlish_chars = "<>/=$\"'{}WHERECONSTRUCTIN,.az09 _-\n"
+
+let gen_noise chars =
+  QCheck2.Gen.(
+    string_size ~gen:(map (String.get chars) (int_bound (String.length chars - 1)))
+      (int_range 0 120))
+
+(* Mutate a valid input: overwrite one position with a random char. *)
+let mutate chars valid =
+  let open QCheck2.Gen in
+  if String.length valid = 0 then pure valid
+  else
+    map
+      (fun (pos, ci) ->
+        let b = Bytes.of_string valid in
+        Bytes.set b pos chars.[ci];
+        Bytes.to_string b)
+      (pair (int_bound (String.length valid - 1)) (int_bound (String.length chars - 1)))
+
+let valid_xml =
+  {|<catalog><product sku="P1"><name>widget &amp; co</name><price>25</price></product><!-- c --><x/></catalog>|}
+
+let valid_sql =
+  "SELECT a.x, COUNT(*) AS n FROM t a JOIN u ON a.id = u.id WHERE a.x > 3 AND u.y LIKE 'a%' GROUP BY a.x ORDER BY n DESC LIMIT 5"
+
+let valid_xq =
+  {|WHERE <book year=$y><title>$t</title></book> IN "bib", $y > 1995 CONSTRUCT <r t=$t>{upper($t)}</r> ORDER BY $y LIMIT 3|}
+
+let valid_path = "/catalog//product[@sku='P1'][price>'10']/name"
+
+let total_or_error name parse classify =
+  QCheck2.Test.make ~name ~count:500
+    QCheck2.Gen.(
+      oneof
+        [
+          gen_noise xmlish_chars;
+          gen_noise sqlish_chars;
+          gen_noise xqlish_chars;
+          mutate xmlish_chars valid_xml;
+          mutate sqlish_chars valid_sql;
+          mutate xqlish_chars valid_xq;
+          mutate xqlish_chars valid_path;
+        ])
+    (fun input ->
+      match parse input with
+      | _ -> true
+      | exception e -> classify e)
+
+let fuzz_xml =
+  total_or_error "xml parser is total" Xml_parser.parse_document (fun _ -> false)
+
+let fuzz_xml_exn =
+  total_or_error "xml parser raises only Parse_error"
+    (fun s -> ignore (Xml_parser.parse_document_exn s))
+    (function Xml_parser.Parse_error _ -> true | _ -> false)
+
+let fuzz_sql =
+  total_or_error "sql parser raises only Parse_error"
+    (fun s -> ignore (Sql_parser.parse_exn s))
+    (function Sql_parser.Parse_error _ -> true | _ -> false)
+
+let fuzz_xq =
+  total_or_error "xml-ql parser raises only Parse_error"
+    (fun s -> ignore (Xq_parser.parse_exn s))
+    (function Xq_parser.Parse_error _ -> true | _ -> false)
+
+let fuzz_path =
+  total_or_error "path parser raises only Syntax_error"
+    (fun s -> ignore (Xml_path.parse_exn s))
+    (function Xml_path.Syntax_error _ -> true | _ -> false)
+
+let fuzz_csv =
+  total_or_error "csv parser is total" (fun s -> ignore (Csv.parse s)) (fun _ -> false)
+
+let fuzz_value_guess =
+  total_or_error "value guessing is total"
+    (fun s -> ignore (Value.of_string_guess s))
+    (fun _ -> false)
+
+(* Deeply nested input must not blow the stack. *)
+let test_deep_nesting () =
+  let depth = 50_000 in
+  let buf = Buffer.create (depth * 7) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<a>"
+  done;
+  Buffer.add_string buf "x";
+  for _ = 1 to depth do
+    Buffer.add_string buf "</a>"
+  done;
+  match Xml_parser.parse_element (Buffer.contents buf) with
+  | Ok e -> check bool_t "deep doc parsed" true (Xml_types.depth e = depth)
+  | Error _ -> check bool_t "deep doc rejected cleanly" true true
+
+let test_pathological_like () =
+  (* Backtracking LIKE matchers can go exponential on this shape. *)
+  let s = String.make 60 'a' in
+  let pattern = String.concat "" (List.init 20 (fun _ -> "a%")) ^ "b" in
+  check bool_t "no blowup, no match" false (Sql_eval.like_match ~pattern s)
+
+let test_huge_numbers_and_literals () =
+  List.iter
+    (fun s ->
+      match Sql_parser.parse s with
+      | Ok _ | Error _ -> ())
+    [
+      "SELECT 999999999999999999999999999 FROM t";
+      "SELECT 1e308 FROM t";
+      "SELECT '" ^ String.make 10000 'x' ^ "' FROM t";
+      "SELECT a FROM t WHERE x = -9223372036854775808";
+    ]
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ fuzz_xml; fuzz_xml_exn; fuzz_sql; fuzz_xq; fuzz_path; fuzz_csv; fuzz_value_guess ]
+  in
+  Alcotest.run "fuzz"
+    [
+      ( "parsers",
+        props
+        @ [
+            Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+            Alcotest.test_case "pathological LIKE" `Quick test_pathological_like;
+            Alcotest.test_case "extreme literals" `Quick test_huge_numbers_and_literals;
+          ] );
+    ]

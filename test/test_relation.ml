@@ -1,0 +1,571 @@
+(* Tests for the relational substrate: B+tree, table storage, SQL
+   lexer/parser/printer, evaluation, planning and execution. *)
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let value_t = Alcotest.testable (fun ppf v -> Value.pp ppf v) Value.equal
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+
+(* ------------------------------------------------------------------ *)
+(* B+tree                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_btree_insert_find () =
+  let bt = Rel_btree.create ~cmp:Int.compare () in
+  for i = 0 to 999 do
+    Rel_btree.insert bt (i mod 100) i
+  done;
+  check int_t "size" 1000 (Rel_btree.size bt);
+  check int_t "ten per key" 10 (List.length (Rel_btree.find_all bt 5));
+  check (Alcotest.list int_t) "insertion order"
+    [ 5; 105; 205; 305; 405; 505; 605; 705; 805; 905 ]
+    (Rel_btree.find_all bt 5);
+  check bool_t "invariants" true (Rel_btree.check_invariants bt)
+
+let test_btree_range () =
+  let bt = Rel_btree.create ~order:4 ~cmp:Int.compare () in
+  List.iter (fun i -> Rel_btree.insert bt i (i * 10)) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  let keys lo hi = List.map fst (Rel_btree.range bt ?lo ?hi ()) in
+  check (Alcotest.list int_t) "closed range" [ 3; 4; 5 ] (keys (Some (3, true)) (Some (5, true)));
+  check (Alcotest.list int_t) "open range" [ 4 ] (keys (Some (3, false)) (Some (5, false)));
+  check (Alcotest.list int_t) "unbounded low" [ 0; 1; 2 ] (keys None (Some (2, true)));
+  check (Alcotest.list int_t) "unbounded high" [ 8; 9 ] (keys (Some (8, true)) None);
+  check (Alcotest.list int_t) "full" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (keys None None)
+
+let test_btree_remove () =
+  let bt = Rel_btree.create ~order:4 ~cmp:Int.compare () in
+  for i = 0 to 99 do
+    Rel_btree.insert bt i i
+  done;
+  check bool_t "remove present" true (Rel_btree.remove bt 50 50);
+  check bool_t "remove absent" false (Rel_btree.remove bt 50 50);
+  check int_t "size after" 99 (Rel_btree.size bt);
+  check bool_t "gone" false (Rel_btree.mem bt 50);
+  check bool_t "invariants hold" true (Rel_btree.check_invariants bt)
+
+let test_btree_height_logarithmic () =
+  let bt = Rel_btree.create ~order:8 ~cmp:Int.compare () in
+  for i = 0 to 9999 do
+    Rel_btree.insert bt i i
+  done;
+  check bool_t "height stays small" true (Rel_btree.height bt <= 7)
+
+let prop_btree_matches_model =
+  QCheck2.Test.make ~name:"btree agrees with assoc-list model" ~count:100
+    QCheck2.Gen.(small_list (pair (int_bound 20) (oneofl [ `Ins; `Del ])))
+    (fun ops ->
+      let bt = Rel_btree.create ~order:4 ~cmp:Int.compare () in
+      let model = Hashtbl.create 16 in
+      let counter = ref 0 in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | `Ins ->
+            incr counter;
+            Rel_btree.insert bt k !counter;
+            Hashtbl.replace model k (Option.value ~default:[] (Hashtbl.find_opt model k) @ [ !counter ])
+          | `Del -> (
+            match Hashtbl.find_opt model k with
+            | Some (v :: rest) ->
+              ignore (Rel_btree.remove bt k v);
+              if rest = [] then Hashtbl.remove model k else Hashtbl.replace model k rest
+            | Some [] | None -> ignore (Rel_btree.remove bt k (-1))))
+        ops;
+      Rel_btree.check_invariants bt
+      && Hashtbl.fold (fun k vs acc -> acc && Rel_btree.find_all bt k = vs) model true)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let people_schema () =
+  Dschema.relational "people"
+    [
+      Dschema.column "id" Value.TInt;
+      Dschema.column "name" Value.TString;
+      Dschema.column ~nullable:true "age" Value.TInt;
+    ]
+
+let mk_people () =
+  let t = Rel_table.create ~primary_key:"id" (people_schema ()) in
+  let add id name age =
+    ignore
+      (Rel_table.insert t
+         (Tuple.make [ ("id", Value.Int id); ("name", Value.String name); ("age", age) ]))
+  in
+  add 1 "Ann" (Value.Int 34);
+  add 2 "Bob" (Value.Int 28);
+  add 3 "Cid" Value.Null;
+  t
+
+let test_table_insert_scan () =
+  let t = mk_people () in
+  check int_t "rows" 3 (Rel_table.row_count t);
+  check int_t "scan sees all" 3 (List.length (Rel_table.to_list t))
+
+let test_table_pk_violation () =
+  let t = mk_people () in
+  try
+    ignore
+      (Rel_table.insert t
+         (Tuple.make [ ("id", Value.Int 1); ("name", Value.String "dup"); ("age", Value.Null) ]));
+    Alcotest.fail "expected PK violation"
+  with Rel_table.Constraint_violation _ -> ()
+
+let test_table_delete_update () =
+  let t = mk_people () in
+  let n = Rel_table.delete_where t (fun tup -> Tuple.get_exn tup "id" = Value.Int 2) in
+  check int_t "one deleted" 1 n;
+  check int_t "two left" 2 (Rel_table.row_count t);
+  let n =
+    Rel_table.update_where t
+      (fun tup -> Tuple.get_exn tup "name" = Value.String "Ann")
+      (fun tup -> Tuple.set tup "age" (Value.Int 35))
+  in
+  check int_t "one updated" 1 n
+
+let test_table_index_lookup () =
+  let t = mk_people () in
+  Rel_table.create_index t ~kind:Rel_table.Hash_index "name";
+  let rows = Rel_table.lookup_eq t "name" (Value.String "Bob") in
+  check int_t "found via hash index" 1 (List.length rows);
+  Rel_table.create_index t ~kind:Rel_table.Btree_index "id";
+  let rows = Rel_table.lookup_range t "id" ~lo:(Value.Int 2, true) () in
+  check int_t "range via btree" 2 (List.length rows);
+  check bool_t "eq served" true (Rel_table.index_served t "name" `Eq);
+  check bool_t "range not served by hash" false (Rel_table.index_served t "name" `Range);
+  check bool_t "range served by btree" true (Rel_table.index_served t "id" `Range)
+
+let test_table_index_maintained_on_mutation () =
+  let t = mk_people () in
+  Rel_table.create_index t ~kind:Rel_table.Btree_index "id";
+  ignore (Rel_table.delete_where t (fun tup -> Tuple.get_exn tup "id" = Value.Int 2));
+  check int_t "index misses deleted" 0
+    (List.length (Rel_table.lookup_eq t "id" (Value.Int 2)));
+  ignore
+    (Rel_table.update_where t
+       (fun tup -> Tuple.get_exn tup "id" = Value.Int 3)
+       (fun tup -> Tuple.set tup "id" (Value.Int 30)));
+  check int_t "index follows update" 1
+    (List.length (Rel_table.lookup_eq t "id" (Value.Int 30)))
+
+let test_table_coercion () =
+  let t = mk_people () in
+  ignore
+    (Rel_table.insert t
+       (Tuple.make
+          [ ("name", Value.String "Dee"); ("id", Value.String "4"); ("age", Value.Int 20) ]));
+  let rows = Rel_table.lookup_eq t "id" (Value.Int 4) in
+  check int_t "string id coerced to int" 1 (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* SQL parse / print roundtrip                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_sql_roundtrip () =
+  let cases =
+    [
+      "SELECT * FROM t";
+      "SELECT a, b AS bee FROM t WHERE a = 1 AND b < 2.5";
+      "SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 3";
+      "SELECT t.a, u.b FROM t JOIN u ON t.id = u.id WHERE t.a LIKE 'x%'";
+      "SELECT a FROM t LEFT JOIN u ON t.id = u.id";
+      "SELECT COUNT(*) AS n, SUM(x) AS s FROM t GROUP BY k HAVING n > 2";
+      "SELECT a FROM t WHERE a IN (1, 2, 3) OR b BETWEEN 1 AND 9";
+      "SELECT a FROM t WHERE a IS NOT NULL AND b IS NULL";
+      "SELECT upper(name) FROM t WHERE NOT (a = 1 OR b = 2)";
+      "SELECT a FROM t WHERE d = DATE '2001-04-02'";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let ast = Sql_parser.parse_exn s in
+      let printed = Sql_print.statement_to_string ast in
+      let ast2 = Sql_parser.parse_exn printed in
+      let printed2 = Sql_print.statement_to_string ast2 in
+      check string_t ("roundtrip fixpoint: " ^ s) printed printed2)
+    cases
+
+let test_sql_parse_errors () =
+  List.iter
+    (fun s ->
+      match Sql_parser.parse s with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s
+      | Error _ -> ())
+    [
+      "";
+      "SELECT";
+      "SELECT FROM t";
+      "SELECT * FROM";
+      "SELECT * FROM t WHERE";
+      "SELECT * FROM t GROUP";
+      "INSERT INTO t";
+      "SELECT SUM(*) FROM t";
+      "SELECT * FROM t LIMIT x";
+      "CREATE TABLE t (a INT,)";
+    ]
+
+let test_sql_precedence () =
+  let e = Sql_parser.parse_expr_exn "1 + 2 * 3 = 7 AND NOT a OR b" in
+  (* ((1 + (2*3)) = 7 AND (NOT a)) OR b *)
+  match e with
+  | Sql_ast.Binop (Sql_ast.Or, Sql_ast.Binop (Sql_ast.And, _, Sql_ast.Unop (Sql_ast.Not, _)), _) -> ()
+  | _ -> Alcotest.fail "unexpected precedence parse"
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let eval_str tup s = Sql_eval.eval tup (Sql_parser.parse_expr_exn s)
+
+let test_eval_three_valued () =
+  let tup = Tuple.make [ ("a", Value.Null); ("b", Value.Int 1) ] in
+  check value_t "null = 1 is unknown" Value.Null (eval_str tup "a = 1");
+  check value_t "unknown AND false is false" (Value.Bool false) (eval_str tup "a = 1 AND b = 2");
+  check value_t "unknown OR true is true" (Value.Bool true) (eval_str tup "a = 1 OR b = 1");
+  check value_t "not unknown is unknown" Value.Null (eval_str tup "NOT (a = 1)");
+  check bool_t "where drops unknown" false
+    (Sql_eval.eval_pred tup (Sql_parser.parse_expr_exn "a = 1"))
+
+let test_eval_like () =
+  check bool_t "%x%" true (Sql_eval.like_match ~pattern:"%x%" "axb");
+  check bool_t "prefix" true (Sql_eval.like_match ~pattern:"ab%" "abc");
+  check bool_t "underscore" true (Sql_eval.like_match ~pattern:"a_c" "abc");
+  check bool_t "no match" false (Sql_eval.like_match ~pattern:"a_c" "abbc");
+  check bool_t "empty pattern" false (Sql_eval.like_match ~pattern:"" "x");
+  check bool_t "only percent" true (Sql_eval.like_match ~pattern:"%" "anything");
+  check bool_t "anchored" false (Sql_eval.like_match ~pattern:"x%" "ax")
+
+let test_eval_functions () =
+  let tup = Tuple.make [ ("s", Value.String " Ab ") ] in
+  check value_t "upper" (Value.String " AB ") (eval_str tup "upper(s)");
+  check value_t "trim" (Value.String "Ab") (eval_str tup "trim(s)");
+  check value_t "length" (Value.Int 4) (eval_str tup "length(s)");
+  check value_t "coalesce" (Value.Int 3) (eval_str tup "coalesce(NULL, 3, 4)");
+  check value_t "substr" (Value.String "bc") (eval_str tup "substr('abcd', 2, 2)");
+  check value_t "concat" (Value.String "a-b") (eval_str tup "concat('a', '-', 'b')")
+
+let test_eval_resolution () =
+  let tup = Tuple.make [ ("t.a", Value.Int 1); ("u.a", Value.Int 2); ("u.b", Value.Int 3) ] in
+  check value_t "qualified" (Value.Int 2) (eval_str tup "u.a");
+  check value_t "unique suffix" (Value.Int 3) (eval_str tup "b");
+  (try
+     ignore (eval_str tup "a");
+     Alcotest.fail "expected ambiguity error"
+   with Sql_eval.Eval_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end SQL on a database                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk_db () =
+  let db = Rel_db.create ~name:"test" () in
+  let stmts =
+    [
+      "CREATE TABLE dept (id INT PRIMARY KEY, dname TEXT NOT NULL)";
+      "CREATE TABLE emp (id INT PRIMARY KEY, name TEXT NOT NULL, dept_id INT, salary FLOAT)";
+      "INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'empty')";
+      "INSERT INTO emp VALUES (1, 'Ann', 1, 100.0), (2, 'Bob', 1, 80.0), \
+       (3, 'Cid', 2, 90.0), (4, 'Dee', NULL, 70.0)";
+    ]
+  in
+  List.iter (fun s -> ignore (Rel_db.exec db s)) stmts;
+  db
+
+let q db s = Rel_db.query db s
+
+let test_db_select_where () =
+  let db = mk_db () in
+  check int_t "filter" 2 (List.length (q db "SELECT * FROM emp WHERE salary >= 90"));
+  check int_t "like" 1 (List.length (q db "SELECT * FROM emp WHERE name LIKE 'A%'"))
+
+let test_db_projection_names () =
+  let db = mk_db () in
+  let names, rows = Rel_db.query_names db "SELECT name AS who, salary FROM emp WHERE id = 1" in
+  check (Alcotest.list string_t) "names" [ "who"; "salary" ] names;
+  check (Alcotest.option value_t) "value" (Some (Value.String "Ann"))
+    (Tuple.get (List.hd rows) "who")
+
+let test_db_join () =
+  let db = mk_db () in
+  let rows =
+    q db "SELECT e.name, d.dname FROM emp e JOIN dept d ON e.dept_id = d.id ORDER BY e.name"
+  in
+  check int_t "three joined (Dee has NULL dept)" 3 (List.length rows);
+  check (Alcotest.option value_t) "first by name" (Some (Value.String "Ann"))
+    (Tuple.get (List.hd rows) "name")
+
+let test_db_left_join () =
+  let db = mk_db () in
+  let rows =
+    q db
+      "SELECT e.name, d.dname FROM emp e LEFT JOIN dept d ON e.dept_id = d.id ORDER BY e.name"
+  in
+  check int_t "all four kept" 4 (List.length rows);
+  let dee = List.find (fun r -> Tuple.get r "name" = Some (Value.String "Dee")) rows in
+  check (Alcotest.option value_t) "padded null" (Some Value.Null) (Tuple.get dee "dname")
+
+let test_db_group_by () =
+  let db = mk_db () in
+  let rows =
+    q db
+      "SELECT dept_id, COUNT(*) AS n, AVG(salary) AS avg_sal FROM emp \
+       WHERE dept_id IS NOT NULL GROUP BY dept_id ORDER BY dept_id"
+  in
+  check int_t "two groups" 2 (List.length rows);
+  check (Alcotest.option value_t) "count of dept 1" (Some (Value.Int 2))
+    (Tuple.get (List.hd rows) "n");
+  check (Alcotest.option value_t) "avg of dept 1" (Some (Value.Float 90.0))
+    (Tuple.get (List.hd rows) "avg_sal")
+
+let test_db_having () =
+  let db = mk_db () in
+  let rows =
+    q db "SELECT dept_id, COUNT(*) AS n FROM emp GROUP BY dept_id HAVING n >= 2"
+  in
+  check int_t "only dept 1" 1 (List.length rows)
+
+let test_db_agg_without_group () =
+  let db = mk_db () in
+  let rows = q db "SELECT COUNT(*) AS n, MAX(salary) AS m FROM emp" in
+  check int_t "single row" 1 (List.length rows);
+  check (Alcotest.option value_t) "count" (Some (Value.Int 4)) (Tuple.get (List.hd rows) "n");
+  check (Alcotest.option value_t) "max" (Some (Value.Float 100.0)) (Tuple.get (List.hd rows) "m")
+
+let test_db_order_limit_distinct () =
+  let db = mk_db () in
+  let rows = q db "SELECT salary FROM emp ORDER BY salary DESC LIMIT 2" in
+  check (Alcotest.list value_t) "top 2"
+    [ Value.Float 100.0; Value.Float 90.0 ]
+    (List.map (fun r -> Tuple.get_exn r "salary") rows);
+  let rows = q db "SELECT DISTINCT dept_id FROM emp WHERE dept_id IS NOT NULL" in
+  check int_t "distinct" 2 (List.length rows)
+
+let test_db_update_delete () =
+  let db = mk_db () in
+  (match Rel_db.exec db "UPDATE emp SET salary = salary + 10 WHERE dept_id = 1" with
+  | Rel_db.Affected n -> check int_t "two raises" 2 n
+  | _ -> Alcotest.fail "expected Affected");
+  let rows = q db "SELECT salary FROM emp WHERE name = 'Ann'" in
+  check (Alcotest.option value_t) "raised" (Some (Value.Float 110.0))
+    (Tuple.get (List.hd rows) "salary");
+  (match Rel_db.exec db "DELETE FROM emp WHERE salary < 80" with
+  | Rel_db.Affected n -> check int_t "one deleted" 1 n
+  | _ -> Alcotest.fail "expected Affected");
+  check int_t "three remain" 3 (List.length (q db "SELECT * FROM emp"))
+
+let test_db_insert_column_list () =
+  let db = mk_db () in
+  ignore (Rel_db.exec db "INSERT INTO emp (id, name) VALUES (9, 'Zed')");
+  let rows = q db "SELECT * FROM emp WHERE id = 9" in
+  check (Alcotest.option value_t) "defaults null" (Some Value.Null)
+    (Tuple.get (List.hd rows) "salary")
+
+let test_db_index_used_in_plan () =
+  let db = mk_db () in
+  ignore (Rel_db.exec db "CREATE INDEX ON emp (salary) USING BTREE");
+  let plan = Rel_db.explain db "SELECT * FROM emp WHERE salary > 85" in
+  check bool_t "range index used" true
+    (contains plan "index-range");
+  let plan2 = Rel_db.explain db "SELECT * FROM emp WHERE id = 2" in
+  check bool_t "pk index used" true (contains plan2 "index-eq")
+
+let test_db_index_vs_scan_same_rows () =
+  let db = mk_db () in
+  let before = q db "SELECT name FROM emp WHERE salary > 75 ORDER BY name" in
+  ignore (Rel_db.exec db "CREATE INDEX ON emp (salary) USING BTREE");
+  let after = q db "SELECT name FROM emp WHERE salary > 75 ORDER BY name" in
+  check int_t "same cardinality" (List.length before) (List.length after);
+  List.iter2
+    (fun a b -> check bool_t "same rows" true (Tuple.equal a b))
+    before after
+
+let test_db_errors () =
+  let db = mk_db () in
+  let expect_err s =
+    try
+      ignore (Rel_db.exec db s);
+      Alcotest.failf "expected Sql_error for %S" s
+    with Rel_db.Sql_error _ -> ()
+  in
+  expect_err "SELECT * FROM missing";
+  expect_err "SELECT nosuch FROM emp";
+  expect_err "INSERT INTO dept VALUES (1, 'dup')";
+  expect_err "CREATE TABLE dept (id INT)";
+  expect_err "DROP TABLE missing";
+  expect_err "SELECT * FROM emp WHERE";
+  expect_err "INSERT INTO emp (id) VALUES (1, 2)"
+
+let test_db_cross_product () =
+  let db = mk_db () in
+  let rows = q db "SELECT e.id, d.id FROM emp e, dept d" in
+  check int_t "4 x 3" 12 (List.length rows)
+
+let test_db_three_way_join () =
+  let db = mk_db () in
+  ignore (Rel_db.exec db "CREATE TABLE loc (dept_id INT, city TEXT)");
+  ignore (Rel_db.exec db "INSERT INTO loc VALUES (1, 'SEA'), (2, 'NYC')");
+  let rows =
+    q db
+      "SELECT e.name, d.dname, l.city FROM emp e \
+       JOIN dept d ON e.dept_id = d.id JOIN loc l ON l.dept_id = d.id \
+       WHERE l.city = 'SEA' ORDER BY e.name"
+  in
+  check int_t "two in SEA" 2 (List.length rows)
+
+let test_db_null_semantics () =
+  let db = mk_db () in
+  (* NULL never equals anything, and IN with NULL follows SQL rules. *)
+  check int_t "dept_id = NULL matches nothing" 0
+    (List.length (q db "SELECT * FROM emp WHERE dept_id = NULL"));
+  check int_t "IS NULL finds Dee" 1
+    (List.length (q db "SELECT * FROM emp WHERE dept_id IS NULL"));
+  check int_t "NOT of unknown drops row" 3
+    (List.length (q db "SELECT * FROM emp WHERE NOT (dept_id = 99)"));
+  check int_t "IN list with match" 2
+    (List.length (q db "SELECT * FROM emp WHERE dept_id IN (1, 7)"));
+  check int_t "BETWEEN over null is unknown" 3
+    (List.length (q db "SELECT * FROM emp WHERE dept_id BETWEEN 0 AND 9"))
+
+let test_db_having_on_aggregate_expression () =
+  let db = mk_db () in
+  let rows =
+    q db
+      "SELECT dept_id, SUM(salary) AS total FROM emp WHERE dept_id IS NOT NULL        GROUP BY dept_id HAVING total > 100 ORDER BY total DESC"
+  in
+  check int_t "one heavy dept" 1 (List.length rows);
+  check (Alcotest.option value_t) "dept 1 total" (Some (Value.Float 180.0))
+    (Tuple.get (List.hd rows) "total")
+
+let test_db_order_by_expression () =
+  let db = mk_db () in
+  let rows = q db "SELECT name, salary FROM emp ORDER BY salary * -1 LIMIT 1" in
+  check (Alcotest.option value_t) "highest salary first under negation"
+    (Some (Value.String "Ann"))
+    (Tuple.get (List.hd rows) "name")
+
+let test_db_update_with_expression_referencing_row () =
+  let db = mk_db () in
+  ignore (Rel_db.exec db "UPDATE emp SET salary = salary * 2 WHERE name LIKE '%e%'");
+  let rows = q db "SELECT salary FROM emp WHERE name = 'Dee'" in
+  check (Alcotest.option value_t) "doubled" (Some (Value.Float 140.0))
+    (Tuple.get (List.hd rows) "salary")
+
+let test_db_distinct_on_expressions () =
+  let db = mk_db () in
+  let rows = q db "SELECT DISTINCT dept_id IS NULL AS has_no_dept FROM emp" in
+  check int_t "two truth values" 2 (List.length rows)
+
+let test_btree_string_keys () =
+  let bt = Rel_btree.create ~order:4 ~cmp:String.compare () in
+  List.iter (fun k -> Rel_btree.insert bt k (String.length k))
+    [ "pear"; "apple"; "fig"; "banana"; "kiwi"; "date" ];
+  check (Alcotest.list string_t) "lexicographic range"
+    [ "banana"; "date"; "fig" ]
+    (List.map fst (Rel_btree.range bt ~lo:("b", true) ~hi:("g", false) ()));
+  check bool_t "invariants" true (Rel_btree.check_invariants bt)
+
+(* Property: planner output equals naive reference execution. *)
+let prop_plan_equals_reference =
+  QCheck2.Test.make ~name:"planned join equals nested-loop reference" ~count:60
+    QCheck2.Gen.(pair (int_bound 30) (int_bound 30))
+    (fun (n, m) ->
+      let db = Rel_db.create () in
+      ignore (Rel_db.exec db "CREATE TABLE a (k INT, v INT)");
+      ignore (Rel_db.exec db "CREATE TABLE b (k INT, w INT)");
+      let g = Prng.create (n + (m * 31) + 7) in
+      for _ = 1 to n do
+        ignore
+          (Rel_db.exec db
+             (Printf.sprintf "INSERT INTO a VALUES (%d, %d)" (Prng.int g 10) (Prng.int g 100)))
+      done;
+      for _ = 1 to m do
+        ignore
+          (Rel_db.exec db
+             (Printf.sprintf "INSERT INTO b VALUES (%d, %d)" (Prng.int g 10) (Prng.int g 100)))
+      done;
+      let joined =
+        Rel_db.query db "SELECT a.v, b.w FROM a JOIN b ON a.k = b.k ORDER BY a.v, b.w"
+      in
+      (* Reference: manual nested loop over raw tables. *)
+      let ta = Rel_db.table_exn db "a" and tb = Rel_db.table_exn db "b" in
+      let reference = ref [] in
+      Rel_table.scan ta (fun _ ra ->
+          Rel_table.scan tb (fun _ rb ->
+              if Value.equal (Tuple.get_exn ra "k") (Tuple.get_exn rb "k") then
+                reference :=
+                  Tuple.make
+                    [ ("v", Tuple.get_exn ra "v"); ("w", Tuple.get_exn rb "w") ]
+                  :: !reference));
+      let sort rows = List.sort Tuple.compare rows in
+      sort joined = sort !reference)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest [ prop_btree_matches_model; prop_plan_equals_reference ]
+  in
+  Alcotest.run "relation"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "insert/find" `Quick test_btree_insert_find;
+          Alcotest.test_case "range scans" `Quick test_btree_range;
+          Alcotest.test_case "remove" `Quick test_btree_remove;
+          Alcotest.test_case "height" `Quick test_btree_height_logarithmic;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "insert/scan" `Quick test_table_insert_scan;
+          Alcotest.test_case "pk violation" `Quick test_table_pk_violation;
+          Alcotest.test_case "delete/update" `Quick test_table_delete_update;
+          Alcotest.test_case "index lookups" `Quick test_table_index_lookup;
+          Alcotest.test_case "index maintenance" `Quick test_table_index_maintained_on_mutation;
+          Alcotest.test_case "coercion on insert" `Quick test_table_coercion;
+        ] );
+      ( "sql-syntax",
+        [
+          Alcotest.test_case "print/parse roundtrip" `Quick test_sql_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_sql_parse_errors;
+          Alcotest.test_case "precedence" `Quick test_sql_precedence;
+        ] );
+      ( "sql-eval",
+        [
+          Alcotest.test_case "three-valued logic" `Quick test_eval_three_valued;
+          Alcotest.test_case "like" `Quick test_eval_like;
+          Alcotest.test_case "functions" `Quick test_eval_functions;
+          Alcotest.test_case "column resolution" `Quick test_eval_resolution;
+        ] );
+      ( "sql-exec",
+        [
+          Alcotest.test_case "select/where" `Quick test_db_select_where;
+          Alcotest.test_case "projection names" `Quick test_db_projection_names;
+          Alcotest.test_case "inner join" `Quick test_db_join;
+          Alcotest.test_case "left join" `Quick test_db_left_join;
+          Alcotest.test_case "group by" `Quick test_db_group_by;
+          Alcotest.test_case "having" `Quick test_db_having;
+          Alcotest.test_case "global aggregates" `Quick test_db_agg_without_group;
+          Alcotest.test_case "order/limit/distinct" `Quick test_db_order_limit_distinct;
+          Alcotest.test_case "update/delete" `Quick test_db_update_delete;
+          Alcotest.test_case "insert column list" `Quick test_db_insert_column_list;
+          Alcotest.test_case "plan uses indexes" `Quick test_db_index_used_in_plan;
+          Alcotest.test_case "index answers match scan" `Quick test_db_index_vs_scan_same_rows;
+          Alcotest.test_case "error reporting" `Quick test_db_errors;
+          Alcotest.test_case "cross product" `Quick test_db_cross_product;
+          Alcotest.test_case "three-way join" `Quick test_db_three_way_join;
+          Alcotest.test_case "null semantics" `Quick test_db_null_semantics;
+          Alcotest.test_case "having on aggregate" `Quick test_db_having_on_aggregate_expression;
+          Alcotest.test_case "order by expression" `Quick test_db_order_by_expression;
+          Alcotest.test_case "update expression" `Quick test_db_update_with_expression_referencing_row;
+          Alcotest.test_case "distinct expressions" `Quick test_db_distinct_on_expressions;
+          Alcotest.test_case "btree string keys" `Quick test_btree_string_keys;
+        ]
+        @ props );
+    ]
