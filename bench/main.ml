@@ -24,6 +24,7 @@ let experiments : (string * (unit -> unit)) list =
     ("E8", Experiments.e8);
     ("E9", Experiments.e9);
     ("E10", Experiments.e10);
+    ("E11", Experiments.e11);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -142,6 +142,41 @@ let run_report csvs xmls sqls =
   print_string (Nimble.report sys);
   `Ok ()
 
+let run_explain_analyze csvs xmls sqls repeat text =
+  with_setup @@ fun () ->
+  let sys = build_system csvs xmls sqls in
+  match Nimble.explain_analyze sys ~repeat text with
+  | Ok report ->
+    print_string report;
+    `Ok ()
+  | Error m -> `Error (false, m)
+
+(* Run the queries (warming counters, caches and the feedback store),
+   then print the metrics registry and the per-source breakdown. *)
+let run_stats csvs xmls sqls texts =
+  with_setup @@ fun () ->
+  let sys = build_system csvs xmls sqls in
+  let rec go = function
+    | [] ->
+      print_string (Nimble.stats_report sys);
+      `Ok ()
+    | text :: rest -> (
+      match Nimble.query sys text with
+      | Ok _ -> go rest
+      | Error m -> `Error (false, m))
+  in
+  go texts
+
+let run_trace csvs xmls sqls text =
+  with_setup @@ fun () ->
+  let sys = build_system csvs xmls sqls in
+  Nimble.set_tracing true;
+  match Nimble.query sys text with
+  | Ok _ ->
+    print_string (Nimble.trace_report sys);
+    `Ok ()
+  | Error m -> `Error (false, m)
+
 (* ------------------------------------------------------------------ *)
 (* REPL                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -155,6 +190,9 @@ let repl_help =
   \materialize NAME           materialize a view (manual refresh)
   \refresh NAME               refresh a materialized view
   \explain QUERY              show the physical plan
+  \analyze QUERY              run instrumented: est vs actual rows, timings
+  \stats                      metrics registry and per-source breakdown
+  \trace QUERY                run with tracing on and print the span tree
   \partial QUERY              run in partial-results mode
   \save FILE                  write views/materializations as a script
   \load FILE                  replay a saved script
@@ -252,6 +290,22 @@ let run_repl csvs xmls sqls =
       | Ok plan -> print_string plan
       | Error m -> Printf.printf "error: %s\n" m);
       loop ()
+    | Some line when starts_with "\\analyze " line ->
+      let text = String.sub line 9 (String.length line - 9) in
+      (match Nimble.explain_analyze sys text with
+      | Ok report -> print_string report
+      | Error m -> Printf.printf "error: %s\n" m);
+      loop ()
+    | Some "\\stats" ->
+      print_string (Nimble.stats_report sys);
+      loop ()
+    | Some line when starts_with "\\trace " line ->
+      let text = String.sub line 7 (String.length line - 7) in
+      Nimble.set_tracing true;
+      (match Nimble.query sys text with
+      | Ok _ -> print_string (Nimble.trace_report sys)
+      | Error m -> Printf.printf "error: %s\n" m);
+      loop ()
     | Some line when starts_with "\\partial " line ->
       let text = String.sub line 9 (String.length line - 9) in
       (match Nimble.query_partial sys text with
@@ -310,6 +364,42 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Show the physical plan and pushed fragments for a query")
     Term.(ret (const run_explain $ csv_opt $ xml_opt $ sql_opt $ query_arg))
 
+let repeat_opt =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"N"
+        ~doc:
+          "Run the query N times; each run feeds observed cardinalities back \
+           into the planner, so later runs show estimates converging on \
+           measured row counts.")
+
+let queries_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"QUERY" ~doc:"XML-QL query text (one or more).")
+
+let explain_analyze_cmd =
+  Cmd.v
+    (Cmd.info "explain-analyze"
+       ~doc:
+         "Execute a query instrumented: per-operator estimated vs actual rows \
+          and time, and a per-source-fragment table")
+    Term.(
+      ret (const run_explain_analyze $ csv_opt $ xml_opt $ sql_opt $ repeat_opt $ query_arg))
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the given queries, then print the metrics registry and the \
+          per-source breakdown")
+    Term.(ret (const run_stats $ csv_opt $ xml_opt $ sql_opt $ queries_arg))
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a query with the trace sink enabled and print the span tree")
+    Term.(ret (const run_trace $ csv_opt $ xml_opt $ sql_opt $ query_arg))
+
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Print the system status report")
@@ -322,7 +412,17 @@ let repl_cmd =
 
 let main =
   let doc = "the Nimble XML data integration system" in
-  Cmd.group (Cmd.info "nimble" ~version:"1.0.0" ~doc) [ query_cmd; explain_cmd; report_cmd; repl_cmd ]
+  Cmd.group
+    (Cmd.info "nimble" ~version:"1.0.0" ~doc)
+    [
+      query_cmd;
+      explain_cmd;
+      explain_analyze_cmd;
+      stats_cmd;
+      trace_cmd;
+      report_cmd;
+      repl_cmd;
+    ]
 
 let () =
   ignore wrap;

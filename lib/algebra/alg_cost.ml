@@ -79,7 +79,39 @@ let rec go source_rows plan =
 
 let estimate ~source_rows plan = go source_rows plan
 
+let default_scan_rows = 1000.0
+
+(* Walk the plan printing one line per operator; [decorate] supplies the
+   per-node suffix (estimates alone, or estimates vs. actuals). *)
+let render_tree decorate plan =
+  let buf = Buffer.create 256 in
+  let rec walk indent p =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_string buf (Alg_plan.node_label p);
+    Buffer.add_string buf (decorate p);
+    Buffer.add_char buf '\n';
+    List.iter (walk (indent + 1)) (Alg_plan.children p)
+  in
+  walk 0 plan;
+  Buffer.contents buf
+
 let annotate ~source_rows plan =
-  let base = Alg_plan.explain plan in
+  let body =
+    render_tree
+      (fun p ->
+        let e = estimate ~source_rows p in
+        Printf.sprintf "  (est %.0f rows)" e.rows)
+      plan
+  in
   let total = estimate ~source_rows plan in
-  Printf.sprintf "%s-- estimated: %.0f rows, %.0f work units\n" base total.rows total.cost
+  Printf.sprintf "%s-- estimated: %.0f rows, %.0f work units\n" body total.rows total.cost
+
+let explain_analyze ~source_rows ~actual plan =
+  render_tree
+    (fun p ->
+      let e = estimate ~source_rows p in
+      match actual p with
+      | Some (rows, ms) ->
+        Printf.sprintf "  (est %.0f rows, actual %d rows, %.2fms)" e.rows rows ms
+      | None -> Printf.sprintf "  (est %.0f rows, never executed)" e.rows)
+    plan

@@ -24,7 +24,20 @@ val estimate :
     for unknown sources).  Dependent joins assume one expansion per input
     row; navigate/unnest assume a fan-out of 3. *)
 
+val default_scan_rows : float
+(** 1000.0 — the cardinality assumed for a scan nobody has observed. *)
+
 val annotate :
   source_rows:(string -> float) -> Alg_plan.t -> string
 (** {!Alg_plan.explain} output with an estimated-rows annotation per
-    operator line. *)
+    operator line, plus a total [-- estimated: …] footer. *)
+
+val explain_analyze :
+  source_rows:(string -> float) ->
+  actual:(Alg_plan.t -> (int * float) option) ->
+  Alg_plan.t ->
+  string
+(** EXPLAIN ANALYZE body: per operator line, estimated rows next to the
+    measured (rows, inclusive milliseconds) that [actual] reports for
+    that plan node (physical identity); nodes the executor never pulled
+    from print [never executed]. *)

@@ -150,9 +150,14 @@ let all_vars envs =
     envs;
   List.rev !out
 
-let rec run sources plan : Alg_env.t Seq.t =
-  match plan with
-  | Alg_plan.Scan { source; binding } -> sources source binding
+(* The single interpreter, parameterized by a per-node hook: the plain
+   entry points use the identity hook; instrumented execution wraps each
+   operator's output sequence to count rows and charge time. *)
+let rec run_hooked hook sources plan : Alg_env.t Seq.t =
+  let run sources plan = run_hooked hook sources plan in
+  let seq =
+    match plan with
+    | Alg_plan.Scan { source; binding } -> sources source binding
   | Alg_plan.Const_envs envs -> seq_of_list envs
   | Alg_plan.Select (input, pred) ->
     Seq.filter (fun env -> Alg_expr.eval_pred env pred) (run sources input)
@@ -298,11 +303,17 @@ let rec run sources plan : Alg_env.t Seq.t =
       (fun env -> Alg_env.bind env binding (build_template env template))
       (run sources input)
   | Alg_plan.Limit (input, n) -> Seq.take n (run sources input)
+  in
+  hook plan seq
 
 and tree_to_element tree =
   match tree with
   | Dtree.Node _ -> Some (Dtree.to_xml_element tree)
   | Dtree.Atom _ -> None
+
+let no_hook _ seq = seq
+
+let run sources plan = run_hooked no_hook sources plan
 
 let run_list sources plan = List.of_seq (run sources plan)
 
@@ -324,3 +335,73 @@ let of_tuples binding rows =
     (List.map
        (fun row -> Alg_env.of_bindings [ (binding, Dtree.of_tuple binding row) ])
        rows)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented execution                                              *)
+(* ------------------------------------------------------------------ *)
+
+type op_stats = {
+  op_plan : Alg_plan.t;
+  mutable actual_rows : int;
+  mutable elapsed_ms : float;  (* inclusive of input operators *)
+  mutable pulled : bool;
+  op_kids : op_stats list;
+}
+
+let rec make_stats plan =
+  {
+    op_plan = plan;
+    actual_rows = 0;
+    elapsed_ms = 0.0;
+    pulled = false;
+    op_kids = List.map make_stats (Alg_plan.children plan);
+  }
+
+let rec stats_index acc st =
+  List.fold_left stats_index ((st.op_plan, st) :: acc) st.op_kids
+
+let find_stats index plan =
+  (* Physical identity: each plan node appears once in a compiled tree. *)
+  Option.map snd (List.find_opt (fun (p, _) -> p == plan) index)
+
+(* Wrap a sequence so every pull charges inclusive wall time to [st] and
+   every element bumps its row count. *)
+let counted st seq =
+  let rec aux s () =
+    st.pulled <- true;
+    let t0 = Obs_clock.wall_ms () in
+    let node = s () in
+    st.elapsed_ms <- st.elapsed_ms +. (Obs_clock.wall_ms () -. t0);
+    match node with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) ->
+      st.actual_rows <- st.actual_rows + 1;
+      Seq.Cons (x, aux rest)
+  in
+  aux seq
+
+let rec span_of_stats st =
+  let sp = Obs_span.make (Alg_plan.node_label st.op_plan) in
+  Obs_span.set_int sp "rows" st.actual_rows;
+  Obs_span.set_duration_ms sp st.elapsed_ms;
+  List.iter (fun k -> Obs_span.add_child sp (span_of_stats k)) st.op_kids;
+  sp
+
+let run_instrumented sources plan =
+  let root = make_stats plan in
+  let index = stats_index [] root in
+  let hook p seq =
+    match find_stats index p with
+    | Some st -> counted st seq
+    | None -> seq
+  in
+  let envs = List.of_seq (run_hooked hook sources plan) in
+  if Obs_trace.enabled () then Obs_trace.emit (span_of_stats root);
+  (envs, root)
+
+let actual_of_stats root =
+  let index = stats_index [] root in
+  fun plan ->
+    match find_stats index plan with
+    | Some st when st.pulled -> Some (st.actual_rows, st.elapsed_ms)
+    | Some _ | None -> None

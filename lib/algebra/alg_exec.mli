@@ -27,6 +27,31 @@ val run_partial :
     returned list names the sources that were skipped, so the caller can
     annotate the answer as incomplete. *)
 
+(** {1 Instrumented execution}
+
+    The observability path: identical semantics to {!run_list}, plus a
+    per-operator statistics tree (rows out, inclusive wall time) mirroring
+    the plan — the raw material of EXPLAIN ANALYZE.  When the trace sink
+    is enabled, the statistics also emit as a span tree. *)
+
+type op_stats = {
+  op_plan : Alg_plan.t;          (** the node these numbers describe *)
+  mutable actual_rows : int;     (** rows this operator produced *)
+  mutable elapsed_ms : float;    (** inclusive wall time (with inputs) *)
+  mutable pulled : bool;         (** false: the executor never reached it *)
+  op_kids : op_stats list;       (** same shape as {!Alg_plan.children} *)
+}
+
+val run_instrumented :
+  source_fn -> Alg_plan.t -> Alg_env.t list * op_stats
+(** Force the whole result, counting rows and charging inclusive time per
+    operator.  With the sink disabled this allocates only the statistics
+    tree; results are identical to {!run_list}. *)
+
+val actual_of_stats : op_stats -> Alg_plan.t -> (int * float) option
+(** Lookup (by physical node identity) suitable as the [actual] argument
+    of {!Alg_cost.explain_analyze}; [None] for nodes never pulled. *)
+
 val build_template :
   Alg_env.t -> Alg_plan.template -> Dtree.t
 (** Instantiate a CONSTRUCT template against one environment. *)

@@ -68,93 +68,68 @@ let agg_to_string = function
   | A_max e -> Printf.sprintf "max(%s)" (Alg_expr.to_string e)
   | A_collect e -> Printf.sprintf "collect(%s)" (Alg_expr.to_string e)
 
+let node_label = function
+  | Scan { source; binding } -> Printf.sprintf "SCAN %s AS $%s" source binding
+  | Const_envs envs -> Printf.sprintf "CONST (%d envs)" (List.length envs)
+  | Select (_, pred) -> Printf.sprintf "SELECT %s" (Alg_expr.to_string pred)
+  | Project (_, vars) -> Printf.sprintf "PROJECT [%s]" (String.concat ", " vars)
+  | Rename (_, mapping) ->
+    Printf.sprintf "RENAME [%s]"
+      (String.concat ", " (List.map (fun (a, b) -> a ^ "->" ^ b) mapping))
+  | Extend (_, var, e) -> Printf.sprintf "EXTEND $%s := %s" var (Alg_expr.to_string e)
+  | Extend_tree (_, var, e) ->
+    Printf.sprintf "EXTEND-TREE $%s := %s" var (Alg_expr.to_string e)
+  | Nl_join { pred; _ } ->
+    Printf.sprintf "NESTED-LOOP%s"
+      (match pred with Some p -> " on " ^ Alg_expr.to_string p | None -> "")
+  | Hash_join { left_key; right_key; residual; _ } ->
+    Printf.sprintf "HASH-JOIN %s = %s%s" (Alg_expr.to_string left_key)
+      (Alg_expr.to_string right_key)
+      (match residual with Some p -> " residual " ^ Alg_expr.to_string p | None -> "")
+  | Merge_join { left_key; right_key; _ } ->
+    Printf.sprintf "MERGE-JOIN %s = %s" (Alg_expr.to_string left_key)
+      (Alg_expr.to_string right_key)
+  | Dep_join { label; _ } -> Printf.sprintf "DEPENDENT-JOIN [%s]" label
+  | Sort (_, specs) ->
+    Printf.sprintf "SORT [%s]"
+      (String.concat ", "
+         (List.map
+            (fun s -> Alg_expr.to_string s.sort_key ^ if s.ascending then "" else " desc")
+            specs))
+  | Distinct _ -> "DISTINCT"
+  | Group { keys; aggs; _ } ->
+    Printf.sprintf "GROUP keys[%s] aggs[%s]"
+      (String.concat ", " (List.map (fun (v, e) -> v ^ ":" ^ Alg_expr.to_string e) keys))
+      (String.concat ", " (List.map (fun (v, a) -> v ^ ":" ^ agg_to_string a) aggs))
+  | Union _ -> "UNION"
+  | Outer_union _ -> "OUTER-UNION"
+  | Navigate { var; path; out; _ } ->
+    Printf.sprintf "NAVIGATE $%s %s AS $%s" var (Xml_path.to_string path) out
+  | Unnest { var; label; out; _ } ->
+    Printf.sprintf "UNNEST $%s%s AS $%s" var
+      (match label with Some l -> "/" ^ l | None -> "")
+      out
+  | Construct { binding; _ } -> Printf.sprintf "CONSTRUCT AS $%s" binding
+  | Limit (_, n) -> Printf.sprintf "LIMIT %d" n
+
+let children = function
+  | Scan _ | Const_envs _ -> []
+  | Select (i, _) | Project (i, _) | Rename (i, _) | Extend (i, _, _)
+  | Extend_tree (i, _, _) | Sort (i, _) | Distinct i | Limit (i, _) -> [ i ]
+  | Nl_join { left; right; _ } | Hash_join { left; right; _ }
+  | Merge_join { left; right; _ } -> [ left; right ]
+  | Dep_join { left; _ } -> [ left ]
+  | Group { input; _ } | Navigate { input; _ } | Unnest { input; _ }
+  | Construct { input; _ } -> [ input ]
+  | Union (a, b) | Outer_union (a, b) -> [ a; b ]
+
 let explain plan =
   let buf = Buffer.create 256 in
-  let line indent fmt =
-    Printf.ksprintf
-      (fun s ->
-        Buffer.add_string buf (String.make (indent * 2) ' ');
-        Buffer.add_string buf s;
-        Buffer.add_char buf '\n')
-      fmt
-  in
-  let rec go indent = function
-    | Scan { source; binding } -> line indent "SCAN %s AS $%s" source binding
-    | Const_envs envs -> line indent "CONST (%d envs)" (List.length envs)
-    | Select (input, pred) ->
-      line indent "SELECT %s" (Alg_expr.to_string pred);
-      go (indent + 1) input
-    | Project (input, vars) ->
-      line indent "PROJECT [%s]" (String.concat ", " vars);
-      go (indent + 1) input
-    | Rename (input, mapping) ->
-      line indent "RENAME [%s]"
-        (String.concat ", " (List.map (fun (a, b) -> a ^ "->" ^ b) mapping));
-      go (indent + 1) input
-    | Extend (input, var, e) ->
-      line indent "EXTEND $%s := %s" var (Alg_expr.to_string e);
-      go (indent + 1) input
-    | Extend_tree (input, var, e) ->
-      line indent "EXTEND-TREE $%s := %s" var (Alg_expr.to_string e);
-      go (indent + 1) input
-    | Nl_join { left; right; pred } ->
-      line indent "NESTED-LOOP%s"
-        (match pred with Some p -> " on " ^ Alg_expr.to_string p | None -> "");
-      go (indent + 1) left;
-      go (indent + 1) right
-    | Hash_join { left; right; left_key; right_key; residual } ->
-      line indent "HASH-JOIN %s = %s%s" (Alg_expr.to_string left_key)
-        (Alg_expr.to_string right_key)
-        (match residual with Some p -> " residual " ^ Alg_expr.to_string p | None -> "");
-      go (indent + 1) left;
-      go (indent + 1) right
-    | Merge_join { left; right; left_key; right_key } ->
-      line indent "MERGE-JOIN %s = %s" (Alg_expr.to_string left_key)
-        (Alg_expr.to_string right_key);
-      go (indent + 1) left;
-      go (indent + 1) right
-    | Dep_join { left; label; expand = _ } ->
-      line indent "DEPENDENT-JOIN [%s]" label;
-      go (indent + 1) left
-    | Sort (input, specs) ->
-      line indent "SORT [%s]"
-        (String.concat ", "
-           (List.map
-              (fun s ->
-                Alg_expr.to_string s.sort_key ^ if s.ascending then "" else " desc")
-              specs));
-      go (indent + 1) input
-    | Distinct input ->
-      line indent "DISTINCT";
-      go (indent + 1) input
-    | Group { input; keys; aggs } ->
-      line indent "GROUP keys[%s] aggs[%s]"
-        (String.concat ", "
-           (List.map (fun (v, e) -> v ^ ":" ^ Alg_expr.to_string e) keys))
-        (String.concat ", " (List.map (fun (v, a) -> v ^ ":" ^ agg_to_string a) aggs));
-      go (indent + 1) input
-    | Union (a, b) ->
-      line indent "UNION";
-      go (indent + 1) a;
-      go (indent + 1) b
-    | Outer_union (a, b) ->
-      line indent "OUTER-UNION";
-      go (indent + 1) a;
-      go (indent + 1) b
-    | Navigate { input; var; path; out } ->
-      line indent "NAVIGATE $%s %s AS $%s" var (Xml_path.to_string path) out;
-      go (indent + 1) input
-    | Unnest { input; var; label; out } ->
-      line indent "UNNEST $%s%s AS $%s" var
-        (match label with Some l -> "/" ^ l | None -> "")
-        out;
-      go (indent + 1) input
-    | Construct { input; binding; template = _ } ->
-      line indent "CONSTRUCT AS $%s" binding;
-      go (indent + 1) input
-    | Limit (input, n) ->
-      line indent "LIMIT %d" n;
-      go (indent + 1) input
+  let rec go indent p =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_string buf (node_label p);
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 1)) (children p)
   in
   go 0 plan;
   Buffer.contents buf

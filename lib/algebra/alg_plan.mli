@@ -87,6 +87,15 @@ type t =
   | Construct of { input : t; binding : string; template : template }
   | Limit of t * int
 
+val node_label : t -> string
+(** One-line description of a node without its inputs — the per-operator
+    vocabulary shared by {!explain}, cost annotation and EXPLAIN
+    ANALYZE. *)
+
+val children : t -> t list
+(** Direct plan inputs, left to right ([Dep_join] contributes only its
+    left side; the expansion closure is opaque). *)
+
 val explain : t -> string
 (** Indented operator tree. *)
 

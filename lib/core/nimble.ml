@@ -315,6 +315,46 @@ let query_formatted t ~device text =
 
 let explain t text = guard (fun () -> Med_exec.explain_text t.cat text)
 
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let explain_analyze t ?(repeat = 1) text =
+  match parse_query text with
+  | Error m -> Error m
+  | Ok q ->
+    guard (fun () ->
+        (* Deliberately bypasses the result cache: the point is to
+           measure execution, and each run feeds the cardinality
+           observations the next compilation plans with. *)
+        let buf = Buffer.create 512 in
+        for i = 1 to max 1 repeat do
+          if repeat > 1 then Buffer.add_string buf (Printf.sprintf "== run %d ==\n" i);
+          let a = Med_exec.run_analyzed ~view_lookup:(view_lookup t) t.cat q in
+          Buffer.add_string buf (Med_exec.analysis_to_string a)
+        done;
+        Buffer.contents buf)
+
+let stats_report t =
+  Src_registry.publish_availability (Med_catalog.registry t.cat);
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Obs_report.metrics_report ());
+  Buffer.add_string buf (Obs_report.source_breakdown ());
+  (match Obs_feedback.to_rows (Med_catalog.feedback t.cat) with
+  | [] -> ()
+  | rows ->
+    Buffer.add_string buf "observed cardinalities:\n";
+    List.iter
+      (fun (key, observed, samples) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s rows=%.0f samples=%d\n" key observed samples))
+      rows);
+  Buffer.contents buf
+
+let trace_report (_ : t) = Obs_report.trace_report ()
+
+let set_tracing enabled = Obs_trace.set_enabled enabled
+
 let add_lens t lens =
   guard (fun () ->
       let lname = lens.Fe_lens.lens_name in

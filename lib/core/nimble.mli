@@ -120,6 +120,29 @@ val query_formatted :
 val explain : t -> string -> (string, string) result
 (** The physical plan and the fragments shipped to each source. *)
 
+(** {1 Observability} *)
+
+val explain_analyze : t -> ?repeat:int -> string -> (string, string) result
+(** Run the query for real (bypassing the result cache) and report, per
+    plan operator, estimated vs measured rows and inclusive time, plus a
+    per-source-fragment table (what was pushed, calls, rows, time).  Each
+    run records observed cardinalities into the catalog's feedback store,
+    so with [repeat > 1] later runs plan with measured rather than
+    default scan cardinalities — the report shows the estimates
+    converging. *)
+
+val stats_report : t -> string
+(** All registered metrics, a per-source breakdown (availability,
+    accesses, rows shipped, simulated latency), and the observed-
+    cardinality store. *)
+
+val trace_report : t -> string
+(** The span trees collected since tracing was enabled (empty hint
+    otherwise). *)
+
+val set_tracing : bool -> unit
+(** Toggle the process-wide trace sink ({!Obs_trace.set_enabled}). *)
+
 (** {1 Lenses} *)
 
 val add_lens : t -> Fe_lens.t -> (unit, string) result

@@ -5,6 +5,14 @@ type stats = {
   mutable invalidations : int;
 }
 
+(* Local per-cache stats stay the source of truth; the process-wide
+   registry mirrors them so cache behaviour shows up in `stats` reports
+   next to source and mediator counters. *)
+let m_hits = Obs_metrics.counter "cache.hits"
+let m_misses = Obs_metrics.counter "cache.misses"
+let m_evictions = Obs_metrics.counter "cache.evictions"
+let m_invalidations = Obs_metrics.counter "cache.invalidations"
+
 type entry = {
   value : Dtree.t list;
   entry_sources : string list;
@@ -34,10 +42,12 @@ let get t key =
   match Hashtbl.find_opt t.table key with
   | Some entry ->
     t.st.cache_hits <- t.st.cache_hits + 1;
+    Obs_metrics.inc m_hits;
     touch t entry;
     Some entry.value
   | None ->
     t.st.cache_misses <- t.st.cache_misses + 1;
+    Obs_metrics.inc m_misses;
     None
 
 let evict_lru t =
@@ -51,7 +61,8 @@ let evict_lru t =
   match !victim with
   | Some (key, _) ->
     Hashtbl.remove t.table key;
-    t.st.evictions <- t.st.evictions + 1
+    t.st.evictions <- t.st.evictions + 1;
+    Obs_metrics.inc m_evictions
   | None -> ()
 
 let put t ?(sources = []) key value =
@@ -74,6 +85,7 @@ let invalidate t key =
   if Hashtbl.mem t.table key then begin
     Hashtbl.remove t.table key;
     t.st.invalidations <- t.st.invalidations + 1;
+    Obs_metrics.inc m_invalidations;
     true
   end
   else false
@@ -86,6 +98,7 @@ let invalidate_source t source =
   in
   List.iter (fun k -> Hashtbl.remove t.table k) victims;
   t.st.invalidations <- t.st.invalidations + List.length victims;
+  Obs_metrics.inc ~by:(List.length victims) m_invalidations;
   List.length victims
 
 let clear t = Hashtbl.reset t.table

@@ -7,15 +7,19 @@ type view = {
 type t = {
   reg : Src_registry.t;
   views : (string, view) Hashtbl.t;
+  fb : Obs_feedback.t;
 }
 
 exception Catalog_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Catalog_error m)) fmt
 
-let create () = { reg = Src_registry.create (); views = Hashtbl.create 16 }
+let create () =
+  { reg = Src_registry.create (); views = Hashtbl.create 16; fb = Obs_feedback.create () }
 
 let registry t = t.reg
+
+let feedback t = t.fb
 
 let register_source t src =
   try Src_registry.register t.reg src

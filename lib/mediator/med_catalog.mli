@@ -21,6 +21,13 @@ val create : unit -> t
 
 val registry : t -> Src_registry.t
 
+val feedback : t -> Obs_feedback.t
+(** The catalog's observed-cardinality store: every execution records
+    how many rows each access produced, and cost-model consumers
+    ({!Med_planner.source_rows}, EXPLAIN ANALYZE) read estimates back
+    from it.  Scoped to the catalog so independent engines (and tests)
+    never share observations. *)
+
 (** {1 Sources} *)
 
 val register_source : t -> Source.t -> unit

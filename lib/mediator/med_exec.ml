@@ -49,6 +49,25 @@ let envs_of_sql_rows (fragment : Med_sqlgen.fragment) rows =
 let match_documents pattern docs =
   List.concat_map (fun doc -> Xq_eval.match_anywhere pattern doc) docs
 
+(* Which source (or view) an access targets, and what it ships there —
+   the [target]/[push] attributes of the mediator.access span and the
+   name under which per-source counters accumulate. *)
+let access_target = function
+  | Med_planner.A_sql { source_name; _ }
+  | Med_planner.A_sql_join { source_name; _ }
+  | Med_planner.A_path { source_name; _ }
+  | Med_planner.A_match { source_name; _ } -> source_name
+  | Med_planner.A_view { view; _ } -> view
+
+let access_push = function
+  | Med_planner.A_sql { fragment; _ } -> fragment.Med_sqlgen.sql_text
+  | Med_planner.A_sql_join { fragment; _ } -> fragment.Med_sqlgen.jf_sql_text
+  | Med_planner.A_path { path; _ } -> Xml_path.to_string path
+  | Med_planner.A_match { pattern; _ } | Med_planner.A_view { pattern; _ } ->
+    Xq_pretty.pattern_to_string pattern
+
+let capability_fallbacks = Obs_metrics.counter "mediator.capability_fallbacks"
+
 (* The XML view of an export, shipping rows (not trees) for tabular
    sources and rebuilding the document client-side. *)
 let export_documents (src : Source.t) export =
@@ -72,6 +91,7 @@ let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
       (* Capability miss at runtime: ship the whole export and re-apply
          the conditions the fragment would have evaluated (they left the
          residual pool at plan time). *)
+      Obs_metrics.inc capability_fallbacks;
       let envs = match_documents pattern (export_documents src export) in
       List.filter
         (fun env ->
@@ -101,6 +121,7 @@ let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
         List.concat_map (Xq_eval.match_pattern pattern) candidates
       | Source.R_rows _ -> match_documents pattern (export_documents src export)
     with Source.Query_rejected _ ->
+      Obs_metrics.inc capability_fallbacks;
       match_documents pattern (export_documents src export))
   | Med_planner.A_match { source_name; export; pattern } ->
     let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
@@ -130,25 +151,55 @@ and source_fn_of catalog ~opts ~view_lookup (compiled : Med_planner.compiled) :
  fun access_id _binding ->
   match List.assoc_opt access_id compiled.Med_planner.accesses with
   | None -> fail "internal: unknown access id %s" access_id
-  | Some access -> (
-    try List.to_seq (run_access catalog ~opts ~view_lookup access)
-    with Source.Unavailable name -> raise (Alg_exec.Source_unavailable name))
+  | Some access ->
+    let target = access_target access in
+    Obs_trace.with_span "mediator.access" (fun span ->
+        Obs_span.set span "id" access_id;
+        Obs_span.set span "target" target;
+        Obs_span.set span "push" (access_push access);
+        Obs_metrics.inc
+          (Obs_metrics.counter (Printf.sprintf "source.%s.accesses" target));
+        try
+          let envs = run_access catalog ~opts ~view_lookup access in
+          let n = List.length envs in
+          Obs_span.set_int span "rows" n;
+          Obs_metrics.inc ~by:n
+            (Obs_metrics.counter (Printf.sprintf "source.%s.rows" target));
+          (* The feedback loop: whatever this access shipped is the best
+             cardinality estimate for its next compilation. *)
+          Obs_feedback.record (Med_catalog.feedback catalog)
+            (Med_planner.access_key access) n;
+          List.to_seq envs
+        with Source.Unavailable name ->
+          Obs_metrics.inc
+            (Obs_metrics.counter (Printf.sprintf "source.%s.unavailable" target));
+          raise (Alg_exec.Source_unavailable name))
 
 and exec catalog ~opts ~partial ~view_lookup (compiled : Med_planner.compiled) =
-  let sources = source_fn_of catalog ~opts ~view_lookup compiled in
-  let envs, skipped =
-    if partial then Alg_exec.run_partial sources compiled.Med_planner.plan
-    else (Alg_exec.run_list sources compiled.Med_planner.plan, [])
-  in
-  (* Instantiate the CONSTRUCT template per binding.  Correlated
-     subqueries re-enter through the direct resolver. *)
-  let resolver = direct_resolver catalog in
-  let trees =
-    List.concat_map
-      (fun env -> Xq_eval.instantiate resolver env compiled.Med_planner.construct)
-      envs
-  in
-  { trees; bindings = envs; skipped_sources = skipped }
+  Obs_trace.with_span "query" (fun qspan ->
+      let sources = source_fn_of catalog ~opts ~view_lookup compiled in
+      let envs, skipped =
+        if partial then Alg_exec.run_partial sources compiled.Med_planner.plan
+        else (Alg_exec.run_list sources compiled.Med_planner.plan, [])
+      in
+      if skipped <> [] then begin
+        (* Partial-result degradation (section 3.4): the answer shipped,
+           but not all sources contributed. *)
+        Obs_metrics.inc (Obs_metrics.counter "mediator.partial.degraded");
+        Obs_metrics.inc ~by:(List.length skipped)
+          (Obs_metrics.counter "mediator.partial.skipped_sources");
+        Obs_span.set qspan "skipped" (String.concat "," skipped)
+      end;
+      Obs_span.set_int qspan "rows" (List.length envs);
+      (* Instantiate the CONSTRUCT template per binding.  Correlated
+         subqueries re-enter through the direct resolver. *)
+      let resolver = direct_resolver catalog in
+      let trees =
+        List.concat_map
+          (fun env -> Xq_eval.instantiate resolver env compiled.Med_planner.construct)
+          envs
+      in
+      { trees; bindings = envs; skipped_sources = skipped })
 
 let run_compiled ?(view_lookup = no_lookup) catalog compiled =
   exec catalog ~opts:Med_sqlgen.default_options ~partial:false ~view_lookup compiled
@@ -174,3 +225,138 @@ let explain_text catalog text =
   match Xq_parser.parse text with
   | Ok q -> Med_planner.explain (Med_planner.compile catalog q)
   | Error m -> fail "%s" m
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type access_stat = {
+  stat_id : string;
+  stat_access : Med_planner.access;
+  stat_est_rows : float;
+  stat_calls : int;
+  stat_rows : int;
+  stat_ms : float;
+}
+
+type analysis = {
+  analyzed_result : result;
+  analyzed_compiled : Med_planner.compiled;
+  analyzed_source_rows : string -> float;
+  analyzed_actual : Alg_plan.t -> (int * float) option;
+  analyzed_accesses : access_stat list;
+  analyzed_wall_ms : float;
+}
+
+let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
+    catalog q =
+  let fb = Med_catalog.feedback catalog in
+  let compiled = Med_planner.compile ~opts ~feedback:fb catalog q in
+  (* Snapshot the estimates BEFORE executing: the whole point of the
+     report is comparing what the planner believed going in against what
+     the run measured (the run itself updates the feedback store). *)
+  let est_snapshot =
+    List.map
+      (fun (aid, _) -> (aid, Med_planner.source_rows ~feedback:fb compiled aid))
+      compiled.Med_planner.accesses
+  in
+  let source_rows aid =
+    match List.assoc_opt aid est_snapshot with
+    | Some rows -> rows
+    | None -> Alg_cost.default_scan_rows
+  in
+  (* Wrap the source function to tally per-access calls / rows / time
+     (the per-source-fragment half of the report; the operator half comes
+     from the instrumented executor). *)
+  let tally : (string, int ref * int ref * float ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let base = source_fn_of catalog ~opts ~view_lookup compiled in
+  let sources aid binding =
+    let calls, rows, ms =
+      match Hashtbl.find_opt tally aid with
+      | Some cell -> cell
+      | None ->
+        let cell = (ref 0, ref 0, ref 0.0) in
+        Hashtbl.add tally aid cell;
+        cell
+    in
+    let t0 = Obs_clock.wall_ms () in
+    let envs = List.of_seq (base aid binding) in
+    incr calls;
+    rows := !rows + List.length envs;
+    ms := !ms +. (Obs_clock.wall_ms () -. t0);
+    List.to_seq envs
+  in
+  let t0 = Obs_clock.wall_ms () in
+  let envs, op_root =
+    Obs_trace.with_span "query" (fun qspan ->
+        let r = Alg_exec.run_instrumented sources compiled.Med_planner.plan in
+        Obs_span.set_int qspan "rows" (List.length (fst r));
+        r)
+  in
+  let wall_ms = Obs_clock.wall_ms () -. t0 in
+  let resolver = direct_resolver catalog in
+  let trees =
+    List.concat_map
+      (fun env -> Xq_eval.instantiate resolver env compiled.Med_planner.construct)
+      envs
+  in
+  let accesses =
+    List.map
+      (fun (aid, access) ->
+        let calls, rows, ms =
+          match Hashtbl.find_opt tally aid with
+          | Some (c, r, m) -> (!c, !r, !m)
+          | None -> (0, 0, 0.0)
+        in
+        {
+          stat_id = aid;
+          stat_access = access;
+          stat_est_rows = source_rows aid;
+          stat_calls = calls;
+          stat_rows = rows;
+          stat_ms = ms;
+        })
+      compiled.Med_planner.accesses
+  in
+  {
+    analyzed_result = { trees; bindings = envs; skipped_sources = [] };
+    analyzed_compiled = compiled;
+    analyzed_source_rows = source_rows;
+    analyzed_actual = Alg_exec.actual_of_stats op_root;
+    analyzed_accesses = accesses;
+    analyzed_wall_ms = wall_ms;
+  }
+
+let run_analyzed_text ?opts ?view_lookup catalog text =
+  match Xq_parser.parse text with
+  | Ok q -> run_analyzed ?opts ?view_lookup catalog q
+  | Error m -> fail "%s" m
+
+let analysis_to_string a =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Alg_cost.explain_analyze ~source_rows:a.analyzed_source_rows
+       ~actual:a.analyzed_actual a.analyzed_compiled.Med_planner.plan);
+  Buffer.add_string buf "accesses:\n";
+  List.iter
+    (fun st ->
+      Buffer.add_string buf
+        (Med_planner.access_to_string (st.stat_id, st.stat_access));
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s]\n"
+           (Obs_report.cells
+              [
+                ("est", Printf.sprintf "%.0f" st.stat_est_rows);
+                Obs_report.int_cell "calls" st.stat_calls;
+                Obs_report.int_cell "rows" st.stat_rows;
+                ("time", Printf.sprintf "%.2fms" st.stat_ms);
+              ]))
+      )
+    a.analyzed_accesses;
+  Buffer.add_string buf
+    (Printf.sprintf "-- %d rows in %.2fms\n"
+       (List.length a.analyzed_result.bindings)
+       a.analyzed_wall_ms);
+  Buffer.contents buf

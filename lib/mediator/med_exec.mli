@@ -14,7 +14,11 @@ type result = {
 exception Exec_error of string
 
 val compile :
-  ?opts:Med_sqlgen.options -> Med_catalog.t -> Xq_ast.query -> Med_planner.compiled
+  ?opts:Med_sqlgen.options ->
+  ?feedback:Obs_feedback.t ->
+  Med_catalog.t ->
+  Xq_ast.query ->
+  Med_planner.compiled
 
 type view_lookup = string -> Dtree.t list option
 (** Hook consulted before a mediated schema is recomputed: when it
@@ -52,6 +56,56 @@ val run_partial :
   Dtree.t list * string list
 
 val explain_text : Med_catalog.t -> string -> string
+
+(** {1 EXPLAIN ANALYZE}
+
+    Instrumented execution: the query runs for real (strict mode),
+    counting rows and inclusive wall time per plan operator and per
+    source fragment, and recording observed cardinalities into the
+    catalog's feedback store for the next compilation. *)
+
+type access_stat = {
+  stat_id : string;                  (** Scan-leaf access id *)
+  stat_access : Med_planner.access;
+  stat_est_rows : float;             (** planner's estimate {e before} the run *)
+  stat_calls : int;                  (** times the executor opened the access *)
+  stat_rows : int;                   (** rows shipped, total over calls *)
+  stat_ms : float;                   (** wall time inside the access *)
+}
+
+type analysis = {
+  analyzed_result : result;
+  analyzed_compiled : Med_planner.compiled;
+  analyzed_source_rows : string -> float;
+      (** the pre-run estimate snapshot, keyed by access id *)
+  analyzed_actual : Alg_plan.t -> (int * float) option;
+      (** per-operator (rows, inclusive ms), by physical node identity *)
+  analyzed_accesses : access_stat list;
+  analyzed_wall_ms : float;
+}
+
+val run_analyzed :
+  ?opts:Med_sqlgen.options ->
+  ?view_lookup:view_lookup ->
+  Med_catalog.t ->
+  Xq_ast.query ->
+  analysis
+(** Compiles {e with} the catalog's feedback store (so a repeated query
+    plans with observed cardinalities), snapshots the estimates, then
+    executes instrumented.  @raise Source.Unavailable as {!run}. *)
+
+val run_analyzed_text :
+  ?opts:Med_sqlgen.options ->
+  ?view_lookup:view_lookup ->
+  Med_catalog.t ->
+  string ->
+  analysis
+(** @raise Exec_error on syntax errors. *)
+
+val analysis_to_string : analysis -> string
+(** The EXPLAIN ANALYZE report: the operator tree with estimated vs
+    actual rows and per-operator time, the access table with per-fragment
+    estimates, calls, rows and time, and a total footer. *)
 
 val direct_resolver : Med_catalog.t -> Xq_eval.resolver
 (** The reference-semantics resolver: source exports serve their XML

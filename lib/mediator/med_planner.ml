@@ -38,6 +38,31 @@ exception Plan_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Plan_error m)) fmt
 
+(* Stable identity of an access across compilations of the same query:
+   the cardinality-feedback store is keyed by this, so observations made
+   by one execution are found by the next plan of the same shape. *)
+let access_key = function
+  | A_sql { source_name; fragment; _ } ->
+    Printf.sprintf "sql|%s|%s" source_name fragment.Med_sqlgen.sql_text
+  | A_sql_join { source_name; fragment; _ } ->
+    Printf.sprintf "sqljoin|%s|%s" source_name fragment.Med_sqlgen.jf_sql_text
+  | A_path { source_name; export; path; pattern } ->
+    Printf.sprintf "path|%s.%s|%s|%s" source_name export (Xml_path.to_string path)
+      (Xq_pretty.pattern_to_string pattern)
+  | A_match { source_name; export; pattern } ->
+    Printf.sprintf "match|%s.%s|%s" source_name export
+      (Xq_pretty.pattern_to_string pattern)
+  | A_view { view; pattern } ->
+    Printf.sprintf "view|%s|%s" view (Xq_pretty.pattern_to_string pattern)
+
+let observed_rows feedback access =
+  match feedback with
+  | None -> Alg_cost.default_scan_rows
+  | Some fb -> (
+    match Obs_feedback.observed fb (access_key access) with
+    | Some rows -> rows
+    | None -> Alg_cost.default_scan_rows)
+
 (* Variables an access binds. *)
 let access_vars = function
   | A_sql { fragment; _ } ->
@@ -201,7 +226,11 @@ let try_join_group opts catalog (clauses : Xq_ast.clause list) candidates =
         end)
     by_source None
 
-let compile ?(opts = Med_sqlgen.default_options) catalog (q : Xq_ast.query) =
+let rec remove_once x = function
+  | [] -> []
+  | y :: tl -> if x == y then tl else y :: remove_once x tl
+
+let compile ?(opts = Med_sqlgen.default_options) ?feedback catalog (q : Xq_ast.query) =
   (* Resolve accesses clause by clause; once a condition is pushed into a
      fragment it leaves the residual pool. *)
   let residual = ref q.Xq_ast.conditions in
@@ -241,14 +270,31 @@ let compile ?(opts = Med_sqlgen.default_options) catalog (q : Xq_ast.query) =
          q.Xq_ast.clauses)
   in
   let accesses = !grouped @ singles in
-  (* Greedy connected join order: start from the first access, prefer
-     joining accesses that share variables with the accumulated set. *)
+  (* Greedy connected join order, weighted by observed cardinality: the
+     cheapest access (fewest rows seen on previous executions) drives the
+     build side, and at each step the cheapest access sharing a variable
+     with the accumulated set joins next.  Without feedback every weight
+     is the same default, ties keep list order, and the order degenerates
+     to the original first-come greedy walk. *)
+  let weight (_, access) = observed_rows feedback access in
+  let pick_min = function
+    | [] -> None
+    | first :: rest ->
+      let best, _ =
+        List.fold_left
+          (fun (best, best_w) entry ->
+            let w = weight entry in
+            if w < best_w then (entry, w) else (best, best_w))
+          (first, weight first) rest
+      in
+      Some best
+  in
   let scan (aid, _) = Alg_plan.Scan { source = aid; binding = "*" } in
   let plan, plan_vars =
-    match accesses with
-    | [] -> fail "query has no clauses"
-    | first :: rest ->
-      let pending = ref rest in
+    match pick_min accesses with
+    | None -> fail "query has no clauses"
+    | Some first ->
+      let pending = ref (remove_once first accesses) in
       let current = ref (scan first) in
       let current_vars = ref (access_vars (snd first)) in
       while !pending <> [] do
@@ -259,10 +305,15 @@ let compile ?(opts = Med_sqlgen.default_options) catalog (q : Xq_ast.query) =
             !pending
         in
         let next, remaining =
-          match connected, disconnected with
-          | next :: others, disc -> (next, others @ disc)
-          | [], next :: others -> (next, others)
-          | [], [] -> assert false
+          match connected with
+          | [] -> (
+            match pick_min disconnected with
+            | Some next -> (next, remove_once next disconnected)
+            | None -> assert false)
+          | _ -> (
+            match pick_min connected with
+            | Some next -> (next, remove_once next connected @ disconnected)
+            | None -> assert false)
         in
         let joined, vars =
           join_step !current !current_vars (scan next) (access_vars (snd next))
@@ -336,6 +387,11 @@ let compile ?(opts = Med_sqlgen.default_options) catalog (q : Xq_ast.query) =
     source_query = q;
     residual_conditions = !residual;
   }
+
+let source_rows ?feedback compiled aid =
+  match List.assoc_opt aid compiled.accesses with
+  | None -> Alg_cost.default_scan_rows
+  | Some access -> observed_rows feedback access
 
 let access_to_string (aid, access) =
   match access with

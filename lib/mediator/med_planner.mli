@@ -66,9 +66,39 @@ type compiled = {
 exception Plan_error of string
 
 val compile :
-  ?opts:Med_sqlgen.options -> Med_catalog.t -> Xq_ast.query -> compiled
-(** @raise Plan_error on unknown sources. *)
+  ?opts:Med_sqlgen.options ->
+  ?feedback:Obs_feedback.t ->
+  Med_catalog.t ->
+  Xq_ast.query ->
+  compiled
+(** @raise Plan_error on unknown sources.
+
+    When [feedback] is given, the greedy join order is weighted by
+    observed cardinalities: the access with the fewest rows recorded by
+    previous executions starts the pipeline and, at each step, the
+    cheapest variable-connected access joins next.  Without [feedback]
+    (or before any observation) every access weighs
+    {!Alg_cost.default_scan_rows} and the order is the original
+    first-come greedy walk. *)
+
+val access_key : access -> string
+(** Stable identity of an access across compilations — the key under
+    which {!Obs_feedback} stores observed cardinalities.  Built from the
+    shipped artifact (SQL text, path + pattern, view name + pattern), so
+    the same logical access in a recompiled query maps to the same
+    observations. *)
+
+val source_rows :
+  ?feedback:Obs_feedback.t -> compiled -> string -> float
+(** Cardinality provider for {!Alg_cost.estimate}: maps a Scan leaf's
+    access id to the rows observed for that access on previous
+    executions, or {!Alg_cost.default_scan_rows} when nothing has been
+    recorded yet. *)
 
 val explain : compiled -> string
 (** Operator tree plus, per SQL access, the fragment shipped to the
     source. *)
+
+val access_to_string : string * access -> string
+(** One [explain] line (two-space indented): access id, strategy, and
+    the artifact shipped to the source. *)

@@ -1,0 +1,9 @@
+let wall_ms () = Unix.gettimeofday () *. 1000.0
+
+let virtual_clock = ref 0.0
+
+let advance ms = if ms > 0.0 then virtual_clock := !virtual_clock +. ms
+
+let virtual_ms () = !virtual_clock
+
+let reset_virtual () = virtual_clock := 0.0

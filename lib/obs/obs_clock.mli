@@ -1,0 +1,20 @@
+(** The two clocks of the observability subsystem.
+
+    Wall time is real elapsed time, used for operator and fragment
+    timings.  Virtual time is the deterministic simulated-network clock
+    that {!Net_sim} charges (latency + per-tuple transfer); components
+    advance it explicitly, so traces can report both "how long did this
+    take here" and "how much simulated network time did it cost". *)
+
+val wall_ms : unit -> float
+(** Current wall-clock time in milliseconds (monotonic enough for
+    span durations). *)
+
+val advance : float -> unit
+(** Advance the process-wide virtual clock by [ms] (negative or zero
+    amounts are ignored). *)
+
+val virtual_ms : unit -> float
+(** Accumulated virtual milliseconds since start (or the last reset). *)
+
+val reset_virtual : unit -> unit

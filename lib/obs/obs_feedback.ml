@@ -1,0 +1,30 @@
+type observation = {
+  mutable last_rows : float;
+  mutable samples : int;
+}
+
+type t = { table : (string, observation) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let record t key rows =
+  let rows = float_of_int (max 0 rows) in
+  match Hashtbl.find_opt t.table key with
+  | Some obs ->
+    obs.last_rows <- rows;
+    obs.samples <- obs.samples + 1
+  | None -> Hashtbl.replace t.table key { last_rows = rows; samples = 1 }
+
+let observed t key =
+  Option.map (fun obs -> obs.last_rows) (Hashtbl.find_opt t.table key)
+
+let samples t key =
+  match Hashtbl.find_opt t.table key with Some obs -> obs.samples | None -> 0
+
+let size t = Hashtbl.length t.table
+
+let reset t = Hashtbl.reset t.table
+
+let to_rows t =
+  Hashtbl.fold (fun key obs acc -> (key, obs.last_rows, obs.samples) :: acc) t.table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)

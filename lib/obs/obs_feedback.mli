@@ -1,0 +1,28 @@
+(** Observed-cardinality store: the cost-model feedback loop.
+
+    Execution records how many rows each access actually produced, keyed
+    by a stable description of the access (the pushed SQL text, the path
+    expression, …).  The planner's [source_rows] provider consults the
+    store, so a repeated query estimates scans with {e measured} rather
+    than default cardinalities.  The store keeps the most recent
+    observation per key (last-value wins — sources drift, and the last
+    run is the best predictor of the next). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> string -> int -> unit
+(** [record t key rows] — negative counts clamp to 0. *)
+
+val observed : t -> string -> float option
+(** The most recent observation for [key]. *)
+
+val samples : t -> string -> int
+(** How many observations [key] has accumulated (0 when unknown). *)
+
+val size : t -> int
+val reset : t -> unit
+
+val to_rows : t -> (string * float * int) list
+(** (key, last observed rows, sample count), sorted by key. *)

@@ -1,0 +1,126 @@
+type counter = { mutable c_value : int }
+
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  h_buckets : float array; (* upper bounds, ascending; implicit +inf last *)
+  h_counts : int array;    (* length = Array.length h_buckets + 1 *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let default_buckets = [ 1.0; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0 ]
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register name make select =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+    match select m with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Obs_metrics: %s is already registered as a %s" name (kind_name m)))
+  | None ->
+    let m, v = make () in
+    Hashtbl.replace registry name m;
+    v
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_value = 0 } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let inc ?(by = 1) c = c.c_value <- c.c_value + by
+
+let value c = c.c_value
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_value = 0.0 } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v = g.g_value <- v
+
+let gauge_value g = g.g_value
+
+let histogram ?(buckets = default_buckets) name =
+  register name
+    (fun () ->
+      let bounds = Array.of_list (List.sort_uniq compare buckets) in
+      let h =
+        { h_buckets = bounds; h_counts = Array.make (Array.length bounds + 1) 0;
+          h_sum = 0.0; h_count = 0 }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  let n = Array.length h.h_buckets in
+  let rec slot i = if i >= n || v <= h.h_buckets.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let histogram_sum h = h.h_sum
+let histogram_count h = h.h_count
+
+let histogram_buckets h =
+  List.init
+    (Array.length h.h_counts)
+    (fun i ->
+      let bound =
+        if i < Array.length h.h_buckets then h.h_buckets.(i) else infinity
+      in
+      (bound, h.h_counts.(i)))
+
+let find_counter name =
+  match Hashtbl.find_opt registry name with Some (Counter c) -> Some c | _ -> None
+
+let find_gauge name =
+  match Hashtbl.find_opt registry name with Some (Gauge g) -> Some g | _ -> None
+
+let find_histogram name =
+  match Hashtbl.find_opt registry name with Some (Histogram h) -> Some h | _ -> None
+
+let counter_value name = Option.map value (find_counter name)
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+        h.h_sum <- 0.0;
+        h.h_count <- 0)
+    registry
+
+let names () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort String.compare
+
+let render_value = function
+  | Counter c -> string_of_int c.c_value
+  | Gauge g -> Printf.sprintf "%g" g.g_value
+  | Histogram h -> Printf.sprintf "count=%d sum=%.2f" h.h_count h.h_sum
+
+let to_rows () =
+  List.map
+    (fun name -> (name, render_value (Hashtbl.find registry name)))
+    (names ())

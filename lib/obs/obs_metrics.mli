@@ -1,0 +1,59 @@
+(** Process-wide metrics registry: counters, gauges, and histograms with
+    fixed bucket boundaries.
+
+    Metric handles are get-or-create by dotted name ([counter "cache.hits"]
+    returns the same counter every time), so instrumented modules never
+    coordinate registration.  Handles stay valid across {!reset_all},
+    which zeroes values in place.  Registering one name under two
+    different kinds is a programming error ([Invalid_argument]). *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Counters} *)
+
+val counter : string -> counter
+val inc : ?by:int -> counter -> unit
+val value : counter -> int
+
+(** {1 Gauges} *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+val default_buckets : float list
+(** Millisecond-scale boundaries: 1, 5, 10, 25, 50, 100, 250, 500, 1000. *)
+
+val histogram : ?buckets:float list -> string -> histogram
+(** [buckets] is only consulted on first registration. *)
+
+val observe : histogram -> float -> unit
+val histogram_sum : histogram -> float
+val histogram_count : histogram -> int
+
+val histogram_buckets : histogram -> (float * int) list
+(** Per-bucket (upper bound, count) pairs; the final bound is
+    [infinity]. *)
+
+(** {1 Registry} *)
+
+val find_counter : string -> counter option
+val find_gauge : string -> gauge option
+val find_histogram : string -> histogram option
+
+val counter_value : string -> int option
+(** Shorthand for tests: the value of a registered counter. *)
+
+val reset_all : unit -> unit
+(** Zero every registered metric in place (handles stay valid). *)
+
+val names : unit -> string list
+(** Registered metric names, sorted. *)
+
+val to_rows : unit -> (string * string) list
+(** (name, rendered value) for every metric, sorted by name; histograms
+    render as [count=N sum=S]. *)

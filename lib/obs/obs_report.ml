@@ -1,0 +1,108 @@
+(* One formatting path for every stats surface: Net_sim's one-line
+   summaries, the CLI stats tables and trace rendering all go through
+   [cells]. *)
+
+let cells kvs = String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+
+let int_cell k n = (k, string_of_int n)
+
+let ms_cell k ms = (k, Printf.sprintf "%.2f" ms)
+
+(* ------------------------------------------------------------------ *)
+(* Span trees                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let span_tree sp =
+  let buf = Buffer.create 256 in
+  let rec go indent sp =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_string buf (Obs_span.name sp);
+    Buffer.add_string buf (Printf.sprintf "  %.2fms" (Obs_span.duration_ms sp));
+    let vms = Obs_span.virtual_duration_ms sp in
+    if vms > 0.0 then Buffer.add_string buf (Printf.sprintf " (virtual %.2fms)" vms);
+    (match Obs_span.attrs sp with
+    | [] -> ()
+    | attrs -> Buffer.add_string buf (Printf.sprintf " {%s}" (cells attrs)));
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 1)) (Obs_span.children sp)
+  in
+  go 0 sp;
+  Buffer.contents buf
+
+let trace_report () =
+  match Obs_trace.roots () with
+  | [] -> "trace: no spans recorded (is the sink enabled?)\n"
+  | roots ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "trace:\n";
+    List.iter (fun sp -> Buffer.add_string buf (span_tree sp)) roots;
+    Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_report () =
+  match Obs_metrics.to_rows () with
+  | [] -> "metrics: (empty)\n"
+  | rows ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "metrics:\n";
+    List.iter
+      (fun (name, value) -> Buffer.add_string buf (Printf.sprintf "  %-40s %s\n" name value))
+      rows;
+    Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Per-source breakdown                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric naming convention: [source.<name>.<field>].  Counters feed
+   plain fields; the [latency_ms] histogram contributes its sum as
+   virtual_ms; the [available] gauge renders yes/no. *)
+
+let counter_fields = [ "accesses"; "rows"; "calls"; "rejected"; "failed"; "tuples"; "unavailable" ]
+
+let source_names_in_registry () =
+  List.filter_map
+    (fun name ->
+      if String.length name > 7 && String.sub name 0 7 = "source." then
+        match String.rindex_opt name '.' with
+        | Some i when i > 7 -> Some (String.sub name 7 (i - 7))
+        | _ -> None
+      else None)
+    (Obs_metrics.names ())
+  |> List.sort_uniq String.compare
+
+let source_cells source =
+  let metric field = Printf.sprintf "source.%s.%s" source field in
+  let counters =
+    List.filter_map
+      (fun field ->
+        match Obs_metrics.counter_value (metric field) with
+        | Some n -> Some (int_cell field n)
+        | None -> None)
+      counter_fields
+  in
+  let latency =
+    match Obs_metrics.find_histogram (metric "latency_ms") with
+    | Some h -> [ ms_cell "virtual_ms" (Obs_metrics.histogram_sum h) ]
+    | None -> []
+  in
+  let available =
+    match Obs_metrics.find_gauge (metric "available") with
+    | Some g -> [ ("available", if Obs_metrics.gauge_value g > 0.0 then "yes" else "no") ]
+    | None -> []
+  in
+  counters @ latency @ available
+
+let source_breakdown () =
+  match source_names_in_registry () with
+  | [] -> "per-source: (no source activity recorded)\n"
+  | sources ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "per-source:\n";
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "  %-16s %s\n" s (cells (source_cells s))))
+      sources;
+    Buffer.contents buf

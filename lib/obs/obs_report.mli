@@ -1,0 +1,28 @@
+(** Rendering for the observability subsystem — the {e single}
+    formatting path shared by Net_sim summaries, the CLI [stats]/[trace]
+    commands and EXPLAIN ANALYZE access tables. *)
+
+val cells : (string * string) list -> string
+(** ["k=v k=v …"] — the shared cell format. *)
+
+val int_cell : string -> int -> string * string
+val ms_cell : string -> float -> string * string
+(** [ms_cell k ms] renders with two decimals (no unit suffix), matching
+    the historical [virtual_ms=…] cells. *)
+
+val span_tree : Obs_span.t -> string
+(** One span tree, two-space indented:
+    [name  1.23ms (virtual 5.00ms) {attr=v …}]. *)
+
+val trace_report : unit -> string
+(** Every finished root span in {!Obs_trace}, oldest first. *)
+
+val metrics_report : unit -> string
+(** All registered metrics, one [name value] line each, sorted. *)
+
+val source_cells : string -> (string * string) list
+(** The per-source stats cells for one source, harvested from registry
+    metrics named [source.<name>.<field>]. *)
+
+val source_breakdown : unit -> string
+(** Table of every source that has recorded activity. *)

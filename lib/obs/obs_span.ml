@@ -1,0 +1,62 @@
+type t = {
+  span_name : string;
+  mutable attrs : (string * string) list; (* reversed; insertion order on read *)
+  mutable started_wall : float;
+  mutable dur_ms : float;
+  mutable started_virtual : float;
+  mutable dur_vms : float;
+  mutable kids : t list; (* reversed *)
+}
+
+(* The shared sentinel handed out when tracing is disabled: every
+   operation on it is a no-op, so instrumented code pays nothing. *)
+let null =
+  {
+    span_name = "";
+    attrs = [];
+    started_wall = 0.0;
+    dur_ms = 0.0;
+    started_virtual = 0.0;
+    dur_vms = 0.0;
+    kids = [];
+  }
+
+let is_null sp = sp == null
+
+let make ?(attrs = []) name =
+  {
+    span_name = name;
+    attrs = List.rev attrs;
+    started_wall = Obs_clock.wall_ms ();
+    dur_ms = 0.0;
+    started_virtual = Obs_clock.virtual_ms ();
+    dur_vms = 0.0;
+    kids = [];
+  }
+
+let name sp = sp.span_name
+
+let set sp key value = if not (is_null sp) then sp.attrs <- (key, value) :: sp.attrs
+
+let set_int sp key n = set sp key (string_of_int n)
+
+let set_ms sp key ms = set sp key (Printf.sprintf "%.2fms" ms)
+
+let attrs sp = List.rev sp.attrs
+
+let duration_ms sp = sp.dur_ms
+
+let virtual_duration_ms sp = sp.dur_vms
+
+let set_duration_ms sp ms = if not (is_null sp) then sp.dur_ms <- ms
+
+let add_child parent child =
+  if not (is_null parent || is_null child) then parent.kids <- child :: parent.kids
+
+let children sp = List.rev sp.kids
+
+let finish sp =
+  if not (is_null sp) then begin
+    sp.dur_ms <- Obs_clock.wall_ms () -. sp.started_wall;
+    sp.dur_vms <- Obs_clock.virtual_ms () -. sp.started_virtual
+  end

@@ -1,0 +1,43 @@
+(** Hierarchical trace spans.
+
+    A span is one timed region of work — a query, one source access, one
+    plan operator — with string attributes and child spans.  Spans record
+    both clocks of {!Obs_clock}: wall duration and virtual (simulated
+    network) duration.
+
+    The {!null} sentinel makes disabled tracing free: every mutator is a
+    no-op on it, so instrumented code can call [set]/[add_child]
+    unconditionally. *)
+
+type t
+
+val null : t
+(** The do-nothing span handed out when the sink is disabled. *)
+
+val is_null : t -> bool
+
+val make : ?attrs:(string * string) list -> string -> t
+(** A live span started now (on both clocks). *)
+
+val name : t -> string
+
+val set : t -> string -> string -> unit
+(** Attach or append an attribute (no-op on {!null}). *)
+
+val set_int : t -> string -> int -> unit
+val set_ms : t -> string -> float -> unit
+
+val attrs : t -> (string * string) list
+(** Attributes in insertion order. *)
+
+val duration_ms : t -> float
+val virtual_duration_ms : t -> float
+val set_duration_ms : t -> float -> unit
+(** Override the wall duration (used when a span is synthesized from
+    already-measured statistics rather than timed live). *)
+
+val add_child : t -> t -> unit
+val children : t -> t list
+
+val finish : t -> unit
+(** Close the span: record wall and virtual durations since [make]. *)

@@ -1,0 +1,44 @@
+let on = ref false
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+(* Open spans, innermost first; finished roots, oldest last. *)
+let stack : Obs_span.t list ref = ref []
+let finished : Obs_span.t list ref = ref []
+
+let attach sp =
+  match !stack with
+  | parent :: _ -> Obs_span.add_child parent sp
+  | [] -> finished := sp :: !finished
+
+let emit sp = if !on && not (Obs_span.is_null sp) then attach sp
+
+let with_span name f =
+  if not !on then f Obs_span.null
+  else begin
+    let sp = Obs_span.make name in
+    stack := sp :: !stack;
+    let finish () =
+      (match !stack with
+      | top :: rest when top == sp -> stack := rest
+      | _ -> stack := List.filter (fun s -> not (s == sp)) !stack);
+      Obs_span.finish sp;
+      attach sp
+    in
+    match f sp with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      Obs_span.set sp "error" (Printexc.to_string e);
+      finish ();
+      raise e
+  end
+
+let roots () = List.rev !finished
+
+let clear () =
+  stack := [];
+  finished := []

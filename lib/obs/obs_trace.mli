@@ -1,0 +1,23 @@
+(** The pluggable trace sink: a process-wide collector of finished span
+    trees.  {e Off by default}: when disabled, {!with_span} passes
+    {!Obs_span.null} to its body and allocates nothing, so instrumented
+    hot paths cost two branches. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_span : string -> (Obs_span.t -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a new span nested under the
+    innermost open span (or as a new root).  The span closes when [f]
+    returns or raises; an escaping exception is recorded as an [error]
+    attribute and re-raised.  When the sink is disabled, [f] receives
+    {!Obs_span.null}. *)
+
+val emit : Obs_span.t -> unit
+(** Attach an externally-built (already finished) span tree under the
+    innermost open span, or as a root.  No-op when disabled. *)
+
+val roots : unit -> Obs_span.t list
+(** Finished root spans, oldest first. *)
+
+val clear : unit -> unit

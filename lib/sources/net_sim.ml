@@ -32,23 +32,51 @@ let wrap ?(seed = 1) profile inner =
   let stats = new_stats () in
   let rng = Prng.create (seed lxor Hashtbl.hash inner.Source.name) in
   let sample_up () = Prng.bernoulli rng profile.availability in
+  (* Registry metrics mirror the local stats record so the CLI's
+     per-source breakdown sees every wrapped source. *)
+  let metric field = Printf.sprintf "source.%s.%s" inner.Source.name field in
+  let m_calls = Obs_metrics.counter (metric "calls") in
+  let m_rejected = Obs_metrics.counter (metric "rejected") in
+  let m_failed = Obs_metrics.counter (metric "failed") in
+  let m_tuples = Obs_metrics.counter (metric "tuples") in
+  let m_latency = Obs_metrics.histogram (metric "latency_ms") in
   let charge_call () =
     stats.calls <- stats.calls + 1;
+    Obs_metrics.inc m_calls;
     stats.virtual_ms <- stats.virtual_ms +. profile.latency_ms
   in
   let charge_volume n =
     stats.tuples_shipped <- stats.tuples_shipped + n;
+    Obs_metrics.inc ~by:n m_tuples;
     stats.virtual_ms <- stats.virtual_ms +. (profile.per_tuple_ms *. float_of_int n)
   in
   let guard f =
+    (* Whatever happens inside, the call's full virtual cost lands on
+       the shared virtual clock and the latency histogram. *)
+    let before = stats.virtual_ms in
+    let settle () =
+      let delta = stats.virtual_ms -. before in
+      Obs_clock.advance delta;
+      Obs_metrics.observe m_latency delta
+    in
     charge_call ();
     if not (sample_up ()) then begin
       stats.failed <- stats.failed + 1;
+      Obs_metrics.inc m_failed;
+      settle ();
       raise (Source.Unavailable inner.Source.name)
     end;
-    try f ()
-    with Source.Query_rejected _ as e ->
+    match f () with
+    | r ->
+      settle ();
+      r
+    | exception (Source.Query_rejected _ as e) ->
       stats.rejected <- stats.rejected + 1;
+      Obs_metrics.inc m_rejected;
+      settle ();
+      raise e
+    | exception e ->
+      settle ();
       raise e
   in
   let execute q =
@@ -74,5 +102,12 @@ let wrap ?(seed = 1) profile inner =
   (wrapped, stats)
 
 let stats_to_string s =
-  Printf.sprintf "calls=%d rejected=%d failed=%d tuples=%d virtual_ms=%.2f" s.calls s.rejected
-    s.failed s.tuples_shipped s.virtual_ms
+  (* Same formatting path as the CLI stats tables (Obs_report). *)
+  Obs_report.cells
+    [
+      Obs_report.int_cell "calls" s.calls;
+      Obs_report.int_cell "rejected" s.rejected;
+      Obs_report.int_cell "failed" s.failed;
+      Obs_report.int_cell "tuples" s.tuples_shipped;
+      Obs_report.ms_cell "virtual_ms" s.virtual_ms;
+    ]

@@ -43,6 +43,13 @@ let documents t name =
   | None -> raise Not_found
   | Some (src, export) -> src.Source.documents export
 
+let publish_availability t =
+  Hashtbl.iter
+    (fun name src ->
+      let g = Obs_metrics.gauge (Printf.sprintf "source.%s.available" name) in
+      Obs_metrics.set_gauge g (if src.Source.is_available () then 1.0 else 0.0))
+    t.sources
+
 let exports t =
   Hashtbl.fold
     (fun sname src acc ->

@@ -29,5 +29,11 @@ val documents : t -> string -> Dtree.t list
     @raise Not_found for unknown names.
     @raise Source.Unavailable when the source is offline. *)
 
+val publish_availability : t -> unit
+(** Probe every source's [is_available] and publish the result as a
+    [source.<name>.available] gauge in the metrics registry, feeding the
+    per-source breakdown of {!Obs_report}.  Note that probing a
+    {!Net_sim}-wrapped source consumes one availability sample. *)
+
 val exports : t -> string list
 (** Every addressable ["source.export"] name. *)

@@ -1,0 +1,62 @@
+Observability: EXPLAIN ANALYZE, tracing, and the stats report, all
+against the built-in demo federation.  Wall-clock durations are
+normalized since they vary run to run.
+
+  $ export NIMBLE=../../bin/nimble_cli.exe
+
+EXPLAIN ANALYZE runs a federated join for real and prints estimated vs
+actual rows per operator plus a per-source-fragment table.  Run 1 plans
+blind (every scan estimated at the 1000-row default); the run records
+what each access actually shipped, so run 2 replans with observed
+cardinalities — and puts the smaller products scan on the build side:
+
+  $ $NIMBLE explain-analyze --repeat 2 'WHERE <row><name>$n</name><id>$i</id></row> IN "crm.customers", <row><cust_id>$i</cust_id><item>$it</item></row> IN "crm.orders", <product sku=$it><price>$p</price></product> IN "products" CONSTRUCT <sale><who>$n</who><price>$p</price></sale>' | sed -E 's/[0-9]+\.[0-9]+ms/_ms/g'
+  == run 1 ==
+  PROJECT [i, it, n, p]  (est 50000 rows, actual 3 rows, _ms)
+    HASH-JOIN $it = $it#r  (est 50000 rows, actual 3 rows, _ms)
+      SCAN j0 AS $*  (est 1000 rows, actual 3 rows, _ms)
+      RENAME [it->it#r]  (est 1000 rows, actual 2 rows, _ms)
+        SCAN a2 AS $*  (est 1000 rows, actual 2 rows, _ms)
+  accesses:
+    j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=1000 calls=1 rows=3 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
+  -- 3 rows in _ms
+  == run 2 ==
+  PROJECT [it, p, i, n]  (est 1 rows, actual 3 rows, _ms)
+    HASH-JOIN $it = $it#r  (est 1 rows, actual 3 rows, _ms)
+      SCAN a2 AS $*  (est 2 rows, actual 2 rows, _ms)
+      RENAME [it->it#r]  (est 3 rows, actual 3 rows, _ms)
+        SCAN j0 AS $*  (est 3 rows, actual 3 rows, _ms)
+  accesses:
+    j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=3 calls=1 rows=3 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=2 calls=1 rows=2 time=_ms]
+  -- 3 rows in _ms
+
+Tracing renders the span tree: the query root and one span per source
+access, with the pushed fragment as an attribute:
+
+  $ $NIMBLE trace 'WHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 2 CONSTRUCT <c>$n</c>' | sed -E 's/[0-9]+\.[0-9]+ms/_ms/g'
+  trace:
+  query  _ms {rows=2}
+    mediator.access  _ms {id=a0 target=crm push=SELECT name, tier FROM customers WHERE tier = 2 rows=2}
+
+The stats report: the metrics registry, the per-source breakdown, and
+the observed-cardinality store.  Running the same query twice hits the
+result cache on the second pass (hits=1, but only one source access):
+
+  $ $NIMBLE stats 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>' 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>'
+  metrics:
+    cache.evictions                          0
+    cache.hits                               1
+    cache.invalidations                      0
+    cache.misses                             1
+    mediator.capability_fallbacks            0
+    source.crm.accesses                      1
+    source.crm.available                     1
+    source.crm.rows                          3
+    source.products.available                1
+  per-source:
+    crm              accesses=1 rows=3 available=yes
+    products         available=yes
+  observed cardinalities:
+    sql|crm|SELECT name FROM customers       rows=3 samples=1

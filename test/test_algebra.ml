@@ -320,6 +320,102 @@ let test_cost_estimates () =
      let rec go i = i + n <= m && (String.sub annotated i n = needle || go (i + 1)) in
      go 0)
 
+(* ------------------------------------------------------------------ *)
+(* Instrumented execution and EXPLAIN ANALYZE                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains needle hay =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_annotate_per_line () =
+  let source_rows = function "people" -> 1000.0 | _ -> 50.0 in
+  let open Alg_expr in
+  let plan = Alg_plan.Select (open_scan "people" "p", child "p" "dept" =% ci 10) in
+  let annotated = Alg_cost.annotate ~source_rows plan in
+  let op_lines =
+    List.filter
+      (fun l -> contains "SCAN" l || contains "SELECT" l)
+      (String.split_on_char '\n' annotated)
+  in
+  check int_t "two operator lines" 2 (List.length op_lines);
+  List.iter
+    (fun l -> check bool_t "per-line estimate" true (contains "(est " l))
+    op_lines;
+  check bool_t "keeps total footer" true (contains "estimated:" annotated)
+
+let test_run_instrumented () =
+  let open Alg_expr in
+  let scan = open_scan "people" "p" in
+  let plan = Alg_plan.Select (scan, child "p" "dept" =% ci 10) in
+  let envs, stats = Alg_exec.run_instrumented sources plan in
+  check int_t "same rows as run_list" (List.length (run plan)) (List.length envs);
+  let actual = Alg_exec.actual_of_stats stats in
+  (match actual plan with
+  | Some (rows, ms) ->
+    check int_t "select actual rows" 2 rows;
+    check bool_t "time non-negative" true (ms >= 0.0)
+  | None -> Alcotest.fail "select node should have been executed");
+  match actual scan with
+  | Some (rows, _) -> check int_t "scan actual rows" 4 rows
+  | None -> Alcotest.fail "scan node should have been executed"
+
+let test_explain_analyze_output () =
+  let scan = open_scan "people" "p" in
+  let plan = Alg_plan.Limit (scan, 0) in
+  let envs, stats = Alg_exec.run_instrumented sources plan in
+  check int_t "limit 0 yields nothing" 0 (List.length envs);
+  let report =
+    Alg_cost.explain_analyze
+      ~source_rows:(fun _ -> Alg_cost.default_scan_rows)
+      ~actual:(Alg_exec.actual_of_stats stats)
+      plan
+  in
+  check bool_t "limit line has actuals" true (contains "actual 0 rows" report);
+  (* LIMIT 0 never pulls from its input: the scan must say so. *)
+  check bool_t "scan never executed" true (contains "never executed" report);
+  check bool_t "estimates still shown" true (contains "est 1000 rows" report)
+
+(* Property (observability contract): with the trace sink disabled, the
+   instrumented executor returns byte-identical results to the plain one
+   on random plans, and records no spans. *)
+let prop_instrumented_identical =
+  QCheck2.Test.make ~name:"instrumented run = plain run (sink disabled)" ~count:60
+    QCheck2.Gen.(triple (int_bound 15) (int_bound 15) (int_bound 20))
+    (fun (n, m, threshold) ->
+      let g = Prng.create ((n * 31) + m + threshold) in
+      let mk var count =
+        Alg_plan.Const_envs
+          (List.init count (fun i ->
+               Alg_env.of_bindings
+                 [
+                   ( var,
+                     Dtree.of_tuple var
+                       (Tuple.make
+                          [ ("k", Value.Int (Prng.int g 6)); ("v", Value.Int i) ]) );
+                 ]))
+      in
+      let left = mk "l" n and right = mk "r" m in
+      let lk = child "l" "k" and rk = child "r" "k" in
+      let open Alg_expr in
+      let join =
+        match threshold mod 3 with
+        | 0 -> Alg_plan.Nl_join { left; right; pred = Some (lk =% rk) }
+        | 1 ->
+          Alg_plan.Hash_join
+            { left; right; left_key = lk; right_key = rk; residual = None }
+        | _ -> Alg_plan.Merge_join { left; right; left_key = lk; right_key = rk }
+      in
+      let plan =
+        Alg_plan.Limit
+          (Alg_plan.Select (join, Binop (Alg_expr.Le, child "l" "v", ci threshold)), 10)
+      in
+      let plain = List.map Alg_env.to_string (run plan) in
+      let instrumented, _ = Alg_exec.run_instrumented sources plan in
+      plain = List.map Alg_env.to_string instrumented
+      && Obs_trace.roots () = [])
+
 (* Property: select pushdown through join preserves results. *)
 let prop_select_pushes_through_join =
   QCheck2.Test.make ~name:"select over join = pushed select" ~count:50
@@ -375,7 +471,12 @@ let prop_joins_agree =
 
 let () =
   let props =
-    List.map QCheck_alcotest.to_alcotest [ prop_select_pushes_through_join; prop_joins_agree ]
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_select_pushes_through_join;
+        prop_joins_agree;
+        prop_instrumented_identical;
+      ]
   in
   Alcotest.run "algebra"
     [
@@ -407,6 +508,9 @@ let () =
           Alcotest.test_case "explain" `Quick test_explain_mentions_operators;
           Alcotest.test_case "static metadata" `Quick test_free_sources_output_vars;
           Alcotest.test_case "cost estimates" `Quick test_cost_estimates;
+          Alcotest.test_case "annotate per line" `Quick test_annotate_per_line;
+          Alcotest.test_case "run_instrumented" `Quick test_run_instrumented;
+          Alcotest.test_case "explain analyze output" `Quick test_explain_analyze_output;
         ]
         @ props );
     ]

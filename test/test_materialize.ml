@@ -169,11 +169,17 @@ let prop_greedy_sound =
 let tree n = Dtree.leaf "x" (Value.Int n)
 
 let test_cache_hit_miss () =
+  (* Local stats and the process-wide registry must agree. *)
+  Obs_metrics.reset_all ();
   let c = Mat_cache.create ~capacity:2 in
   check bool_t "miss" true (Mat_cache.get c "q1" = None);
   Mat_cache.put c "q1" [ tree 1 ];
   check bool_t "hit" true (Mat_cache.get c "q1" <> None);
-  check bool_t "hit rate" true (abs_float (Mat_cache.hit_rate c -. 0.5) < 1e-9)
+  check bool_t "hit rate" true (abs_float (Mat_cache.hit_rate c -. 0.5) < 1e-9);
+  check bool_t "registry counted the hit" true
+    (Obs_metrics.counter_value "cache.hits" = Some 1);
+  check bool_t "registry counted the miss" true
+    (Obs_metrics.counter_value "cache.misses" = Some 1)
 
 let test_cache_lru_eviction () =
   let c = Mat_cache.create ~capacity:2 in
@@ -183,7 +189,11 @@ let test_cache_lru_eviction () =
   Mat_cache.put c "c" [ tree 3 ];      (* evicts b *)
   check bool_t "a kept" true (Mat_cache.get c "a" <> None);
   check bool_t "b evicted" true (Mat_cache.get c "b" = None);
-  check int_t "one eviction" 1 (Mat_cache.stats c).Mat_cache.evictions
+  check int_t "one eviction" 1 (Mat_cache.stats c).Mat_cache.evictions;
+  check bool_t "registry counted the eviction" true
+    (match Obs_metrics.counter_value "cache.evictions" with
+    | Some n -> n >= 1
+    | None -> false)
 
 let test_cache_source_invalidation () =
   let c = Mat_cache.create ~capacity:8 in
