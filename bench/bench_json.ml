@@ -1,0 +1,46 @@
+(* Machine-readable companion to the printed tables: each experiment run
+   writes BENCH_<id>.json in the working directory, so scripts (and the
+   acceptance harness) can track the headline numbers without scraping
+   stdout.
+
+   Experiments accumulate params/rows via [note_*] while they run; the
+   harness in main.ml measures wall and virtual time around the whole
+   experiment and calls [emit]. *)
+
+let params : (string * string) list ref = ref []
+let rows = ref 0
+
+let reset () =
+  params := [];
+  rows := 0
+
+let note_param key value = params := !params @ [ (key, value) ]
+let note_rows n = rows := !rows + n
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit ~name ~virtual_ms ~wall_ms =
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"name\": \"%s\",\n  \"params\": {" (escape name);
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "%s\n    \"%s\": \"%s\"" (if i = 0 then "" else ",") (escape k) (escape v))
+    !params;
+  if !params <> [] then output_string oc "\n  ";
+  Printf.fprintf oc "},\n  \"virtual_ms\": %.3f,\n  \"wall_ms\": %.3f,\n  \"rows\": %d\n}\n"
+    virtual_ms wall_ms !rows;
+  close_out oc;
+  reset ()

@@ -9,6 +9,10 @@ let section id title =
 
 let row fmt = Printf.printf fmt
 
+(* --quick shrinks the workloads so the whole experiment fits in a test
+   run (the bench-smoke alias); headline ratios are unaffected. *)
+let quick = ref false
+
 (* ------------------------------------------------------------------ *)
 (* E1: warehousing vs virtual integration vs hybrid (section 3.3)      *)
 (* ------------------------------------------------------------------ *)
@@ -126,6 +130,8 @@ let e1 () =
   List.iter
     (fun mode ->
       let name, vms, calls, tuples, staleness, wall = e1_run mode in
+      Bench_json.note_param name (Printf.sprintf "%.1f network ms" vms);
+      Bench_json.note_rows tuples;
       row "%-22s %14.1f %8d %10d %14.2f %10.1f\n" name vms calls tuples staleness wall)
     [ Virtual; Warehouse; Hybrid 15 ]
 
@@ -179,6 +185,7 @@ let e2 () =
   print_policy (Printf.sprintf "greedy (budget=%d)" budget) greedy_a greedy_a;
   print_policy "greedy + adapt on drift" greedy_a greedy_b;
   print_policy "optimal (phase A, static)" optimal_a optimal_a;
+  Bench_json.note_param "budget" (string_of_int budget);
   row "(budget is 30%% of total view storage %d; costs are workload cost units)\n" total_storage
 
 (* ------------------------------------------------------------------ *)
@@ -215,6 +222,8 @@ let e3 () =
       let n1, t1, v1 = run Med_sqlgen.default_options in
       let n2, t2, v2 = run Med_sqlgen.no_pushdown in
       assert (n1 = n2);
+      Bench_json.note_param label (Printf.sprintf "%.1fx" (v2 /. v1));
+      Bench_json.note_rows n1;
       row "%-26s %10d | %10d %12.1f | %10d %12.1f %7.1fx\n" label n1 t1 v1 t2 v2 (v2 /. v1))
     queries
 
@@ -264,6 +273,8 @@ let e3b () =
     Net_sim.reset stats;
     let trees2 = Med_exec.run_text ~opts cat text in
     assert (List.length !trees = List.length trees2);
+    Bench_json.note_param label (Printf.sprintf "%.1f network ms" stats.Net_sim.virtual_ms);
+    Bench_json.note_rows (List.length trees2);
     row "%-26s %10d %12d %12.1f %10.1f\n" label (List.length trees2)
       stats.Net_sim.tuples_shipped stats.Net_sim.virtual_ms wall
   in
@@ -333,6 +344,8 @@ let e4 () =
       let naive = Option.get !naive and snm = Option.get !snm in
       let nrec, nprec = e4_quality naive data.Workloads.true_pairs in
       let srec, sprec = e4_quality snm data.Workloads.true_pairs in
+      Bench_json.note_param (string_of_int n) (Printf.sprintf "snm recall %.2f" srec);
+      Bench_json.note_rows n;
       row "%-8d %12d | %12d %8.1f %8.2f %8.2f | %12d %8.1f %8.2f %8.2f\n" n
         (List.length data.Workloads.true_pairs)
         naive.Cl_merge_purge.comparisons naive_ms nrec nprec snm.Cl_merge_purge.comparisons
@@ -365,6 +378,7 @@ let e4b () =
       let cold = !calls in
       run ();
       let warm = !calls - cold in
+      Bench_json.note_param (string_of_int n) (Printf.sprintf "%d determinations" (Cl_concordance.size conc));
       row "%-8d %14d %14d %16d\n" n cold warm (Cl_concordance.size conc))
     [ 500; 1000; 2000 ]
 
@@ -374,6 +388,7 @@ let e4b () =
 
 let e5 () =
   section "E5" "partial results: strict vs partial answers as sources go offline (100 trials each)";
+  Bench_json.note_param "trials" "100";
   row "%-10s %-14s %16s %16s %16s\n" "sources" "availability" "P(all up)" "strict ok" "partial answer";
   List.iter
     (fun k ->
@@ -433,6 +448,7 @@ let e5b () =
     if !all_ok then incr strict_ok;
     if not !skipped_any then incr partial_complete
   done;
+  Bench_json.note_rows !rows_seen;
   row "trials with every source reachable: %d/%d\n" !strict_ok trials;
   row "total rows delivered across trials (partial mode never errors): %d\n" !rows_seen;
   row "expected all-up rate at 0.9^%d: %.2f\n" k (Float.pow 0.9 (float_of_int k))
@@ -475,6 +491,7 @@ let e6 () =
       in
       let hash_ms = Workloads.bench_ms ~runs:3 (fun () -> count hash_plan) in
       let merge_ms = Workloads.bench_ms ~runs:3 (fun () -> count merge_plan) in
+      Bench_json.note_rows rows_out;
       row "%-10s %14s %14.1f %14.1f %10d\n"
         (Printf.sprintf "%dx%d" n n)
         nl_ms hash_ms merge_ms rows_out)
@@ -520,6 +537,7 @@ let e7 () =
         in
         sorted cursors
       in
+      Bench_json.note_rows (List.length !matches);
       row "%-10d %12.1f %12.1f %14.1f %14s %10d\n" nodes parse_ms path_ms nav_ms
         (if in_order then "ok" else "VIOLATED")
         (List.length !matches))
@@ -558,6 +576,7 @@ let e8 () =
     let run_ms = Workloads.bench_ms ~runs:3 (fun () -> result := Med_exec.run cat q) in
     let reference = Xq_eval.eval (Med_exec.direct_resolver cat) q in
     let norm trees = List.sort compare (List.map Dtree.to_string trees) in
+    Bench_json.note_rows (List.length !result);
     row "%-8d %14.2f %12.1f %12d %12s\n" d plan_ms run_ms (List.length !result)
       (if norm !result = norm reference then "yes" else "NO")
   done
@@ -611,6 +630,7 @@ let e9 () =
       let truth = Rel_table.row_count (Rel_db.table_exn db "customers") in
       missed := !missed + (truth - List.length trees)
     done;
+    Bench_json.note_param policy_label (Printf.sprintf "%.1f network ms" stats.Net_sim.virtual_ms);
     row "%-22s %12d %14.1f %14.2f\n" policy_label stats.Net_sim.calls stats.Net_sim.virtual_ms
       (float_of_int !missed /. float_of_int nqueries)
   in
@@ -652,6 +672,9 @@ let e10 () =
             | Ok _ -> ()
             | Error m -> failwith m
           done;
+          Bench_json.note_param
+            (Printf.sprintf "cap=%d theta=%.1f" capacity theta)
+            (Printf.sprintf "hit %.2f" (Mat_cache.hit_rate (Nimble.cache sys)));
           row "%-12d %-8.1f %12.2f %12d %14.1f\n" capacity theta
             (Mat_cache.hit_rate (Nimble.cache sys))
             stats.Net_sim.calls stats.Net_sim.virtual_ms)
@@ -666,8 +689,9 @@ let e11 () =
   section "E11" "explain-analyze on a federated join: default vs observed cardinalities";
   Obs_metrics.reset_all ();
   let g = Prng.create 11 in
-  let customers = Workloads.customer_db g ~name:"crm" ~rows:300 in
-  let orders = Workloads.orders_db g ~name:"sales" ~rows:900 ~customers:300 in
+  let ncust = if !quick then 120 else 300 in
+  let customers = Workloads.customer_db g ~name:"crm" ~rows:ncust in
+  let orders = Workloads.orders_db g ~name:"sales" ~rows:(3 * ncust) ~customers:ncust in
   let cat = Med_catalog.create () in
   List.iter
     (fun db ->
@@ -695,9 +719,68 @@ let e11 () =
     (fun label ->
       row "---- %s ----\n" label;
       let a = Med_exec.run_analyzed cat q in
+      Bench_json.note_rows (List.length a.Med_exec.analyzed_result.Med_exec.trees);
       print_string (Med_exec.analysis_to_string a))
     [ "run 1 (default estimates)"; "run 2 (observed estimates)" ];
   print_string (Obs_report.source_breakdown ())
+
+(* ------------------------------------------------------------------ *)
+(* E12: scatter-gather fetching and the fragment cache                 *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  section "E12"
+    "scatter-gather fetch: 4-source join, sequential vs overlapped rounds, cold vs warm fragment cache";
+  let nrows = if !quick then 60 else 200 in
+  let nsources = 4 in
+  let g = Prng.create 12 in
+  let cat = Med_catalog.create () in
+  for i = 0 to nsources - 1 do
+    let db = Workloads.customer_db g ~name:(Printf.sprintf "s%d" i) ~rows:nrows in
+    let wrapped, _ =
+      Net_sim.wrap ~seed:(120 + i) Net_sim.default_profile (Rel_source.make db)
+    in
+    Med_catalog.register_source cat wrapped
+  done;
+  let q =
+    Xq_parser.parse_exn
+      (Printf.sprintf
+         {|WHERE <row><id>$i</id><name>$n0</name></row> IN "s0.customers",
+                 <row><id>$i</id><name>$n1</name></row> IN "s1.customers",
+                 <row><id>$i</id><name>$n2</name></row> IN "s2.customers",
+                 <row><id>$i</id><name>$n3</name></row> IN "s3.customers",
+                 $i <= %d
+           CONSTRUCT <r><id>$i</id><a>$n0</a><b>$n3</b></r>|}
+         (nrows / 2))
+  in
+  row "%-24s %12s %12s %10s\n" "mode" "virtual ms" "wall ms" "rows";
+  let run label =
+    let v0 = Obs_clock.virtual_ms () in
+    let trees = ref [] in
+    let (), wall = Workloads.time_ms (fun () -> trees := Med_exec.run cat q) in
+    let dv = Obs_clock.virtual_ms () -. v0 in
+    row "%-24s %12.1f %12.1f %10d\n" label dv wall (List.length !trees);
+    (List.length !trees, dv)
+  in
+  Med_catalog.set_fetch_options cat Fetch_sched.default_options;
+  let n_seq, v_seq = run "sequential" in
+  Med_catalog.set_fetch_options cat (Fetch_sched.gather_options ());
+  Med_catalog.configure_frag_cache cat ~capacity:64 ();
+  let n_cold, v_cold = run "gather(4), cold cache" in
+  let n_warm, v_warm = run "gather(4), warm cache" in
+  assert (n_seq = n_cold && n_cold = n_warm);
+  let pct a b = if b <= 0.0 then 0.0 else 100.0 *. a /. b in
+  row "gather/sequential virtual: %.0f%%   warm/cold: %.0f%%\n" (pct v_cold v_seq)
+    (pct v_warm v_cold);
+  Bench_json.note_param "sources" (string_of_int nsources);
+  Bench_json.note_param "rows_per_source" (string_of_int nrows);
+  Bench_json.note_param "fanout" (string_of_int Fetch_sched.default_fanout);
+  Bench_json.note_param "sequential_virtual_ms" (Printf.sprintf "%.1f" v_seq);
+  Bench_json.note_param "gather_cold_virtual_ms" (Printf.sprintf "%.1f" v_cold);
+  Bench_json.note_param "gather_warm_virtual_ms" (Printf.sprintf "%.1f" v_warm);
+  Bench_json.note_param "gather_vs_sequential" (Printf.sprintf "%.0f%%" (pct v_cold v_seq));
+  Bench_json.note_param "warm_vs_cold" (Printf.sprintf "%.0f%%" (pct v_warm v_cold));
+  Bench_json.note_rows n_seq
 
 let all () =
   e1 ();
@@ -712,4 +795,5 @@ let all () =
   e8 ();
   e9 ();
   e10 ();
-  e11 ()
+  e11 ();
+  e12 ()

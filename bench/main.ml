@@ -4,10 +4,11 @@
      dune exec bench/main.exe            -- all experiments + micro-benches
      dune exec bench/main.exe -- E3 E6   -- selected experiments
      dune exec bench/main.exe -- micro   -- only the Bechamel micro suite
+     dune exec bench/main.exe -- --quick E11 E12   -- shrunk workloads
 
-   Each experiment (E1..E10) regenerates one table of EXPERIMENTS.md;
-   the Bechamel suite gives per-operation timings for the core engine
-   paths. *)
+   Each experiment (E1..E12) regenerates one table of EXPERIMENTS.md and
+   writes a machine-readable BENCH_E<N>.json summary; the Bechamel suite
+   gives per-operation timings for the core engine paths. *)
 
 let experiments : (string * (unit -> unit)) list =
   [
@@ -25,7 +26,18 @@ let experiments : (string * (unit -> unit)) list =
     ("E9", Experiments.e9);
     ("E10", Experiments.e10);
     ("E11", Experiments.e11);
+    ("E12", Experiments.e12);
   ]
+
+(* Experiments run behind this wrapper so every one of them emits its
+   BENCH_E<N>.json record: wall time around the whole experiment, the
+   virtual (simulated-network) time as the global clock delta, and
+   whatever rows/params the experiment noted while running. *)
+let run_experiment id f =
+  Bench_json.reset ();
+  let v0 = Obs_clock.virtual_ms () in
+  let (), wall_ms = Workloads.time_ms f in
+  Bench_json.emit ~name:id ~virtual_ms:(Obs_clock.virtual_ms () -. v0) ~wall_ms
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per core engine path       *)
@@ -109,9 +121,11 @@ let run_micro () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let quick, args = List.partition (fun a -> a = "--quick") args in
+  if quick <> [] then Experiments.quick := true;
   match args with
   | [] ->
-    List.iter (fun (_, f) -> f ()) experiments;
+    List.iter (fun (id, f) -> run_experiment id f) experiments;
     run_micro ()
   | [ "micro" ] -> run_micro ()
   | selected ->
@@ -120,7 +134,7 @@ let () =
         if id = "micro" then run_micro ()
         else
           match List.assoc_opt id experiments with
-          | Some f -> f ()
+          | Some f -> run_experiment id f
           | None ->
             Printf.eprintf "unknown experiment %s (known: %s, micro)\n" id
               (String.concat ", " (List.map fst experiments));

@@ -72,8 +72,17 @@ let demo_federation () =
   in
   [ Rel_source.make db; products ]
 
-let build_system csvs xmls sqls =
+(* --fetch-mode/--fetch-fanout/--frag-cache, collected into one value so
+   every subcommand threads them identically. *)
+let apply_fetch sys (mode, fanout, frag_capacity) =
+  (match Fetch_sched.mode_of_string mode with
+  | Some m -> Nimble.set_fetch_options sys { Fetch_sched.mode = m; fanout = max 1 fanout }
+  | None -> failwith (Printf.sprintf "unknown fetch mode %S (seq, gather)" mode));
+  if frag_capacity > 0 then Nimble.configure_frag_cache sys ~capacity:frag_capacity ()
+
+let build_system csvs xmls sqls fetch =
   let sys = Nimble.create () in
+  apply_fetch sys fetch;
   let sources =
     List.map load_csv_source csvs
     @ List.map load_xml_source xmls
@@ -106,9 +115,9 @@ let with_setup f =
   | Xml_parser.Parse_error e -> `Error (false, Xml_parser.error_to_string e)
   | Rel_db.Sql_error m -> `Error (false, m)
 
-let run_query csvs xmls sqls partial device text =
+let run_query csvs xmls sqls fetch partial device text =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls in
+  let sys = build_system csvs xmls sqls fetch in
   let device = device_of_flag device in
   if partial then begin
     match Nimble.query_partial sys text with
@@ -127,24 +136,24 @@ let run_query csvs xmls sqls partial device text =
     | Error m -> `Error (false, m)
   end
 
-let run_explain csvs xmls sqls text =
+let run_explain csvs xmls sqls fetch text =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls in
+  let sys = build_system csvs xmls sqls fetch in
   match Nimble.explain sys text with
   | Ok plan ->
     print_string plan;
     `Ok ()
   | Error m -> `Error (false, m)
 
-let run_report csvs xmls sqls =
+let run_report csvs xmls sqls fetch =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls in
+  let sys = build_system csvs xmls sqls fetch in
   print_string (Nimble.report sys);
   `Ok ()
 
-let run_explain_analyze csvs xmls sqls repeat text =
+let run_explain_analyze csvs xmls sqls fetch repeat text =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls in
+  let sys = build_system csvs xmls sqls fetch in
   match Nimble.explain_analyze sys ~repeat text with
   | Ok report ->
     print_string report;
@@ -153,9 +162,9 @@ let run_explain_analyze csvs xmls sqls repeat text =
 
 (* Run the queries (warming counters, caches and the feedback store),
    then print the metrics registry and the per-source breakdown. *)
-let run_stats csvs xmls sqls texts =
+let run_stats csvs xmls sqls fetch texts =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls in
+  let sys = build_system csvs xmls sqls fetch in
   let rec go = function
     | [] ->
       print_string (Nimble.stats_report sys);
@@ -167,9 +176,9 @@ let run_stats csvs xmls sqls texts =
   in
   go texts
 
-let run_trace csvs xmls sqls text =
+let run_trace csvs xmls sqls fetch text =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls in
+  let sys = build_system csvs xmls sqls fetch in
   Nimble.set_tracing true;
   match Nimble.query sys text with
   | Ok _ ->
@@ -194,6 +203,9 @@ let repl_help =
   \stats                      metrics registry and per-source breakdown
   \trace QUERY                run with tracing on and print the span tree
   \partial QUERY              run in partial-results mode
+  \fetch                      show fetch mode and fragment-cache state
+  \fetch seq|gather [FANOUT]  switch source fetching (gather = overlapped rounds)
+  \fetch cache N              enable a fragment result cache of N entries
   \save FILE                  write views/materializations as a script
   \load FILE                  replay a saved script
   \quit                       exit
@@ -221,9 +233,9 @@ let read_statement () =
 let starts_with prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
 
-let run_repl csvs xmls sqls =
+let run_repl csvs xmls sqls fetch =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls in
+  let sys = build_system csvs xmls sqls fetch in
   Printf.printf "nimble repl — %d source(s) registered, \\help for commands\n"
     (List.length (Med_catalog.source_names (Nimble.catalog sys)));
   let rec loop () =
@@ -306,6 +318,36 @@ let run_repl csvs xmls sqls =
       | Ok _ -> print_string (Nimble.trace_report sys)
       | Error m -> Printf.printf "error: %s\n" m);
       loop ()
+    | Some "\\fetch" ->
+      print_string (Nimble.fetch_report sys);
+      loop ()
+    | Some line when starts_with "\\fetch " line ->
+      (let args =
+         String.split_on_char ' ' (String.trim (String.sub line 7 (String.length line - 7)))
+         |> List.filter (fun s -> s <> "")
+       in
+       match args with
+       | [ "cache"; n ] -> (
+         match int_of_string_opt n with
+         | Some capacity when capacity >= 0 ->
+           Nimble.configure_frag_cache sys ~capacity ();
+           print_string (Nimble.fetch_report sys)
+         | _ -> print_endline "usage: \\fetch cache N")
+       | mode :: rest -> (
+         match (Fetch_sched.mode_of_string mode, rest) with
+         | Some m, [] ->
+           Nimble.set_fetch_options sys
+             { (Nimble.fetch_options sys) with Fetch_sched.mode = m };
+           print_string (Nimble.fetch_report sys)
+         | Some m, [ n ] -> (
+           match int_of_string_opt n with
+           | Some fanout when fanout > 0 ->
+             Nimble.set_fetch_options sys { Fetch_sched.mode = m; fanout };
+             print_string (Nimble.fetch_report sys)
+           | _ -> print_endline "usage: \\fetch seq|gather [FANOUT]")
+         | _ -> print_endline "usage: \\fetch seq|gather [FANOUT] | \\fetch cache N")
+       | [] -> print_string (Nimble.fetch_report sys));
+      loop ()
     | Some line when starts_with "\\partial " line ->
       let text = String.sub line 9 (String.length line - 9) in
       (match Nimble.query_partial sys text with
@@ -351,18 +393,46 @@ let partial_flag =
 let device_opt =
   Arg.(value & opt string "text" & info [ "device" ] ~docv:"DEVICE" ~doc:"Output device: web, wireless, text or xml.")
 
+let fetch_mode_opt =
+  Arg.(
+    value & opt string "seq"
+    & info [ "fetch-mode" ] ~docv:"MODE"
+        ~doc:
+          "Source fetch scheduling: $(b,seq) (one access at a time) or \
+           $(b,gather) (scatter-gather rounds of --fetch-fanout overlapped \
+           accesses, with per-source batching and dedup).")
+
+let fetch_fanout_opt =
+  Arg.(
+    value & opt int Fetch_sched.default_fanout
+    & info [ "fetch-fanout" ] ~docv:"K"
+        ~doc:"Accesses per scatter-gather round (gather mode only).")
+
+let frag_cache_opt =
+  Arg.(
+    value & opt int 0
+    & info [ "frag-cache" ] ~docv:"N"
+        ~doc:
+          "Enable a fragment-level source result cache of N entries (0 \
+           disables; sits below the whole-query result cache).")
+
+let fetch_term =
+  Term.(
+    const (fun mode fanout frag -> (mode, fanout, frag))
+    $ fetch_mode_opt $ fetch_fanout_opt $ frag_cache_opt)
+
 let wrap f = Term.(ret (const f))
 
 let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Run an XML-QL query against the registered sources")
     Term.(
-      ret (const run_query $ csv_opt $ xml_opt $ sql_opt $ partial_flag $ device_opt $ query_arg))
+      ret (const run_query $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ partial_flag $ device_opt $ query_arg))
 
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the physical plan and pushed fragments for a query")
-    Term.(ret (const run_explain $ csv_opt $ xml_opt $ sql_opt $ query_arg))
+    Term.(ret (const run_explain $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ query_arg))
 
 let repeat_opt =
   Arg.(
@@ -385,7 +455,7 @@ let explain_analyze_cmd =
          "Execute a query instrumented: per-operator estimated vs actual rows \
           and time, and a per-source-fragment table")
     Term.(
-      ret (const run_explain_analyze $ csv_opt $ xml_opt $ sql_opt $ repeat_opt $ query_arg))
+      ret (const run_explain_analyze $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ repeat_opt $ query_arg))
 
 let stats_cmd =
   Cmd.v
@@ -393,22 +463,22 @@ let stats_cmd =
        ~doc:
          "Run the given queries, then print the metrics registry and the \
           per-source breakdown")
-    Term.(ret (const run_stats $ csv_opt $ xml_opt $ sql_opt $ queries_arg))
+    Term.(ret (const run_stats $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ queries_arg))
 
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a query with the trace sink enabled and print the span tree")
-    Term.(ret (const run_trace $ csv_opt $ xml_opt $ sql_opt $ query_arg))
+    Term.(ret (const run_trace $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ query_arg))
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Print the system status report")
-    Term.(ret (const run_report $ csv_opt $ xml_opt $ sql_opt))
+    Term.(ret (const run_report $ csv_opt $ xml_opt $ sql_opt $ fetch_term))
 
 let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive shell: queries, view definitions, materialization")
-    Term.(ret (const run_repl $ csv_opt $ xml_opt $ sql_opt))
+    Term.(ret (const run_repl $ csv_opt $ xml_opt $ sql_opt $ fetch_term))
 
 let main =
   let doc = "the Nimble XML data integration system" in

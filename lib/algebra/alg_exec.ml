@@ -330,6 +330,18 @@ let run_partial sources plan =
   let envs = run_list guarded plan in
   (envs, List.rev !skipped)
 
+(* Scan resolution against a prefetched buffer: scatter-gather fetches
+   every access up front, and scans then pull from the buffer instead of
+   the wire.  Buffered failures re-raise here — at pull time — so
+   strict/partial semantics (and skipped-source recording) are exactly
+   those of sequential execution. *)
+let buffered lookup fallback : source_fn =
+ fun access_id binding ->
+  match lookup access_id with
+  | Some (Ok envs) -> seq_of_list envs
+  | Some (Error e) -> raise e
+  | None -> fallback access_id binding
+
 let of_tuples binding rows =
   seq_of_list
     (List.map

@@ -27,6 +27,16 @@ val run_partial :
     returned list names the sources that were skipped, so the caller can
     annotate the answer as incomplete. *)
 
+val buffered :
+  (string -> (Alg_env.t list, exn) result option) ->
+  source_fn ->
+  source_fn
+(** [buffered lookup fallback] resolves scans against a prefetched
+    buffer: when [lookup access_id] finds an entry, its environments
+    are served (or its captured exception re-raised — at pull time, so
+    strict/partial semantics match sequential fetching); otherwise the
+    scan falls through to [fallback].  The scatter-gather fetch path. *)
+
 (** {1 Instrumented execution}
 
     The observability path: identical semantics to {!run_list}, plus a

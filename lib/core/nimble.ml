@@ -17,13 +17,14 @@ type t = {
   cleaners : (string, cleaner) Hashtbl.t;
 }
 
-let create ?(name = "nimble") ?(cache_capacity = 64) () =
-  let cat = Med_catalog.create () in
+let create ?(name = "nimble") ?(cache_capacity = 64) ?cache_ttl_ms ?(frag_capacity = 0)
+    ?frag_ttl_ms () =
+  let cat = Med_catalog.create ?frag_ttl_ms ~frag_capacity () in
   {
     sys_name = name;
     cat;
     mat = Mat_store.create cat;
-    results = Mat_cache.create ~capacity:cache_capacity;
+    results = Mat_cache.create ?ttl_ms:cache_ttl_ms ~capacity:cache_capacity ();
     accounts = Fe_auth.create ();
     lenses = Hashtbl.create 8;
     cleaners = Hashtbl.create 4;
@@ -117,8 +118,8 @@ let register_cleaned_source t ~name ~key_field ~flow ~from_query =
               | [] -> []
             in
             Source.R_rows (names, rows)
-          | Source.Q_sql _ -> raise (Source.Query_rejected "cleaned sources accept scans only")
-          | Source.Q_path _ -> raise (Source.Query_rejected "cleaned sources accept scans only")
+          | Source.Q_sql _ | Source.Q_path _ | Source.Q_batch _ ->
+            raise (Source.Query_rejected "cleaned sources accept scans only")
         in
         let src =
           {
@@ -275,7 +276,44 @@ let rec source_closure t q =
     (Xq_ast.all_sources_of q)
   |> List.sort_uniq String.compare
 
-let invalidate_source t source_name = Mat_cache.invalidate_source t.results source_name
+(* Both cache levels: whole-query results above, raw source fragments
+   below.  The return counts query-level entries (the historical
+   contract); fragment drops are visible in the fragcache counters. *)
+let invalidate_source t source_name =
+  let frag_dropped =
+    Frag_cache.invalidate_source (Med_catalog.frag_cache t.cat) source_name
+  in
+  ignore frag_dropped;
+  Mat_cache.invalidate_source t.results source_name
+
+(* ------------------------------------------------------------------ *)
+(* Fetch scheduling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fetch_options t = Med_catalog.fetch_options t.cat
+
+let set_fetch_options t options = Med_catalog.set_fetch_options t.cat options
+
+let configure_frag_cache t ?ttl_ms ~capacity () =
+  Med_catalog.configure_frag_cache t.cat ?ttl_ms ~capacity ()
+
+let fetch_report t =
+  let fo = Med_catalog.fetch_options t.cat in
+  let frag = Med_catalog.frag_cache t.cat in
+  let st = Frag_cache.stats frag in
+  let ttl =
+    match Frag_cache.ttl_ms frag with
+    | None -> ""
+    | Some ms -> Printf.sprintf " ttl=%.0fms" ms
+  in
+  Printf.sprintf
+    "fetch: %s\n\
+     fragment cache: %d/%d entries,%s hits=%d misses=%d evictions=%d \
+     expirations=%d invalidations=%d\n"
+    (Fetch_sched.options_to_string fo)
+    (Frag_cache.size frag) (Frag_cache.capacity frag) ttl st.Frag_cache.frag_hits
+    st.Frag_cache.frag_misses st.Frag_cache.frag_evictions
+    st.Frag_cache.frag_expirations st.Frag_cache.frag_invalidations
 
 let view_lookup t vname = Mat_store.lookup t.mat vname
 

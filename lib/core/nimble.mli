@@ -19,8 +19,18 @@
 
 type t
 
-val create : ?name:string -> ?cache_capacity:int -> unit -> t
-(** Default cache capacity 64 entries; 0 disables result caching. *)
+val create :
+  ?name:string ->
+  ?cache_capacity:int ->
+  ?cache_ttl_ms:float ->
+  ?frag_capacity:int ->
+  ?frag_ttl_ms:float ->
+  unit ->
+  t
+(** Default result-cache capacity 64 entries; 0 disables result caching.
+    [cache_ttl_ms] ages result-cache entries on the virtual clock.
+    [frag_capacity] (default 0: off) enables the fragment-level source
+    result cache below the network layer, with its own optional TTL. *)
 
 val name : t -> string
 
@@ -50,7 +60,22 @@ val dematerialize_view : t -> string -> unit
 
 val invalidate_source : t -> string -> int
 (** Drop cached results computed from the named source (call after
-    out-of-band updates); returns how many entries were dropped. *)
+    out-of-band updates); returns how many query-level entries were
+    dropped.  Fragment-cache entries for the source are dropped too. *)
+
+(** {1 Fetch scheduling} *)
+
+val fetch_options : t -> Fetch_sched.options
+val set_fetch_options : t -> Fetch_sched.options -> unit
+(** Sequential (default) or scatter-gather source fetching for every
+    subsequent query against this engine. *)
+
+val configure_frag_cache : t -> ?ttl_ms:float -> capacity:int -> unit -> unit
+(** Resize/replace the fragment-level result cache (drops contents). *)
+
+val fetch_report : t -> string
+(** One-paragraph summary of the fetch mode, fan-out and fragment-cache
+    occupancy/counters — the repl's [\fetch] view. *)
 
 val add_user : t -> ?role:Fe_auth.role -> string -> string -> (unit, string) result
 

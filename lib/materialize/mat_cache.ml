@@ -2,6 +2,7 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable evictions : int;
+  mutable expirations : int;
   mutable invalidations : int;
 }
 
@@ -11,26 +12,37 @@ type stats = {
 let m_hits = Obs_metrics.counter "cache.hits"
 let m_misses = Obs_metrics.counter "cache.misses"
 let m_evictions = Obs_metrics.counter "cache.evictions"
+let m_expirations = Obs_metrics.counter "cache.expirations"
 let m_invalidations = Obs_metrics.counter "cache.invalidations"
 
 type entry = {
   value : Dtree.t list;
   entry_sources : string list;
+  born_vms : float;
   mutable last_used : int;
 }
 
 type t = {
   cap : int;
+  ttl_ms : float option;
   table : (string, entry) Hashtbl.t;
   st : stats;
   mutable clock : int;
 }
 
-let create ~capacity =
+let create ?ttl_ms ~capacity () =
   {
     cap = capacity;
+    ttl_ms;
     table = Hashtbl.create (max 1 capacity);
-    st = { cache_hits = 0; cache_misses = 0; evictions = 0; invalidations = 0 };
+    st =
+      {
+        cache_hits = 0;
+        cache_misses = 0;
+        evictions = 0;
+        expirations = 0;
+        invalidations = 0;
+      };
     clock = 0;
   }
 
@@ -38,8 +50,22 @@ let touch t entry =
   t.clock <- t.clock + 1;
   entry.last_used <- t.clock
 
+(* Freshness ages on the *virtual* clock, so TTL semantics are
+   deterministic under the network simulator (and in tests). *)
+let expired t entry =
+  match t.ttl_ms with
+  | None -> false
+  | Some ttl -> Obs_clock.virtual_ms () -. entry.born_vms > ttl
+
 let get t key =
   match Hashtbl.find_opt t.table key with
+  | Some entry when expired t entry ->
+    Hashtbl.remove t.table key;
+    t.st.expirations <- t.st.expirations + 1;
+    Obs_metrics.inc m_expirations;
+    t.st.cache_misses <- t.st.cache_misses + 1;
+    Obs_metrics.inc m_misses;
+    None
   | Some entry ->
     t.st.cache_hits <- t.st.cache_hits + 1;
     Obs_metrics.inc m_hits;
@@ -68,7 +94,9 @@ let evict_lru t =
 let put t ?(sources = []) key value =
   if t.cap > 0 then begin
     if (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= t.cap then evict_lru t;
-    let entry = { value; entry_sources = sources; last_used = 0 } in
+    let entry =
+      { value; entry_sources = sources; born_vms = Obs_clock.virtual_ms (); last_used = 0 }
+    in
     touch t entry;
     Hashtbl.replace t.table key entry
   end
@@ -105,6 +133,7 @@ let clear t = Hashtbl.reset t.table
 
 let size t = Hashtbl.length t.table
 let capacity t = t.cap
+let ttl_ms t = t.ttl_ms
 let stats t = t.st
 
 let hit_rate t =

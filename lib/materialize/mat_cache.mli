@@ -4,7 +4,8 @@
     Keys are query texts; values are constructed result trees.  Eviction
     is least-recently-used; entries can also carry the set of sources
     they were computed from, so a source update invalidates exactly the
-    affected entries. *)
+    affected entries.  An optional TTL — measured on the {e virtual}
+    clock, {!Obs_clock.virtual_ms} — ages entries out for freshness. *)
 
 type t
 
@@ -12,11 +13,14 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable evictions : int;
+  mutable expirations : int;
   mutable invalidations : int;
 }
 
-val create : capacity:int -> t
-(** [capacity] is the maximum number of entries; 0 disables caching. *)
+val create : ?ttl_ms:float -> capacity:int -> unit -> t
+(** [capacity] is the maximum number of entries; 0 disables caching.
+    With [ttl_ms], entries older (in virtual time) than the TTL read as
+    misses and are dropped, counted as expirations. *)
 
 val get : t -> string -> Dtree.t list option
 (** A hit refreshes the entry's recency. *)
@@ -37,6 +41,9 @@ val invalidate_source : t -> string -> int
 val clear : t -> unit
 val size : t -> int
 val capacity : t -> int
+
+val ttl_ms : t -> float option
+
 val stats : t -> stats
 val hit_rate : t -> float
 (** Hits / (hits + misses); 0 when nothing was looked up. *)

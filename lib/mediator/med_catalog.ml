@@ -8,18 +8,35 @@ type t = {
   reg : Src_registry.t;
   views : (string, view) Hashtbl.t;
   fb : Obs_feedback.t;
+  mutable frag : Frag_cache.t;
+  mutable fetch : Fetch_sched.options;
 }
 
 exception Catalog_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Catalog_error m)) fmt
 
-let create () =
-  { reg = Src_registry.create (); views = Hashtbl.create 16; fb = Obs_feedback.create () }
+let create ?frag_ttl_ms ?(frag_capacity = 0) () =
+  {
+    reg = Src_registry.create ();
+    views = Hashtbl.create 16;
+    fb = Obs_feedback.create ();
+    frag = Frag_cache.create ?ttl_ms:frag_ttl_ms ~capacity:frag_capacity ();
+    fetch = Fetch_sched.default_options;
+  }
 
 let registry t = t.reg
 
 let feedback t = t.fb
+
+let frag_cache t = t.frag
+
+let configure_frag_cache t ?ttl_ms ~capacity () =
+  t.frag <- Frag_cache.create ?ttl_ms ~capacity ()
+
+let fetch_options t = t.fetch
+
+let set_fetch_options t options = t.fetch <- options
 
 let register_source t src =
   try Src_registry.register t.reg src

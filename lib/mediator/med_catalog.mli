@@ -17,7 +17,10 @@ type view = {
 
 exception Catalog_error of string
 
-val create : unit -> t
+val create : ?frag_ttl_ms:float -> ?frag_capacity:int -> unit -> t
+(** [frag_capacity] (default 0: disabled) sizes the fragment-level
+    result cache consulted below the network simulator; [frag_ttl_ms]
+    ages its entries on the virtual clock. *)
 
 val registry : t -> Src_registry.t
 
@@ -27,6 +30,22 @@ val feedback : t -> Obs_feedback.t
     ({!Med_planner.source_rows}, EXPLAIN ANALYZE) read estimates back
     from it.  Scoped to the catalog so independent engines (and tests)
     never share observations. *)
+
+(** {1 Fetch scheduling and fragment caching} *)
+
+val frag_cache : t -> Frag_cache.t
+(** The catalog's fragment-level result cache (LRU+TTL, below
+    {!Mat_cache}'s whole-query cache).  Capacity 0 — the default —
+    means every access goes to the wire. *)
+
+val configure_frag_cache : t -> ?ttl_ms:float -> capacity:int -> unit -> unit
+(** Replace the fragment cache (dropping its contents). *)
+
+val fetch_options : t -> Fetch_sched.options
+(** How executions against this catalog issue their source accesses:
+    sequential (the default) or scatter-gather rounds. *)
+
+val set_fetch_options : t -> Fetch_sched.options -> unit
 
 (** {1 Sources} *)
 

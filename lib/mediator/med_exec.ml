@@ -49,15 +49,7 @@ let envs_of_sql_rows (fragment : Med_sqlgen.fragment) rows =
 let match_documents pattern docs =
   List.concat_map (fun doc -> Xq_eval.match_anywhere pattern doc) docs
 
-(* Which source (or view) an access targets, and what it ships there —
-   the [target]/[push] attributes of the mediator.access span and the
-   name under which per-source counters accumulate. *)
-let access_target = function
-  | Med_planner.A_sql { source_name; _ }
-  | Med_planner.A_sql_join { source_name; _ }
-  | Med_planner.A_path { source_name; _ }
-  | Med_planner.A_match { source_name; _ } -> source_name
-  | Med_planner.A_view { view; _ } -> view
+let access_target = Med_planner.access_target
 
 let access_push = function
   | Med_planner.A_sql { fragment; _ } -> fragment.Med_sqlgen.sql_text
@@ -67,16 +59,78 @@ let access_push = function
     Xq_pretty.pattern_to_string pattern
 
 let capability_fallbacks = Obs_metrics.counter "mediator.capability_fallbacks"
+let batch_fallbacks = Obs_metrics.counter "fetch.batch_fallbacks"
+
+(* ------------------------------------------------------------------ *)
+(* Fragment cache plumbing                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The fragment string is the cache identity of what ships to the
+   source; it doubles as a human-readable label.  SQL fragments are
+   cached under their text verbatim. *)
+let frag_key_path export path =
+  Printf.sprintf "path:%s:%s" export (Xml_path.to_string path)
+
+let frag_key_scan export = "scan:" ^ export
+let frag_key_doc doc = "doc:" ^ doc
+
+(* One remote call through the fragment cache: a hit skips the wire
+   (and the network simulator) entirely; only successful results are
+   cached, so rejections and outages keep their live semantics. *)
+let frag_fetch catalog (src : Source.t) ~fragment q =
+  let frag = Med_catalog.frag_cache catalog in
+  match Frag_cache.get frag ~source:src.Source.name ~fragment with
+  | Some r -> r
+  | None ->
+    let r = src.Source.execute q in
+    Frag_cache.put frag ~source:src.Source.name ~fragment r;
+    r
+
+let frag_documents catalog (src : Source.t) doc =
+  let frag = Med_catalog.frag_cache catalog in
+  let fragment = frag_key_doc doc in
+  match Frag_cache.get frag ~source:src.Source.name ~fragment with
+  | Some (Source.R_trees trees) -> trees
+  | Some _ | None ->
+    let trees = src.Source.documents doc in
+    Frag_cache.put frag ~source:src.Source.name ~fragment (Source.R_trees trees);
+    trees
 
 (* The XML view of an export, shipping rows (not trees) for tabular
    sources and rebuilding the document client-side. *)
-let export_documents (src : Source.t) export =
+let export_documents catalog (src : Source.t) export =
   match src.Source.kind with
   | Source.Relational | Source.Flat_file -> (
-    match src.Source.execute (Source.Q_scan export) with
+    match frag_fetch catalog src ~fragment:(frag_key_scan export) (Source.Q_scan export) with
     | Source.R_rows (_, rows) -> [ Source.table_document export rows ]
-    | Source.R_trees trees -> trees)
-  | Source.Xml_store -> src.Source.documents export
+    | Source.R_trees trees -> trees
+    | Source.R_batch _ -> fail "unexpected batch result from %s" src.Source.name)
+  | Source.Xml_store -> frag_documents catalog src export
+
+(* Turn one SQL fragment's raw result into bound environments. *)
+let envs_of_sql_access access r =
+  match access with
+  | Med_planner.A_sql { fragment; pattern; _ } -> (
+    match r with
+    | Source.R_rows (_, rows) -> envs_of_sql_rows fragment rows
+    | Source.R_trees trees -> match_documents pattern trees
+    | Source.R_batch _ -> fail "unexpected nested batch result")
+  | _ -> fail "internal: non-SQL access in a batch"
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather prefetch                                             *)
+(* ------------------------------------------------------------------ *)
+
+type fetch_info = {
+  fi_round : int;
+  fi_shared : bool;
+  fi_cache_hits : int;
+}
+
+type prefetched = {
+  pf_result : (Alg_env.t list, exn) Stdlib.result;
+  pf_info : fetch_info;
+}
 
 (* Execute one access; may recurse through the compiler for views. *)
 let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
@@ -84,15 +138,15 @@ let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
   | Med_planner.A_sql { source_name; export; fragment; pattern } -> (
     let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
     try
-      match src.Source.execute (Source.Q_sql fragment.Med_sqlgen.sql_text) with
-      | Source.R_rows (_, rows) -> envs_of_sql_rows fragment rows
-      | Source.R_trees trees -> match_documents pattern trees
+      envs_of_sql_access access
+        (frag_fetch catalog src ~fragment:fragment.Med_sqlgen.sql_text
+           (Source.Q_sql fragment.Med_sqlgen.sql_text))
     with Source.Query_rejected _ ->
       (* Capability miss at runtime: ship the whole export and re-apply
          the conditions the fragment would have evaluated (they left the
          residual pool at plan time). *)
       Obs_metrics.inc capability_fallbacks;
-      let envs = match_documents pattern (export_documents src export) in
+      let envs = match_documents pattern (export_documents catalog src export) in
       List.filter
         (fun env ->
           List.for_all
@@ -101,7 +155,10 @@ let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
         envs)
   | Med_planner.A_sql_join { source_name; fragment; exports = _ } -> (
     let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
-    match src.Source.execute (Source.Q_sql fragment.Med_sqlgen.jf_sql_text) with
+    match
+      frag_fetch catalog src ~fragment:fragment.Med_sqlgen.jf_sql_text
+        (Source.Q_sql fragment.Med_sqlgen.jf_sql_text)
+    with
     | Source.R_rows (_, rows) ->
       List.map
         (fun row ->
@@ -111,21 +168,26 @@ let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
                  (var, Dtree.atom (Option.value ~default:Value.Null (Tuple.get row col))))
                fragment.Med_sqlgen.jf_binds))
         rows
-    | Source.R_trees _ -> fail "join fragment returned trees from %s" source_name)
+    | Source.R_trees _ -> fail "join fragment returned trees from %s" source_name
+    | Source.R_batch _ -> fail "unexpected batch result from %s" source_name)
   | Med_planner.A_path { source_name; export; path; pattern } -> (
     let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
     try
-      match src.Source.execute (Source.Q_path (export, path)) with
+      match
+        frag_fetch catalog src ~fragment:(frag_key_path export path)
+          (Source.Q_path (export, path))
+      with
       | Source.R_trees candidates ->
         (* Preselection is a superset; full matching verifies and binds. *)
         List.concat_map (Xq_eval.match_pattern pattern) candidates
-      | Source.R_rows _ -> match_documents pattern (export_documents src export)
+      | Source.R_rows _ -> match_documents pattern (export_documents catalog src export)
+      | Source.R_batch _ -> fail "unexpected batch result from %s" source_name
     with Source.Query_rejected _ ->
       Obs_metrics.inc capability_fallbacks;
-      match_documents pattern (export_documents src export))
+      match_documents pattern (export_documents catalog src export))
   | Med_planner.A_match { source_name; export; pattern } ->
     let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
-    match_documents pattern (export_documents src export)
+    match_documents pattern (export_documents catalog src export)
   | Med_planner.A_view { view; pattern } -> (
     match view_lookup view with
     | Some trees -> match_documents pattern trees
@@ -142,25 +204,220 @@ let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
         in
         match_documents pattern trees))
 
+(* Several SQL fragments bound for one relational source, shipped as a
+   single batched round trip (one latency charge).  Cache hits resolve
+   locally; a source without batch capability falls back to individual
+   calls inside the same scheduling lane. *)
+and run_sql_batch catalog ~opts ~view_lookup source_name members =
+  let frag = Med_catalog.frag_cache catalog in
+  let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
+  let classified =
+    List.map
+      (fun (key, access) ->
+        match access with
+        | Med_planner.A_sql { fragment; _ } ->
+          let sql = fragment.Med_sqlgen.sql_text in
+          (key, access, sql, Frag_cache.get frag ~source:source_name ~fragment:sql)
+        | _ -> fail "internal: non-SQL access in a batch")
+      members
+  in
+  let missing = List.filter (fun (_, _, _, c) -> c = None) classified in
+  let missing_envs : (string, (Alg_env.t list, exn) Stdlib.result) Hashtbl.t =
+    Hashtbl.create (max 1 (List.length missing))
+  in
+  let solo (key, access, _sql, _) =
+    Hashtbl.replace missing_envs key
+      (try Ok (run_access catalog ~opts ~view_lookup access) with e -> Error e)
+  in
+  (match missing with
+  | [] -> ()
+  | [ m ] -> solo m
+  | _ -> (
+    let queries = List.map (fun (_, _, sql, _) -> Source.Q_sql sql) missing in
+    match src.Source.execute (Source.Q_batch queries) with
+    | Source.R_batch results when List.length results = List.length missing ->
+      List.iter2
+        (fun (key, access, sql, _) r ->
+          Frag_cache.put frag ~source:source_name ~fragment:sql r;
+          Hashtbl.replace missing_envs key
+            (try Ok (envs_of_sql_access access r) with e -> Error e))
+        missing results
+    | _ ->
+      (* Malformed batch reply: refetch the members one by one. *)
+      List.iter solo missing
+    | exception Source.Query_rejected _ ->
+      (* No batch capability at this source. *)
+      Obs_metrics.inc batch_fallbacks;
+      List.iter solo missing
+    | exception e ->
+      (* The whole round trip failed (e.g. the source is offline):
+         every member shares the outcome, as one call would have. *)
+      List.iter (fun (key, _, _, _) -> Hashtbl.replace missing_envs key (Error e)) missing));
+  List.map
+    (fun (key, access, _sql, cached) ->
+      match cached with
+      | Some r -> (key, (try Ok (envs_of_sql_access access r) with e -> Error e), 1)
+      | None -> (key, Hashtbl.find missing_envs key, 0))
+    classified
+
+(* Collect the plan's source accesses and issue them as overlapped
+   rounds; the returned buffer (keyed by access key) then resolves
+   scans without touching the wire.  View accesses recurse through the
+   compiler and stay lazy. *)
+and prefetch catalog ~opts ~view_lookup (compiled : Med_planner.compiled) =
+  let fo = Med_catalog.fetch_options catalog in
+  match fo.Fetch_sched.mode with
+  | Fetch_sched.Sequential -> None
+  | Fetch_sched.Gather ->
+    let fetchable =
+      List.filter_map
+        (fun (_aid, access) ->
+          match access with Med_planner.A_view _ -> None | a -> Some a)
+        compiled.Med_planner.accesses
+    in
+    let is_rel_sql = function
+      | Med_planner.A_sql { source_name; _ } -> (
+        match Src_registry.find (Med_catalog.registry catalog) source_name with
+        | Some src -> src.Source.kind = Source.Relational
+        | None -> false)
+      | _ -> false
+    in
+    (* SQL fragments for one relational source group into a batch;
+       within a group, identical fragments collapse (counted as dedup
+       hits alongside the scheduler's own key dedup). *)
+    let groups : (string, (string * Med_planner.access) list ref) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    let dedup_hits = ref 0 in
+    List.iter
+      (fun access ->
+        if is_rel_sql access then begin
+          let source = Med_planner.access_target access in
+          let key = Med_planner.access_key access in
+          let cell =
+            match Hashtbl.find_opt groups source with
+            | Some c -> c
+            | None ->
+              let c = ref [] in
+              Hashtbl.add groups source c;
+              c
+          in
+          if List.mem_assoc key !cell then incr dedup_hits
+          else cell := (key, access) :: !cell
+        end)
+      fetchable;
+    if !dedup_hits > 0 then
+      Obs_metrics.inc ~by:!dedup_hits (Obs_metrics.counter "fetch.dedup_hits");
+    let individual_task access =
+      let key = Med_planner.access_key access in
+      {
+        Fetch_sched.task_key = key;
+        task_run =
+          (fun () ->
+            let st = Frag_cache.stats (Med_catalog.frag_cache catalog) in
+            let h0 = st.Frag_cache.frag_hits in
+            let r =
+              try Ok (run_access catalog ~opts ~view_lookup access) with e -> Error e
+            in
+            [ (key, r, st.Frag_cache.frag_hits - h0) ]);
+      }
+    in
+    let batch_task source members =
+      {
+        Fetch_sched.task_key =
+          "batch|" ^ source ^ "|" ^ String.concat "\x00" (List.map fst members);
+        task_run =
+          (fun () ->
+            try run_sql_batch catalog ~opts ~view_lookup source members
+            with e -> List.map (fun (key, _) -> (key, Error e, 0)) members);
+      }
+    in
+    (* One task per access, in plan order; each relational-SQL group is
+       emitted once, at its first member's position. *)
+    let emitted : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+    let tasks =
+      List.filter_map
+        (fun access ->
+          if is_rel_sql access then begin
+            let source = Med_planner.access_target access in
+            if Hashtbl.mem emitted source then None
+            else begin
+              Hashtbl.add emitted source ();
+              match List.rev !(Hashtbl.find groups source) with
+              | [ (_, a) ] -> Some (individual_task a)
+              | members -> Some (batch_task source members)
+            end
+          end
+          else Some (individual_task access))
+        fetchable
+    in
+    let outcomes = Fetch_sched.run ~fanout:fo.Fetch_sched.fanout tasks in
+    let buffer : (string, prefetched) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (o : _ Fetch_sched.outcome) ->
+        match o.Fetch_sched.result with
+        | Ok entries ->
+          List.iter
+            (fun (key, pf_result, cache_hits) ->
+              if not (Hashtbl.mem buffer key) then
+                Hashtbl.replace buffer key
+                  {
+                    pf_result;
+                    pf_info =
+                      {
+                        fi_round = o.Fetch_sched.round;
+                        fi_shared = o.Fetch_sched.shared;
+                        fi_cache_hits = cache_hits;
+                      };
+                  })
+            entries
+        | Error _ ->
+          (* Tasks capture their own failures; an escape here means the
+             access resolves live at pull time instead. *)
+          ())
+      outcomes;
+    Some buffer
+
 (* ------------------------------------------------------------------ *)
 (* Plan execution                                                      *)
 (* ------------------------------------------------------------------ *)
 
-and source_fn_of catalog ~opts ~view_lookup (compiled : Med_planner.compiled) :
+and source_fn_of catalog ~opts ~view_lookup ?buffer (compiled : Med_planner.compiled) :
     Alg_exec.source_fn =
- fun access_id _binding ->
-  match List.assoc_opt access_id compiled.Med_planner.accesses with
-  | None -> fail "internal: unknown access id %s" access_id
-  | Some access ->
+  let find_access aid =
+    match List.assoc_opt aid compiled.Med_planner.accesses with
+    | None -> fail "internal: unknown access id %s" aid
+    | Some access -> access
+  in
+  let buffer_entry access =
+    match buffer with
+    | None -> None
+    | Some b -> Hashtbl.find_opt b (Med_planner.access_key access)
+  in
+  let resolve =
+    Alg_exec.buffered
+      (fun aid -> Option.map (fun p -> p.pf_result) (buffer_entry (find_access aid)))
+      (fun aid _binding ->
+        List.to_seq (run_access catalog ~opts ~view_lookup (find_access aid)))
+  in
+  fun access_id binding ->
+    let access = find_access access_id in
     let target = access_target access in
     Obs_trace.with_span "mediator.access" (fun span ->
         Obs_span.set span "id" access_id;
         Obs_span.set span "target" target;
         Obs_span.set span "push" (access_push access);
+        (match buffer_entry access with
+        | Some p ->
+          List.iter
+            (fun (k, v) -> Obs_span.set span k v)
+            (Obs_report.fetch_cells ~round:p.pf_info.fi_round
+               ~shared:p.pf_info.fi_shared ~cache_hits:p.pf_info.fi_cache_hits)
+        | None -> ());
         Obs_metrics.inc
           (Obs_metrics.counter (Printf.sprintf "source.%s.accesses" target));
         try
-          let envs = run_access catalog ~opts ~view_lookup access in
+          let envs = List.of_seq (resolve access_id binding) in
           let n = List.length envs in
           Obs_span.set_int span "rows" n;
           Obs_metrics.inc ~by:n
@@ -175,9 +432,23 @@ and source_fn_of catalog ~opts ~view_lookup (compiled : Med_planner.compiled) :
             (Obs_metrics.counter (Printf.sprintf "source.%s.unavailable" target));
           raise (Alg_exec.Source_unavailable name))
 
+(* Prefetch (under the catalog's fetch options), then hand back the
+   scan resolver and a per-access fetch-info lookup for reporting. *)
+and prepare catalog ~opts ~view_lookup compiled =
+  let buffer = prefetch catalog ~opts ~view_lookup compiled in
+  let info access =
+    match buffer with
+    | None -> None
+    | Some b ->
+      Option.map
+        (fun p -> p.pf_info)
+        (Hashtbl.find_opt b (Med_planner.access_key access))
+  in
+  (source_fn_of catalog ~opts ~view_lookup ?buffer compiled, info)
+
 and exec catalog ~opts ~partial ~view_lookup (compiled : Med_planner.compiled) =
   Obs_trace.with_span "query" (fun qspan ->
-      let sources = source_fn_of catalog ~opts ~view_lookup compiled in
+      let sources, _fetch_info = prepare catalog ~opts ~view_lookup compiled in
       let envs, skipped =
         if partial then Alg_exec.run_partial sources compiled.Med_planner.plan
         else (Alg_exec.run_list sources compiled.Med_planner.plan, [])
@@ -237,6 +508,7 @@ type access_stat = {
   stat_calls : int;
   stat_rows : int;
   stat_ms : float;
+  stat_fetch : fetch_info option;
 }
 
 type analysis = {
@@ -246,6 +518,7 @@ type analysis = {
   analyzed_actual : Alg_plan.t -> (int * float) option;
   analyzed_accesses : access_stat list;
   analyzed_wall_ms : float;
+  analyzed_virtual_ms : float;
 }
 
 let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
@@ -271,7 +544,9 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
   let tally : (string, int ref * int ref * float ref) Hashtbl.t =
     Hashtbl.create 8
   in
-  let base = source_fn_of catalog ~opts ~view_lookup compiled in
+  let t0 = Obs_clock.wall_ms () in
+  let v0 = Obs_clock.virtual_ms () in
+  let base, fetch_info = prepare catalog ~opts ~view_lookup compiled in
   let sources aid binding =
     let calls, rows, ms =
       match Hashtbl.find_opt tally aid with
@@ -288,7 +563,6 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
     ms := !ms +. (Obs_clock.wall_ms () -. t0);
     List.to_seq envs
   in
-  let t0 = Obs_clock.wall_ms () in
   let envs, op_root =
     Obs_trace.with_span "query" (fun qspan ->
         let r = Alg_exec.run_instrumented sources compiled.Med_planner.plan in
@@ -296,6 +570,7 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
         r)
   in
   let wall_ms = Obs_clock.wall_ms () -. t0 in
+  let virtual_ms = Obs_clock.virtual_ms () -. v0 in
   let resolver = direct_resolver catalog in
   let trees =
     List.concat_map
@@ -317,6 +592,7 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
           stat_calls = calls;
           stat_rows = rows;
           stat_ms = ms;
+          stat_fetch = fetch_info access;
         })
       compiled.Med_planner.accesses
   in
@@ -327,6 +603,7 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
     analyzed_actual = Alg_exec.actual_of_stats op_root;
     analyzed_accesses = accesses;
     analyzed_wall_ms = wall_ms;
+    analyzed_virtual_ms = virtual_ms;
   }
 
 let run_analyzed_text ?opts ?view_lookup catalog text =
@@ -342,21 +619,29 @@ let analysis_to_string a =
   Buffer.add_string buf "accesses:\n";
   List.iter
     (fun st ->
+      let fetch =
+        match st.stat_fetch with
+        | None -> []
+        | Some fi ->
+          Obs_report.fetch_cells ~round:fi.fi_round ~shared:fi.fi_shared
+            ~cache_hits:fi.fi_cache_hits
+      in
       Buffer.add_string buf
         (Med_planner.access_to_string (st.stat_id, st.stat_access));
       Buffer.add_string buf
         (Printf.sprintf "  [%s]\n"
            (Obs_report.cells
-              [
-                ("est", Printf.sprintf "%.0f" st.stat_est_rows);
-                Obs_report.int_cell "calls" st.stat_calls;
-                Obs_report.int_cell "rows" st.stat_rows;
-                ("time", Printf.sprintf "%.2fms" st.stat_ms);
-              ]))
+              ([
+                 ("est", Printf.sprintf "%.0f" st.stat_est_rows);
+                 Obs_report.int_cell "calls" st.stat_calls;
+                 Obs_report.int_cell "rows" st.stat_rows;
+                 ("time", Printf.sprintf "%.2fms" st.stat_ms);
+               ]
+              @ fetch)))
       )
     a.analyzed_accesses;
   Buffer.add_string buf
-    (Printf.sprintf "-- %d rows in %.2fms\n"
+    (Printf.sprintf "-- %d rows in %.2fms (virtual %.2fms)\n"
        (List.length a.analyzed_result.bindings)
-       a.analyzed_wall_ms);
+       a.analyzed_wall_ms a.analyzed_virtual_ms);
   Buffer.contents buf

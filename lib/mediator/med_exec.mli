@@ -64,6 +64,15 @@ val explain_text : Med_catalog.t -> string -> string
     source fragment, and recording observed cardinalities into the
     catalog's feedback store for the next compilation. *)
 
+type fetch_info = {
+  fi_round : int;      (** scatter-gather round the fetch rode in *)
+  fi_shared : bool;    (** served by another access's execution (dedup) *)
+  fi_cache_hits : int; (** fragment-cache hits while fetching it *)
+}
+(** How an access was fetched when the catalog's {!Fetch_sched.options}
+    select gather mode; surfaces in span attributes and EXPLAIN
+    ANALYZE. *)
+
 type access_stat = {
   stat_id : string;                  (** Scan-leaf access id *)
   stat_access : Med_planner.access;
@@ -71,6 +80,7 @@ type access_stat = {
   stat_calls : int;                  (** times the executor opened the access *)
   stat_rows : int;                   (** rows shipped, total over calls *)
   stat_ms : float;                   (** wall time inside the access *)
+  stat_fetch : fetch_info option;    (** [None] under sequential fetching *)
 }
 
 type analysis = {
@@ -82,6 +92,8 @@ type analysis = {
       (** per-operator (rows, inclusive ms), by physical node identity *)
   analyzed_accesses : access_stat list;
   analyzed_wall_ms : float;
+  analyzed_virtual_ms : float;
+      (** simulated network time the run consumed (overlap-aware) *)
 }
 
 val run_analyzed :

@@ -55,6 +55,13 @@ let access_key = function
   | A_view { view; pattern } ->
     Printf.sprintf "view|%s|%s" view (Xq_pretty.pattern_to_string pattern)
 
+let access_target = function
+  | A_sql { source_name; _ }
+  | A_sql_join { source_name; _ }
+  | A_path { source_name; _ }
+  | A_match { source_name; _ } -> source_name
+  | A_view { view; _ } -> view
+
 let observed_rows feedback access =
   match feedback with
   | None -> Alg_cost.default_scan_rows

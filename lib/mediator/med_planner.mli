@@ -88,6 +88,11 @@ val access_key : access -> string
     the same logical access in a recompiled query maps to the same
     observations. *)
 
+val access_target : access -> string
+(** The source (or view) name an access ships work to — the name under
+    which per-source counters accumulate and the dedup scope of the
+    fetch scheduler's batching. *)
+
 val source_rows :
   ?feedback:Obs_feedback.t -> compiled -> string -> float
 (** Cardinality provider for {!Alg_cost.estimate}: maps a Scan leaf's

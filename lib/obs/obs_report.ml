@@ -8,6 +8,14 @@ let int_cell k n = (k, string_of_int n)
 
 let ms_cell k ms = (k, Printf.sprintf "%.2f" ms)
 
+(* How an access was fetched, for EXPLAIN ANALYZE access tables and span
+   attributes: the scatter-gather round it rode in, whether it shared
+   another access's execution, and fragment-cache hits it was served. *)
+let fetch_cells ~round ~shared ~cache_hits =
+  [ ("round", string_of_int round) ]
+  @ (if shared then [ ("shared", "yes") ] else [])
+  @ if cache_hits > 0 then [ ("cached", string_of_int cache_hits) ] else []
+
 (* ------------------------------------------------------------------ *)
 (* Span trees                                                          *)
 (* ------------------------------------------------------------------ *)

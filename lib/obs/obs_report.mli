@@ -6,9 +6,16 @@ val cells : (string * string) list -> string
 (** ["k=v k=v …"] — the shared cell format. *)
 
 val int_cell : string -> int -> string * string
+
 val ms_cell : string -> float -> string * string
 (** [ms_cell k ms] renders with two decimals (no unit suffix), matching
     the historical [virtual_ms=…] cells. *)
+
+val fetch_cells :
+  round:int -> shared:bool -> cache_hits:int -> (string * string) list
+(** Cells describing how a source access was fetched under
+    scatter-gather: its round, outcome sharing (dedup) and
+    fragment-cache hits.  Shared by EXPLAIN ANALYZE and span attrs. *)
 
 val span_tree : Obs_span.t -> string
 (** One span tree, two-space indented:

@@ -19,6 +19,7 @@ let make ~name files =
       Source.R_rows (Dschema.column_names schema, rows)
     | Source.Q_sql _ -> raise (Source.Query_rejected "flat files do not accept SQL")
     | Source.Q_path _ -> raise (Source.Query_rejected "flat files do not accept paths")
+    | Source.Q_batch _ -> raise (Source.Query_rejected "flat files do not accept batches")
   in
   {
     Source.name;

@@ -1,0 +1,103 @@
+(* The scatter-gather fetch scheduler.
+
+   A compiled plan's source accesses are collected up front and issued
+   as overlapped rounds on the virtual clock: a round of K fetches
+   (configurable fan-out) costs the maximum of its members' virtual
+   costs — Obs_clock's round/lane accounting — instead of their sum,
+   while per-source Net_sim stats keep charging every call's true cost.
+   Identical tasks (same dedup key) collapse into one execution whose
+   outcome is shared, exceptions included, so an offline source skips
+   identically whether its fragment ran once or was shared. *)
+
+type mode =
+  | Sequential
+  | Gather
+
+type options = {
+  mode : mode;
+  fanout : int;
+}
+
+let default_fanout = 4
+
+let default_options = { mode = Sequential; fanout = default_fanout }
+
+let gather_options ?(fanout = default_fanout) () = { mode = Gather; fanout }
+
+let mode_to_string = function
+  | Sequential -> "seq"
+  | Gather -> "gather"
+
+let mode_of_string = function
+  | "seq" | "sequential" -> Some Sequential
+  | "gather" | "scatter-gather" -> Some Gather
+  | _ -> None
+
+let options_to_string o =
+  Printf.sprintf "mode=%s fanout=%d" (mode_to_string o.mode) o.fanout
+
+type 'a outcome = {
+  result : ('a, exn) result;
+  round : int;   (* 0-based round the execution ran in *)
+  shared : bool; (* served by another task's execution (dedup) *)
+}
+
+let m_rounds = Obs_metrics.counter "fetch.rounds"
+let m_tasks = Obs_metrics.counter "fetch.tasks"
+let m_dedup = Obs_metrics.counter "fetch.dedup_hits"
+
+type 'a task = {
+  task_key : string;
+  task_run : unit -> 'a;
+}
+
+let rec chunks k = function
+  | [] -> []
+  | l ->
+    let rec take n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (n - 1) (x :: acc) rest
+    in
+    let round, rest = take k [] l in
+    round :: chunks k rest
+
+let run ~fanout tasks =
+  let fanout = max 1 fanout in
+  Obs_metrics.inc ~by:(List.length tasks) m_tasks;
+  (* Dedup: the first task with a key executes; later ones share. *)
+  let order : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let unique = ref [] in
+  List.iter
+    (fun t ->
+      if not (Hashtbl.mem order t.task_key) then begin
+        Hashtbl.add order t.task_key (Hashtbl.length order);
+        unique := t :: !unique
+      end)
+    tasks;
+  let unique = List.rev !unique in
+  Obs_metrics.inc ~by:(List.length tasks - List.length unique) m_dedup;
+  let outcomes : (string, ('a, exn) result * int) Hashtbl.t =
+    Hashtbl.create (List.length unique)
+  in
+  let m_round_ms = Obs_metrics.histogram "fetch.round_ms" in
+  List.iteri
+    (fun round_ix round ->
+      Obs_metrics.inc m_rounds;
+      Obs_clock.begin_round ();
+      List.iter
+        (fun t ->
+          Obs_clock.begin_lane ();
+          let result = try Ok (t.task_run ()) with e -> Error e in
+          Hashtbl.replace outcomes t.task_key (result, round_ix))
+        round;
+      Obs_metrics.observe m_round_ms (Obs_clock.end_round ()))
+    (chunks fanout unique);
+  let seen_first : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.map
+    (fun t ->
+      let result, round = Hashtbl.find outcomes t.task_key in
+      let shared = Hashtbl.mem seen_first t.task_key in
+      Hashtbl.replace seen_first t.task_key ();
+      { result; round; shared })
+    tasks

@@ -1,0 +1,52 @@
+(** Scatter-gather fetch scheduling.
+
+    Source accesses collected from a compiled plan are issued in
+    overlapped {e rounds}: up to [fanout] fetches share a round, and the
+    shared virtual clock ({!Obs_clock}) advances by the {e maximum} of
+    the round's per-call costs instead of their sum — per-source
+    {!Net_sim} stats still charge every call in full.  Tasks carrying
+    the same dedup key collapse into a single execution whose outcome
+    (value or exception) is shared by every holder of the key. *)
+
+type mode =
+  | Sequential  (** one access at a time, in plan order — the default *)
+  | Gather  (** overlapped rounds of [fanout] accesses *)
+
+type options = {
+  mode : mode;
+  fanout : int;
+}
+
+val default_fanout : int
+(** 4. *)
+
+val default_options : options
+(** [Sequential] with the default fan-out, preserving the exact
+    observable behaviour of plans compiled before the scheduler
+    existed. *)
+
+val gather_options : ?fanout:int -> unit -> options
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+val options_to_string : options -> string
+
+type 'a outcome = {
+  result : ('a, exn) result;
+  round : int;  (** 0-based round the execution ran in *)
+  shared : bool;  (** served by an earlier task's execution (dedup) *)
+}
+
+type 'a task = {
+  task_key : string;  (** dedup identity — e.g. [Med_planner.access_key] *)
+  task_run : unit -> 'a;
+}
+
+val run : fanout:int -> 'a task list -> 'a outcome list
+(** Executes the distinct tasks (first occurrence of each key, input
+    order preserved) in rounds of [fanout] under
+    {!Obs_clock.begin_round} lanes, capturing exceptions per task.
+    Returns one outcome per {e input} task, duplicates sharing the
+    executed outcome with [shared = true].  Counts [fetch.rounds],
+    [fetch.tasks] and [fetch.dedup_hits] in the metrics registry and
+    observes each round's clock cost on [fetch.round_ms]. *)

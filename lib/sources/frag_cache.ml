@@ -1,0 +1,134 @@
+(* The fragment-level result cache: raw source round trips, keyed by
+   (source, shipped fragment), below Mat_cache's whole-query cache.  A
+   hit short-circuits the network simulator entirely, so repeated
+   fragments — within a lens burst or across queries — cost nothing on
+   the virtual clock.  Expiry is LRU for capacity and TTL on the
+   virtual clock for freshness (section 3.3's trade-off). *)
+
+type stats = {
+  mutable frag_hits : int;
+  mutable frag_misses : int;
+  mutable frag_evictions : int;
+  mutable frag_expirations : int;
+  mutable frag_invalidations : int;
+}
+
+(* Registry mirror, so fragment-cache behaviour shows up in `stats`
+   reports next to the whole-query cache counters. *)
+let m_hits = Obs_metrics.counter "fragcache.hits"
+let m_misses = Obs_metrics.counter "fragcache.misses"
+let m_evictions = Obs_metrics.counter "fragcache.evictions"
+let m_expirations = Obs_metrics.counter "fragcache.expirations"
+let m_invalidations = Obs_metrics.counter "fragcache.invalidations"
+
+type entry = {
+  value : Source.result;
+  entry_source : string;
+  born_vms : float;
+  mutable last_used : int;
+}
+
+type t = {
+  cap : int;
+  ttl_ms : float option;
+  table : (string * string, entry) Hashtbl.t;
+  st : stats;
+  mutable clock : int;
+}
+
+let create ?ttl_ms ~capacity () =
+  {
+    cap = capacity;
+    ttl_ms;
+    table = Hashtbl.create (max 1 capacity);
+    st =
+      {
+        frag_hits = 0;
+        frag_misses = 0;
+        frag_evictions = 0;
+        frag_expirations = 0;
+        frag_invalidations = 0;
+      };
+    clock = 0;
+  }
+
+let enabled t = t.cap > 0
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.last_used <- t.clock
+
+let expired t entry =
+  match t.ttl_ms with
+  | None -> false
+  | Some ttl -> Obs_clock.virtual_ms () -. entry.born_vms > ttl
+
+let get t ~source ~fragment =
+  if t.cap = 0 then None
+  else
+    let key = (source, fragment) in
+    match Hashtbl.find_opt t.table key with
+    | Some entry when expired t entry ->
+      Hashtbl.remove t.table key;
+      t.st.frag_expirations <- t.st.frag_expirations + 1;
+      Obs_metrics.inc m_expirations;
+      t.st.frag_misses <- t.st.frag_misses + 1;
+      Obs_metrics.inc m_misses;
+      None
+    | Some entry ->
+      t.st.frag_hits <- t.st.frag_hits + 1;
+      Obs_metrics.inc m_hits;
+      touch t entry;
+      Some entry.value
+    | None ->
+      t.st.frag_misses <- t.st.frag_misses + 1;
+      Obs_metrics.inc m_misses;
+      None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | None -> victim := Some (key, entry.last_used)
+      | Some (_, lu) -> if entry.last_used < lu then victim := Some (key, entry.last_used))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.st.frag_evictions <- t.st.frag_evictions + 1;
+    Obs_metrics.inc m_evictions
+  | None -> ()
+
+let put t ~source ~fragment value =
+  if t.cap > 0 then begin
+    let key = (source, fragment) in
+    if (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= t.cap then evict_lru t;
+    let entry =
+      { value; entry_source = source; born_vms = Obs_clock.virtual_ms (); last_used = 0 }
+    in
+    touch t entry;
+    Hashtbl.replace t.table key entry
+  end
+
+let invalidate_source t source =
+  let victims =
+    Hashtbl.fold
+      (fun key entry acc -> if String.equal entry.entry_source source then key :: acc else acc)
+      t.table []
+  in
+  List.iter (fun k -> Hashtbl.remove t.table k) victims;
+  t.st.frag_invalidations <- t.st.frag_invalidations + List.length victims;
+  Obs_metrics.inc ~by:(List.length victims) m_invalidations;
+  List.length victims
+
+let clear t = Hashtbl.reset t.table
+
+let size t = Hashtbl.length t.table
+let capacity t = t.cap
+let ttl_ms t = t.ttl_ms
+let stats t = t.st
+
+let hit_rate t =
+  let total = t.st.frag_hits + t.st.frag_misses in
+  if total = 0 then 0.0 else float_of_int t.st.frag_hits /. float_of_int total

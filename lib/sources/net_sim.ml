@@ -24,9 +24,10 @@ let reset s =
   s.tuples_shipped <- 0;
   s.virtual_ms <- 0.0
 
-let result_volume = function
+let rec result_volume = function
   | Source.R_rows (_, rows) -> List.length rows
   | Source.R_trees trees -> List.fold_left (fun acc t -> acc + Dtree.size t) 0 trees
+  | Source.R_batch results -> List.fold_left (fun acc r -> acc + result_volume r) 0 results
 
 let wrap ?(seed = 1) profile inner =
   let stats = new_stats () in

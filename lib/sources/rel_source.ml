@@ -42,8 +42,15 @@ let make_limited cap db =
     | Some table -> [ Source.table_document name (Rel_table.to_list table) ]
     | None -> raise (Source.Query_rejected (Printf.sprintf "unknown table %s" name))
   in
-  let execute q =
+  let rec execute q =
     match q with
+    | Source.Q_batch members ->
+      (* One round trip for several fragments: each member evaluates as
+         it would alone; the batch shares the connection (the network
+         simulator charges its latency once per execute call). *)
+      if List.exists (function Source.Q_batch _ -> true | _ -> false) members then
+        raise (Source.Query_rejected "nested batches are not accepted");
+      Source.R_batch (List.map execute members)
     | Source.Q_sql text ->
       check_capability cap text;
       (try

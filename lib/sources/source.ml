@@ -15,10 +15,12 @@ type query =
   | Q_sql of string
   | Q_path of string * Xml_path.t
   | Q_scan of string
+  | Q_batch of query list
 
 type result =
   | R_rows of string list * Tuple.t list
   | R_trees of Dtree.t list
+  | R_batch of result list
 
 exception Unavailable of string
 exception Query_rejected of string
@@ -44,6 +46,7 @@ let scan_only =
 let rows_of_result = function
   | R_rows (_, rows) -> rows
   | R_trees _ -> invalid_arg "Source.rows_of_result: tree result"
+  | R_batch _ -> invalid_arg "Source.rows_of_result: batch result"
 
 let table_document name rows =
   Dtree.node name (List.map (fun row -> Dtree.of_tuple "row" row) rows)
@@ -51,3 +54,4 @@ let table_document name rows =
 let trees_of_result = function
   | R_trees trees -> trees
   | R_rows (_, rows) -> List.map (fun row -> Dtree.of_tuple "row" row) rows
+  | R_batch _ -> invalid_arg "Source.trees_of_result: batch result"

@@ -28,10 +28,17 @@ type query =
   | Q_sql of string          (** SQL text (relational sources) *)
   | Q_path of string * Xml_path.t  (** document name, path (XML stores) *)
   | Q_scan of string         (** table or document name *)
+  | Q_batch of query list
+      (** several fragments shipped as one round trip (the fetch
+          scheduler's batching hook).  Sources that cannot batch raise
+          {!Query_rejected} and the scheduler falls back to individual
+          calls; batches never nest. *)
 
 type result =
   | R_rows of string list * Tuple.t list  (** column names, rows *)
   | R_trees of Dtree.t list
+  | R_batch of result list
+      (** one result per member of a {!Q_batch}, in order *)
 
 exception Unavailable of string
 (** Raised by [execute]/[documents] when the source is offline

@@ -35,6 +35,7 @@ let make ~name docs =
       in
       Source.R_trees (List.map Dtree.of_xml_element matches)
     | Source.Q_sql _ -> raise (Source.Query_rejected "XML stores do not accept SQL")
+    | Source.Q_batch _ -> raise (Source.Query_rejected "XML stores do not accept batches")
   in
   {
     Source.name;

@@ -36,7 +36,7 @@ The status report lists sources and their capabilities:
     products         xml        select+path                  exports: catalog
   mediated schemas:
   materialized views (clock=0, storage=0 nodes):
-  result cache: 0/64 entries, hits=0 misses=0 evictions=0 invalidations=0 (hit rate 0.0%)
+  result cache: 0/64 entries, hits=0 misses=0 evictions=0 expirations=0 invalidations=0 (hit rate 0.0%)
 
 Errors are reported, not crashed on:
 

@@ -1,0 +1,48 @@
+Scatter-gather fetching from the CLI: the demo federation again, but
+with overlapped source accesses and the fragment cache enabled.
+
+  $ export NIMBLE=../../bin/nimble_cli.exe
+
+Gather mode answers exactly what sequential mode answers:
+
+  $ $NIMBLE query --fetch-mode gather --fetch-fanout 2 --frag-cache 16 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>'
+  c: Acme
+  c: Globex
+  c: Initech
+  
+
+
+Explain-analyze tags each access with its fetch round, and a repeated
+run shows the fragment cache answering instead of the source:
+
+  $ $NIMBLE explain-analyze --fetch-mode gather --frag-cache 16 --repeat 2 'WHERE <row><name>$n</name></row> IN "crm.customers", <row><item>$s</item></row> IN "crm.orders" CONSTRUCT <r><n>$n</n><s>$s</s></r>' | grep -E 'a[0-9] ->' | sed -E 's/time=[0-9.]+ms/time=_/'
+    a0 -> SQL @crm: SELECT name FROM customers  [est=1000 calls=1 rows=3 time=_ round=0]
+    a1 -> SQL @crm: SELECT item FROM orders  [est=1000 calls=1 rows=3 time=_ round=0]
+    a0 -> SQL @crm: SELECT name FROM customers  [est=3 calls=1 rows=3 time=_ round=0 cached=1]
+    a1 -> SQL @crm: SELECT item FROM orders  [est=3 calls=1 rows=3 time=_ round=0 cached=1]
+
+An unknown mode is rejected:
+
+  $ $NIMBLE query --fetch-mode turbo 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>'
+  nimble: unknown fetch mode "turbo" (seq, gather)
+  [124]
+
+The repl's \fetch command inspects and reconfigures scheduling:
+
+  $ $NIMBLE repl <<'EOF'
+  > \fetch
+  > \fetch gather 2
+  > \fetch cache 8
+  > \fetch
+  > \quit
+  > EOF
+  nimble repl — 2 source(s) registered, \help for commands
+  nimble> fetch: mode=seq fanout=4
+  fragment cache: 0/0 entries, hits=0 misses=0 evictions=0 expirations=0 invalidations=0
+  nimble> fetch: mode=gather fanout=2
+  fragment cache: 0/0 entries, hits=0 misses=0 evictions=0 expirations=0 invalidations=0
+  nimble> fetch: mode=gather fanout=2
+  fragment cache: 0/8 entries, hits=0 misses=0 evictions=0 expirations=0 invalidations=0
+  nimble> fetch: mode=gather fanout=2
+  fragment cache: 0/8 entries, hits=0 misses=0 evictions=0 expirations=0 invalidations=0
+  nimble> 

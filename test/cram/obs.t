@@ -20,7 +20,7 @@ cardinalities — and puts the smaller products scan on the build side:
   accesses:
     j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=1000 calls=1 rows=3 time=_ms]
     a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
-  -- 3 rows in _ms
+  -- 3 rows in _ms (virtual _ms)
   == run 2 ==
   PROJECT [it, p, i, n]  (est 1 rows, actual 3 rows, _ms)
     HASH-JOIN $it = $it#r  (est 1 rows, actual 3 rows, _ms)
@@ -30,7 +30,7 @@ cardinalities — and puts the smaller products scan on the build side:
   accesses:
     j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=3 calls=1 rows=3 time=_ms]
     a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=2 calls=1 rows=2 time=_ms]
-  -- 3 rows in _ms
+  -- 3 rows in _ms (virtual _ms)
 
 Tracing renders the span tree: the query root and one span per source
 access, with the pushed fragment as an attribute:
@@ -47,9 +47,19 @@ result cache on the second pass (hits=1, but only one source access):
   $ $NIMBLE stats 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>' 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>'
   metrics:
     cache.evictions                          0
+    cache.expirations                        0
     cache.hits                               1
     cache.invalidations                      0
     cache.misses                             1
+    fetch.batch_fallbacks                    0
+    fetch.dedup_hits                         0
+    fetch.rounds                             0
+    fetch.tasks                              0
+    fragcache.evictions                      0
+    fragcache.expirations                    0
+    fragcache.hits                           0
+    fragcache.invalidations                  0
+    fragcache.misses                         0
     mediator.capability_fallbacks            0
     source.crm.accesses                      1
     source.crm.available                     1

@@ -1,0 +1,246 @@
+(* Scatter-gather fetch scheduling, the fragment cache, and their
+   equivalence with sequential execution (ROADMAP: overlapped source
+   accesses must not change what a query answers). *)
+
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let check = Alcotest.check
+let q = Xq_parser.parse_exn
+
+(* ------------------------------------------------------------------ *)
+(* Obs_clock rounds                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_round_advances_by_max () =
+  Obs_clock.reset_virtual ();
+  Obs_clock.begin_round ();
+  Obs_clock.begin_lane ();
+  Obs_clock.advance 10.0;
+  Obs_clock.begin_lane ();
+  Obs_clock.advance 4.0;
+  let cost = Obs_clock.end_round () in
+  Alcotest.(check (float 0.001)) "round cost is the slowest lane" 10.0 cost;
+  Alcotest.(check (float 0.001)) "clock advanced by the max" 10.0 (Obs_clock.virtual_ms ())
+
+let test_nested_rounds_merge_serially () =
+  Obs_clock.reset_virtual ();
+  Obs_clock.begin_round ();
+  Obs_clock.begin_lane ();
+  Obs_clock.advance 5.0;
+  Obs_clock.begin_round ();
+  Obs_clock.advance 7.0;
+  Alcotest.(check (float 0.001)) "nested round returns 0" 0.0 (Obs_clock.end_round ());
+  Obs_clock.begin_lane ();
+  Obs_clock.advance 3.0;
+  Alcotest.(check (float 0.001)) "nested cost merged into enclosing lane" 12.0
+    (Obs_clock.end_round ())
+
+(* ------------------------------------------------------------------ *)
+(* Fetch_sched                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheduler_rounds_and_dedup () =
+  Obs_clock.reset_virtual ();
+  let ran = ref [] in
+  let mk key cost =
+    {
+      Fetch_sched.task_key = key;
+      task_run =
+        (fun () ->
+          ran := key :: !ran;
+          Obs_clock.advance cost;
+          key);
+    }
+  in
+  let outs = Fetch_sched.run ~fanout:2 [ mk "a" 10.0; mk "b" 4.0; mk "a" 10.0; mk "c" 6.0 ] in
+  check int_t "one outcome per input task" 4 (List.length outs);
+  check int_t "duplicate key executed once" 3 (List.length !ran);
+  (* rounds of 2 over the unique tasks [a; b; c]: max(10,4) + 6 *)
+  Alcotest.(check (float 0.001)) "clock charged max-per-round" 16.0 (Obs_clock.virtual_ms ());
+  (match outs with
+  | [ a1; b; a2; c ] ->
+    check bool_t "first a not shared" false a1.Fetch_sched.shared;
+    check bool_t "second a shared" true a2.Fetch_sched.shared;
+    check int_t "shared outcome keeps the executing round" a1.Fetch_sched.round
+      a2.Fetch_sched.round;
+    check int_t "c runs in the second round" 1 c.Fetch_sched.round;
+    (match (a2.Fetch_sched.result, b.Fetch_sched.result) with
+    | Ok "a", Ok "b" -> ()
+    | _ -> Alcotest.fail "unexpected task results")
+  | _ -> Alcotest.fail "expected four outcomes")
+
+let test_scheduler_captures_exceptions () =
+  Obs_clock.reset_virtual ();
+  let outs =
+    Fetch_sched.run ~fanout:4
+      [
+        { Fetch_sched.task_key = "ok"; task_run = (fun () -> 1) };
+        { Fetch_sched.task_key = "boom"; task_run = (fun () -> failwith "boom") };
+      ]
+  in
+  match List.map (fun o -> o.Fetch_sched.result) outs with
+  | [ Ok 1; Error (Failure msg) ] when msg = "boom" -> ()
+  | _ -> Alcotest.fail "expected one success and one captured failure"
+
+(* ------------------------------------------------------------------ *)
+(* Frag_cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rows_result tag = Source.R_rows ([ tag ], [])
+
+let test_frag_cache_lru () =
+  let c = Frag_cache.create ~capacity:2 () in
+  check bool_t "enabled" true (Frag_cache.enabled c);
+  Frag_cache.put c ~source:"s" ~fragment:"f1" (rows_result "f1");
+  Frag_cache.put c ~source:"s" ~fragment:"f2" (rows_result "f2");
+  (match Frag_cache.get c ~source:"s" ~fragment:"f1" with
+  | Some (Source.R_rows ([ "f1" ], [])) -> ()
+  | _ -> Alcotest.fail "expected f1 hit");
+  Frag_cache.put c ~source:"s" ~fragment:"f3" (rows_result "f3");
+  check bool_t "LRU entry evicted" true (Frag_cache.get c ~source:"s" ~fragment:"f2" = None);
+  check bool_t "recent entry survives" true
+    (Frag_cache.get c ~source:"s" ~fragment:"f1" <> None);
+  check int_t "one eviction counted" 1 (Frag_cache.stats c).Frag_cache.frag_evictions
+
+let test_frag_cache_ttl () =
+  Obs_clock.reset_virtual ();
+  let c = Frag_cache.create ~ttl_ms:50.0 ~capacity:4 () in
+  Frag_cache.put c ~source:"s" ~fragment:"f" (rows_result "f");
+  check bool_t "fresh entry hits" true (Frag_cache.get c ~source:"s" ~fragment:"f" <> None);
+  Obs_clock.advance 60.0;
+  check bool_t "expired entry misses" true (Frag_cache.get c ~source:"s" ~fragment:"f" = None);
+  check int_t "expiration counted" 1 (Frag_cache.stats c).Frag_cache.frag_expirations
+
+let test_frag_cache_invalidate_source () =
+  let c = Frag_cache.create ~capacity:8 () in
+  Frag_cache.put c ~source:"s1" ~fragment:"a" (rows_result "a");
+  Frag_cache.put c ~source:"s1" ~fragment:"b" (rows_result "b");
+  Frag_cache.put c ~source:"s2" ~fragment:"a" (rows_result "a");
+  check int_t "both s1 fragments dropped" 2 (Frag_cache.invalidate_source c "s1");
+  check int_t "s2 untouched" 1 (Frag_cache.size c)
+
+let test_frag_cache_disabled () =
+  let c = Frag_cache.create ~capacity:0 () in
+  check bool_t "disabled" false (Frag_cache.enabled c);
+  Frag_cache.put c ~source:"s" ~fragment:"f" (rows_result "f");
+  check bool_t "no storage" true (Frag_cache.get c ~source:"s" ~fragment:"f" = None);
+  let st = Frag_cache.stats c in
+  check int_t "disabled lookups uncounted" 0 (st.Frag_cache.frag_hits + st.Frag_cache.frag_misses)
+
+(* ------------------------------------------------------------------ *)
+(* Mat_cache TTL (satellite of the same freshness story)               *)
+(* ------------------------------------------------------------------ *)
+
+let test_mat_cache_ttl () =
+  Obs_clock.reset_virtual ();
+  let c = Mat_cache.create ~ttl_ms:50.0 ~capacity:4 () in
+  Mat_cache.put c "query" [ Dtree.leaf "x" (Value.Int 1) ];
+  check bool_t "fresh entry hits" true (Mat_cache.get c "query" <> None);
+  Obs_clock.advance 60.0;
+  check bool_t "expired entry misses" true (Mat_cache.get c "query" = None);
+  check int_t "expiration counted" 1 (Mat_cache.stats c).Mat_cache.expirations;
+  let untimed = Mat_cache.create ~capacity:4 () in
+  Mat_cache.put untimed "query" [ Dtree.leaf "x" (Value.Int 1) ];
+  Obs_clock.advance 1000.0;
+  check bool_t "no TTL means no expiry" true (Mat_cache.get untimed "query" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Property: gather + fragment cache is observably identical to        *)
+(* sequential execution, strict and partial alike.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Availability is restricted to up/down (1.0 / 0.0): fractional
+   availability samples the simulator's PRNG once per remote call, and
+   dedup/batching/caching legitimately change how many calls happen. *)
+let prop_gather_equals_sequential =
+  QCheck2.Test.make ~name:"gather+cache = sequential (strict and partial)" ~count:30
+    QCheck2.Gen.(
+      quad (int_range 0 25) (int_range 0 40) (int_range 1 6) (pair bool bool))
+    (fun (ncust, nord, fanout, (crm_up, ext_up)) ->
+      let g = Prng.create ((ncust * 977) + (nord * 31) + fanout) in
+      let crm = Rel_db.create ~name:"crm" () in
+      ignore (Rel_db.exec crm "CREATE TABLE customers (id INT, tier INT)");
+      ignore (Rel_db.exec crm "CREATE TABLE orders (cust_id INT, amount INT)");
+      for i = 1 to ncust do
+        ignore
+          (Rel_db.exec crm
+             (Printf.sprintf "INSERT INTO customers VALUES (%d, %d)" i (Prng.int g 4)))
+      done;
+      for _ = 1 to nord do
+        ignore
+          (Rel_db.exec crm
+             (Printf.sprintf "INSERT INTO orders VALUES (%d, %d)"
+                (Prng.int g (max 1 ncust) + 1) (Prng.int g 1000)))
+      done;
+      let ext = Rel_db.create ~name:"ext" () in
+      ignore (Rel_db.exec ext "CREATE TABLE people (id INT, name TEXT)");
+      for i = 1 to ncust do
+        ignore (Rel_db.exec ext (Printf.sprintf "INSERT INTO people VALUES (%d, 'p%d')" i i))
+      done;
+      let wrap db up =
+        fst
+          (Net_sim.wrap ~seed:7
+             { Net_sim.default_profile with Net_sim.availability = (if up then 1.0 else 0.0) }
+             (Rel_source.make db))
+      in
+      let cat = Med_catalog.create ~frag_capacity:(if ncust mod 2 = 0 then 8 else 0) () in
+      Med_catalog.register_source cat (wrap crm crm_up);
+      Med_catalog.register_source cat (wrap ext ext_up);
+      let query =
+        q
+          {|WHERE <row><id>$i</id><tier>$t</tier></row> IN "crm.customers",
+                 <row><cust_id>$i</cust_id><amount>$a</amount></row> IN "crm.orders",
+                 <row><id>$i</id><name>$n</name></row> IN "ext.people",
+                 $t >= 1, $a < 800
+            CONSTRUCT <hit><i>$i</i><n>$n</n><a>$a</a></hit>|}
+      in
+      let agree opts =
+        let compiled = Med_exec.compile ~opts cat query in
+        let strict () =
+          match Med_exec.run_compiled cat compiled with
+          | r -> Ok (List.map Dtree.to_string r.Med_exec.trees)
+          | exception Source.Unavailable s -> Error ("source:" ^ s)
+          | exception Alg_exec.Source_unavailable s -> Error ("plan:" ^ s)
+        in
+        let partial () =
+          let r = Med_exec.run_compiled_partial cat compiled in
+          ( List.map Dtree.to_string r.Med_exec.trees,
+            List.sort compare r.Med_exec.skipped_sources )
+        in
+        Med_catalog.set_fetch_options cat Fetch_sched.default_options;
+        let s_strict = strict () and s_partial = partial () in
+        Med_catalog.set_fetch_options cat (Fetch_sched.gather_options ~fanout ());
+        (* twice: cold then warm fragment cache *)
+        let g1_strict = strict () and g1_partial = partial () in
+        let g2_strict = strict () and g2_partial = partial () in
+        s_strict = g1_strict && s_strict = g2_strict && s_partial = g1_partial
+        && s_partial = g2_partial
+      in
+      agree Med_sqlgen.default_options && agree Med_sqlgen.no_join_pushdown)
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_gather_equals_sequential ] in
+  Alcotest.run "fetch"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "round advances by max lane" `Quick test_round_advances_by_max;
+          Alcotest.test_case "nested rounds merge serially" `Quick
+            test_nested_rounds_merge_serially;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "rounds and dedup" `Quick test_scheduler_rounds_and_dedup;
+          Alcotest.test_case "exception capture" `Quick test_scheduler_captures_exceptions;
+        ] );
+      ( "frag-cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_frag_cache_lru;
+          Alcotest.test_case "ttl expiry" `Quick test_frag_cache_ttl;
+          Alcotest.test_case "invalidate source" `Quick test_frag_cache_invalidate_source;
+          Alcotest.test_case "capacity 0 disables" `Quick test_frag_cache_disabled;
+        ] );
+      ( "mat-cache",
+        [ Alcotest.test_case "result-cache ttl" `Quick test_mat_cache_ttl ] );
+      ("equivalence", props);
+    ]

@@ -171,7 +171,7 @@ let tree n = Dtree.leaf "x" (Value.Int n)
 let test_cache_hit_miss () =
   (* Local stats and the process-wide registry must agree. *)
   Obs_metrics.reset_all ();
-  let c = Mat_cache.create ~capacity:2 in
+  let c = Mat_cache.create ~capacity:2 () in
   check bool_t "miss" true (Mat_cache.get c "q1" = None);
   Mat_cache.put c "q1" [ tree 1 ];
   check bool_t "hit" true (Mat_cache.get c "q1" <> None);
@@ -182,7 +182,7 @@ let test_cache_hit_miss () =
     (Obs_metrics.counter_value "cache.misses" = Some 1)
 
 let test_cache_lru_eviction () =
-  let c = Mat_cache.create ~capacity:2 in
+  let c = Mat_cache.create ~capacity:2 () in
   Mat_cache.put c "a" [ tree 1 ];
   Mat_cache.put c "b" [ tree 2 ];
   ignore (Mat_cache.get c "a");        (* a is now most recent *)
@@ -196,7 +196,7 @@ let test_cache_lru_eviction () =
     | None -> false)
 
 let test_cache_source_invalidation () =
-  let c = Mat_cache.create ~capacity:8 in
+  let c = Mat_cache.create ~capacity:8 () in
   Mat_cache.put c ~sources:[ "crm" ] "q1" [ tree 1 ];
   Mat_cache.put c ~sources:[ "crm"; "products" ] "q2" [ tree 2 ];
   Mat_cache.put c ~sources:[ "products" ] "q3" [ tree 3 ];
@@ -204,12 +204,12 @@ let test_cache_source_invalidation () =
   check bool_t "q3 survives" true (Mat_cache.get c "q3" <> None)
 
 let test_cache_zero_capacity () =
-  let c = Mat_cache.create ~capacity:0 in
+  let c = Mat_cache.create ~capacity:0 () in
   Mat_cache.put c "q" [ tree 1 ];
   check bool_t "disabled" true (Mat_cache.get c "q" = None)
 
 let test_cache_get_or_compute () =
-  let c = Mat_cache.create ~capacity:4 in
+  let c = Mat_cache.create ~capacity:4 () in
   let computations = ref 0 in
   let compute () =
     incr computations;
@@ -224,7 +224,7 @@ let prop_cache_coherent =
   QCheck2.Test.make ~name:"cache returns what was stored" ~count:100
     QCheck2.Gen.(small_list (pair (int_bound 5) small_int))
     (fun ops ->
-      let c = Mat_cache.create ~capacity:3 in
+      let c = Mat_cache.create ~capacity:3 () in
       let model = Hashtbl.create 8 in
       List.for_all
         (fun (k, v) ->

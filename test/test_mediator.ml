@@ -77,7 +77,7 @@ let test_rel_source_sql () =
   | Source.R_rows (names, rows) ->
     check (Alcotest.list string_t) "cols" [ "name" ] names;
     check int_t "two tier-2" 2 (List.length rows)
-  | Source.R_trees _ -> Alcotest.fail "expected rows"
+  | Source.R_trees _ | Source.R_batch _ -> Alcotest.fail "expected rows"
 
 let test_rel_source_capability () =
   let cap = { Source.scan_only with Source.can_project = true } in
@@ -88,7 +88,7 @@ let test_rel_source_capability () =
    with Source.Query_rejected _ -> ());
   match src.Source.execute (Source.Q_sql "SELECT name FROM customers") with
   | Source.R_rows (_, rows) -> check int_t "plain projection ok" 4 (List.length rows)
-  | Source.R_trees _ -> Alcotest.fail "expected rows"
+  | Source.R_trees _ | Source.R_batch _ -> Alcotest.fail "expected rows"
 
 let test_xml_source_path () =
   let src = Xml_source.of_xml_strings ~name:"products" [ ("catalog", catalog_xml) ] in
@@ -96,7 +96,7 @@ let test_xml_source_path () =
     src.Source.execute (Source.Q_path ("catalog", Xml_path.parse_exn "//product[cat='tools']"))
   with
   | Source.R_trees trees -> check int_t "two tools" 2 (List.length trees)
-  | Source.R_rows _ -> Alcotest.fail "expected trees"
+  | Source.R_rows _ | Source.R_batch _ -> Alcotest.fail "expected trees"
 
 let test_csv_source_scan () =
   let src =
@@ -104,7 +104,7 @@ let test_csv_source_scan () =
   in
   (match src.Source.execute (Source.Q_scan "contacts") with
   | Source.R_rows (_, rows) -> check int_t "two rows" 2 (List.length rows)
-  | Source.R_trees _ -> Alcotest.fail "expected rows");
+  | Source.R_trees _ | Source.R_batch _ -> Alcotest.fail "expected rows");
   try
     ignore (src.Source.execute (Source.Q_sql "SELECT * FROM contacts"));
     Alcotest.fail "expected rejection"
