@@ -31,6 +31,169 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Well-formedness check (the bench-smoke alias runs it on E13's       *)
+(* output).  A tiny recursive-descent JSON reader — we avoid a JSON    *)
+(* dependency for the same reason [emit] writes by hand.               *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let validate_text text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let skip_ws () =
+    while (match peek () with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape");
+        loop ()
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let digits () =
+      let saw = ref false in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        saw := true;
+        advance ()
+      done;
+      if not !saw then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  (* Returns the keys when the value is an object, [] otherwise: the
+     caller only inspects the top level. *)
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' ->
+      ignore (parse_string ());
+      []
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      let keys = ref [] in
+      (match peek () with
+      | Some '}' -> advance ()
+      | _ ->
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          if List.mem k !keys then fail (Printf.sprintf "duplicate key %S" k);
+          keys := k :: !keys;
+          skip_ws ();
+          expect ':';
+          ignore (parse_value ());
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ());
+      List.rev !keys
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      (match peek () with
+      | Some ']' -> advance ()
+      | _ ->
+        let rec elements () =
+          ignore (parse_value ());
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ());
+      []
+    | Some ('t' | 'f' | 'n') ->
+      let lit = if peek () = Some 't' then "true" else if peek () = Some 'f' then "false" else "null" in
+      String.iter (fun c -> if peek () = Some c then advance () else fail "bad literal") lit;
+      []
+    | Some _ ->
+      parse_number ();
+      []
+    | None -> fail "unexpected end of input"
+  in
+  try
+    let keys = parse_value () in
+    skip_ws ();
+    if !pos <> len then Error (Printf.sprintf "trailing garbage at byte %d" !pos)
+    else begin
+      let required = [ "name"; "params"; "virtual_ms"; "wall_ms"; "rows" ] in
+      match List.filter (fun k -> not (List.mem k keys)) required with
+      | [] -> Ok ()
+      | missing -> Error ("missing keys: " ^ String.concat ", " missing)
+    end
+  with Bad msg -> Error msg
+
+let validate_file file =
+  match
+    try
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      Some text
+    with Sys_error msg ->
+      prerr_endline msg;
+      None
+  with
+  | None -> Error (Printf.sprintf "cannot read %s" file)
+  | Some text -> validate_text text
+
 let emit ~name ~virtual_ms ~wall_ms =
   let file = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out file in

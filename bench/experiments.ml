@@ -782,6 +782,102 @@ let e12 () =
   Bench_json.note_param "warm_vs_cold" (Printf.sprintf "%.0f%%" (pct v_warm v_cold));
   Bench_json.note_rows n_seq
 
+(* ------------------------------------------------------------------ *)
+(* E13: batch-at-a-time vs tuple-at-a-time execution                   *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  section "E13"
+    "batch vs tuple execution: 10k x 10k hash join and a 4-source federated query";
+  let no_sources _ _ = Seq.empty in
+  (* Part 1: the E6 hash-join workload over both engines.  The plan
+     stacks select+project on the join so the batch engine's fused
+     operator is on the hot path too. *)
+  let n = if !quick then 2_000 else 10_000 in
+  let g = Prng.create 131 in
+  let left = e6_relation g "l" n (max 1 (n / 10)) in
+  let right = e6_relation g "r" n (max 1 (n / 10)) in
+  let lk = Alg_expr.Child (Alg_expr.Var "l", "k") in
+  let rk = Alg_expr.Child (Alg_expr.Var "r", "k") in
+  let lv = Alg_expr.Child (Alg_expr.Var "l", "v") in
+  let plan =
+    Alg_plan.Project
+      ( Alg_plan.Select
+          ( Alg_plan.Hash_join
+              { left; right; left_key = lk; right_key = rk; residual = None },
+            Alg_expr.Binop (Alg_expr.Ge, lv, Alg_expr.Const (Value.Int 0)) ),
+        [ "l"; "r" ] )
+  in
+  let tuple_envs = Alg_exec.run_list no_sources plan in
+  let batch_envs, _ = Alg_exec.run_batched no_sources plan in
+  let identical =
+    List.length tuple_envs = List.length batch_envs
+    && List.for_all2 Alg_env.equal tuple_envs batch_envs
+  in
+  if not identical then failwith "E13: batch and tuple results differ";
+  let rows_out = List.length tuple_envs in
+  let tuple_ms =
+    Workloads.bench_ms ~runs:3 (fun () -> ignore (Alg_exec.run_list no_sources plan))
+  in
+  let batch_ms =
+    Workloads.bench_ms ~runs:3 (fun () -> ignore (Alg_exec.run_batched no_sources plan))
+  in
+  let speedup = if batch_ms > 0.0 then tuple_ms /. batch_ms else 0.0 in
+  row "%-28s %14s %14s %10s %10s\n" "join workload" "tuple ms" "batch ms" "speedup" "rows";
+  row "%-28s %14.1f %14.1f %9.2fx %10d\n"
+    (Printf.sprintf "%dx%d, |keys|=%d" n n (max 1 (n / 10)))
+    tuple_ms batch_ms speedup rows_out;
+  row "results identical (ordered): %s\n" (if identical then "yes" else "NO");
+  Bench_json.note_param "join_n" (string_of_int n);
+  Bench_json.note_param "join_tuple_ms" (Printf.sprintf "%.1f" tuple_ms);
+  Bench_json.note_param "join_batch_ms" (Printf.sprintf "%.1f" batch_ms);
+  Bench_json.note_param "join_speedup" (Printf.sprintf "%.2fx" speedup);
+  Bench_json.note_rows rows_out;
+  (* Part 2: an E12-style 4-source federated join, whole pipeline
+     (planner + fetch + execution), under both exec modes. *)
+  let nrows = if !quick then 60 else 200 in
+  let nsources = 4 in
+  let g = Prng.create 13 in
+  let cat = Med_catalog.create () in
+  for i = 0 to nsources - 1 do
+    let db = Workloads.customer_db g ~name:(Printf.sprintf "s%d" i) ~rows:nrows in
+    let wrapped, _ =
+      Net_sim.wrap ~seed:(130 + i) Net_sim.default_profile (Rel_source.make db)
+    in
+    Med_catalog.register_source cat wrapped
+  done;
+  let q =
+    Xq_parser.parse_exn
+      (Printf.sprintf
+         {|WHERE <row><id>$i</id><name>$n0</name></row> IN "s0.customers",
+                 <row><id>$i</id><name>$n1</name></row> IN "s1.customers",
+                 <row><id>$i</id><name>$n2</name></row> IN "s2.customers",
+                 <row><id>$i</id><name>$n3</name></row> IN "s3.customers",
+                 $i <= %d
+           CONSTRUCT <r><id>$i</id><a>$n0</a><b>$n3</b></r>|}
+         (nrows / 2))
+  in
+  row "%-28s %12s %10s\n" "federated mode" "wall ms" "rows";
+  let run_fed label mode =
+    Med_catalog.set_exec_mode cat mode;
+    let trees = ref [] in
+    let wall = Workloads.bench_ms ~runs:3 (fun () -> trees := Med_exec.run cat q) in
+    row "%-28s %12.1f %10d\n" label wall (List.length !trees);
+    (List.map Dtree.to_string !trees, wall)
+  in
+  let fed_tuple, fed_tuple_ms = run_fed "tuple" Alg_batch.Tuple in
+  let fed_batch, fed_batch_ms =
+    run_fed "batch (chunk=1024)" (Alg_batch.Batch { chunk = Alg_batch.default_chunk })
+  in
+  Med_catalog.set_exec_mode cat Alg_batch.Tuple;
+  if fed_tuple <> fed_batch then failwith "E13: federated results differ across engines";
+  row "federated results identical: yes\n";
+  Bench_json.note_param "fed_sources" (string_of_int nsources);
+  Bench_json.note_param "fed_rows_per_source" (string_of_int nrows);
+  Bench_json.note_param "fed_tuple_ms" (Printf.sprintf "%.1f" fed_tuple_ms);
+  Bench_json.note_param "fed_batch_ms" (Printf.sprintf "%.1f" fed_batch_ms);
+  Bench_json.note_rows (List.length fed_tuple)
+
 let all () =
   e1 ();
   e2 ();
@@ -796,4 +892,5 @@ let all () =
   e9 ();
   e10 ();
   e11 ();
-  e12 ()
+  e12 ();
+  e13 ()

@@ -27,6 +27,7 @@ let experiments : (string * (unit -> unit)) list =
     ("E10", Experiments.e10);
     ("E11", Experiments.e11);
     ("E12", Experiments.e12);
+    ("E13", Experiments.e13);
   ]
 
 (* Experiments run behind this wrapper so every one of them emits its
@@ -128,6 +129,22 @@ let () =
     List.iter (fun (id, f) -> run_experiment id f) experiments;
     run_micro ()
   | [ "micro" ] -> run_micro ()
+  | "check-json" :: files ->
+    (* Validate BENCH_*.json outputs: well-formed JSON with the required
+       top-level keys.  Exits non-zero on the first bad file, so the
+       bench-smoke alias catches emitter regressions. *)
+    if files = [] then begin
+      prerr_endline "check-json: no files given";
+      exit 1
+    end;
+    List.iter
+      (fun file ->
+        match Bench_json.validate_file file with
+        | Ok () -> Printf.printf "%s: well-formed\n" file
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" file msg;
+          exit 1)
+      files
   | selected ->
     List.iter
       (fun id ->

@@ -80,9 +80,18 @@ let apply_fetch sys (mode, fanout, frag_capacity) =
   | None -> failwith (Printf.sprintf "unknown fetch mode %S (seq, gather)" mode));
   if frag_capacity > 0 then Nimble.configure_frag_cache sys ~capacity:frag_capacity ()
 
-let build_system csvs xmls sqls fetch =
+(* --exec-mode/--chunk-size: tuple- vs batch-at-a-time plan evaluation. *)
+let apply_exec sys (mode, chunk) =
+  if chunk <= 0 then failwith "chunk size must be positive";
+  match Alg_batch.mode_of_string mode with
+  | Some Alg_batch.Tuple -> Nimble.set_exec_mode sys Alg_batch.Tuple
+  | Some (Alg_batch.Batch _) -> Nimble.set_exec_mode sys (Alg_batch.Batch { chunk })
+  | None -> failwith (Printf.sprintf "unknown exec mode %S (tuple, batch)" mode)
+
+let build_system csvs xmls sqls fetch exec =
   let sys = Nimble.create () in
   apply_fetch sys fetch;
+  apply_exec sys exec;
   let sources =
     List.map load_csv_source csvs
     @ List.map load_xml_source xmls
@@ -115,9 +124,9 @@ let with_setup f =
   | Xml_parser.Parse_error e -> `Error (false, Xml_parser.error_to_string e)
   | Rel_db.Sql_error m -> `Error (false, m)
 
-let run_query csvs xmls sqls fetch partial device text =
+let run_query csvs xmls sqls fetch exec partial device text =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls fetch in
+  let sys = build_system csvs xmls sqls fetch exec in
   let device = device_of_flag device in
   if partial then begin
     match Nimble.query_partial sys text with
@@ -136,24 +145,24 @@ let run_query csvs xmls sqls fetch partial device text =
     | Error m -> `Error (false, m)
   end
 
-let run_explain csvs xmls sqls fetch text =
+let run_explain csvs xmls sqls fetch exec text =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls fetch in
+  let sys = build_system csvs xmls sqls fetch exec in
   match Nimble.explain sys text with
   | Ok plan ->
     print_string plan;
     `Ok ()
   | Error m -> `Error (false, m)
 
-let run_report csvs xmls sqls fetch =
+let run_report csvs xmls sqls fetch exec =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls fetch in
+  let sys = build_system csvs xmls sqls fetch exec in
   print_string (Nimble.report sys);
   `Ok ()
 
-let run_explain_analyze csvs xmls sqls fetch repeat text =
+let run_explain_analyze csvs xmls sqls fetch exec repeat text =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls fetch in
+  let sys = build_system csvs xmls sqls fetch exec in
   match Nimble.explain_analyze sys ~repeat text with
   | Ok report ->
     print_string report;
@@ -162,9 +171,9 @@ let run_explain_analyze csvs xmls sqls fetch repeat text =
 
 (* Run the queries (warming counters, caches and the feedback store),
    then print the metrics registry and the per-source breakdown. *)
-let run_stats csvs xmls sqls fetch texts =
+let run_stats csvs xmls sqls fetch exec texts =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls fetch in
+  let sys = build_system csvs xmls sqls fetch exec in
   let rec go = function
     | [] ->
       print_string (Nimble.stats_report sys);
@@ -176,9 +185,9 @@ let run_stats csvs xmls sqls fetch texts =
   in
   go texts
 
-let run_trace csvs xmls sqls fetch text =
+let run_trace csvs xmls sqls fetch exec text =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls fetch in
+  let sys = build_system csvs xmls sqls fetch exec in
   Nimble.set_tracing true;
   match Nimble.query sys text with
   | Ok _ ->
@@ -206,6 +215,8 @@ let repl_help =
   \fetch                      show fetch mode and fragment-cache state
   \fetch seq|gather [FANOUT]  switch source fetching (gather = overlapped rounds)
   \fetch cache N              enable a fragment result cache of N entries
+  \exec                       show the plan execution engine
+  \exec tuple|batch [CHUNK]   switch engines (batch = vectorized, CHUNK rows/step)
   \save FILE                  write views/materializations as a script
   \load FILE                  replay a saved script
   \quit                       exit
@@ -233,9 +244,9 @@ let read_statement () =
 let starts_with prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
 
-let run_repl csvs xmls sqls fetch =
+let run_repl csvs xmls sqls fetch exec =
   with_setup @@ fun () ->
-  let sys = build_system csvs xmls sqls fetch in
+  let sys = build_system csvs xmls sqls fetch exec in
   Printf.printf "nimble repl — %d source(s) registered, \\help for commands\n"
     (List.length (Med_catalog.source_names (Nimble.catalog sys)));
   let rec loop () =
@@ -348,6 +359,29 @@ let run_repl csvs xmls sqls fetch =
          | _ -> print_endline "usage: \\fetch seq|gather [FANOUT] | \\fetch cache N")
        | [] -> print_string (Nimble.fetch_report sys));
       loop ()
+    | Some "\\exec" ->
+      print_string (Nimble.exec_report sys);
+      loop ()
+    | Some line when starts_with "\\exec " line ->
+      (let args =
+         String.split_on_char ' ' (String.trim (String.sub line 6 (String.length line - 6)))
+         |> List.filter (fun s -> s <> "")
+       in
+       match args with
+       | [ "tuple" ] ->
+         Nimble.set_exec_mode sys Alg_batch.Tuple;
+         print_string (Nimble.exec_report sys)
+       | [ "batch" ] ->
+         Nimble.set_exec_mode sys (Alg_batch.Batch { chunk = Alg_batch.default_chunk });
+         print_string (Nimble.exec_report sys)
+       | [ "batch"; n ] -> (
+         match int_of_string_opt n with
+         | Some chunk when chunk > 0 ->
+           Nimble.set_exec_mode sys (Alg_batch.Batch { chunk });
+           print_string (Nimble.exec_report sys)
+         | _ -> print_endline "usage: \\exec tuple|batch [CHUNK]")
+       | _ -> print_endline "usage: \\exec tuple|batch [CHUNK]");
+      loop ()
     | Some line when starts_with "\\partial " line ->
       let text = String.sub line 9 (String.length line - 9) in
       (match Nimble.query_partial sys text with
@@ -421,18 +455,37 @@ let fetch_term =
     const (fun mode fanout frag -> (mode, fanout, frag))
     $ fetch_mode_opt $ fetch_fanout_opt $ frag_cache_opt)
 
+let exec_mode_opt =
+  Arg.(
+    value & opt string "tuple"
+    & info [ "exec-mode" ] ~docv:"MODE"
+        ~doc:
+          "Plan evaluation engine: $(b,tuple) (one row at a time, the \
+           default) or $(b,batch) (vectorized batch-at-a-time execution \
+           moving --chunk-size rows per step; same answers, less \
+           per-row overhead).")
+
+let chunk_size_opt =
+  Arg.(
+    value & opt int Alg_batch.default_chunk
+    & info [ "chunk-size" ] ~docv:"N"
+        ~doc:"Rows per chunk in batch execution mode (default 1024).")
+
+let exec_term =
+  Term.(const (fun mode chunk -> (mode, chunk)) $ exec_mode_opt $ chunk_size_opt)
+
 let wrap f = Term.(ret (const f))
 
 let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Run an XML-QL query against the registered sources")
     Term.(
-      ret (const run_query $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ partial_flag $ device_opt $ query_arg))
+      ret (const run_query $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ exec_term $ partial_flag $ device_opt $ query_arg))
 
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the physical plan and pushed fragments for a query")
-    Term.(ret (const run_explain $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ query_arg))
+    Term.(ret (const run_explain $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ exec_term $ query_arg))
 
 let repeat_opt =
   Arg.(
@@ -455,7 +508,7 @@ let explain_analyze_cmd =
          "Execute a query instrumented: per-operator estimated vs actual rows \
           and time, and a per-source-fragment table")
     Term.(
-      ret (const run_explain_analyze $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ repeat_opt $ query_arg))
+      ret (const run_explain_analyze $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ exec_term $ repeat_opt $ query_arg))
 
 let stats_cmd =
   Cmd.v
@@ -463,22 +516,22 @@ let stats_cmd =
        ~doc:
          "Run the given queries, then print the metrics registry and the \
           per-source breakdown")
-    Term.(ret (const run_stats $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ queries_arg))
+    Term.(ret (const run_stats $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ exec_term $ queries_arg))
 
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a query with the trace sink enabled and print the span tree")
-    Term.(ret (const run_trace $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ query_arg))
+    Term.(ret (const run_trace $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ exec_term $ query_arg))
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Print the system status report")
-    Term.(ret (const run_report $ csv_opt $ xml_opt $ sql_opt $ fetch_term))
+    Term.(ret (const run_report $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ exec_term))
 
 let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive shell: queries, view definitions, materialization")
-    Term.(ret (const run_repl $ csv_opt $ xml_opt $ sql_opt $ fetch_term))
+    Term.(ret (const run_repl $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ exec_term))
 
 let main =
   let doc = "the Nimble XML data integration system" in

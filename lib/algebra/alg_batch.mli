@@ -1,0 +1,116 @@
+(** Batch-at-a-time (vectorized) execution of physical plans.
+
+    Where {!Alg_exec} pulls one environment per step, this engine moves
+    {e chunks} — arrays of environments, {!default_chunk} rows by
+    default — between operators, amortizing per-row interpretation
+    overhead: one virtual dispatch per batch instead of one [Seq] cell
+    per row, a single pre-sized hash-join build pass over a precomputed
+    key array, and fused select+project.
+
+    The engine is observationally equal to the tuple engine: same rows,
+    same (document) order, same sort stability, same aggregates, and
+    the same strict/partial semantics with unavailable sources.  Plan
+    nodes are evaluated eagerly (sources are opened, and blocking
+    operators — sort, group, hash-join build, outer-union — materialize)
+    when the plan is compiled, exactly as in {!Alg_exec}; rows then flow
+    lazily chunk by chunk, so [LIMIT] still short-circuits its input.
+
+    Operators without a vectorized implementation (nested-loop,
+    merge and dependent joins, distinct) fall back per-operator: the
+    whole subtree runs on the tuple engine and its rows are re-chunked.
+
+    This module is closed under the algebra layer: the tuple engine is
+    injected as a closure ([fallback]/[template] in {!run}), and
+    {!Alg_exec.run_batched} does the wiring. *)
+
+type chunk = Alg_env.t array
+
+val default_chunk : int
+(** 1024. *)
+
+(** {1 Execution mode}
+
+    The knob surfaced through the mediator, the facade and the CLI
+    ([--exec-mode]/[--chunk-size], repl [\exec]). *)
+
+type mode =
+  | Tuple  (** the seed engine, {!Alg_exec.run} — the default *)
+  | Batch of { chunk : int }
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> mode option
+(** Accepts ["tuple"] and ["batch"] (chunk {!default_chunk}). *)
+
+(** {1 Per-operator batch statistics}
+
+    Mirrors {!Alg_exec.op_stats}; additionally counts batches so
+    EXPLAIN ANALYZE can show batches, rows/batch and fill ratio. *)
+
+type op_batch = {
+  ob_plan : Alg_plan.t;
+  ob_vectorized : bool;  (** false: subtree ran on the tuple engine *)
+  mutable ob_fused : bool;  (** select fused into its parent project *)
+  mutable ob_pulled : bool;
+  mutable ob_batches : int;
+  mutable ob_rows : int;
+  mutable ob_ms : float;  (** inclusive of input operators *)
+  ob_kids : op_batch list;
+}
+
+type stats = {
+  chunk_size : int;
+  root : op_batch;
+}
+
+val actual_of_stats : stats -> Alg_plan.t -> (int * float) option
+(** As {!Alg_exec.actual_of_stats}: (rows, inclusive ms) by physical
+    node identity, [None] for nodes never pulled. *)
+
+val cells_of_stats : stats -> Alg_plan.t -> string list
+(** The batch columns of EXPLAIN ANALYZE for one node:
+    [batches=… rows/batch=… fill=…] for executed vectorized operators,
+    [fallback=tuple] for fallback roots, [fused=select] for a select
+    absorbed into its parent project; [[]] otherwise. *)
+
+val span_of_stats : stats -> Obs_span.t
+(** Statistics as a span tree, for the trace sink. *)
+
+(** {1 Running} *)
+
+val run :
+  ?chunk:int ->
+  sources:(string -> string -> Alg_env.t Seq.t) ->
+  fallback:(Alg_plan.t -> Alg_env.t Seq.t) ->
+  template:(Alg_env.t -> Alg_plan.template -> Dtree.t) ->
+  Alg_plan.t ->
+  Alg_env.t list * stats
+(** Compile the plan to a chunk pipeline and drain it.  [sources]
+    resolves scans (raise {!Alg_exec.Source_unavailable} as usual);
+    [fallback] runs a non-vectorized subtree on the tuple engine;
+    [template] instantiates CONSTRUCT templates.  Most callers want
+    {!Alg_exec.run_batched}. *)
+
+(** {1 Shared operator semantics}
+
+    One implementation of the order- and null-sensitive pieces, used by
+    {e both} engines so they cannot drift: sort comparison, outer-union
+    schema, and grouping/aggregation (deterministic over empty input —
+    a keyless group over no rows yields exactly one row of aggregate
+    identities — and over [Value.Null] keys, which form a group like
+    any other value). *)
+
+val compare_specs : Alg_plan.sort_spec list -> Alg_env.t -> Alg_env.t -> int
+
+val union_vars : Alg_env.t list -> string list
+(** All variables bound in any of the envs, first-occurrence order. *)
+
+val group_rows :
+  ?size_hint:int ->
+  (string * Alg_expr.t) list ->
+  (string * Alg_plan.agg) list ->
+  Alg_env.t list ->
+  Alg_env.t list
+(** Group by the key expressions (groups in first-occurrence order) and
+    fold the aggregates.  [sum]/[avg]/[min]/[max] of an all-null group
+    are [Null]; ["count(*)"] of the empty keyless group is 0. *)

@@ -106,12 +106,17 @@ let annotate ~source_rows plan =
   let total = estimate ~source_rows plan in
   Printf.sprintf "%s-- estimated: %.0f rows, %.0f work units\n" body total.rows total.cost
 
-let explain_analyze ~source_rows ~actual plan =
+let explain_analyze ?(extra = fun _ -> []) ~source_rows ~actual plan =
   render_tree
     (fun p ->
       let e = estimate ~source_rows p in
+      let tail =
+        match extra p with
+        | [] -> ""
+        | cells -> ", " ^ String.concat " " cells
+      in
       match actual p with
       | Some (rows, ms) ->
-        Printf.sprintf "  (est %.0f rows, actual %d rows, %.2fms)" e.rows rows ms
-      | None -> Printf.sprintf "  (est %.0f rows, never executed)" e.rows)
+        Printf.sprintf "  (est %.0f rows, actual %d rows, %.2fms%s)" e.rows rows ms tail
+      | None -> Printf.sprintf "  (est %.0f rows, never executed%s)" e.rows tail)
     plan

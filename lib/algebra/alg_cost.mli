@@ -33,6 +33,7 @@ val annotate :
     operator line, plus a total [-- estimated: …] footer. *)
 
 val explain_analyze :
+  ?extra:(Alg_plan.t -> string list) ->
   source_rows:(string -> float) ->
   actual:(Alg_plan.t -> (int * float) option) ->
   Alg_plan.t ->
@@ -40,4 +41,6 @@ val explain_analyze :
 (** EXPLAIN ANALYZE body: per operator line, estimated rows next to the
     measured (rows, inclusive milliseconds) that [actual] reports for
     that plan node (physical identity); nodes the executor never pulled
-    from print [never executed]. *)
+    from print [never executed].  [extra] appends engine-specific cells
+    to a node's annotation (the batch engine's batches/rows-per-batch/
+    fill columns); it defaults to none. *)

@@ -78,9 +78,36 @@ let rename t mapping =
       | None -> (name, tree))
     t
 
+let has_layout t names =
+  Array.length t = Array.length names
+  &&
+  let n = Array.length t in
+  let rec go i = i >= n || (String.equal (fst t.(i)) names.(i) && go (i + 1)) in
+  go 0
+
 let concat a b =
-  let extra = Array.to_list b |> List.filter (fun (name, _) -> find_index a name < 0) in
-  Array.append a (Array.of_list extra)
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let dup = ref 0 in
+    for i = 0 to nb - 1 do
+      if find_index a (fst b.(i)) >= 0 then incr dup
+    done;
+    if !dup = 0 then Array.append a b
+    else begin
+      let out = Array.make (na + nb - !dup) a.(0) in
+      Array.blit a 0 out 0 na;
+      let pos = ref na in
+      for i = 0 to nb - 1 do
+        if find_index a (fst b.(i)) < 0 then begin
+          out.(!pos) <- b.(i);
+          incr pos
+        end
+      done;
+      out
+    end
+  end
 
 let to_tuple t =
   Tuple.make (List.map (fun (name, tree) -> (name, tree_value tree)) (bindings t))

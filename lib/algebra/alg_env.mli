@@ -44,6 +44,11 @@ val project : t -> string list -> t
 
 val rename : t -> (string * string) list -> t
 
+val has_layout : t -> string array -> bool
+(** Does the environment bind exactly [names], in that order?  Cheap
+    (no allocation) — the batch engine uses it to skip no-op
+    projections. *)
+
 val concat : t -> t -> t
 (** Left-biased union of bindings. *)
 

@@ -42,113 +42,17 @@ and splice_expr = function
 
 let seq_of_list l = List.to_seq l
 
-let compare_specs specs a b =
-  let rec go = function
-    | [] -> 0
-    | spec :: rest ->
-      let va = Alg_expr.eval a spec.Alg_plan.sort_key in
-      let vb = Alg_expr.eval b spec.Alg_plan.sort_key in
-      let c = Value.compare va vb in
-      if c <> 0 then if spec.Alg_plan.ascending then c else -c else go rest
+(* Pre-size a hash table for an operator whose input is [plan]: the
+   cost model's cardinality estimate (clamped to something sane)
+   replaces the old fixed create 32/64, so big builds skip the rehash
+   cascade.  Sort comparison, outer-union schema and grouping live in
+   Alg_batch and are shared with the batch engine so the two cannot
+   drift. *)
+let table_size plan =
+  let est =
+    Alg_cost.estimate ~source_rows:(fun _ -> Alg_cost.default_scan_rows) plan
   in
-  go specs
-
-type agg_state = {
-  mutable count : int;
-  mutable nonnull : int;
-  mutable sum : Value.t;
-  mutable vmin : Value.t option;
-  mutable vmax : Value.t option;
-  mutable collected : Dtree.t list;  (* reversed *)
-}
-
-let new_state () =
-  { count = 0; nonnull = 0; sum = Value.Int 0; vmin = None; vmax = None; collected = [] }
-
-let feed env st = function
-  | Alg_plan.A_count -> st.count <- st.count + 1
-  | Alg_plan.A_count_expr e ->
-    if Alg_expr.eval env e <> Value.Null then st.nonnull <- st.nonnull + 1
-  | Alg_plan.A_sum e | Alg_plan.A_avg e -> (
-    match Alg_expr.eval env e with
-    | Value.Null -> ()
-    | v ->
-      st.nonnull <- st.nonnull + 1;
-      st.sum <- (try Value.add st.sum v with Invalid_argument _ -> st.sum))
-  | Alg_plan.A_min e -> (
-    match Alg_expr.eval env e with
-    | Value.Null -> ()
-    | v -> (
-      match st.vmin with
-      | None -> st.vmin <- Some v
-      | Some m -> if Value.compare v m < 0 then st.vmin <- Some v))
-  | Alg_plan.A_max e -> (
-    match Alg_expr.eval env e with
-    | Value.Null -> ()
-    | v -> (
-      match st.vmax with
-      | None -> st.vmax <- Some v
-      | Some m -> if Value.compare v m > 0 then st.vmax <- Some v))
-  | Alg_plan.A_collect e -> (
-    match Alg_expr.eval_tree env e with
-    | Some tree -> st.collected <- tree :: st.collected
-    | None -> ())
-
-let result st = function
-  | Alg_plan.A_count -> Dtree.atom (Value.Int st.count)
-  | Alg_plan.A_count_expr _ -> Dtree.atom (Value.Int st.nonnull)
-  | Alg_plan.A_sum _ -> Dtree.atom (if st.nonnull = 0 then Value.Null else st.sum)
-  | Alg_plan.A_avg _ ->
-    Dtree.atom
-      (if st.nonnull = 0 then Value.Null
-       else
-         match Value.to_float st.sum with
-         | Some total -> Value.Float (total /. float_of_int st.nonnull)
-         | None -> Value.Null)
-  | Alg_plan.A_min _ -> Dtree.atom (Option.value ~default:Value.Null st.vmin)
-  | Alg_plan.A_max _ -> Dtree.atom (Option.value ~default:Value.Null st.vmax)
-  | Alg_plan.A_collect _ -> Dtree.node "collection" (List.rev st.collected)
-
-let group_envs keys aggs input_envs =
-  let table : (Value.t list, Alg_env.t * agg_state list) Hashtbl.t = Hashtbl.create 32 in
-  let order = ref [] in
-  List.iter
-    (fun env ->
-      let key = List.map (fun (_, e) -> Alg_expr.eval env e) keys in
-      let _, states =
-        match Hashtbl.find_opt table key with
-        | Some entry -> entry
-        | None ->
-          let entry = (env, List.map (fun _ -> new_state ()) aggs) in
-          Hashtbl.add table key entry;
-          order := key :: !order;
-          entry
-      in
-      List.iter2 (fun st (_, agg) -> feed env st agg) states aggs)
-    input_envs;
-  List.rev_map
-    (fun key ->
-      let _, states = Hashtbl.find table key in
-      let key_bindings = List.map2 (fun (var, _) v -> (var, Dtree.atom v)) keys key in
-      let agg_bindings = List.map2 (fun st (var, agg) -> (var, result st agg)) states aggs in
-      Alg_env.of_bindings (key_bindings @ agg_bindings))
-    !order
-
-(* All variables appearing in a list of envs, first-occurrence order. *)
-let all_vars envs =
-  let seen = Hashtbl.create 16 in
-  let out = ref [] in
-  List.iter
-    (fun env ->
-      List.iter
-        (fun v ->
-          if not (Hashtbl.mem seen v) then begin
-            Hashtbl.add seen v ();
-            out := v :: !out
-          end)
-        (Alg_env.vars env))
-    envs;
-  List.rev !out
+  int_of_float (Float.min 1_048_576.0 (Float.max 16.0 est.Alg_cost.rows))
 
 (* The single interpreter, parameterized by a per-node hook: the plain
    entry points use the identity hook; instrumented execution wraps each
@@ -188,14 +92,15 @@ let rec run_hooked hook sources plan : Alg_env.t Seq.t =
              rights))
       (run sources left)
   | Alg_plan.Hash_join { left; right; left_key; right_key; residual } ->
-    let table : (Value.t, Alg_env.t list) Hashtbl.t = Hashtbl.create 64 in
+    let table : (Value.t, Alg_env.t) Hashtbl.t = Hashtbl.create (table_size right) in
     let rights = List.of_seq (run sources right) in
+    (* Hashtbl.add in reverse input order: find_all returns most recent
+       first, so probes see build rows in their original order. *)
     List.iter
       (fun renv ->
         match Alg_expr.eval renv right_key with
         | Value.Null -> ()
-        | k ->
-          Hashtbl.replace table k (renv :: Option.value ~default:[] (Hashtbl.find_opt table k)))
+        | k -> Hashtbl.add table k renv)
       (List.rev rights);
     Seq.concat_map
       (fun lenv ->
@@ -203,7 +108,7 @@ let rec run_hooked hook sources plan : Alg_env.t Seq.t =
         | Value.Null -> Seq.empty
         | k ->
           seq_of_list
-            (Option.value ~default:[] (Hashtbl.find_opt table k)
+            (Hashtbl.find_all table k
             |> List.filter_map (fun renv ->
                    let joined = Alg_env.concat lenv renv in
                    match residual with
@@ -246,28 +151,27 @@ let rec run_hooked hook sources plan : Alg_env.t Seq.t =
       (run sources left)
   | Alg_plan.Sort (input, specs) ->
     let envs = List.of_seq (run sources input) in
-    seq_of_list (List.stable_sort (compare_specs specs) envs)
+    seq_of_list (List.stable_sort (Alg_batch.compare_specs specs) envs)
   | Alg_plan.Distinct input ->
-    let seen = Hashtbl.create 64 in
+    let seen : (int, Alg_env.t) Hashtbl.t = Hashtbl.create (table_size input) in
     Seq.filter
       (fun env ->
         let key = Alg_env.hash env in
-        let bucket = Option.value ~default:[] (Hashtbl.find_opt seen key) in
-        if List.exists (Alg_env.equal env) bucket then false
+        if List.exists (Alg_env.equal env) (Hashtbl.find_all seen key) then false
         else begin
-          Hashtbl.replace seen key (env :: bucket);
+          Hashtbl.add seen key env;
           true
         end)
       (run sources input)
   | Alg_plan.Group { input; keys; aggs } ->
     let envs = List.of_seq (run sources input) in
-    seq_of_list (group_envs keys aggs envs)
+    seq_of_list (Alg_batch.group_rows ~size_hint:(table_size input) keys aggs envs)
   | Alg_plan.Union (a, b) -> Seq.append (run sources a) (run sources b)
   | Alg_plan.Outer_union (a, b) ->
     (* Materialize both sides to compute the union schema, then pad. *)
     let la = List.of_seq (run sources a) in
     let lb = List.of_seq (run sources b) in
-    let vars = all_vars (la @ lb) in
+    let vars = Alg_batch.union_vars (la @ lb) in
     seq_of_list (List.map (fun env -> Alg_env.project env vars) (la @ lb))
   | Alg_plan.Navigate { input; var; path; out } ->
     Seq.concat_map
@@ -317,18 +221,41 @@ let run sources plan = run_hooked no_hook sources plan
 
 let run_list sources plan = List.of_seq (run sources plan)
 
+(* Wrap a source function so unavailable sources contribute no rows and
+   are recorded instead of failing (section 3.4).  Scans are forced
+   eagerly so unavailability surfaces here, in both engines. *)
+let partial_guard skipped sources source binding =
+  try seq_of_list (List.of_seq (sources source binding))
+  with Source_unavailable name ->
+    if not (List.mem name !skipped) then skipped := name :: !skipped;
+    Seq.empty
+
 let run_partial sources plan =
   let skipped = ref [] in
-  let guarded source binding =
-    try
-      (* Force the scan eagerly so unavailability surfaces here. *)
-      seq_of_list (List.of_seq (sources source binding))
-    with Source_unavailable name ->
-      if not (List.mem name !skipped) then skipped := name :: !skipped;
-      Seq.empty
-  in
-  let envs = run_list guarded plan in
+  let envs = run_list (partial_guard skipped sources) plan in
   (envs, List.rev !skipped)
+
+(* ------------------------------------------------------------------ *)
+(* Batch-at-a-time execution (Alg_batch wired to this engine)          *)
+(* ------------------------------------------------------------------ *)
+
+let run_batched ?chunk sources plan =
+  Alg_batch.run ?chunk ~sources
+    ~fallback:(fun p -> run sources p)
+    ~template:build_template plan
+
+let run_mode mode sources plan =
+  match mode with
+  | Alg_batch.Tuple -> run_list sources plan
+  | Alg_batch.Batch { chunk } -> fst (run_batched ~chunk sources plan)
+
+let run_partial_mode mode sources plan =
+  match mode with
+  | Alg_batch.Tuple -> run_partial sources plan
+  | Alg_batch.Batch { chunk } ->
+    let skipped = ref [] in
+    let envs, _ = run_batched ~chunk (partial_guard skipped sources) plan in
+    (envs, List.rev !skipped)
 
 (* Scan resolution against a prefetched buffer: scatter-gather fetches
    every access up front, and scans then pull from the buffer instead of

@@ -27,6 +27,25 @@ val run_partial :
     returned list names the sources that were skipped, so the caller can
     annotate the answer as incomplete. *)
 
+(** {1 Batch-at-a-time execution}
+
+    The vectorized engine of {!Alg_batch}, wired to this module's
+    sources, fallback and template machinery.  Same answers, same
+    order, same strict/partial semantics; rows move in chunks. *)
+
+val run_batched :
+  ?chunk:int -> source_fn -> Alg_plan.t -> Alg_env.t list * Alg_batch.stats
+(** Run on the batch engine (chunk default {!Alg_batch.default_chunk}),
+    returning the rows plus the per-operator batch statistics. *)
+
+val run_mode : Alg_batch.mode -> source_fn -> Alg_plan.t -> Alg_env.t list
+(** {!run_list} or {!run_batched} according to the mode. *)
+
+val run_partial_mode :
+  Alg_batch.mode -> source_fn -> Alg_plan.t -> Alg_env.t list * string list
+(** {!run_partial} under either engine: unavailable sources contribute
+    no rows and are reported, whichever engine executes the plan. *)
+
 val buffered :
   (string -> (Alg_env.t list, exn) result option) ->
   source_fn ->

@@ -315,6 +315,18 @@ let fetch_report t =
     st.Frag_cache.frag_misses st.Frag_cache.frag_evictions
     st.Frag_cache.frag_expirations st.Frag_cache.frag_invalidations
 
+(* ------------------------------------------------------------------ *)
+(* Execution engine selection                                          *)
+(* ------------------------------------------------------------------ *)
+
+let exec_mode t = Med_catalog.exec_mode t.cat
+
+let set_exec_mode t mode = Med_catalog.set_exec_mode t.cat mode
+
+let exec_report t =
+  Printf.sprintf "exec: %s\n"
+    (Alg_batch.mode_to_string (Med_catalog.exec_mode t.cat))
+
 let view_lookup t vname = Mat_store.lookup t.mat vname
 
 let parse_query text =

@@ -77,6 +77,18 @@ val fetch_report : t -> string
 (** One-paragraph summary of the fetch mode, fan-out and fragment-cache
     occupancy/counters — the repl's [\fetch] view. *)
 
+(** {1 Execution engine} *)
+
+val exec_mode : t -> Alg_batch.mode
+val set_exec_mode : t -> Alg_batch.mode -> unit
+(** Tuple-at-a-time (default) or batch-at-a-time plan evaluation for
+    every subsequent query against this engine; batch mode carries its
+    chunk size.  Answers are identical either way — batch mode is a
+    throughput knob. *)
+
+val exec_report : t -> string
+(** One-line summary of the execution mode — the repl's [\exec] view. *)
+
 val add_user : t -> ?role:Fe_auth.role -> string -> string -> (unit, string) result
 
 (** {1 Dynamic data cleaning (section 3.2)} *)

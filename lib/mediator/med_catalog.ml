@@ -10,6 +10,7 @@ type t = {
   fb : Obs_feedback.t;
   mutable frag : Frag_cache.t;
   mutable fetch : Fetch_sched.options;
+  mutable exec : Alg_batch.mode;
 }
 
 exception Catalog_error of string
@@ -23,6 +24,7 @@ let create ?frag_ttl_ms ?(frag_capacity = 0) () =
     fb = Obs_feedback.create ();
     frag = Frag_cache.create ?ttl_ms:frag_ttl_ms ~capacity:frag_capacity ();
     fetch = Fetch_sched.default_options;
+    exec = Alg_batch.Tuple;
   }
 
 let registry t = t.reg
@@ -37,6 +39,10 @@ let configure_frag_cache t ?ttl_ms ~capacity () =
 let fetch_options t = t.fetch
 
 let set_fetch_options t options = t.fetch <- options
+
+let exec_mode t = t.exec
+
+let set_exec_mode t mode = t.exec <- mode
 
 let register_source t src =
   try Src_registry.register t.reg src

@@ -47,6 +47,13 @@ val fetch_options : t -> Fetch_sched.options
 
 val set_fetch_options : t -> Fetch_sched.options -> unit
 
+val exec_mode : t -> Alg_batch.mode
+(** How executions against this catalog evaluate their plans:
+    tuple-at-a-time (the default) or batch-at-a-time with a configured
+    chunk size. *)
+
+val set_exec_mode : t -> Alg_batch.mode -> unit
+
 (** {1 Sources} *)
 
 val register_source : t -> Source.t -> unit

@@ -449,9 +449,10 @@ and prepare catalog ~opts ~view_lookup compiled =
 and exec catalog ~opts ~partial ~view_lookup (compiled : Med_planner.compiled) =
   Obs_trace.with_span "query" (fun qspan ->
       let sources, _fetch_info = prepare catalog ~opts ~view_lookup compiled in
+      let mode = Med_catalog.exec_mode catalog in
       let envs, skipped =
-        if partial then Alg_exec.run_partial sources compiled.Med_planner.plan
-        else (Alg_exec.run_list sources compiled.Med_planner.plan, [])
+        if partial then Alg_exec.run_partial_mode mode sources compiled.Med_planner.plan
+        else (Alg_exec.run_mode mode sources compiled.Med_planner.plan, [])
       in
       if skipped <> [] then begin
         (* Partial-result degradation (section 3.4): the answer shipped,
@@ -516,6 +517,9 @@ type analysis = {
   analyzed_compiled : Med_planner.compiled;
   analyzed_source_rows : string -> float;
   analyzed_actual : Alg_plan.t -> (int * float) option;
+  analyzed_batch : Alg_plan.t -> string list;
+      (* batch-engine cells per node; [] everywhere in tuple mode *)
+  analyzed_mode : Alg_batch.mode;
   analyzed_accesses : access_stat list;
   analyzed_wall_ms : float;
   analyzed_virtual_ms : float;
@@ -563,11 +567,24 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
     ms := !ms +. (Obs_clock.wall_ms () -. t0);
     List.to_seq envs
   in
-  let envs, op_root =
+  let mode = Med_catalog.exec_mode catalog in
+  let envs, actual, batch_cells =
     Obs_trace.with_span "query" (fun qspan ->
-        let r = Alg_exec.run_instrumented sources compiled.Med_planner.plan in
-        Obs_span.set_int qspan "rows" (List.length (fst r));
-        r)
+        match mode with
+        | Alg_batch.Tuple ->
+          let envs, op_root =
+            Alg_exec.run_instrumented sources compiled.Med_planner.plan
+          in
+          Obs_span.set_int qspan "rows" (List.length envs);
+          (envs, Alg_exec.actual_of_stats op_root, fun _ -> [])
+        | Alg_batch.Batch { chunk } ->
+          let envs, bstats =
+            Alg_exec.run_batched ~chunk sources compiled.Med_planner.plan
+          in
+          Obs_span.set_int qspan "rows" (List.length envs);
+          if Obs_trace.enabled () then
+            Obs_trace.emit (Alg_batch.span_of_stats bstats);
+          (envs, Alg_batch.actual_of_stats bstats, Alg_batch.cells_of_stats bstats))
   in
   let wall_ms = Obs_clock.wall_ms () -. t0 in
   let virtual_ms = Obs_clock.virtual_ms () -. v0 in
@@ -600,7 +617,9 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
     analyzed_result = { trees; bindings = envs; skipped_sources = [] };
     analyzed_compiled = compiled;
     analyzed_source_rows = source_rows;
-    analyzed_actual = Alg_exec.actual_of_stats op_root;
+    analyzed_actual = actual;
+    analyzed_batch = batch_cells;
+    analyzed_mode = mode;
     analyzed_accesses = accesses;
     analyzed_wall_ms = wall_ms;
     analyzed_virtual_ms = virtual_ms;
@@ -614,8 +633,9 @@ let run_analyzed_text ?opts ?view_lookup catalog text =
 let analysis_to_string a =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Alg_cost.explain_analyze ~source_rows:a.analyzed_source_rows
-       ~actual:a.analyzed_actual a.analyzed_compiled.Med_planner.plan);
+    (Alg_cost.explain_analyze ~extra:a.analyzed_batch
+       ~source_rows:a.analyzed_source_rows ~actual:a.analyzed_actual
+       a.analyzed_compiled.Med_planner.plan);
   Buffer.add_string buf "accesses:\n";
   List.iter
     (fun st ->
@@ -640,8 +660,13 @@ let analysis_to_string a =
               @ fetch)))
       )
     a.analyzed_accesses;
+  let exec_note =
+    match a.analyzed_mode with
+    | Alg_batch.Tuple -> ""
+    | Alg_batch.Batch { chunk } -> Printf.sprintf " [batch chunk=%d]" chunk
+  in
   Buffer.add_string buf
-    (Printf.sprintf "-- %d rows in %.2fms (virtual %.2fms)\n"
+    (Printf.sprintf "-- %d rows in %.2fms (virtual %.2fms)%s\n"
        (List.length a.analyzed_result.bindings)
-       a.analyzed_wall_ms a.analyzed_virtual_ms);
+       a.analyzed_wall_ms a.analyzed_virtual_ms exec_note);
   Buffer.contents buf

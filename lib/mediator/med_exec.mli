@@ -90,6 +90,11 @@ type analysis = {
       (** the pre-run estimate snapshot, keyed by access id *)
   analyzed_actual : Alg_plan.t -> (int * float) option;
       (** per-operator (rows, inclusive ms), by physical node identity *)
+  analyzed_batch : Alg_plan.t -> string list;
+      (** the batch engine's per-operator cells (batches, rows/batch,
+          fill ratio); [[]] everywhere when the run was tuple-at-a-time *)
+  analyzed_mode : Alg_batch.mode;
+      (** the engine that executed the analyzed run *)
   analyzed_accesses : access_stat list;
   analyzed_wall_ms : float;
   analyzed_virtual_ms : float;

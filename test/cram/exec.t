@@ -1,0 +1,72 @@
+The batch-at-a-time execution engine: `--exec-mode batch` must answer
+exactly like the default tuple engine, and EXPLAIN ANALYZE grows
+per-operator batch columns.  Durations are normalized.
+
+  $ export NIMBLE=../../bin/nimble_cli.exe
+  $ Q='WHERE <row><name>$n</name><id>$i</id></row> IN "crm.customers", <row><cust_id>$i</cust_id><item>$it</item></row> IN "crm.orders", <product sku=$it><price>$p</price></product> IN "products" CONSTRUCT <sale><who>$n</who><price>$p</price></sale>'
+
+Same federated join, both engines — byte-identical answers:
+
+  $ $NIMBLE query "$Q" > tuple.out
+  $ $NIMBLE query --exec-mode batch --chunk-size 8 "$Q" > batch.out
+  $ cmp tuple.out batch.out && cat batch.out
+  sale
+    who: Acme
+    price: 25
+  sale
+    who: Globex
+    price: 4500
+  sale
+    who: Initech
+    price: 25
+  
+
+The chunk size must be positive and the mode known:
+
+  $ $NIMBLE query --exec-mode batch --chunk-size 0 "$Q"
+  nimble: chunk size must be positive
+  [124]
+  $ $NIMBLE query --exec-mode vector "$Q"
+  nimble: unknown exec mode "vector" (tuple, batch)
+  [124]
+
+Under batch mode EXPLAIN ANALYZE reports, per operator, how many
+batches it produced, the average rows per batch, and the fill ratio
+against the configured chunk size, and the footer names the engine:
+
+  $ $NIMBLE explain-analyze --exec-mode batch --chunk-size 8 "$Q" | sed -E 's/[0-9]+\.[0-9]+ms/_ms/g'
+  PROJECT [i, it, n, p]  (est 50000 rows, actual 3 rows, _ms, batches=1 rows/batch=3.0 fill=0.38)
+    HASH-JOIN $it = $it#r  (est 50000 rows, actual 3 rows, _ms, batches=1 rows/batch=3.0 fill=0.38)
+      SCAN j0 AS $*  (est 1000 rows, actual 3 rows, _ms, batches=1 rows/batch=3.0 fill=0.38)
+      RENAME [it->it#r]  (est 1000 rows, actual 2 rows, _ms, batches=1 rows/batch=2.0 fill=0.25)
+        SCAN a2 AS $*  (est 1000 rows, actual 2 rows, _ms, batches=1 rows/batch=2.0 fill=0.25)
+  accesses:
+    j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=1000 calls=1 rows=3 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
+  -- 3 rows in _ms (virtual _ms) [batch chunk=8]
+
+Tuple mode output is unchanged (no batch columns, no footer note):
+
+  $ $NIMBLE explain-analyze "$Q" | sed -E 's/[0-9]+\.[0-9]+ms/_ms/g'
+  PROJECT [i, it, n, p]  (est 50000 rows, actual 3 rows, _ms)
+    HASH-JOIN $it = $it#r  (est 50000 rows, actual 3 rows, _ms)
+      SCAN j0 AS $*  (est 1000 rows, actual 3 rows, _ms)
+      RENAME [it->it#r]  (est 1000 rows, actual 2 rows, _ms)
+        SCAN a2 AS $*  (est 1000 rows, actual 2 rows, _ms)
+  accesses:
+    j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=1000 calls=1 rows=3 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
+  -- 3 rows in _ms (virtual _ms)
+
+The repl can switch engines mid-session:
+
+  $ printf '\\exec\n\\exec batch 16\n\\exec\nWHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 2 CONSTRUCT <c>$n</c>;\n\\exec tuple\n\\exec\n\\quit\n' | $NIMBLE repl
+  nimble repl — 2 source(s) registered, \help for commands
+  nimble> exec: tuple
+  nimble> exec: batch(chunk=16)
+  nimble> exec: batch(chunk=16)
+  nimble> c: Globex
+  c: Initech
+  nimble> exec: tuple
+  nimble> exec: tuple
+  nimble> 

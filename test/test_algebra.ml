@@ -441,6 +441,200 @@ let prop_select_pushes_through_join =
       in
       norm plain = norm pushed)
 
+(* ------------------------------------------------------------------ *)
+(* Group determinism (regressions) and the batch engine                *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyless aggregation over empty input yields exactly one row of
+   aggregate identities — in both engines. *)
+let test_group_empty_input () =
+  let plan =
+    Alg_plan.Group
+      {
+        input = Alg_plan.Const_envs [];
+        keys = [];
+        aggs =
+          [
+            ("n", Alg_plan.A_count);
+            ("s", Alg_plan.A_sum (child "p" "id"));
+            ("a", Alg_plan.A_avg (child "p" "id"));
+            ("mn", Alg_plan.A_min (child "p" "id"));
+            ("mx", Alg_plan.A_max (child "p" "id"));
+            ("c", Alg_plan.A_collect (child "p" "id"));
+          ];
+      }
+  in
+  let check_engine label envs =
+    check int_t (label ^ ": one identity row") 1 (List.length envs);
+    let e = List.hd envs in
+    check value_t (label ^ ": count 0") (Value.Int 0) (Alg_env.value_of e "n");
+    check value_t (label ^ ": sum null") Value.Null (Alg_env.value_of e "s");
+    check value_t (label ^ ": avg null") Value.Null (Alg_env.value_of e "a");
+    check value_t (label ^ ": min null") Value.Null (Alg_env.value_of e "mn");
+    check value_t (label ^ ": max null") Value.Null (Alg_env.value_of e "mx");
+    match Alg_env.get e "c" with
+    | Some tree -> check int_t (label ^ ": empty collection") 0 (List.length (Dtree.kids tree))
+    | None -> Alcotest.fail (label ^ ": expected collection binding")
+  in
+  check_engine "tuple" (run plan);
+  check_engine "batch" (fst (Alg_exec.run_batched ~chunk:4 sources plan))
+
+(* Null group keys land in one deterministic group; group order is
+   first-appearance order in both engines. *)
+let test_group_null_keys () =
+  let plan =
+    Alg_plan.Group
+      {
+        input = open_scan "people" "p";
+        keys = [ ("dept", child "p" "dept") ];
+        aggs = [ ("n", Alg_plan.A_count) ];
+      }
+  in
+  let snapshot envs =
+    List.map (fun e -> (Alg_env.value_of e "dept", Alg_env.value_of e "n")) envs
+  in
+  let tuple = snapshot (run plan) in
+  let batch = snapshot (fst (Alg_exec.run_batched ~chunk:3 sources plan)) in
+  check int_t "three groups (null keys grouped)" 3 (List.length tuple);
+  check bool_t "first-appearance order" true
+    (tuple = [ (Value.Int 10, Value.Int 2); (Value.Int 20, Value.Int 1); (Value.Null, Value.Int 1) ]);
+  check bool_t "batch agrees" true (tuple = batch)
+
+let batch_run ?(chunk = 4) plan = fst (Alg_exec.run_batched ~chunk sources plan)
+
+let test_batch_basic_equivalence () =
+  let open Alg_expr in
+  let plans =
+    [
+      open_scan "people" "p";
+      Alg_plan.Select (open_scan "people" "p", Binop (Alg_expr.Le, child "p" "id", ci 2));
+      Alg_plan.Sort
+        ( open_scan "people" "p",
+          [ { Alg_plan.sort_key = child "p" "dept"; ascending = false } ] );
+      Alg_plan.Limit (open_scan "people" "p", 3);
+      Alg_plan.Outer_union (open_scan "people" "p", open_scan "depts" "d");
+    ]
+  in
+  List.iteri
+    (fun i plan ->
+      List.iter
+        (fun chunk ->
+          check bool_t
+            (Printf.sprintf "plan %d chunk %d" i chunk)
+            true
+            (List.map Alg_env.to_string (run plan)
+            = List.map Alg_env.to_string (batch_run ~chunk plan)))
+        [ 1; 2; 1024 ])
+    plans
+
+(* The fused select+project surfaces in the per-operator stats, and a
+   non-vectorized operator reports its tuple-engine fallback. *)
+let test_batch_stats_cells () =
+  let open Alg_expr in
+  let sel = Alg_plan.Select (open_scan "people" "p", Binop (Alg_expr.Le, child "p" "id", ci 3)) in
+  let plan = Alg_plan.Project (sel, [ "p" ]) in
+  let envs, stats = Alg_exec.run_batched ~chunk:2 sources plan in
+  check int_t "fused rows" 3 (List.length envs);
+  check bool_t "select reports fusion" true
+    (List.exists (contains "fused") (Alg_batch.cells_of_stats stats sel));
+  check bool_t "project reports batches" true
+    (List.exists (contains "batches=") (Alg_batch.cells_of_stats stats plan));
+  let distinct = Alg_plan.Distinct (open_scan "people" "p") in
+  let envs, stats = Alg_exec.run_batched ~chunk:2 sources distinct in
+  check int_t "distinct rows" 4 (List.length envs);
+  check bool_t "distinct reports fallback" true
+    (List.exists (contains "fallback") (Alg_batch.cells_of_stats stats distinct))
+
+let test_batch_strict_unavailable () =
+  let plan = Alg_plan.Limit (Alg_plan.Sort (open_scan "gone_source" "p", []), 0) in
+  try
+    ignore (batch_run plan);
+    Alcotest.fail "expected Source_unavailable"
+  with Alg_exec.Source_unavailable name -> check string_t "names the source" "gone_source" name
+
+(* Property (the batch-engine contract): batched execution is
+   observably identical to tuple-at-a-time execution — same rows, same
+   order (document order, sort stability, group order), same aggregate
+   values — over random plans and chunk sizes. *)
+let prop_batch_equals_tuple =
+  QCheck2.Test.make ~name:"batch run = tuple run (random plans, random chunks)" ~count:150
+    QCheck2.Gen.(quad (int_bound 25) (int_bound 25) (int_bound 5) (int_bound 1000))
+    (fun (n, m, shape, seed) ->
+      let g = Prng.create (seed + (n * 131) + (m * 17) + shape) in
+      let chunk = List.nth [ 1; 2; 3; 7; 64; 1024 ] (Prng.int g 6) in
+      let mk var count =
+        Alg_plan.Const_envs
+          (List.init count (fun i ->
+               let k = if Prng.int g 5 = 0 then Value.Null else Value.Int (Prng.int g 5) in
+               Alg_env.of_bindings
+                 [ (var, Dtree.of_tuple var (Tuple.make [ ("k", k); ("v", Value.Int i) ])) ]))
+      in
+      let left = mk "l" n and right = mk "r" m in
+      let lk = child "l" "k" and rk = child "r" "k" in
+      let open Alg_expr in
+      let join =
+        if Prng.int g 4 = 0 then
+          (* non-vectorized operator: exercises the fallback path *)
+          Alg_plan.Nl_join { left; right; pred = Some (lk =% rk) }
+        else Alg_plan.Hash_join { left; right; left_key = lk; right_key = rk; residual = None }
+      in
+      let plan =
+        match shape with
+        | 0 ->
+          Alg_plan.Project
+            ( Alg_plan.Select (join, Binop (Alg_expr.Le, child "l" "v", ci (Prng.int g 20))),
+              [ "l"; "r" ] )
+        | 1 ->
+          (* heavy key duplication: order differences from unstable sort
+             or probe order would show up here *)
+          Alg_plan.Sort (join, [ { Alg_plan.sort_key = lk; ascending = Prng.int g 2 = 0 } ])
+        | 2 ->
+          Alg_plan.Group
+            {
+              input = join;
+              keys = [ ("k", lk) ];
+              aggs =
+                [
+                  ("n", Alg_plan.A_count);
+                  ("s", Alg_plan.A_sum (child "l" "v"));
+                  ("mx", Alg_plan.A_max (child "r" "v"));
+                ];
+            }
+        | 3 -> Alg_plan.Outer_union (Alg_plan.Union (left, right), open_scan "depts" "d")
+        | 4 -> Alg_plan.Limit (Alg_plan.Distinct (Alg_plan.Project (join, [ "r" ])), Prng.int g 10)
+        | _ ->
+          Alg_plan.Construct
+            {
+              input = join;
+              binding = "out";
+              template = Alg_plan.T_node ("row", [], [ Alg_plan.T_value (child "l" "v") ]);
+            }
+      in
+      let tuple = List.map Alg_env.to_string (Alg_exec.run_list sources plan) in
+      let batch = List.map Alg_env.to_string (fst (Alg_exec.run_batched ~chunk sources plan)) in
+      tuple = batch)
+
+(* Property: partial-results mode (section 3.4) agrees across engines —
+   same rows in order, same set of skipped sources. *)
+let prop_batch_partial_equals_tuple =
+  QCheck2.Test.make ~name:"batch partial run = tuple partial run" ~count:60
+    QCheck2.Gen.(pair (int_bound 3) (int_bound 30))
+    (fun (chunk_ix, threshold) ->
+      let chunk = List.nth [ 1; 3; 8; 1024 ] chunk_ix in
+      let open Alg_expr in
+      let federation =
+        Alg_plan.Outer_union
+          ( Alg_plan.Select
+              (open_scan "people" "p", Binop (Alg_expr.Le, child "p" "id", ci threshold)),
+            Alg_plan.Union (open_scan "gone_source" "q", open_scan "depts" "d") )
+      in
+      let t_envs, t_skip = Alg_exec.run_partial sources federation in
+      let b_envs, b_skip =
+        Alg_exec.run_partial_mode (Alg_batch.Batch { chunk }) sources federation
+      in
+      List.map Alg_env.to_string t_envs = List.map Alg_env.to_string b_envs
+      && List.sort compare t_skip = List.sort compare b_skip)
+
 (* Property: the three join algorithms agree on random data. *)
 let prop_joins_agree =
   QCheck2.Test.make ~name:"nl = hash = merge join on random relations" ~count:60
@@ -476,6 +670,8 @@ let () =
         prop_select_pushes_through_join;
         prop_joins_agree;
         prop_instrumented_identical;
+        prop_batch_equals_tuple;
+        prop_batch_partial_equals_tuple;
       ]
   in
   Alcotest.run "algebra"
@@ -513,4 +709,12 @@ let () =
           Alcotest.test_case "explain analyze output" `Quick test_explain_analyze_output;
         ]
         @ props );
+      ( "batch",
+        [
+          Alcotest.test_case "group over empty input" `Quick test_group_empty_input;
+          Alcotest.test_case "group null keys deterministic" `Quick test_group_null_keys;
+          Alcotest.test_case "batch = tuple basics" `Quick test_batch_basic_equivalence;
+          Alcotest.test_case "stats cells (fused/fallback)" `Quick test_batch_stats_cells;
+          Alcotest.test_case "strict mode raises" `Quick test_batch_strict_unavailable;
+        ] );
     ]
