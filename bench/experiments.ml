@@ -878,6 +878,119 @@ let e13 () =
   Bench_json.note_param "fed_batch_ms" (Printf.sprintf "%.1f" fed_batch_ms);
   Bench_json.note_rows (List.length fed_tuple)
 
+(* ------------------------------------------------------------------ *)
+(* E14: morsel-driven parallel execution scaling                       *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  section "E14"
+    "parallel vs batch execution: domain scaling on the E13 join workload and a federated query";
+  let no_sources _ _ = Seq.empty in
+  (* Part 1: the E13 join workload (hash join + select + project) under
+     the morsel-driven parallel engine at 1, 2 and 4 domains, against
+     the batch engine as baseline.  Results must be byte-identical at
+     every domain count — that assertion is the hard part of the
+     contract; the speedup depends on how many cores the host grants. *)
+  let n = if !quick then 2_000 else 10_000 in
+  let g = Prng.create 141 in
+  let left = e6_relation g "l" n (max 1 (n / 10)) in
+  let right = e6_relation g "r" n (max 1 (n / 10)) in
+  let lk = Alg_expr.Child (Alg_expr.Var "l", "k") in
+  let rk = Alg_expr.Child (Alg_expr.Var "r", "k") in
+  let lv = Alg_expr.Child (Alg_expr.Var "l", "v") in
+  let plan =
+    Alg_plan.Project
+      ( Alg_plan.Select
+          ( Alg_plan.Hash_join
+              { left; right; left_key = lk; right_key = rk; residual = None },
+            Alg_expr.Binop (Alg_expr.Ge, lv, Alg_expr.Const (Value.Int 0)) ),
+        [ "l"; "r" ] )
+  in
+  let cores = Domain.recommended_domain_count () in
+  let batch_envs, _ = Alg_exec.run_batched no_sources plan in
+  let rows_out = List.length batch_envs in
+  let batch_ms =
+    Workloads.bench_ms ~runs:3 (fun () -> ignore (Alg_exec.run_batched no_sources plan))
+  in
+  row "host cores available: %d\n" cores;
+  row "%-28s %14s %10s %10s\n" "join workload" "wall ms" "speedup" "rows";
+  row "%-28s %14.1f %10s %10d\n" "batch (baseline)" batch_ms "1.00x" rows_out;
+  Bench_json.note_param "cores" (string_of_int cores);
+  Bench_json.note_param "join_n" (string_of_int n);
+  Bench_json.note_param "join_batch_ms" (Printf.sprintf "%.1f" batch_ms);
+  List.iter
+    (fun domains ->
+      let par_envs, _ = Alg_exec.run_parallel ~domains no_sources plan in
+      let identical =
+        List.length batch_envs = List.length par_envs
+        && List.for_all2 Alg_env.equal batch_envs par_envs
+      in
+      if not identical then
+        failwith (Printf.sprintf "E14: parallel(domains=%d) differs from batch" domains);
+      let par_ms =
+        Workloads.bench_ms ~runs:3 (fun () ->
+            ignore (Alg_exec.run_parallel ~domains no_sources plan))
+      in
+      let speedup = if par_ms > 0.0 then batch_ms /. par_ms else 0.0 in
+      row "%-28s %14.1f %9.2fx %10d\n"
+        (Printf.sprintf "parallel (domains=%d)" domains)
+        par_ms speedup (List.length par_envs);
+      Bench_json.note_param
+        (Printf.sprintf "join_par%d_ms" domains)
+        (Printf.sprintf "%.1f" par_ms);
+      Bench_json.note_param
+        (Printf.sprintf "join_par%d_speedup" domains)
+        (Printf.sprintf "%.2fx" speedup))
+    [ 1; 2; 4 ];
+  row "results identical at every domain count: yes\n";
+  Bench_json.note_rows rows_out;
+  (* Part 2: the E13 federated 4-source join, whole pipeline, with the
+     catalog switched to the parallel engine.  Scans still run on the
+     caller (the network simulator is not shared across domains); only
+     the post-fetch algebra is parallelized. *)
+  let nrows = if !quick then 60 else 200 in
+  let nsources = 4 in
+  let g = Prng.create 14 in
+  let cat = Med_catalog.create () in
+  for i = 0 to nsources - 1 do
+    let db = Workloads.customer_db g ~name:(Printf.sprintf "s%d" i) ~rows:nrows in
+    let wrapped, _ =
+      Net_sim.wrap ~seed:(140 + i) Net_sim.default_profile (Rel_source.make db)
+    in
+    Med_catalog.register_source cat wrapped
+  done;
+  let q =
+    Xq_parser.parse_exn
+      (Printf.sprintf
+         {|WHERE <row><id>$i</id><name>$n0</name></row> IN "s0.customers",
+                 <row><id>$i</id><name>$n1</name></row> IN "s1.customers",
+                 <row><id>$i</id><name>$n2</name></row> IN "s2.customers",
+                 <row><id>$i</id><name>$n3</name></row> IN "s3.customers",
+                 $i <= %d
+           CONSTRUCT <r><id>$i</id><a>$n0</a><b>$n3</b></r>|}
+         (nrows / 2))
+  in
+  row "%-28s %12s %10s\n" "federated mode" "wall ms" "rows";
+  let run_fed label mode =
+    Med_catalog.set_exec_mode cat mode;
+    let trees = ref [] in
+    let wall = Workloads.bench_ms ~runs:3 (fun () -> trees := Med_exec.run cat q) in
+    row "%-28s %12.1f %10d\n" label wall (List.length !trees);
+    (List.map Dtree.to_string !trees, wall)
+  in
+  let fed_tuple, fed_tuple_ms = run_fed "tuple" Alg_batch.Tuple in
+  let fed_par, fed_par_ms =
+    run_fed "parallel (domains=2)"
+      (Alg_batch.Parallel { domains = 2; chunk = Alg_batch.default_chunk })
+  in
+  Med_catalog.set_exec_mode cat Alg_batch.Tuple;
+  if fed_tuple <> fed_par then failwith "E14: federated results differ across engines";
+  row "federated results identical: yes\n";
+  Bench_json.note_param "fed_sources" (string_of_int nsources);
+  Bench_json.note_param "fed_rows_per_source" (string_of_int nrows);
+  Bench_json.note_param "fed_tuple_ms" (Printf.sprintf "%.1f" fed_tuple_ms);
+  Bench_json.note_param "fed_par_ms" (Printf.sprintf "%.1f" fed_par_ms)
+
 let all () =
   e1 ();
   e2 ();
@@ -893,4 +1006,5 @@ let all () =
   e10 ();
   e11 ();
   e12 ();
-  e13 ()
+  e13 ();
+  e14 ()

@@ -28,6 +28,7 @@ let experiments : (string * (unit -> unit)) list =
     ("E11", Experiments.e11);
     ("E12", Experiments.e12);
     ("E13", Experiments.e13);
+    ("E14", Experiments.e14);
   ]
 
 (* Experiments run behind this wrapper so every one of them emits its

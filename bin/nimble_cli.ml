@@ -80,13 +80,20 @@ let apply_fetch sys (mode, fanout, frag_capacity) =
   | None -> failwith (Printf.sprintf "unknown fetch mode %S (seq, gather)" mode));
   if frag_capacity > 0 then Nimble.configure_frag_cache sys ~capacity:frag_capacity ()
 
-(* --exec-mode/--chunk-size: tuple- vs batch-at-a-time plan evaluation. *)
-let apply_exec sys (mode, chunk) =
+(* --exec-mode/--chunk-size/--parallel: tuple-, batch- or morsel-driven
+   parallel plan evaluation.  --parallel N (N > 0) overrides the mode. *)
+let apply_exec sys (mode, chunk, par) =
   if chunk <= 0 then failwith "chunk size must be positive";
-  match Alg_batch.mode_of_string mode with
-  | Some Alg_batch.Tuple -> Nimble.set_exec_mode sys Alg_batch.Tuple
-  | Some (Alg_batch.Batch _) -> Nimble.set_exec_mode sys (Alg_batch.Batch { chunk })
-  | None -> failwith (Printf.sprintf "unknown exec mode %S (tuple, batch)" mode)
+  if par < 0 then failwith "parallelism must be non-negative";
+  if par > 0 then Nimble.set_exec_mode sys (Alg_batch.Parallel { domains = par; chunk })
+  else
+    match Alg_batch.mode_of_string mode with
+    | Some Alg_batch.Tuple -> Nimble.set_exec_mode sys Alg_batch.Tuple
+    | Some (Alg_batch.Batch _) -> Nimble.set_exec_mode sys (Alg_batch.Batch { chunk })
+    | Some (Alg_batch.Parallel { domains; _ }) ->
+      Nimble.set_exec_mode sys (Alg_batch.Parallel { domains; chunk })
+    | None ->
+      failwith (Printf.sprintf "unknown exec mode %S (tuple, batch, parallel)" mode)
 
 let build_system csvs xmls sqls fetch exec =
   let sys = Nimble.create () in
@@ -217,6 +224,7 @@ let repl_help =
   \fetch cache N              enable a fragment result cache of N entries
   \exec                       show the plan execution engine
   \exec tuple|batch [CHUNK]   switch engines (batch = vectorized, CHUNK rows/step)
+  \par [DOMAINS]              switch to morsel-driven parallel execution
   \save FILE                  write views/materializations as a script
   \load FILE                  replay a saved script
   \quit                       exit
@@ -380,7 +388,34 @@ let run_repl csvs xmls sqls fetch exec =
            Nimble.set_exec_mode sys (Alg_batch.Batch { chunk });
            print_string (Nimble.exec_report sys)
          | _ -> print_endline "usage: \\exec tuple|batch [CHUNK]")
-       | _ -> print_endline "usage: \\exec tuple|batch [CHUNK]");
+       | [ "parallel" ] ->
+         Nimble.set_exec_mode sys
+           (Alg_batch.Parallel
+              { domains = Alg_par.default_domains (); chunk = Alg_batch.default_chunk });
+         print_string (Nimble.exec_report sys)
+       | [ "parallel"; n ] -> (
+         match int_of_string_opt n with
+         | Some domains when domains > 0 ->
+           Nimble.set_exec_mode sys
+             (Alg_batch.Parallel { domains; chunk = Alg_batch.default_chunk });
+           print_string (Nimble.exec_report sys)
+         | _ -> print_endline "usage: \\exec tuple|batch [CHUNK] | \\exec parallel [DOMAINS]")
+       | _ -> print_endline "usage: \\exec tuple|batch [CHUNK] | \\exec parallel [DOMAINS]");
+      loop ()
+    | Some "\\par" ->
+      Nimble.set_exec_mode sys
+        (Alg_batch.Parallel
+           { domains = Alg_par.default_domains (); chunk = Alg_batch.default_chunk });
+      print_string (Nimble.exec_report sys);
+      loop ()
+    | Some line when starts_with "\\par " line ->
+      (let arg = String.trim (String.sub line 5 (String.length line - 5)) in
+       match int_of_string_opt arg with
+       | Some domains when domains > 0 ->
+         Nimble.set_exec_mode sys
+           (Alg_batch.Parallel { domains; chunk = Alg_batch.default_chunk });
+         print_string (Nimble.exec_report sys)
+       | _ -> print_endline "usage: \\par [DOMAINS]");
       loop ()
     | Some line when starts_with "\\partial " line ->
       let text = String.sub line 9 (String.length line - 9) in
@@ -461,18 +496,32 @@ let exec_mode_opt =
     & info [ "exec-mode" ] ~docv:"MODE"
         ~doc:
           "Plan evaluation engine: $(b,tuple) (one row at a time, the \
-           default) or $(b,batch) (vectorized batch-at-a-time execution \
+           default), $(b,batch) (vectorized batch-at-a-time execution \
            moving --chunk-size rows per step; same answers, less \
-           per-row overhead).")
+           per-row overhead) or $(b,parallel) (morsel-driven multicore \
+           execution on a domain pool; same answers again).")
 
 let chunk_size_opt =
   Arg.(
     value & opt int Alg_batch.default_chunk
     & info [ "chunk-size" ] ~docv:"N"
-        ~doc:"Rows per chunk in batch execution mode (default 1024).")
+        ~doc:
+          "Rows per chunk in batch execution mode, and the morsel size \
+           in parallel mode (default 1024).")
+
+let parallel_opt =
+  Arg.(
+    value & opt int 0
+    & info [ "parallel" ] ~docv:"N"
+        ~doc:
+          "Run plans on the morsel-driven parallel engine with $(docv) \
+           domains (the calling domain included), overriding --exec-mode; \
+           0 (the default) leaves --exec-mode in charge.")
 
 let exec_term =
-  Term.(const (fun mode chunk -> (mode, chunk)) $ exec_mode_opt $ chunk_size_opt)
+  Term.(
+    const (fun mode chunk par -> (mode, chunk, par))
+    $ exec_mode_opt $ chunk_size_opt $ parallel_opt)
 
 let wrap f = Term.(ret (const f))
 

@@ -14,16 +14,22 @@ let default_chunk = 1024
 type mode =
   | Tuple
   | Batch of { chunk : int }
+  | Parallel of { domains : int; chunk : int }
 
 let mode_to_string = function
   | Tuple -> "tuple"
   | Batch { chunk } ->
     if chunk = default_chunk then "batch" else Printf.sprintf "batch(chunk=%d)" chunk
+  | Parallel { domains; chunk } ->
+    if chunk = default_chunk then Printf.sprintf "parallel(domains=%d)" domains
+    else Printf.sprintf "parallel(domains=%d,chunk=%d)" domains chunk
 
 let mode_of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "tuple" -> Some Tuple
   | "batch" -> Some (Batch { chunk = default_chunk })
+  | "parallel" ->
+    Some (Parallel { domains = Domain.recommended_domain_count (); chunk = default_chunk })
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -393,6 +399,43 @@ let compile_project vars : Alg_env.t -> Alg_env.t =
   fun env -> if Alg_env.has_layout env names then env else Alg_env.project env vars
 
 (* ------------------------------------------------------------------ *)
+(* Sorting: decorate, sort, undecorate                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every sort key is evaluated exactly once per row; the comparator then
+   only touches precomputed key columns.  [compare_specs] (above) keeps
+   the reference semantics; these helpers are what the engines actually
+   run, and the parallel engine reuses decorate/compare for its
+   sorted-run merges. *)
+
+let sort_decorate specs (arr : Alg_env.t array) : (Value.t array * Alg_env.t) array =
+  let keyfns = List.map (fun s -> compile_value s.Alg_plan.sort_key) specs in
+  Array.map (fun env -> (Array.of_list (List.map (fun f -> f env) keyfns), env)) arr
+
+let sort_compare_keys specs =
+  let dirs = Array.of_list (List.map (fun s -> s.Alg_plan.ascending) specs) in
+  let nkeys = Array.length dirs in
+  fun ka kb ->
+    let rec go i =
+      if i = nkeys then 0
+      else
+        let c = Value.compare ka.(i) kb.(i) in
+        if c <> 0 then if dirs.(i) then c else -c else go (i + 1)
+    in
+    go 0
+
+let sort_array specs (arr : Alg_env.t array) : Alg_env.t array =
+  match specs with
+  | [] -> arr
+  | _ ->
+    let deco = sort_decorate specs arr in
+    let cmp_keys = sort_compare_keys specs in
+    Array.stable_sort (fun (ka, _) (kb, _) -> cmp_keys ka kb) deco;
+    Array.map snd deco
+
+let sort_list specs envs = Array.to_list (sort_array specs (Array.of_list envs))
+
+(* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -536,8 +579,7 @@ and compile_node cfg counters ob plan : cursor =
           true)
   | Alg_plan.Sort (input, specs) ->
     let arr = drain_array (compile cfg counters (kid 0) input) in
-    Array.stable_sort (compare_specs specs) arr;
-    cursor_of_array cfg arr
+    cursor_of_array cfg (sort_array specs arr)
   | Alg_plan.Group { input; keys; aggs } ->
     let arr = drain_array (compile cfg counters (kid 0) input) in
     let rows =

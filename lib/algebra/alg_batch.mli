@@ -36,11 +36,16 @@ val default_chunk : int
 type mode =
   | Tuple  (** the seed engine, {!Alg_exec.run} — the default *)
   | Batch of { chunk : int }
+  | Parallel of { domains : int; chunk : int }
+      (** the morsel-driven multicore engine, {!Alg_exec.run_parallel} —
+          [domains] workers (the caller included) over morsels of
+          [chunk] rows *)
 
 val mode_to_string : mode -> string
 
 val mode_of_string : string -> mode option
-(** Accepts ["tuple"] and ["batch"] (chunk {!default_chunk}). *)
+(** Accepts ["tuple"], ["batch"] (chunk {!default_chunk}) and
+    ["parallel"] ([Domain.recommended_domain_count ()] domains). *)
 
 (** {1 Per-operator batch statistics}
 
@@ -101,9 +106,45 @@ val run :
     any other value). *)
 
 val compare_specs : Alg_plan.sort_spec list -> Alg_env.t -> Alg_env.t -> int
+(** Reference sort comparison: evaluates the key expressions on both
+    sides.  Kept as the semantic specification; execution goes through
+    the decorate–sort–undecorate path below so keys are computed once
+    per row, not twice per comparison. *)
+
+val sort_decorate :
+  Alg_plan.sort_spec list -> Alg_env.t array -> (Value.t array * Alg_env.t) array
+(** Evaluate every sort key once per row: the decorated pair carries the
+    key column the comparators read. *)
+
+val sort_compare_keys :
+  Alg_plan.sort_spec list -> Value.t array -> Value.t array -> int
+(** Compare two precomputed key rows under the specs' directions —
+    agrees with {!compare_specs} by construction. *)
+
+val sort_array : Alg_plan.sort_spec list -> Alg_env.t array -> Alg_env.t array
+(** Stable sort via decorate–sort–undecorate.  Rows with equal keys keep
+    their input order. *)
+
+val sort_list : Alg_plan.sort_spec list -> Alg_env.t list -> Alg_env.t list
+(** {!sort_array} over lists — the tuple engine's sort. *)
 
 val union_vars : Alg_env.t list -> string list
 (** All variables bound in any of the envs, first-occurrence order. *)
+
+(** {1 Compiled row functions}
+
+    Per-operator expression compilation: name resolution and AST
+    dispatch happen once, the returned closure runs per row.  Only hot
+    shapes are specialized; everything else falls back to
+    {!Alg_expr.eval}, so semantics cannot drift.  Shared with the
+    parallel engine ({!Alg_par}). *)
+
+val compile_value : Alg_expr.t -> Alg_env.t -> Value.t
+val compile_pred : Alg_expr.t -> Alg_env.t -> bool
+
+val compile_project : string list -> Alg_env.t -> Alg_env.t
+(** With the no-op fast path: a row already laid out as [vars] is
+    returned unchanged. *)
 
 val group_rows :
   ?size_hint:int ->
@@ -114,3 +155,16 @@ val group_rows :
 (** Group by the key expressions (groups in first-occurrence order) and
     fold the aggregates.  [sum]/[avg]/[min]/[max] of an all-null group
     are [Null]; ["count(*)"] of the empty keyless group is 0. *)
+
+(** {2 Aggregate accumulators}
+
+    The mutable per-(group, aggregate) state {!group_rows} folds with.
+    Exposed so the parallel engine can fold per-domain partial states
+    with the {e same} code — notably the same fold order dependence for
+    float sums — and render results identically. *)
+
+type agg_state
+
+val new_state : unit -> agg_state
+val feed : Alg_env.t -> agg_state -> Alg_plan.agg -> unit
+val result : agg_state -> Alg_plan.agg -> Dtree.t

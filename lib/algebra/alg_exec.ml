@@ -151,7 +151,7 @@ let rec run_hooked hook sources plan : Alg_env.t Seq.t =
       (run sources left)
   | Alg_plan.Sort (input, specs) ->
     let envs = List.of_seq (run sources input) in
-    seq_of_list (List.stable_sort (Alg_batch.compare_specs specs) envs)
+    seq_of_list (Alg_batch.sort_list specs envs)
   | Alg_plan.Distinct input ->
     let seen : (int, Alg_env.t) Hashtbl.t = Hashtbl.create (table_size input) in
     Seq.filter
@@ -244,10 +244,18 @@ let run_batched ?chunk sources plan =
     ~fallback:(fun p -> run sources p)
     ~template:build_template plan
 
+(* Morsel-driven parallel execution (Alg_par wired to this engine). *)
+let run_parallel ?domains ?chunk sources plan =
+  Alg_par.run ?domains ?chunk ~sources
+    ~fallback:(fun p -> run sources p)
+    ~template:build_template plan
+
 let run_mode mode sources plan =
   match mode with
   | Alg_batch.Tuple -> run_list sources plan
   | Alg_batch.Batch { chunk } -> fst (run_batched ~chunk sources plan)
+  | Alg_batch.Parallel { domains; chunk } ->
+    fst (run_parallel ~domains ~chunk sources plan)
 
 let run_partial_mode mode sources plan =
   match mode with
@@ -255,6 +263,10 @@ let run_partial_mode mode sources plan =
   | Alg_batch.Batch { chunk } ->
     let skipped = ref [] in
     let envs, _ = run_batched ~chunk (partial_guard skipped sources) plan in
+    (envs, List.rev !skipped)
+  | Alg_batch.Parallel { domains; chunk } ->
+    let skipped = ref [] in
+    let envs, _ = run_parallel ~domains ~chunk (partial_guard skipped sources) plan in
     (envs, List.rev !skipped)
 
 (* Scan resolution against a prefetched buffer: scatter-gather fetches

@@ -38,12 +38,25 @@ val run_batched :
 (** Run on the batch engine (chunk default {!Alg_batch.default_chunk}),
     returning the rows plus the per-operator batch statistics. *)
 
+val run_parallel :
+  ?domains:int ->
+  ?chunk:int ->
+  source_fn ->
+  Alg_plan.t ->
+  Alg_env.t list * Alg_par.stats
+(** Run on the morsel-driven parallel engine of {!Alg_par} ([domains]
+    default {!Alg_par.default_domains}, morsel size default
+    {!Alg_batch.default_chunk}), returning the rows plus the
+    per-operator parallel statistics.  Same answers, same order, same
+    strict/partial semantics as the other engines. *)
+
 val run_mode : Alg_batch.mode -> source_fn -> Alg_plan.t -> Alg_env.t list
-(** {!run_list} or {!run_batched} according to the mode. *)
+(** {!run_list}, {!run_batched} or {!run_parallel} according to the
+    mode. *)
 
 val run_partial_mode :
   Alg_batch.mode -> source_fn -> Alg_plan.t -> Alg_env.t list * string list
-(** {!run_partial} under either engine: unavailable sources contribute
+(** {!run_partial} under any engine: unavailable sources contribute
     no rows and are reported, whichever engine executes the plan. *)
 
 val buffered :

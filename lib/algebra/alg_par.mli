@@ -1,0 +1,95 @@
+(** Morsel-driven multicore execution of physical plans.
+
+    The third engine, next to {!Alg_exec} (tuple-at-a-time) and
+    {!Alg_batch} (batch-at-a-time): operator outputs are materialized
+    bottom-up, per-row work is cut into {e morsels} of [chunk] rows,
+    and morsels run on a fixed, process-wide pool of OCaml domains
+    (hand-rolled mutex/condition work queue — the caller participates
+    as worker 0).  Workers claim morsels from a shared counter, so a
+    fast domain steals the tail of a slow one (Leis et al.,
+    "Morsel-Driven Parallelism", SIGMOD 2014); per-morsel outputs are
+    stitched back in morsel order.
+
+    {b Determinism.}  Answers are byte-identical to the other two
+    engines, by construction:
+
+    - maps/filters/expansions stitch per-morsel outputs in input order;
+    - the hash join partitions its build side by key hash, each
+      partition preserving per-key build order, and probes left rows in
+      order against read-only tables (exchange-style, after Graefe's
+      Volcano);
+    - grouping partitions groups (not rows) across domains, so every
+      group folds its rows in ascending input order — float sums
+      associate exactly as in the sequential fold — and groups are
+      emitted in first-occurrence order;
+    - sort runs a parallel stable merge sort over decorated keys where
+      ties always take the earlier morsel.
+
+    Operators whose state is inherently order-entangled (nested-loop,
+    merge and dependent joins, distinct) fall back to the tuple engine,
+    on the caller.
+
+    {b Thread discipline.}  Only pure row work runs on pool domains.
+    Scans, the tuple-engine fallback and all {!Obs_metrics} ticks run
+    on the caller's domain: source functions reach process-global state
+    (fetch scheduler, caches, network simulation), and the metrics
+    registry is not thread-safe.  Scans materialize eagerly in plan
+    order, so strict/partial source-failure semantics — including
+    which sources are recorded as skipped — match the other engines. *)
+
+(** {1 Per-operator statistics} *)
+
+type op_par = {
+  op_plan : Alg_plan.t;
+  op_parallel : bool;  (** false: subtree ran on the tuple engine *)
+  mutable op_pulled : bool;
+  mutable op_morsels : int;  (** parallel tasks issued by this operator *)
+  mutable op_rows : int;
+  mutable op_ms : float;  (** inclusive of input operators *)
+  op_kids : op_par list;
+}
+
+type stats = {
+  domains : int;
+  chunk_size : int;  (** the morsel size *)
+  busy : float array;  (** per-domain busy ms; slot 0 is the caller *)
+  mutable morsels : int;  (** total parallel tasks over the whole run *)
+  root : op_par;
+}
+
+val actual_of_stats : stats -> Alg_plan.t -> (int * float) option
+(** As {!Alg_exec.actual_of_stats}: (rows, inclusive ms) by physical
+    node identity, [None] for nodes never evaluated. *)
+
+val cells_of_stats : stats -> Alg_plan.t -> string list
+(** The parallel columns of EXPLAIN ANALYZE for one node:
+    [morsels=…] for parallel operators, [fallback=tuple] for fallback
+    roots; the plan root additionally reports [domains=…] and
+    [skew=MAX/MINms] — the busiest vs. idlest domain's busy time. *)
+
+val span_of_stats : stats -> Obs_span.t
+(** Statistics as a span tree, for the trace sink. *)
+
+val busy_max : stats -> float
+val busy_min : stats -> float
+
+(** {1 Running} *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val run :
+  ?domains:int ->
+  ?chunk:int ->
+  sources:(string -> string -> Alg_env.t Seq.t) ->
+  fallback:(Alg_plan.t -> Alg_env.t Seq.t) ->
+  template:(Alg_env.t -> Alg_plan.template -> Dtree.t) ->
+  Alg_plan.t ->
+  Alg_env.t list * stats
+(** Evaluate the plan with [domains] workers (default
+    {!default_domains}, caller included, clamped to the pool limit)
+    over morsels of [chunk] rows (default {!Alg_batch.default_chunk}).
+    [sources]/[fallback]/[template] as in {!Alg_batch.run}; most
+    callers want {!Alg_exec.run_parallel}.  The domain pool is global
+    and reused across runs; it grows to the largest [domains] ever
+    requested and is joined at exit. *)

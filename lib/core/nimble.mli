@@ -81,10 +81,11 @@ val fetch_report : t -> string
 
 val exec_mode : t -> Alg_batch.mode
 val set_exec_mode : t -> Alg_batch.mode -> unit
-(** Tuple-at-a-time (default) or batch-at-a-time plan evaluation for
-    every subsequent query against this engine; batch mode carries its
-    chunk size.  Answers are identical either way — batch mode is a
-    throughput knob. *)
+(** Tuple-at-a-time (default), batch-at-a-time or morsel-driven
+    parallel plan evaluation for every subsequent query against this
+    engine; batch mode carries its chunk size, parallel mode its domain
+    count and morsel size.  Answers are identical in all three —
+    these are throughput knobs. *)
 
 val exec_report : t -> string
 (** One-line summary of the execution mode — the repl's [\exec] view. *)

@@ -49,8 +49,9 @@ val set_fetch_options : t -> Fetch_sched.options -> unit
 
 val exec_mode : t -> Alg_batch.mode
 (** How executions against this catalog evaluate their plans:
-    tuple-at-a-time (the default) or batch-at-a-time with a configured
-    chunk size. *)
+    tuple-at-a-time (the default), batch-at-a-time with a configured
+    chunk size, or morsel-driven parallel with a configured domain
+    count and morsel size. *)
 
 val set_exec_mode : t -> Alg_batch.mode -> unit
 

@@ -584,7 +584,15 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
           Obs_span.set_int qspan "rows" (List.length envs);
           if Obs_trace.enabled () then
             Obs_trace.emit (Alg_batch.span_of_stats bstats);
-          (envs, Alg_batch.actual_of_stats bstats, Alg_batch.cells_of_stats bstats))
+          (envs, Alg_batch.actual_of_stats bstats, Alg_batch.cells_of_stats bstats)
+        | Alg_batch.Parallel { domains; chunk } ->
+          let envs, pstats =
+            Alg_exec.run_parallel ~domains ~chunk sources compiled.Med_planner.plan
+          in
+          Obs_span.set_int qspan "rows" (List.length envs);
+          if Obs_trace.enabled () then
+            Obs_trace.emit (Alg_par.span_of_stats pstats);
+          (envs, Alg_par.actual_of_stats pstats, Alg_par.cells_of_stats pstats))
   in
   let wall_ms = Obs_clock.wall_ms () -. t0 in
   let virtual_ms = Obs_clock.virtual_ms () -. v0 in
@@ -664,6 +672,8 @@ let analysis_to_string a =
     match a.analyzed_mode with
     | Alg_batch.Tuple -> ""
     | Alg_batch.Batch { chunk } -> Printf.sprintf " [batch chunk=%d]" chunk
+    | Alg_batch.Parallel { domains; chunk } ->
+      Printf.sprintf " [parallel domains=%d chunk=%d]" domains chunk
   in
   Buffer.add_string buf
     (Printf.sprintf "-- %d rows in %.2fms (virtual %.2fms)%s\n"

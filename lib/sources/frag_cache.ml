@@ -3,7 +3,12 @@
    hit short-circuits the network simulator entirely, so repeated
    fragments — within a lens burst or across queries — cost nothing on
    the virtual clock.  Expiry is LRU for capacity and TTL on the
-   virtual clock for freshness (section 3.3's trade-off). *)
+   virtual clock for freshness (section 3.3's trade-off).
+
+   Recency is an intrusive doubly-linked list threaded through the
+   entries (head = most recent, tail = victim), so touching an entry
+   and evicting the LRU are both O(1) — the old implementation scanned
+   the whole table per insertion at capacity. *)
 
 type stats = {
   mutable frag_hits : int;
@@ -22,10 +27,12 @@ let m_expirations = Obs_metrics.counter "fragcache.expirations"
 let m_invalidations = Obs_metrics.counter "fragcache.invalidations"
 
 type entry = {
+  key : string * string;
   value : Source.result;
   entry_source : string;
   born_vms : float;
-  mutable last_used : int;
+  mutable prev : entry option;  (* toward the head (more recent) *)
+  mutable next : entry option;  (* toward the tail (less recent) *)
 }
 
 type t = {
@@ -33,7 +40,8 @@ type t = {
   ttl_ms : float option;
   table : (string * string, entry) Hashtbl.t;
   st : stats;
-  mutable clock : int;
+  mutable head : entry option;  (* most recently used *)
+  mutable tail : entry option;  (* least recently used — the victim *)
 }
 
 let create ?ttl_ms ~capacity () =
@@ -49,14 +57,44 @@ let create ?ttl_ms ~capacity () =
         frag_expirations = 0;
         frag_invalidations = 0;
       };
-    clock = 0;
+    head = None;
+    tail = None;
   }
 
 let enabled t = t.cap > 0
 
+(* ---- intrusive recency list ---- *)
+
+let unlink t entry =
+  (match entry.prev with
+  | Some p -> p.next <- entry.next
+  | None -> t.head <- entry.next);
+  (match entry.next with
+  | Some n -> n.prev <- entry.prev
+  | None -> t.tail <- entry.prev);
+  entry.prev <- None;
+  entry.next <- None
+
+let push_front t entry =
+  entry.prev <- None;
+  entry.next <- t.head;
+  (match t.head with
+  | Some h -> h.prev <- Some entry
+  | None -> t.tail <- Some entry);
+  t.head <- Some entry
+
 let touch t entry =
-  t.clock <- t.clock + 1;
-  entry.last_used <- t.clock
+  match t.head with
+  | Some h when h == entry -> ()
+  | _ ->
+    unlink t entry;
+    push_front t entry
+
+let remove t entry =
+  Hashtbl.remove t.table entry.key;
+  unlink t entry
+
+(* ---- cache operations ---- *)
 
 let expired t entry =
   match t.ttl_ms with
@@ -69,7 +107,7 @@ let get t ~source ~fragment =
     let key = (source, fragment) in
     match Hashtbl.find_opt t.table key with
     | Some entry when expired t entry ->
-      Hashtbl.remove t.table key;
+      remove t entry;
       t.st.frag_expirations <- t.st.frag_expirations + 1;
       Obs_metrics.inc m_expirations;
       t.st.frag_misses <- t.st.frag_misses + 1;
@@ -86,16 +124,9 @@ let get t ~source ~fragment =
       None
 
 let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun key entry ->
-      match !victim with
-      | None -> victim := Some (key, entry.last_used)
-      | Some (_, lu) -> if entry.last_used < lu then victim := Some (key, entry.last_used))
-    t.table;
-  match !victim with
-  | Some (key, _) ->
-    Hashtbl.remove t.table key;
+  match t.tail with
+  | Some victim ->
+    remove t victim;
     t.st.frag_evictions <- t.st.frag_evictions + 1;
     Obs_metrics.inc m_evictions
   | None -> ()
@@ -103,26 +134,38 @@ let evict_lru t =
 let put t ~source ~fragment value =
   if t.cap > 0 then begin
     let key = (source, fragment) in
-    if (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= t.cap then evict_lru t;
+    (match Hashtbl.find_opt t.table key with
+    | Some old -> remove t old
+    | None -> if Hashtbl.length t.table >= t.cap then evict_lru t);
     let entry =
-      { value; entry_source = source; born_vms = Obs_clock.virtual_ms (); last_used = 0 }
+      {
+        key;
+        value;
+        entry_source = source;
+        born_vms = Obs_clock.virtual_ms ();
+        prev = None;
+        next = None;
+      }
     in
-    touch t entry;
+    push_front t entry;
     Hashtbl.replace t.table key entry
   end
 
 let invalidate_source t source =
   let victims =
     Hashtbl.fold
-      (fun key entry acc -> if String.equal entry.entry_source source then key :: acc else acc)
+      (fun _ entry acc -> if String.equal entry.entry_source source then entry :: acc else acc)
       t.table []
   in
-  List.iter (fun k -> Hashtbl.remove t.table k) victims;
+  List.iter (remove t) victims;
   t.st.frag_invalidations <- t.st.frag_invalidations + List.length victims;
   Obs_metrics.inc ~by:(List.length victims) m_invalidations;
   List.length victims
 
-let clear t = Hashtbl.reset t.table
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
 
 let size t = Hashtbl.length t.table
 let capacity t = t.cap

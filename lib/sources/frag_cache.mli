@@ -7,7 +7,9 @@
     before any mediator post-processing.  A hit replaces a remote round
     trip, so it costs nothing on the virtual clock.
 
-    Eviction is least-recently-used; an optional TTL, measured on the
+    Eviction is least-recently-used, O(1) per operation (recency is an
+    intrusive doubly-linked list threaded through the entries, not a
+    table scan); an optional TTL, measured on the
     {e virtual} clock ({!Obs_clock.virtual_ms}), ages entries out for
     freshness (section 3.3's warehousing trade-off).  Capacity 0
     disables the cache entirely (no lookups are counted). *)

@@ -27,8 +27,33 @@ The chunk size must be positive and the mode known:
   nimble: chunk size must be positive
   [124]
   $ $NIMBLE query --exec-mode vector "$Q"
-  nimble: unknown exec mode "vector" (tuple, batch)
+  nimble: unknown exec mode "vector" (tuple, batch, parallel)
   [124]
+  $ $NIMBLE query --parallel=-1 "$Q"
+  nimble: parallelism must be non-negative
+  [124]
+
+The morsel-driven parallel engine answers byte-identically as well
+(--parallel N overrides --exec-mode):
+
+  $ $NIMBLE query --parallel 2 --chunk-size 8 "$Q" > par.out
+  $ cmp tuple.out par.out && echo identical
+  identical
+
+Under parallel mode EXPLAIN ANALYZE reports per-operator morsel counts,
+and the plan root adds the domain count and per-domain busy-time skew
+(busiest vs. idlest domain); the footer names the engine:
+
+  $ $NIMBLE explain-analyze --parallel 2 --chunk-size 8 "$Q" | sed -E -e 's/[0-9]+\.[0-9]+ms/_ms/g' -e 's|skew=[0-9.]+/_ms|skew=_|'
+  PROJECT [i, it, n, p]  (est 50000 rows, actual 3 rows, _ms, morsels=1 domains=2 skew=_)
+    HASH-JOIN $it = $it#r  (est 50000 rows, actual 3 rows, _ms, morsels=4)
+      SCAN j0 AS $*  (est 1000 rows, actual 3 rows, _ms)
+      RENAME [it->it#r]  (est 1000 rows, actual 2 rows, _ms, morsels=1)
+        SCAN a2 AS $*  (est 1000 rows, actual 2 rows, _ms)
+  accesses:
+    j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=1000 calls=1 rows=3 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
+  -- 3 rows in _ms (virtual _ms) [parallel domains=2 chunk=8]
 
 Under batch mode EXPLAIN ANALYZE reports, per operator, how many
 batches it produced, the average rows per batch, and the fill ratio
@@ -67,6 +92,19 @@ The repl can switch engines mid-session:
   nimble> exec: batch(chunk=16)
   nimble> c: Globex
   c: Initech
+  nimble> exec: tuple
+  nimble> exec: tuple
+  nimble> 
+
+\par switches to the parallel engine mid-session (and \exec parallel
+does the same with an explicit domain count):
+
+  $ printf '\\par 2\nWHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 2 CONSTRUCT <c>$n</c>;\n\\exec parallel 4\n\\exec tuple\n\\exec\n\\quit\n' | $NIMBLE repl
+  nimble repl — 2 source(s) registered, \help for commands
+  nimble> exec: parallel(domains=2)
+  nimble> c: Globex
+  c: Initech
+  nimble> exec: parallel(domains=4)
   nimble> exec: tuple
   nimble> exec: tuple
   nimble> 

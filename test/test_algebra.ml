@@ -635,6 +635,133 @@ let prop_batch_partial_equals_tuple =
       List.map Alg_env.to_string t_envs = List.map Alg_env.to_string b_envs
       && List.sort compare t_skip = List.sort compare b_skip)
 
+(* Property (the parallel-engine contract): morsel-driven parallel
+   execution is byte-identical to both the tuple and batch engines —
+   same rows, same order, same aggregate values — over random plans,
+   domain counts, and morsel sizes.  Reuses the random-plan generator
+   shape of [prop_batch_equals_tuple]. *)
+let prop_parallel_equals_batch =
+  QCheck2.Test.make ~name:"parallel run = batch run = tuple run (random plans)" ~count:120
+    QCheck2.Gen.(quad (int_bound 25) (int_bound 25) (int_bound 5) (int_bound 1000))
+    (fun (n, m, shape, seed) ->
+      let g = Prng.create (seed + (n * 257) + (m * 29) + shape) in
+      let domains = List.nth [ 1; 2; 3; 4 ] (Prng.int g 4) in
+      let chunk = List.nth [ 1; 2; 3; 7; 64; 1024 ] (Prng.int g 6) in
+      let mk var count =
+        Alg_plan.Const_envs
+          (List.init count (fun i ->
+               let k = if Prng.int g 5 = 0 then Value.Null else Value.Int (Prng.int g 5) in
+               Alg_env.of_bindings
+                 [ (var, Dtree.of_tuple var (Tuple.make [ ("k", k); ("v", Value.Int i) ])) ]))
+      in
+      let left = mk "l" n and right = mk "r" m in
+      let lk = child "l" "k" and rk = child "r" "k" in
+      let open Alg_expr in
+      let join =
+        if Prng.int g 4 = 0 then
+          (* non-vectorized operator: exercises the caller-side fallback *)
+          Alg_plan.Nl_join { left; right; pred = Some (lk =% rk) }
+        else Alg_plan.Hash_join { left; right; left_key = lk; right_key = rk; residual = None }
+      in
+      let plan =
+        match shape with
+        | 0 ->
+          Alg_plan.Project
+            ( Alg_plan.Select (join, Binop (Alg_expr.Le, child "l" "v", ci (Prng.int g 20))),
+              [ "l"; "r" ] )
+        | 1 ->
+          (* heavy key duplication: an unstable parallel merge or probe
+             reorder would show up here *)
+          Alg_plan.Sort (join, [ { Alg_plan.sort_key = lk; ascending = Prng.int g 2 = 0 } ])
+        | 2 ->
+          Alg_plan.Group
+            {
+              input = join;
+              keys = [ ("k", lk) ];
+              aggs =
+                [
+                  ("n", Alg_plan.A_count);
+                  ("s", Alg_plan.A_sum (child "l" "v"));
+                  ("mx", Alg_plan.A_max (child "r" "v"));
+                ];
+            }
+        | 3 -> Alg_plan.Outer_union (Alg_plan.Union (left, right), open_scan "depts" "d")
+        | 4 -> Alg_plan.Limit (Alg_plan.Distinct (Alg_plan.Project (join, [ "r" ])), Prng.int g 10)
+        | _ ->
+          Alg_plan.Construct
+            {
+              input = join;
+              binding = "out";
+              template = Alg_plan.T_node ("row", [], [ Alg_plan.T_value (child "l" "v") ]);
+            }
+      in
+      let tuple = List.map Alg_env.to_string (Alg_exec.run_list sources plan) in
+      let batch = List.map Alg_env.to_string (fst (Alg_exec.run_batched ~chunk sources plan)) in
+      let par =
+        List.map Alg_env.to_string
+          (Alg_exec.run_mode (Alg_batch.Parallel { domains; chunk }) sources plan)
+      in
+      tuple = batch && batch = par)
+
+(* Property: partial-results mode agrees between the parallel and tuple
+   engines — same rows in order, same set of skipped sources. *)
+let prop_parallel_partial_equals_tuple =
+  QCheck2.Test.make ~name:"parallel partial run = tuple partial run" ~count:40
+    QCheck2.Gen.(pair (int_bound 3) (int_bound 30))
+    (fun (domains_ix, threshold) ->
+      let domains = List.nth [ 1; 2; 3; 4 ] domains_ix in
+      let open Alg_expr in
+      let federation =
+        Alg_plan.Outer_union
+          ( Alg_plan.Select
+              (open_scan "people" "p", Binop (Alg_expr.Le, child "p" "id", ci threshold)),
+            Alg_plan.Union (open_scan "gone_source" "q", open_scan "depts" "d") )
+      in
+      let t_envs, t_skip = Alg_exec.run_partial sources federation in
+      let p_envs, p_skip =
+        Alg_exec.run_partial_mode
+          (Alg_batch.Parallel { domains; chunk = 8 })
+          sources federation
+      in
+      List.map Alg_env.to_string t_envs = List.map Alg_env.to_string p_envs
+      && List.sort compare t_skip = List.sort compare p_skip)
+
+(* Sort stability, all three engines: rows sharing a sort key must keep
+   their input order.  The batch engine's decorate–sort–undecorate path
+   and the parallel engine's merge rounds both promise this. *)
+let test_sort_stability () =
+  let rows =
+    List.init 32 (fun i ->
+        Alg_env.of_bindings
+          [ ("r", Dtree.of_tuple "r" (Tuple.make [ ("k", Value.Int (i mod 3)); ("v", Value.Int i) ])) ])
+  in
+  let plan =
+    Alg_plan.Sort
+      (Alg_plan.Const_envs rows, [ { Alg_plan.sort_key = child "r" "k"; ascending = true } ])
+  in
+  let assert_stable name envs =
+    let by_key = Hashtbl.create 3 in
+    List.iter
+      (fun env ->
+        let k = Alg_expr.eval env (child "r" "k") in
+        let v =
+          match Alg_expr.eval env (child "r" "v") with Value.Int i -> i | _ -> -1
+        in
+        let prev = Option.value (Hashtbl.find_opt by_key k) ~default:(-1) in
+        check bool_t (Printf.sprintf "%s: ties keep input order" name) true (v > prev);
+        Hashtbl.replace by_key k v)
+      envs;
+    check int_t (Printf.sprintf "%s: row count" name) 32 (List.length envs)
+  in
+  assert_stable "tuple" (run plan);
+  assert_stable "batch" (batch_run ~chunk:5 plan);
+  List.iter
+    (fun domains ->
+      assert_stable
+        (Printf.sprintf "parallel(domains=%d)" domains)
+        (Alg_exec.run_mode (Alg_batch.Parallel { domains; chunk = 4 }) sources plan))
+    [ 1; 2; 4 ]
+
 (* Property: the three join algorithms agree on random data. *)
 let prop_joins_agree =
   QCheck2.Test.make ~name:"nl = hash = merge join on random relations" ~count:60
@@ -672,6 +799,8 @@ let () =
         prop_instrumented_identical;
         prop_batch_equals_tuple;
         prop_batch_partial_equals_tuple;
+        prop_parallel_equals_batch;
+        prop_parallel_partial_equals_tuple;
       ]
   in
   Alcotest.run "algebra"
@@ -716,5 +845,6 @@ let () =
           Alcotest.test_case "batch = tuple basics" `Quick test_batch_basic_equivalence;
           Alcotest.test_case "stats cells (fused/fallback)" `Quick test_batch_stats_cells;
           Alcotest.test_case "strict mode raises" `Quick test_batch_strict_unavailable;
+          Alcotest.test_case "sort stability (all engines)" `Quick test_sort_stability;
         ] );
     ]

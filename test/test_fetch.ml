@@ -111,6 +111,78 @@ let test_frag_cache_ttl () =
   check bool_t "expired entry misses" true (Frag_cache.get c ~source:"s" ~fragment:"f" = None);
   check int_t "expiration counted" 1 (Frag_cache.stats c).Frag_cache.frag_expirations
 
+(* Eviction order must track recency, not insertion: repeatedly
+   touching an old entry keeps promoting it to the front of the
+   intrusive list, so the victim is always the true LRU. *)
+let test_frag_cache_touch_order () =
+  let c = Frag_cache.create ~capacity:3 () in
+  Frag_cache.put c ~source:"s" ~fragment:"a" (rows_result "a");
+  Frag_cache.put c ~source:"s" ~fragment:"b" (rows_result "b");
+  Frag_cache.put c ~source:"s" ~fragment:"c" (rows_result "c");
+  (* touch a twice, then b — recency is now b > a > c *)
+  ignore (Frag_cache.get c ~source:"s" ~fragment:"a");
+  ignore (Frag_cache.get c ~source:"s" ~fragment:"a");
+  ignore (Frag_cache.get c ~source:"s" ~fragment:"b");
+  Frag_cache.put c ~source:"s" ~fragment:"d" (rows_result "d");
+  check bool_t "c (LRU) evicted" true (Frag_cache.get c ~source:"s" ~fragment:"c" = None);
+  check bool_t "a survives" true (Frag_cache.get c ~source:"s" ~fragment:"a" <> None);
+  check bool_t "b survives" true (Frag_cache.get c ~source:"s" ~fragment:"b" <> None);
+  (* overwrite of a live key must not evict anyone else *)
+  Frag_cache.put c ~source:"s" ~fragment:"d" (rows_result "d2");
+  check int_t "overwrite evicts nothing" 1 (Frag_cache.stats c).Frag_cache.frag_evictions;
+  (* d was just re-put: it is now MRU, so the next eviction hits a *)
+  Frag_cache.put c ~source:"s" ~fragment:"e" (rows_result "e");
+  check bool_t "a (new LRU) evicted after overwrite" true
+    (Frag_cache.get c ~source:"s" ~fragment:"a" = None);
+  check bool_t "overwritten value readable" true
+    (match Frag_cache.get c ~source:"s" ~fragment:"d" with
+    | Some (Source.R_rows ([ "d2" ], [])) -> true
+    | _ -> false)
+
+(* TTL boundary: expiry is strict — an entry aged by exactly its TTL is
+   still fresh; one tick past and it is gone. *)
+let test_frag_cache_ttl_boundary () =
+  Obs_clock.reset_virtual ();
+  let c = Frag_cache.create ~ttl_ms:50.0 ~capacity:4 () in
+  Frag_cache.put c ~source:"s" ~fragment:"f" (rows_result "f");
+  Obs_clock.advance 50.0;
+  check bool_t "age = ttl exactly still hits" true
+    (Frag_cache.get c ~source:"s" ~fragment:"f" <> None);
+  check int_t "no expiration at the boundary" 0
+    (Frag_cache.stats c).Frag_cache.frag_expirations;
+  Obs_clock.advance 0.001;
+  check bool_t "one tick past ttl misses" true
+    (Frag_cache.get c ~source:"s" ~fragment:"f" = None);
+  check int_t "expiration counted once" 1 (Frag_cache.stats c).Frag_cache.frag_expirations;
+  check int_t "expired entry is unlinked" 0 (Frag_cache.size c)
+
+(* invalidate_source on a full cache must leave the recency list
+   consistent: later puts still evict correctly and never resurrect a
+   dropped entry. *)
+let test_frag_cache_invalidate_full () =
+  let c = Frag_cache.create ~capacity:4 () in
+  Frag_cache.put c ~source:"s1" ~fragment:"a" (rows_result "a");
+  Frag_cache.put c ~source:"s2" ~fragment:"b" (rows_result "b");
+  Frag_cache.put c ~source:"s1" ~fragment:"c" (rows_result "c");
+  Frag_cache.put c ~source:"s2" ~fragment:"d" (rows_result "d");
+  check int_t "cache is full" 4 (Frag_cache.size c);
+  check int_t "s1 fragments dropped" 2 (Frag_cache.invalidate_source c "s1");
+  check int_t "two survivors" 2 (Frag_cache.size c);
+  check bool_t "dropped entries gone" true
+    (Frag_cache.get c ~source:"s1" ~fragment:"a" = None
+    && Frag_cache.get c ~source:"s1" ~fragment:"c" = None);
+  (* refill past capacity: list splicing after invalidation must still
+     pick the right victim (b is older than d) *)
+  Frag_cache.put c ~source:"s3" ~fragment:"e" (rows_result "e");
+  Frag_cache.put c ~source:"s3" ~fragment:"f" (rows_result "f");
+  check int_t "full again" 4 (Frag_cache.size c);
+  Frag_cache.put c ~source:"s3" ~fragment:"g" (rows_result "g");
+  check bool_t "oldest survivor evicted first" true
+    (Frag_cache.get c ~source:"s2" ~fragment:"b" = None);
+  check bool_t "newer survivor intact" true
+    (Frag_cache.get c ~source:"s2" ~fragment:"d" <> None);
+  check int_t "invalidations counted" 2 (Frag_cache.stats c).Frag_cache.frag_invalidations
+
 let test_frag_cache_invalidate_source () =
   let c = Frag_cache.create ~capacity:8 () in
   Frag_cache.put c ~source:"s1" ~fragment:"a" (rows_result "a");
@@ -237,6 +309,9 @@ let () =
         [
           Alcotest.test_case "lru eviction" `Quick test_frag_cache_lru;
           Alcotest.test_case "ttl expiry" `Quick test_frag_cache_ttl;
+          Alcotest.test_case "eviction under repeated touch" `Quick test_frag_cache_touch_order;
+          Alcotest.test_case "ttl boundary is strict" `Quick test_frag_cache_ttl_boundary;
+          Alcotest.test_case "invalidate with full cache" `Quick test_frag_cache_invalidate_full;
           Alcotest.test_case "invalidate source" `Quick test_frag_cache_invalidate_source;
           Alcotest.test_case "capacity 0 disables" `Quick test_frag_cache_disabled;
         ] );
