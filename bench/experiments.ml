@@ -991,6 +991,79 @@ let e14 () =
   Bench_json.note_param "fed_tuple_ms" (Printf.sprintf "%.1f" fed_tuple_ms);
   Bench_json.note_param "fed_par_ms" (Printf.sprintf "%.1f" fed_par_ms)
 
+(* ------------------------------------------------------------------ *)
+(* E15: concurrency server — closed-loop workload, plan cache cold vs  *)
+(* warm                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  section "E15"
+    "concurrency server: closed-loop lens workload, plan cache cold vs warm";
+  let requests = if !quick then 48 else 480 in
+  let spec = { Srv_workload.demo_spec with requests } in
+  (* One configuration = fresh federation + server.  Both run one
+     untimed pass first — it populates the warm cache, and it leaves
+     engines and session counters in the same mid-stream state either
+     way, so the measured passes differ only in whether requests pay
+     parse + plan. *)
+  let run_config ~label ~capacity =
+    Obs_clock.reset_virtual ();
+    let sys = Srv_workload.demo_system () in
+    (* A roomy queue: the experiment measures plan-cache economics, so
+       requests should reach the planner instead of being shed. *)
+    let config =
+      {
+        Srv_dispatch.default_config with
+        plan_cache_capacity = capacity;
+        queue = { Srv_admit.queue_capacity = 64; max_session_in_flight = 32 };
+      }
+    in
+    let srv = Srv_dispatch.create ~config sys in
+    List.iter
+      (fun (user, password) ->
+        match Srv_dispatch.open_session srv ~user ~password with
+        | Ok _ -> ()
+        | Error m -> failwith ("E15: open_session: " ^ m))
+      Srv_workload.demo_users;
+    ignore (Srv_workload.run srv spec);
+    let summary, wall =
+      Workloads.time_ms (fun () -> Srv_workload.run srv spec)
+    in
+    let completed = summary.Srv_workload.ws_completed in
+    let hit_rate =
+      if completed = 0 then 0.0
+      else float_of_int summary.ws_plan_hits /. float_of_int completed
+    in
+    let throughput = if wall > 0.0 then float_of_int completed /. wall else 0.0 in
+    row "%-24s %10.1f %10.2f %9.0f%% %10d %12.1f\n" label wall throughput
+      (100.0 *. hit_rate) completed summary.ws_elapsed_ms;
+    (wall, hit_rate, summary)
+  in
+  row "requests per pass: %d (seed %d)\n" requests spec.Srv_workload.seed;
+  row "%-24s %10s %10s %10s %10s %12s\n" "configuration" "wall ms" "req/ms"
+    "hit rate" "completed" "virtual ms";
+  let cold_ms, cold_hits, cold = run_config ~label:"cold (cache off)" ~capacity:0 in
+  let warm_ms, warm_hits, warm = run_config ~label:"warm (cache 32)" ~capacity:32 in
+  (* The cache must change costs, never results: both configurations see
+     the same deterministic request stream and must settle it the same
+     way. *)
+  if
+    cold.Srv_workload.ws_completed <> warm.Srv_workload.ws_completed
+    || cold.ws_rejected <> warm.ws_rejected
+    || cold.ws_elapsed_ms <> warm.ws_elapsed_ms
+  then failwith "E15: warm and cold runs disagree on outcomes";
+  let speedup = if warm_ms > 0.0 then cold_ms /. warm_ms else 0.0 in
+  row "warm outcomes identical to cold: yes\n";
+  row "parse+plan skipped on warm pass: %.0f%% of completions (%.2fx wall speedup)\n"
+    (100.0 *. warm_hits) speedup;
+  Bench_json.note_param "requests" (string_of_int requests);
+  Bench_json.note_param "cold_ms" (Printf.sprintf "%.1f" cold_ms);
+  Bench_json.note_param "warm_ms" (Printf.sprintf "%.1f" warm_ms);
+  Bench_json.note_param "speedup" (Printf.sprintf "%.2fx" speedup);
+  Bench_json.note_param "cold_hit_rate" (Printf.sprintf "%.2f" cold_hits);
+  Bench_json.note_param "warm_hit_rate" (Printf.sprintf "%.2f" warm_hits);
+  Bench_json.note_rows (cold.ws_completed + warm.Srv_workload.ws_completed)
+
 let all () =
   e1 ();
   e2 ();
@@ -1007,4 +1080,5 @@ let all () =
   e11 ();
   e12 ();
   e13 ();
-  e14 ()
+  e14 ();
+  e15 ()

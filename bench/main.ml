@@ -29,6 +29,7 @@ let experiments : (string * (unit -> unit)) list =
     ("E12", Experiments.e12);
     ("E13", Experiments.e13);
     ("E14", Experiments.e14);
+    ("E15", Experiments.e15);
   ]
 
 (* Experiments run behind this wrapper so every one of them emits its

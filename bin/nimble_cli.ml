@@ -202,6 +202,17 @@ let run_trace csvs xmls sqls fetch exec text =
     `Ok ()
   | Error m -> `Error (false, m)
 
+(* The concurrency server, driven by a request script (see Srv_script
+   for the directive set).  Scripts against the built-in demo
+   federation start with [demo] to install its users and lenses. *)
+let run_serve csvs xmls sqls fetch exec path =
+  with_setup @@ fun () ->
+  let sys = build_system csvs xmls sqls fetch exec in
+  let env = Srv_script.create ~print:print_endline sys in
+  match Srv_script.run env (read_file path) with
+  | Ok () -> `Ok ()
+  | Error m -> `Error (false, m)
+
 (* ------------------------------------------------------------------ *)
 (* REPL                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -227,6 +238,7 @@ let repl_help =
   \par [DOMAINS]              switch to morsel-driven parallel execution
   \save FILE                  write views/materializations as a script
   \load FILE                  replay a saved script
+  \serve FILE                 run a concurrency-server request script
   \quit                       exit
 anything else is run as an XML-QL query (end with ';' to span lines)|}
 
@@ -312,6 +324,16 @@ let run_repl csvs xmls sqls fetch exec =
          let script = read_file path in
          match Nimble.load_config sys script with
          | Ok () -> Printf.printf "loaded %s\n" path
+         | Error m -> Printf.printf "error: %s\n" m
+       with Sys_error m -> Printf.printf "error: %s\n" m);
+      loop ()
+    | Some line when starts_with "\\serve " line ->
+      let path = String.trim (String.sub line 7 (String.length line - 7)) in
+      (try
+         let script = read_file path in
+         let env = Srv_script.create ~print:print_endline sys in
+         match Srv_script.run env script with
+         | Ok () -> ()
          | Error m -> Printf.printf "error: %s\n" m
        with Sys_error m -> Printf.printf "error: %s\n" m);
       loop ()
@@ -582,6 +604,24 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive shell: queries, view definitions, materialization")
     Term.(ret (const run_repl $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ exec_term))
 
+let script_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"SCRIPT"
+        ~doc:
+          "Request script: sessions, lens invocations with priorities and \
+           deadlines, clock advances, source availability toggles.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrency server over a scripted request stream: \
+          multi-query sessions, admission control with deterministic load \
+          shedding, the lens plan cache, and load-balanced dispatch over N \
+          logical engines")
+    Term.(ret (const run_serve $ csv_opt $ xml_opt $ sql_opt $ fetch_term $ exec_term $ script_arg))
+
 let main =
   let doc = "the Nimble XML data integration system" in
   Cmd.group
@@ -594,6 +634,7 @@ let main =
       trace_cmd;
       report_cmd;
       repl_cmd;
+      serve_cmd;
     ]
 
 let () =

@@ -284,7 +284,11 @@ let invalidate_source t source_name =
     Frag_cache.invalidate_source (Med_catalog.frag_cache t.cat) source_name
   in
   ignore frag_dropped;
-  Mat_cache.invalidate_source t.results source_name
+  let dropped = Mat_cache.invalidate_source t.results source_name in
+  (* Catalog subscribers (the concurrency server's plan cache) evict
+     their own artifacts for this source. *)
+  Med_catalog.notify_invalidation t.cat source_name;
+  dropped
 
 (* ------------------------------------------------------------------ *)
 (* Fetch scheduling                                                    *)
@@ -328,6 +332,8 @@ let exec_report t =
     (Alg_batch.mode_to_string (Med_catalog.exec_mode t.cat))
 
 let view_lookup t vname = Mat_store.lookup t.mat vname
+
+let tick_views t = Mat_store.tick t.mat
 
 let parse_query text =
   match Xq_parser.parse text with
@@ -414,6 +420,8 @@ let add_lens t lens =
 
 let lens_names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.lenses [] |> List.sort String.compare
+
+let find_lens t lname = Hashtbl.find_opt t.lenses lname
 
 let run_lens t ~user ~password ~lens ~query:query_name args =
   match Hashtbl.find_opt t.lenses lens with

@@ -186,6 +186,19 @@ val set_tracing : bool -> unit
 val add_lens : t -> Fe_lens.t -> (unit, string) result
 val lens_names : t -> string list
 
+val find_lens : t -> string -> Fe_lens.t option
+(** The registered lens object — the concurrency server resolves
+    requests through it. *)
+
+val view_lookup : t -> string -> Dtree.t list option
+(** The materialized-copy hook ({!Mat_store.lookup} over this system's
+    store) that {!query} threads into the executor; exposed so the
+    concurrency server executes with the same view semantics. *)
+
+val tick_views : t -> unit
+(** Advance the materialized store's query counter (refresh policies) —
+    one tick per served request, as {!query} does. *)
+
 val run_lens :
   t ->
   user:string ->

@@ -100,12 +100,13 @@ let substitute template resolved =
   done;
   Buffer.contents buf
 
-let instantiate lens query_name args =
-  let template =
-    match List.assoc_opt query_name lens.queries with
-    | Some t -> t
-    | None -> fail "lens %s has no query %S" lens.lens_name query_name
-  in
+let template_of lens query_name =
+  match List.assoc_opt query_name lens.queries with
+  | Some t -> t
+  | None -> fail "lens %s has no query %S" lens.lens_name query_name
+
+let resolve_args lens query_name args =
+  let template = template_of lens query_name in
   let resolve p =
     match List.assoc_opt p.param_name args with
     | Some raw -> (
@@ -120,14 +121,74 @@ let instantiate lens query_name args =
       | None -> fail "lens %s: missing argument %s" lens.lens_name p.param_name)
   in
   let needed = placeholders template in
-  let resolved =
-    List.filter_map
-      (fun p -> if List.mem p.param_name needed then Some (resolve p) else None)
-      lens.params
-  in
+  List.filter_map
+    (fun p -> if List.mem p.param_name needed then Some (resolve p) else None)
+    lens.params
+
+let instantiate_values lens query_name resolved =
+  let template = template_of lens query_name in
   let text = substitute template resolved in
   match Xq_parser.parse text with
   | Ok q -> q
   | Error m -> fail "lens %s, query %s: %s" lens.lens_name query_name m
 
+let instantiate lens query_name args =
+  instantiate_values lens query_name (resolve_args lens query_name args)
+
 let query_names lens = List.map fst lens.queries
+
+(* ------------------------------------------------------------------ *)
+(* Parameter shapes (plan-cache keys)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A rebindable value is one whose sentinel stand-in parses to the same
+   AST shape as the real value, and whose real value can be written into
+   the compiled plan without consulting the lexer again:
+   - strings without backslashes (the lexer's escape rules are the
+     identity on them, modulo the quote escaping [literal_of_value]
+     adds and the lexer removes);
+   - non-negative integers (negative literals parse as [Neg (Const n)]
+     in condition position and are rejected outright in attribute
+     position, so their plans are value-specific);
+   - non-negative floats whose rendering is plain [digits.digits] and
+     parses back to the identical float (no exponent forms — the lexer
+     has none — and no precision loss). *)
+let rebindable = function
+  | Value.String s -> not (String.contains s '\\')
+  | Value.Int i -> i >= 0
+  | Value.Float f ->
+    f >= 0.0
+    && Float.is_finite f
+    &&
+    let s = Value.to_string (Value.Float f) in
+    String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.') s
+    && (match float_of_string_opt s with Some g -> g = f | None -> false)
+  | Value.Bool _ | Value.Null | Value.Date _ -> false
+
+(* DEL-bracketed markers, enormous integers, and huge integral floats:
+   none can collide with plausible template text or generated data, and
+   each renders/parses exactly. *)
+let sentinel_for i v =
+  match v with
+  | Value.String _ -> Value.String (Printf.sprintf "\127nimble-param-%d\127" i)
+  | Value.Int _ -> Value.Int (4611686018427000000 + i)
+  | Value.Float _ -> Value.Float (9.0e14 +. float_of_int i)
+  | _ -> invalid_arg "Fe_lens.sentinel_for: value class is not rebindable"
+
+let class_tag = function
+  | Value.String _ -> "str"
+  | Value.Int _ -> "int"
+  | Value.Float _ -> "float"
+  | _ -> invalid_arg "Fe_lens.class_tag"
+
+let shape_of ~inline_all lens query_name args =
+  let resolved = resolve_args lens query_name args in
+  let cell (name, v) =
+    if (not inline_all) && rebindable v then name ^ ":" ^ class_tag v
+    else name ^ "=" ^ String.escaped (literal_of_value v)
+  in
+  Printf.sprintf "%s/%s?%s" lens.lens_name query_name
+    (String.concat "&" (List.map cell resolved))
+
+let param_shape lens query_name args = shape_of ~inline_all:false lens query_name args
+let param_shape_exact lens query_name args = shape_of ~inline_all:true lens query_name args

@@ -11,6 +11,8 @@ type t = {
   mutable frag : Frag_cache.t;
   mutable fetch : Fetch_sched.options;
   mutable exec : Alg_batch.mode;
+  mutable listeners : (string -> unit) list;
+      (* mutation subscribers (plan caches), fired with the affected name *)
 }
 
 exception Catalog_error of string
@@ -25,7 +27,12 @@ let create ?frag_ttl_ms ?(frag_capacity = 0) () =
     frag = Frag_cache.create ?ttl_ms:frag_ttl_ms ~capacity:frag_capacity ();
     fetch = Fetch_sched.default_options;
     exec = Alg_batch.Tuple;
+    listeners = [];
   }
+
+let on_mutation t f = t.listeners <- t.listeners @ [ f ]
+
+let notify_invalidation t name = List.iter (fun f -> f name) t.listeners
 
 let registry t = t.reg
 
@@ -45,8 +52,9 @@ let exec_mode t = t.exec
 let set_exec_mode t mode = t.exec <- mode
 
 let register_source t src =
-  try Src_registry.register t.reg src
-  with Invalid_argument m -> fail "%s" m
+  (try Src_registry.register t.reg src
+   with Invalid_argument m -> fail "%s" m);
+  notify_invalidation t src.Source.name
 
 let source_names t = Src_registry.names t.reg
 
@@ -92,7 +100,8 @@ let define_union_view t ?(description = "") name qs =
         fail "view %s references unknown source or view %S" name dep)
     (List.concat_map Xq_ast.all_sources_of qs);
   if creates_cycle t name qs then fail "view %s would create a cyclic definition" name;
-  Hashtbl.replace t.views name { view_name = name; definitions = qs; description }
+  Hashtbl.replace t.views name { view_name = name; definitions = qs; description };
+  notify_invalidation t name
 
 let define_view t ?description name q = define_union_view t ?description name [ q ]
 
@@ -118,7 +127,8 @@ let drop_view t name =
   in
   if dependents <> [] then
     fail "cannot drop view %s: required by %s" name (String.concat ", " dependents);
-  Hashtbl.remove t.views name
+  Hashtbl.remove t.views name;
+  notify_invalidation t name
 
 let rec view_depth t name =
   match find_view t name with

@@ -24,6 +24,20 @@ val create : ?frag_ttl_ms:float -> ?frag_capacity:int -> unit -> t
 
 val registry : t -> Src_registry.t
 
+(** {1 Mutation listeners} *)
+
+val on_mutation : t -> (string -> unit) -> unit
+(** Subscribe to catalog changes: the callback fires with the affected
+    source or view name after every {!register_source},
+    {!define_view}/{!define_union_view}, {!drop_view}, and every
+    explicit {!notify_invalidation}.  Consumers (the server's plan
+    cache) use it to evict artifacts compiled against stale metadata. *)
+
+val notify_invalidation : t -> string -> unit
+(** Tell subscribers that cached artifacts derived from [name] are
+    stale — the hook the facade's [invalidate_source] fires after an
+    out-of-band source update. *)
+
 val feedback : t -> Obs_feedback.t
 (** The catalog's observed-cardinality store: every execution records
     how many rows each access produced, and cost-model consumers

@@ -16,6 +16,15 @@ let fetch_cells ~round ~shared ~cache_hits =
   @ (if shared then [ ("shared", "yes") ] else [])
   @ if cache_hits > 0 then [ ("cached", string_of_int cache_hits) ] else []
 
+(* Per-request cells of the concurrency server: engine id, virtual queue
+   wait, plan-cache outcome. *)
+let serve_cells ~engine ~queue_wait_ms ~plan_hit =
+  [
+    ("engine", string_of_int engine);
+    ms_cell "wait" queue_wait_ms;
+    ("plan", if plan_hit then "hit" else "miss");
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Span trees                                                          *)
 (* ------------------------------------------------------------------ *)

@@ -17,6 +17,12 @@ val fetch_cells :
     scatter-gather: its round, outcome sharing (dedup) and
     fragment-cache hits.  Shared by EXPLAIN ANALYZE and span attrs. *)
 
+val serve_cells :
+  engine:int -> queue_wait_ms:float -> plan_hit:bool -> (string * string) list
+(** The per-request cells of the concurrency server's reports: which
+    logical engine ran it, how long it queued (virtual ms), and whether
+    the lens plan cache hit. *)
+
 val span_tree : Obs_span.t -> string
 (** One span tree, two-space indented:
     [name  1.23ms (virtual 5.00ms) {attr=v …}]. *)

@@ -1,0 +1,134 @@
+(* Bounded priority admission queue with round-robin session fairness. *)
+
+type config = {
+  queue_capacity : int;
+  max_session_in_flight : int;
+}
+
+let default_config = { queue_capacity = 8; max_session_in_flight = 4 }
+
+type entry = {
+  ent_request : Srv_request.t;
+  ent_session : Srv_session.t;
+  ent_enqueued_ms : float;
+}
+
+type slot = { entry : entry; seq : int }
+
+type t = {
+  cfg : config;
+  mutable waiting : slot list;  (* arrival order *)
+  mutable next_seq : int;
+  mutable serve_stamp : int;
+  last_served : (string, int) Hashtbl.t;  (* session -> serve stamp *)
+  m_admitted : Obs_metrics.counter;
+  m_shed_overload : Obs_metrics.counter;
+  m_shed_saturated : Obs_metrics.counter;
+  m_shed_expired : Obs_metrics.counter;
+  m_depth : Obs_metrics.gauge;
+  m_wait : Obs_metrics.histogram;
+}
+
+let create cfg =
+  if cfg.queue_capacity < 1 then invalid_arg "Srv_admit.create: queue_capacity";
+  if cfg.max_session_in_flight < 1 then
+    invalid_arg "Srv_admit.create: max_session_in_flight";
+  {
+    cfg;
+    waiting = [];
+    next_seq = 0;
+    serve_stamp = 0;
+    last_served = Hashtbl.create 7;
+    m_admitted = Obs_metrics.counter "srv.admit.admitted";
+    m_shed_overload = Obs_metrics.counter "srv.admit.shed_overload";
+    m_shed_saturated = Obs_metrics.counter "srv.admit.shed_saturated";
+    m_shed_expired = Obs_metrics.counter "srv.admit.shed_expired";
+    m_depth = Obs_metrics.gauge "srv.queue.depth";
+    m_wait = Obs_metrics.histogram "srv.queue.wait_ms";
+  }
+
+let depth t = List.length t.waiting
+let sync_depth t = Obs_metrics.set_gauge t.m_depth (float_of_int (depth t))
+
+let offer t session (req : Srv_request.t) =
+  if depth t >= t.cfg.queue_capacity then (
+    Obs_metrics.inc t.m_shed_overload;
+    Error Srv_request.Overloaded)
+  else if session.Srv_session.ses_in_flight >= t.cfg.max_session_in_flight
+  then (
+    Obs_metrics.inc t.m_shed_saturated;
+    Error Srv_request.Session_saturated)
+  else begin
+    let entry =
+      {
+        ent_request = req;
+        ent_session = session;
+        ent_enqueued_ms = Obs_clock.virtual_ms ();
+      }
+    in
+    t.waiting <- t.waiting @ [ { entry; seq = t.next_seq } ];
+    t.next_seq <- t.next_seq + 1;
+    session.Srv_session.ses_in_flight <-
+      session.Srv_session.ses_in_flight + 1;
+    Obs_metrics.inc t.m_admitted;
+    sync_depth t;
+    Ok ()
+  end
+
+type taken =
+  | Empty
+  | Expired of entry
+  | Ready of entry
+
+(* Dispatch key: priority class, then how recently the session was
+   served (never-served wins), then submission order.  Deterministic
+   total order — ties are impossible because [seq] is unique. *)
+let key t slot =
+  let stamp =
+    match
+      Hashtbl.find_opt t.last_served
+        slot.entry.ent_session.Srv_session.ses_name
+    with
+    | Some s -> s
+    | None -> -1
+  in
+  (Srv_request.priority_rank slot.entry.ent_request.Srv_request.req_priority,
+   stamp, slot.seq)
+
+let take t ~now_ms =
+  match t.waiting with
+  | [] -> Empty
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun best s -> if key t s < key t best then s else best)
+        first rest
+    in
+    t.waiting <- List.filter (fun s -> s.seq <> best.seq) t.waiting;
+    sync_depth t;
+    let e = best.entry in
+    let wait = now_ms -. e.ent_enqueued_ms in
+    let expired =
+      match e.ent_request.Srv_request.req_deadline_ms with
+      | Some d -> wait > d
+      | None -> false
+    in
+    if expired then (
+      Obs_metrics.inc t.m_shed_expired;
+      Expired e)
+    else begin
+      t.serve_stamp <- t.serve_stamp + 1;
+      Hashtbl.replace t.last_served e.ent_session.Srv_session.ses_name
+        t.serve_stamp;
+      Obs_metrics.observe t.m_wait wait;
+      Ready e
+    end
+
+let stats_line t =
+  let c = Obs_metrics.value in
+  let ov = c t.m_shed_overload
+  and sa = c t.m_shed_saturated
+  and ex = c t.m_shed_expired in
+  Printf.sprintf
+    "queue: depth=%d/%d admitted=%d shed=%d (overload=%d saturated=%d expired=%d)"
+    (depth t) t.cfg.queue_capacity (c t.m_admitted) (ov + sa + ex) ov sa ex

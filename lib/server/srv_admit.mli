@@ -1,0 +1,52 @@
+(** Admission control: a bounded priority queue with deterministic
+    load-shedding and per-session fairness.
+
+    Requests wait here between [submit] and engine dispatch.  When the
+    queue is full the offer is shed with {!Srv_request.Overloaded}; when
+    a session already has [max_session_in_flight] requests queued or
+    executing it is shed with [Session_saturated].  Dequeue order is
+    total and deterministic: best priority class first, then the session
+    served least recently (round-robin fairness), then submission
+    order — so two runs over the same request stream always dispatch in
+    the same order.  A request whose queue wait exceeds its deadline is
+    expired at dequeue time, never silently dropped. *)
+
+type config = {
+  queue_capacity : int;       (** waiting slots; >= 1 *)
+  max_session_in_flight : int;(** queued + executing per session; >= 1 *)
+}
+
+val default_config : config
+(** capacity 8, 4 in flight per session. *)
+
+type entry = {
+  ent_request : Srv_request.t;
+  ent_session : Srv_session.t;
+  ent_enqueued_ms : float;
+}
+
+type t
+
+val create : config -> t
+
+val depth : t -> int
+
+val offer :
+  t -> Srv_session.t -> Srv_request.t -> (unit, Srv_request.reject) result
+(** Enqueue at the current virtual time, bumping the session's in-flight
+    count on success.  Sheds ([Overloaded] / [Session_saturated])
+    without side effects otherwise. *)
+
+type taken =
+  | Empty
+  | Expired of entry  (** deadline exceeded while queued *)
+  | Ready of entry
+
+val take : t -> now_ms:float -> taken
+(** Remove the next entry in dispatch order.  [Expired] entries come
+    out one at a time so the caller can record each rejection; both
+    [Expired] and [Ready] decrement nothing — in-flight accounting
+    stays with the caller, which knows how the request ends. *)
+
+val stats_line : t -> string
+(** [queue: depth=2/8 admitted=14 shed=3 (overload=2 saturated=1 expired=0)]. *)

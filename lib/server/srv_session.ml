@@ -1,0 +1,49 @@
+(* Authenticated sessions with live fairness counters. *)
+
+type t = {
+  ses_name : string;
+  ses_role : Fe_auth.role;
+  ses_opened_ms : float;
+  ses_lenses : string list;
+  mutable ses_in_flight : int;
+  mutable ses_submitted : int;
+  mutable ses_completed : int;
+  mutable ses_rejected : int;
+}
+
+let open_session ?(lenses = []) auth ~user ~password =
+  match Fe_auth.authenticate auth user password with
+  | None -> Error (Printf.sprintf "authentication failed for %S" user)
+  | Some role ->
+    Ok
+      {
+        ses_name = user;
+        ses_role = role;
+        ses_opened_ms = Obs_clock.virtual_ms ();
+        ses_lenses = lenses;
+        ses_in_flight = 0;
+        ses_submitted = 0;
+        ses_completed = 0;
+        ses_rejected = 0;
+      }
+
+let allows t (lens : Fe_lens.t) =
+  if t.ses_lenses <> [] && not (List.mem lens.Fe_lens.lens_name t.ses_lenses)
+  then
+    Error
+      (Printf.sprintf "session %S is not bound to lens %S" t.ses_name
+         lens.Fe_lens.lens_name)
+  else if not (Fe_auth.role_allows lens.Fe_lens.required_role t.ses_role) then
+    Error
+      (Printf.sprintf "lens %S requires role %s; %S has %s"
+         lens.Fe_lens.lens_name
+         (Fe_auth.role_to_string lens.Fe_lens.required_role)
+         t.ses_name
+         (Fe_auth.role_to_string t.ses_role))
+  else Ok ()
+
+let summary t =
+  Printf.sprintf "%s (%s): submitted=%d completed=%d rejected=%d in-flight=%d"
+    t.ses_name
+    (Fe_auth.role_to_string t.ses_role)
+    t.ses_submitted t.ses_completed t.ses_rejected t.ses_in_flight

@@ -1,0 +1,34 @@
+(** Multi-query sessions.
+
+    A session is an authenticated principal ({!Fe_auth}) holding a
+    binding to the lenses it may invoke, plus live counters the
+    admission controller uses for per-session fairness and in-flight
+    caps.  Sessions are opened once and submit many requests. *)
+
+type t = {
+  ses_name : string;
+  ses_role : Fe_auth.role;
+  ses_opened_ms : float;        (** virtual clock at [open_session] *)
+  ses_lenses : string list;
+      (** lens restriction; [[]] means any registered lens *)
+  mutable ses_in_flight : int;  (** queued or executing right now *)
+  mutable ses_submitted : int;
+  mutable ses_completed : int;
+  mutable ses_rejected : int;
+}
+
+val open_session :
+  ?lenses:string list ->
+  Fe_auth.t ->
+  user:string ->
+  password:string ->
+  (t, string) result
+(** Authenticate against the directory; the session carries the user's
+    role at open time. *)
+
+val allows : t -> Fe_lens.t -> (unit, string) result
+(** Check the session's lens restriction and
+    [Fe_auth.role_allows lens.required_role ses_role]. *)
+
+val summary : t -> string
+(** [alice (analyst): submitted=4 completed=3 rejected=1 in-flight=0]. *)

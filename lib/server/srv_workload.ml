@@ -1,0 +1,181 @@
+(* Seeded closed-loop driver and the demo fixture. *)
+
+type spec = {
+  seed : int;
+  requests : int;
+  burst : int;
+  think_ms : float;
+  sessions : string list;
+  targets : (string * string) list;
+  params : (string * string list) list;
+}
+
+let demo_spec =
+  {
+    seed = 42;
+    requests = 24;
+    burst = 3;
+    think_ms = 6.0;
+    sessions = [ "alice"; "bob" ];
+    targets =
+      [ ("sales", "by_region"); ("sales", "big_orders"); ("catalog", "all") ];
+    params =
+      [
+        ("region", [ "west"; "east"; "north" ]);
+        ("min", [ "100"; "500"; "1000" ]);
+      ];
+  }
+
+type summary = {
+  ws_submitted : int;
+  ws_completed : int;
+  ws_rejected : int;
+  ws_plan_hits : int;
+  ws_queue_wait_ms : float;
+  ws_elapsed_ms : float;
+}
+
+let run srv spec =
+  let g = Prng.create spec.seed in
+  let started = Obs_clock.virtual_ms () in
+  let ids = ref [] in
+  let sessions = Array.of_list spec.sessions in
+  let targets = Array.of_list spec.targets in
+  if Array.length sessions = 0 then invalid_arg "Srv_workload.run: no sessions";
+  if Array.length targets = 0 then invalid_arg "Srv_workload.run: no targets";
+  let burst = max 1 spec.burst in
+  for i = 0 to spec.requests - 1 do
+    let session = sessions.(i mod Array.length sessions) in
+    let lens, query = Prng.pick g targets in
+    let args =
+      List.map (fun (name, pool) -> (name, Prng.pick_list g pool)) spec.params
+    in
+    let priority =
+      match Prng.int g 4 with
+      | 0 -> Srv_request.High
+      | 1 | 2 -> Srv_request.Normal
+      | _ -> Srv_request.Low
+    in
+    (match
+       Srv_dispatch.submit srv ~session ~lens ~query ~args ~priority ()
+     with
+    | Ok id -> ids := id :: !ids
+    | Error m -> invalid_arg ("Srv_workload.run: " ^ m));
+    if (i + 1) mod burst = 0 && i + 1 < spec.requests then
+      Obs_clock.advance (Prng.float g (2.0 *. spec.think_ms))
+  done;
+  Srv_dispatch.drain srv;
+  let finished = Obs_clock.virtual_ms () in
+  let init =
+    {
+      ws_submitted = List.length !ids;
+      ws_completed = 0;
+      ws_rejected = 0;
+      ws_plan_hits = 0;
+      ws_queue_wait_ms = 0.0;
+      ws_elapsed_ms = finished -. started;
+    }
+  in
+  List.fold_left
+    (fun acc id ->
+      match Srv_dispatch.outcome srv id with
+      | Some (Srv_request.Completed r) ->
+        {
+          acc with
+          ws_completed = acc.ws_completed + 1;
+          ws_plan_hits = (acc.ws_plan_hits + if r.Srv_request.rep_plan_hit then 1 else 0);
+          ws_queue_wait_ms = acc.ws_queue_wait_ms +. Srv_request.queue_wait_ms r;
+        }
+      | Some (Srv_request.Rejected _) ->
+        { acc with ws_rejected = acc.ws_rejected + 1 }
+      | None -> acc)
+    init (List.rev !ids)
+
+let summary_line s =
+  Printf.sprintf
+    "workload: submitted=%d completed=%d rejected=%d plan-hits=%d \
+     avg-wait=%.2fms elapsed=%.2fms"
+    s.ws_submitted s.ws_completed s.ws_rejected s.ws_plan_hits
+    (if s.ws_completed = 0 then 0.0
+     else s.ws_queue_wait_ms /. float_of_int s.ws_completed)
+    s.ws_elapsed_ms
+
+(* ------------------------------------------------------------------ *)
+(* Demo fixture                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let demo_users = [ ("admin", "secret"); ("alice", "wonder"); ("bob", "builder") ]
+
+let install_demo sys =
+  List.iter
+    (fun ((user, password), role) ->
+      match Nimble.add_user sys ~role user password with
+      | Ok () -> ()
+      | Error m -> invalid_arg m)
+    (List.combine demo_users [ Fe_auth.Admin; Fe_auth.Analyst; Fe_auth.Viewer ]);
+  let sales =
+    Fe_lens.make ~name:"sales" ~required_role:Fe_auth.Analyst
+      ~params:
+        [
+          Fe_lens.param ~default:(Value.String "west") "region" Value.TString;
+          Fe_lens.param ~default:(Value.Int 100) "min" Value.TInt;
+        ]
+      ~device:Fe_format.Text
+      [
+        ( "by_region",
+          {|WHERE <row><name>$n</name><region>%region%</region><tier>$t</tier></row> IN "crm.customers"
+            CONSTRUCT <customer><name>$n</name><tier>$t</tier></customer>|}
+        );
+        ( "big_orders",
+          {|WHERE <row><item>$i</item><amount>$a</amount></row> IN "crm.orders",
+                 $a >= %min%
+            CONSTRUCT <order><item>$i</item><amount>$a</amount></order>|} );
+      ]
+  in
+  let catalog =
+    Fe_lens.make ~name:"catalog" ~required_role:Fe_auth.Viewer
+      ~device:Fe_format.Text
+      [
+        ( "all",
+          {|WHERE <product sku=$s><price>$p</price></product> IN "products.catalog"
+            CONSTRUCT <item><sku>$s</sku><price>$p</price></item>|} );
+      ]
+  in
+  List.iter
+    (fun lens ->
+      match Nimble.add_lens sys lens with
+      | Ok () -> ()
+      | Error m -> invalid_arg m)
+    [ sales; catalog ]
+
+let demo_system () =
+  let sys = Nimble.create () in
+  let db = Rel_db.create ~name:"crm" () in
+  List.iter
+    (fun s -> ignore (Rel_db.exec db s))
+    [
+      "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, region TEXT, tier INT)";
+      "CREATE TABLE orders (oid INT PRIMARY KEY, cust_id INT, item TEXT, amount FLOAT)";
+      "INSERT INTO customers VALUES (1, 'Acme', 'west', 1), (2, 'Globex', 'east', 2), \
+       (3, 'Initech', 'west', 2), (4, 'Umbrella', 'north', 3), (5, 'Stark', 'east', 1)";
+      "INSERT INTO orders VALUES (100, 1, 'widget', 250.0), (101, 2, 'server', 9000.0), \
+       (102, 3, 'widget', 120.0), (103, 4, 'gizmo', 640.0), (104, 5, 'server', 7500.0), \
+       (105, 1, 'gadget', 80.0)";
+    ];
+  let products =
+    Xml_source.of_xml_strings ~name:"products"
+      [
+        ( "catalog",
+          {|<catalog><product sku="widget"><price>25</price></product>
+            <product sku="server"><price>4500</price></product>
+            <product sku="gizmo"><price>64</price></product></catalog>|} );
+      ]
+  in
+  List.iter
+    (fun src ->
+      match Nimble.register_source sys src with
+      | Ok () -> ()
+      | Error m -> invalid_arg m)
+    [ Rel_source.make db; products ];
+  install_demo sys;
+  sys

@@ -1,0 +1,52 @@
+(** Deterministic closed-loop workload driver for the concurrency
+    server.
+
+    Every random choice flows through a seeded {!Prng}, and time is the
+    virtual clock: the driver submits bursts of lens invocations,
+    advances the clock by think-time gaps between bursts (letting
+    engines drain and queues shed), then drains the server.  Equal
+    seeds against equal systems produce byte-identical outcome
+    streams. *)
+
+type spec = {
+  seed : int;
+  requests : int;                      (** total submissions *)
+  burst : int;                         (** submissions per arrival instant *)
+  think_ms : float;                    (** mean inter-burst clock advance *)
+  sessions : string list;              (** open session names, round-robin *)
+  targets : (string * string) list;    (** (lens, query) pool *)
+  params : (string * string list) list;(** arg name -> value pool *)
+}
+
+val demo_spec : spec
+(** 24 requests in bursts of 3 against {!demo_system}'s lenses and
+    sessions, seed 42. *)
+
+type summary = {
+  ws_submitted : int;
+  ws_completed : int;
+  ws_rejected : int;
+  ws_plan_hits : int;
+  ws_queue_wait_ms : float;   (** summed over completed requests *)
+  ws_elapsed_ms : float;      (** virtual time from first submit to drain *)
+}
+
+val run : Srv_dispatch.t -> spec -> summary
+(** Submits, advances, drains; counts only this run's requests.
+    Sessions named by the spec must already be open. *)
+
+val summary_line : summary -> string
+
+val demo_system : unit -> Nimble.t
+(** The CLI's demo federation (crm customers/orders plus an XML product
+    catalog) with three users (admin/alice/bob) and two parameterized
+    lenses ([sales], [catalog]) — the fixture behind [nimble_cli serve],
+    the repl's [\serve], bench E15 and the server tests. *)
+
+val demo_users : (string * string) list
+(** (user, password) pairs of {!demo_system}, admin first. *)
+
+val install_demo : Nimble.t -> unit
+(** Add the demo users and lenses to an existing system whose sources
+    export [crm.customers], [crm.orders] and [products.catalog] — the
+    [demo] directive of {!Srv_script}. *)

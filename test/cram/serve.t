@@ -1,0 +1,102 @@
+The concurrency server: scripted request files against the built-in
+demo federation.  Everything runs on the virtual clock, so queue waits,
+engine assignment, shedding and plan-cache behavior are byte-for-byte
+deterministic.
+
+  $ export NIMBLE=../../bin/nimble_cli.exe
+
+Two engines, a parameterized lens: repeated shapes hit the plan cache
+(req 1 re-binds req 0's plan to a fresh region), bob's viewer role is
+denied the analyst lens, and the load balancer splits work evenly:
+
+  $ cat > basic.serve <<'EOF'
+  > demo
+  > config engines=2 queue=8 inflight=4 overhead=2.0
+  > open alice wonder
+  > open bob builder
+  > request alice sales by_region region=west
+  > request alice sales by_region region=east
+  > request alice sales big_orders min=100
+  > request bob catalog all
+  > request bob sales by_region region=west
+  > drain
+  > cache
+  > engines
+  > sessions
+  > EOF
+  $ $NIMBLE serve basic.serve
+  demo users and lenses installed
+  session alice open (analyst)
+  session bob open (viewer)
+  req 0 alice sales.by_region ok engine=0 wait=0.00 plan=miss service=2.00 rows=2
+  req 1 alice sales.by_region ok engine=1 wait=0.00 plan=hit service=2.00 rows=1
+  req 4 rejected: denied: lens "sales" requires role analyst; "bob" has viewer
+  req 3 bob catalog.all ok engine=0 wait=2.00 plan=miss service=2.00 rows=2
+  req 2 alice sales.big_orders ok engine=1 wait=2.00 plan=miss service=2.00 rows=3
+  plan cache: size=3/32 hits=1 misses=3 evictions=0 invalidations=0 fallbacks=0
+    param sales/big_orders?min:int  sources=crm
+    param catalog/all?  sources=products
+    param sales/by_region?region:str  sources=crm
+  engine 0: served=2 busy=4.00ms
+  engine 1: served=2 busy=4.00ms
+  alice (analyst): submitted=3 completed=3 rejected=0 in-flight=0
+  bob (viewer): submitted=2 completed=1 rejected=1 in-flight=0
+
+Deterministic load shedding: one slow engine, a two-slot queue.  The
+burst admits two waiters and sheds the rest as overloaded — the same
+two every run.  A queued request whose deadline passes expires at
+dispatch time instead of running late:
+
+  $ cat > shed.serve <<'EOF'
+  > demo
+  > config engines=1 queue=2 inflight=4 overhead=5.0
+  > open alice wonder
+  > request alice sales by_region region=west
+  > request alice sales by_region region=east
+  > request alice sales by_region region=north !deadline=3
+  > request alice sales by_region region=south
+  > request alice catalog all
+  > drain
+  > queue
+  > EOF
+  $ $NIMBLE serve shed.serve
+  demo users and lenses installed
+  session alice open (analyst)
+  req 0 alice sales.by_region ok engine=0 wait=0.00 plan=miss service=5.00 rows=2
+  req 3 rejected: overloaded: admission queue full
+  req 4 rejected: overloaded: admission queue full
+  req 1 alice sales.by_region ok engine=0 wait=5.00 plan=hit service=5.00 rows=1
+  req 2 rejected: expired: queued past deadline
+  queue: depth=0/2 admitted=3 shed=3 (overload=2 saturated=0 expired=1)
+
+Partial-failure semantics survive dispatch: with the products source
+offline, a strict request fails while a partial one completes and
+reports what it skipped.  Catalog invalidation drops the cached plans
+that depend on the mutated source (and only those):
+
+  $ cat > partial.serve <<'EOF'
+  > demo
+  > open admin secret
+  > request admin sales by_region region=west
+  > request admin catalog all
+  > drain
+  > offline products
+  > request admin catalog all
+  > request admin catalog all !mode=partial
+  > drain
+  > online products
+  > invalidate products
+  > cache
+  > EOF
+  $ $NIMBLE serve partial.serve
+  demo users and lenses installed
+  session admin open (admin)
+  req 0 admin sales.by_region ok engine=0 wait=0.00 plan=miss service=1.00 rows=2
+  req 1 admin catalog.all ok engine=1 wait=0.00 plan=miss service=1.00 rows=2
+  source products offline
+  req 2 rejected: failed: source products is unavailable
+  req 3 admin catalog.all ok engine=0 wait=1.00 plan=hit service=1.00 rows=0 skipped=products
+  source products online
+  invalidated products (dropped 0 cached results)
+  plan cache: size=1/32 hits=2 misses=2 evictions=0 invalidations=1 fallbacks=0
+    param sales/by_region?region:str  sources=crm

@@ -124,6 +124,43 @@ let test_lens_errors () =
   expect_err (fun () ->
       Fe_lens.make ~name:"bad" [ ("q", "WHERE <a>%undeclared%</a> IN \"s\" CONSTRUCT <x/>") ])
 
+let test_lens_param_shape () =
+  let lens = lens_fixture () in
+  let shape args = Fe_lens.param_shape lens "by-region" args in
+  (* Rebindable values contribute their class only: fresh values share
+     the cached plan's shape. *)
+  check string_t "same shape across values"
+    (shape [ ("region", "west") ])
+    (shape [ ("region", "east"); ("min_tier", "7") ]);
+  check bool_t "classes, not literals" true
+    (contains (shape [ ("region", "west") ]) "region:str");
+  (* Non-rebindable values (negatives) inline their literal, splitting
+     the shape per value. *)
+  let neg = shape [ ("region", "w"); ("min_tier", "-3") ] in
+  check bool_t "literal inlined" true (contains neg "min_tier=-3");
+  check bool_t "distinct from rebindable shape" true
+    (neg <> shape [ ("region", "w"); ("min_tier", "3") ]);
+  (* The exact variant inlines everything — one key per valuation. *)
+  check bool_t "exact keys differ per value" true
+    (Fe_lens.param_shape_exact lens "by-region" [ ("region", "west") ]
+    <> Fe_lens.param_shape_exact lens "by-region" [ ("region", "east") ])
+
+let test_lens_rebindable_classes () =
+  check bool_t "plain string" true (Fe_lens.rebindable (Value.String "west"));
+  check bool_t "backslash string" false (Fe_lens.rebindable (Value.String {|a\b|}));
+  check bool_t "non-negative int" true (Fe_lens.rebindable (Value.Int 42));
+  check bool_t "negative int" false (Fe_lens.rebindable (Value.Int (-1)));
+  check bool_t "bool" false (Fe_lens.rebindable (Value.Bool true));
+  check bool_t "null" false (Fe_lens.rebindable Value.Null);
+  (* Sentinels exist exactly for rebindable classes. *)
+  (match Fe_lens.sentinel_for 0 (Value.String "x") with
+  | Value.String _ -> ()
+  | _ -> Alcotest.fail "string sentinel keeps its class");
+  try
+    ignore (Fe_lens.sentinel_for 0 (Value.Bool true));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Full system through the Nimble facade                               *)
 (* ------------------------------------------------------------------ *)
@@ -484,6 +521,8 @@ let () =
           Alcotest.test_case "placeholders" `Quick test_lens_placeholders;
           Alcotest.test_case "instantiate" `Quick test_lens_instantiate;
           Alcotest.test_case "errors" `Quick test_lens_errors;
+          Alcotest.test_case "param shapes" `Quick test_lens_param_shape;
+          Alcotest.test_case "rebindable classes" `Quick test_lens_rebindable_classes;
         ] );
       ( "nimble",
         [
