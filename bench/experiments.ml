@@ -1064,6 +1064,118 @@ let e15 () =
   Bench_json.note_param "warm_hit_rate" (Printf.sprintf "%.2f" warm_hits);
   Bench_json.note_rows (cold.ws_completed + warm.Srv_workload.ws_completed)
 
+(* ------------------------------------------------------------------ *)
+(* E16: semantic caching — containment hits and remainder shipping     *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  section "E16"
+    "semantic cache: contained predicates answered locally, overlaps ship only the remainder";
+  let nrows = if !quick then 400 else 2_000 in
+  (* Two identical federations, semantic cache off vs on; the cache must
+     change shipping volume, never answers. *)
+  let make_system ~sem_budget_bytes ~seed =
+    let cat = Med_catalog.create ~sem_budget_bytes () in
+    let db = Workloads.customer_db (Prng.create 16) ~name:"crm" ~rows:nrows in
+    let wrapped, stats =
+      Net_sim.wrap ~seed Net_sim.default_profile (Rel_source.make db)
+    in
+    Med_catalog.register_source cat wrapped;
+    (cat, stats)
+  in
+  let cat_off, st_off = make_system ~sem_budget_bytes:0 ~seed:160 in
+  let cat_on, st_on = make_system ~sem_budget_bytes:(1 lsl 22) ~seed:160 in
+  let q_le k =
+    Xq_parser.parse_exn
+      (Printf.sprintf
+         {|WHERE <row><id>$i</id><name>$n</name><balance>$b</balance></row> IN "crm.customers",
+                 $i <= %d
+           CONSTRUCT <c><id>$i</id><n>$n</n><b>$b</b></c>|}
+         k)
+  in
+  let q_range a b =
+    Xq_parser.parse_exn
+      (Printf.sprintf
+         {|WHERE <row><id>$i</id><name>$n</name><balance>$b</balance></row> IN "crm.customers",
+                 $i > %d, $i <= %d
+           CONSTRUCT <c><id>$i</id><n>$n</n><b>$b</b></c>|}
+         a b)
+  in
+  let render trees = String.concat "\n" (List.map Dtree.to_string trees) in
+  let total_rows = ref 0 in
+  let run_pair q =
+    let t_off = Med_exec.run cat_off q in
+    let t_on = Med_exec.run cat_on q in
+    if render t_off <> render t_on then
+      failwith "E16: semantic cache changed answers";
+    total_rows := !total_rows + List.length t_on;
+    List.length t_on
+  in
+  let phase label queries =
+    let s_off = st_off.Net_sim.tuples_shipped
+    and s_on = st_on.Net_sim.tuples_shipped
+    and v_off = st_off.Net_sim.virtual_ms
+    and v_on = st_on.Net_sim.virtual_ms in
+    let out = List.fold_left (fun acc q -> acc + run_pair q) 0 queries in
+    let d_off = st_off.Net_sim.tuples_shipped - s_off
+    and d_on = st_on.Net_sim.tuples_shipped - s_on in
+    row "%-32s %10d %12d %12d %10.1f %10.1f\n" label out d_off d_on
+      (st_off.Net_sim.virtual_ms -. v_off)
+      (st_on.Net_sim.virtual_ms -. v_on);
+    (d_off, d_on)
+  in
+  row "%-32s %10s %12s %12s %10s %10s\n" "phase" "rows out" "shipped off"
+    "shipped on" "net ms off" "net ms on";
+  (* Cold: first contact — both systems ship the full extent. *)
+  let cold_off, cold_on = phase "cold: id <= n/2" [ q_le (nrows / 2) ] in
+  (* Warm: narrower predicates are contained in the cached extent — the
+     semantic cache filters locally and ships nothing. *)
+  let contained =
+    [ q_le (nrows / 3); q_le (nrows / 4); q_le (nrows / 6); q_le (nrows / 8) ]
+  in
+  let warm_off, warm_on = phase "warm: contained sweeps" contained in
+  (* Overlap: the range (n/4, 3n/4] straddles the cached extent's edge —
+     the probe answers (n/4, n/2] locally and ships only (n/2, 3n/4]. *)
+  let over_off, over_on =
+    phase "overlap: n/4 < id <= 3n/4" [ q_range (nrows / 4) (3 * nrows / 4) ]
+  in
+  (* Repeat: the merged extent admitted by the partial hit now answers
+     the same range without shipping at all. *)
+  let rep_off, rep_on =
+    phase "repeat overlapping range" [ q_range (nrows / 4) (3 * nrows / 4) ]
+  in
+  let st = Sem_cache.stats (Med_catalog.sem_cache cat_on) in
+  row
+    "semantic cache: hits=%d partial=%d miss=%d rows local=%d shipped=%d \
+     admitted=%d\n"
+    st.Sem_cache.sem_hits st.Sem_cache.sem_partials st.Sem_cache.sem_misses
+    st.Sem_cache.sem_rows_local st.Sem_cache.sem_rows_shipped
+    st.Sem_cache.sem_admissions;
+  row "answers identical with cache on and off: yes\n";
+  if warm_on >= warm_off then
+    failwith "E16: warm sweep did not reduce shipped rows";
+  if over_on >= over_off then
+    failwith "E16: overlap did not reduce shipped rows";
+  if st.Sem_cache.sem_hits = 0 || st.Sem_cache.sem_partials = 0 then
+    failwith "E16: expected both full and partial hits";
+  Bench_json.note_param "rows" (string_of_int nrows);
+  Bench_json.note_param "cold_shipped_off_on"
+    (Printf.sprintf "%d/%d" cold_off cold_on);
+  Bench_json.note_param "warm_shipped_off_on"
+    (Printf.sprintf "%d/%d" warm_off warm_on);
+  Bench_json.note_param "overlap_shipped_off_on"
+    (Printf.sprintf "%d/%d" over_off over_on);
+  Bench_json.note_param "repeat_shipped_off_on"
+    (Printf.sprintf "%d/%d" rep_off rep_on);
+  Bench_json.note_param "hits" (string_of_int st.Sem_cache.sem_hits);
+  Bench_json.note_param "partial_hits" (string_of_int st.Sem_cache.sem_partials);
+  Bench_json.note_param "misses" (string_of_int st.Sem_cache.sem_misses);
+  Bench_json.note_param "rows_local" (string_of_int st.Sem_cache.sem_rows_local);
+  Bench_json.note_param "rows_shipped"
+    (string_of_int st.Sem_cache.sem_rows_shipped);
+  Bench_json.note_param "identical" "yes";
+  Bench_json.note_rows !total_rows
+
 let all () =
   e1 ();
   e2 ();
@@ -1081,4 +1193,5 @@ let all () =
   e12 ();
   e13 ();
   e14 ();
-  e15 ()
+  e15 ();
+  e16 ()

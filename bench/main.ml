@@ -30,6 +30,7 @@ let experiments : (string * (unit -> unit)) list =
     ("E13", Experiments.e13);
     ("E14", Experiments.e14);
     ("E15", Experiments.e15);
+    ("E16", Experiments.e16);
   ]
 
 (* Experiments run behind this wrapper so every one of them emits its

@@ -74,11 +74,12 @@ let demo_federation () =
 
 (* --fetch-mode/--fetch-fanout/--frag-cache, collected into one value so
    every subcommand threads them identically. *)
-let apply_fetch sys (mode, fanout, frag_capacity) =
+let apply_fetch sys (mode, fanout, frag_capacity, sem_budget) =
   (match Fetch_sched.mode_of_string mode with
   | Some m -> Nimble.set_fetch_options sys { Fetch_sched.mode = m; fanout = max 1 fanout }
   | None -> failwith (Printf.sprintf "unknown fetch mode %S (seq, gather)" mode));
-  if frag_capacity > 0 then Nimble.configure_frag_cache sys ~capacity:frag_capacity ()
+  if frag_capacity > 0 then Nimble.configure_frag_cache sys ~capacity:frag_capacity ();
+  if sem_budget > 0 then Nimble.configure_sem_cache sys ~budget_bytes:sem_budget ()
 
 (* --exec-mode/--chunk-size/--parallel: tuple-, batch- or morsel-driven
    parallel plan evaluation.  --parallel N (N > 0) overrides the mode. *)
@@ -233,6 +234,8 @@ let repl_help =
   \fetch                      show fetch mode and fragment-cache state
   \fetch seq|gather [FANOUT]  switch source fetching (gather = overlapped rounds)
   \fetch cache N              enable a fragment result cache of N entries
+  \sem                        show the semantic fragment cache state
+  \sem budget BYTES           (re)budget the semantic cache (0 = off)
   \exec                       show the plan execution engine
   \exec tuple|batch [CHUNK]   switch engines (batch = vectorized, CHUNK rows/step)
   \par [DOMAINS]              switch to morsel-driven parallel execution
@@ -389,6 +392,24 @@ let run_repl csvs xmls sqls fetch exec =
          | _ -> print_endline "usage: \\fetch seq|gather [FANOUT] | \\fetch cache N")
        | [] -> print_string (Nimble.fetch_report sys));
       loop ()
+    | Some "\\sem" ->
+      print_string (Nimble.sem_report sys);
+      loop ()
+    | Some line when starts_with "\\sem " line ->
+      (let args =
+         String.split_on_char ' ' (String.trim (String.sub line 5 (String.length line - 5)))
+         |> List.filter (fun s -> s <> "")
+       in
+       match args with
+       | [ "budget"; n ] -> (
+         match int_of_string_opt n with
+         | Some budget_bytes when budget_bytes >= 0 ->
+           Nimble.configure_sem_cache sys ~budget_bytes ();
+           print_string (Nimble.sem_report sys)
+         | _ -> print_endline "usage: \\sem budget BYTES")
+       | [] -> print_string (Nimble.sem_report sys)
+       | _ -> print_endline "usage: \\sem | \\sem budget BYTES");
+      loop ()
     | Some "\\exec" ->
       print_string (Nimble.exec_report sys);
       loop ()
@@ -507,10 +528,21 @@ let frag_cache_opt =
           "Enable a fragment-level source result cache of N entries (0 \
            disables; sits below the whole-query result cache).")
 
+let sem_cache_opt =
+  Arg.(
+    value & opt int 0
+    & info [ "sem-cache" ] ~docv:"BYTES"
+        ~doc:
+          "Enable the semantic fragment cache with a budget of $(docv) \
+           bytes (0 disables).  Cached extents answer repeated source \
+           fragments whose predicate is contained in a cached one \
+           without contacting the source, and overlapping predicates \
+           ship only the remainder.")
+
 let fetch_term =
   Term.(
-    const (fun mode fanout frag -> (mode, fanout, frag))
-    $ fetch_mode_opt $ fetch_fanout_opt $ frag_cache_opt)
+    const (fun mode fanout frag sem -> (mode, fanout, frag, sem))
+    $ fetch_mode_opt $ fetch_fanout_opt $ frag_cache_opt $ sem_cache_opt)
 
 let exec_mode_opt =
   Arg.(

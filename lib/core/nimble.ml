@@ -18,8 +18,8 @@ type t = {
 }
 
 let create ?(name = "nimble") ?(cache_capacity = 64) ?cache_ttl_ms ?(frag_capacity = 0)
-    ?frag_ttl_ms () =
-  let cat = Med_catalog.create ?frag_ttl_ms ~frag_capacity () in
+    ?frag_ttl_ms ?(sem_budget_bytes = 0) () =
+  let cat = Med_catalog.create ?frag_ttl_ms ~frag_capacity ~sem_budget_bytes () in
   {
     sys_name = name;
     cat;
@@ -301,6 +301,13 @@ let set_fetch_options t options = Med_catalog.set_fetch_options t.cat options
 let configure_frag_cache t ?ttl_ms ~capacity () =
   Med_catalog.configure_frag_cache t.cat ?ttl_ms ~capacity ()
 
+let configure_sem_cache t ~budget_bytes () =
+  Med_catalog.configure_sem_cache t.cat ~budget_bytes ()
+
+let sem_cache t = Med_catalog.sem_cache t.cat
+
+let sem_report t = Sem_cache.report (Med_catalog.sem_cache t.cat) ^ "\n"
+
 let fetch_report t =
   let fo = Med_catalog.fetch_options t.cat in
   let frag = Med_catalog.frag_cache t.cat in
@@ -331,7 +338,13 @@ let exec_report t =
   Printf.sprintf "exec: %s\n"
     (Alg_batch.mode_to_string (Med_catalog.exec_mode t.cat))
 
-let view_lookup t vname = Mat_store.lookup t.mat vname
+let view_lookup t vname =
+  match Mat_store.lookup t.mat vname with
+  | Some trees -> Some trees
+  | None ->
+    (* Not materialized by name: a materialized view that {e subsumes}
+       this one can still answer, filtered locally (Mat_contain). *)
+    Mat_contain.answer t.mat ~sem:(Med_catalog.sem_cache t.cat) t.cat vname
 
 let tick_views t = Mat_store.tick t.mat
 

@@ -25,12 +25,16 @@ val create :
   ?cache_ttl_ms:float ->
   ?frag_capacity:int ->
   ?frag_ttl_ms:float ->
+  ?sem_budget_bytes:int ->
   unit ->
   t
 (** Default result-cache capacity 64 entries; 0 disables result caching.
     [cache_ttl_ms] ages result-cache entries on the virtual clock.
     [frag_capacity] (default 0: off) enables the fragment-level source
-    result cache below the network layer, with its own optional TTL. *)
+    result cache below the network layer, with its own optional TTL.
+    [sem_budget_bytes] (default 0: off) budgets the semantic fragment
+    cache, which answers contained/overlapping predicates by local
+    filtering and remainder shipping (see {!Sem_cache}). *)
 
 val name : t -> string
 
@@ -61,7 +65,8 @@ val dematerialize_view : t -> string -> unit
 val invalidate_source : t -> string -> int
 (** Drop cached results computed from the named source (call after
     out-of-band updates); returns how many query-level entries were
-    dropped.  Fragment-cache entries for the source are dropped too. *)
+    dropped.  Fragment-cache and semantic-cache entries for the source
+    are dropped too (two-level invalidation). *)
 
 (** {1 Fetch scheduling} *)
 
@@ -76,6 +81,17 @@ val configure_frag_cache : t -> ?ttl_ms:float -> capacity:int -> unit -> unit
 val fetch_report : t -> string
 (** One-paragraph summary of the fetch mode, fan-out and fragment-cache
     occupancy/counters — the repl's [\fetch] view. *)
+
+(** {1 Semantic cache} *)
+
+val configure_sem_cache : t -> budget_bytes:int -> unit -> unit
+(** Re-budget the semantic fragment cache (drops contents); 0 turns it
+    off. *)
+
+val sem_cache : t -> Sem_cache.t
+
+val sem_report : t -> string
+(** Occupancy and hit/partial/miss counters — the repl's [\sem] view. *)
 
 (** {1 Execution engine} *)
 

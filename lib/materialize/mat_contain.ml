@@ -1,0 +1,197 @@
+(* Containment-based view answering: serve a view query from a
+   materialized view that subsumes it, filtering locally instead of
+   recomputing through the mediator. *)
+
+(* Conditions we can re-evaluate against a stored tree must read
+   variables as atomic values only — tree accessors could see a
+   different shape after template instantiation re-wrapped the
+   binding. *)
+let rec plain_expr (e : Alg_expr.t) =
+  match e with
+  | Alg_expr.Var _ | Alg_expr.Const _ -> true
+  | Alg_expr.Child _ | Alg_expr.Attr _ | Alg_expr.Text _ | Alg_expr.Label _ ->
+    false
+  | Alg_expr.Binop (_, a, b) -> plain_expr a && plain_expr b
+  | Alg_expr.Not a | Alg_expr.Neg a | Alg_expr.Is_null a | Alg_expr.Like (a, _)
+    ->
+    plain_expr a
+  | Alg_expr.Call (_, args) -> List.for_all plain_expr args
+
+(* Variable extractors over the construct template: where in a result
+   tree does the value of [$v] reappear?  Only shapes whose round trip
+   is exact qualify — a [tag=$v] root attribute, or a single
+   [<tag>$v</tag>] root child with [tag] unique among the children.
+   Any other root child shape (splices, subqueries, nested elements)
+   could manufacture colliding children, so the whole template is
+   rejected. *)
+type extractor = Dtree.t -> Dtree.t option
+
+let extractors (tpl : Xq_ast.template) : (string * extractor) list option =
+  match tpl with
+  | Xq_ast.Tpl_element (_, rattrs, kids) ->
+    let attr_ex =
+      List.filter_map
+        (fun (aname, ta) ->
+          match ta with
+          | Xq_ast.TA_var v ->
+            Some
+              ( v,
+                fun tree ->
+                  Option.map Dtree.atom (Dtree.attr tree aname) )
+          | _ -> None)
+        rattrs
+    in
+    let ok_kid = function
+      | Xq_ast.Tpl_element (_, [], [ _ ]) | Xq_ast.Tpl_text _ -> true
+      | _ -> false
+    in
+    let ctags =
+      List.filter_map
+        (function Xq_ast.Tpl_element (c, _, _) -> Some c | _ -> None)
+        kids
+    in
+    if
+      (not (List.for_all ok_kid kids))
+      || List.length ctags <> List.length (List.sort_uniq compare ctags)
+    then None
+    else
+      let kid_ex =
+        List.filter_map
+          (function
+            | Xq_ast.Tpl_element (ctag, [], [ Xq_ast.Tpl_var v ]) ->
+              Some
+                ( v,
+                  fun tree ->
+                    match Dtree.first_named tree ctag with
+                    | Some el -> (
+                      match Dtree.kids el with [ k ] -> Some k | _ -> None)
+                    | None -> None )
+            | _ -> None)
+          kids
+      in
+      Some (attr_ex @ kid_ex)
+  | _ -> None
+
+(* The conditions [inner] imposes beyond [outer]'s, syntactically. *)
+let delta_conditions ~(outer : Xq_ast.query) ~(inner : Xq_ast.query) =
+  List.filter
+    (fun c -> not (List.mem c outer.Xq_ast.conditions))
+    inner.Xq_ast.conditions
+
+(* Every [outer] condition must hold on all of [inner]'s answers:
+   verbatim membership, or implication checked through the SQL
+   predicate-containment machinery over identity bindings. *)
+let conditions_contained ~(outer : Xq_ast.query) ~(inner : Xq_ast.query) =
+  let leftover =
+    List.filter
+      (fun c -> not (List.mem c inner.Xq_ast.conditions))
+      outer.Xq_ast.conditions
+  in
+  leftover = []
+  ||
+  let binds = List.map (fun v -> (v, v)) (Xq_ast.query_vars outer) in
+  let translate c = Med_sqlgen.translate_condition binds c in
+  match
+    List.fold_left
+      (fun acc c ->
+        match (acc, translate c) with
+        | Some l, Some e -> Some (e :: l)
+        | _ -> None)
+      (Some []) leftover
+  with
+  | None -> false
+  | Some outer_exprs ->
+    let inner_exprs = List.filter_map translate inner.Xq_ast.conditions in
+    (* Untranslatable inner conditions only shrink the inner extent, so
+       dropping them from the analysis is conservative. *)
+    let outer_pred = Sem_pred.analyze (Sql_ast.conjoin outer_exprs) in
+    let inner_pred = Sem_pred.analyze (Sql_ast.conjoin inner_exprs) in
+    Sem_pred.contains ~outer:outer_pred ~inner:inner_pred
+
+let subsumes ~(outer : Xq_ast.query) ~(inner : Xq_ast.query) =
+  inner.Xq_ast.order_by = []
+  && inner.Xq_ast.limit = None
+  && outer.Xq_ast.order_by = []
+  && outer.Xq_ast.limit = None
+  && inner.Xq_ast.clauses = outer.Xq_ast.clauses
+  && inner.Xq_ast.construct = outer.Xq_ast.construct
+  &&
+  let delta = delta_conditions ~outer ~inner in
+  List.for_all plain_expr delta
+  && (match extractors outer.Xq_ast.construct with
+     | None -> delta = []
+     | Some exs ->
+       List.for_all
+         (fun c ->
+           List.for_all
+             (fun v -> List.mem_assoc v exs)
+             (Alg_expr.free_vars c))
+         delta)
+  && conditions_contained ~outer ~inner
+
+let filter_trees ~(outer : Xq_ast.query) ~(inner : Xq_ast.query) trees =
+  match delta_conditions ~outer ~inner with
+  | [] -> Some trees
+  | delta -> (
+    match extractors outer.Xq_ast.construct with
+    | None -> None
+    | Some exs ->
+      let vars =
+        List.sort_uniq compare (List.concat_map Alg_expr.free_vars delta)
+      in
+      let keep tree =
+        let env =
+          List.fold_left
+            (fun env v ->
+              match env with
+              | None -> None
+              | Some env -> (
+                match List.assoc_opt v exs with
+                | None -> None
+                | Some ex -> (
+                  match ex tree with
+                  | Some sub -> Some (Alg_env.bind env v sub)
+                  | None -> None)))
+            (Some Alg_env.empty) vars
+        in
+        match env with
+        | None -> None
+        | Some env ->
+          Some (List.for_all (fun c -> Alg_expr.eval_pred env c) delta)
+      in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | tree :: rest -> (
+          match keep tree with
+          | None -> None (* tree does not expose a needed variable *)
+          | Some true -> go (tree :: acc) rest
+          | Some false -> go acc rest)
+      in
+      go [] trees)
+
+let answer store ~sem cat vname =
+  match Med_catalog.find_view cat vname with
+  | None -> None
+  | Some v -> (
+    match v.Med_catalog.definitions with
+    | [ inner ] ->
+      let rec try_names = function
+        | [] -> None
+        | wname :: rest -> (
+          if wname = vname then try_names rest
+          else
+            match Med_catalog.find_view cat wname with
+            | Some { Med_catalog.definitions = [ outer ]; _ }
+              when subsumes ~outer ~inner -> (
+              match Mat_store.lookup store wname with
+              | Some trees -> (
+                match filter_trees ~outer ~inner trees with
+                | Some kept ->
+                  Sem_cache.note_view_hit sem;
+                  Some kept
+                | None -> try_names rest)
+              | None -> try_names rest)
+            | _ -> try_names rest)
+      in
+      try_names (Mat_store.materialized_names store)
+    | _ -> None)

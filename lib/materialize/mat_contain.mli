@@ -1,0 +1,42 @@
+(** Answering view queries from {e subsuming} materialized views.
+
+    [Mat_store] answers a view query only when that exact name was
+    materialized.  This module extends the lookup with containment: a
+    query against view [V] can be answered from a materialized view [W]
+    when [V]'s single definition is the same pattern/construct as [W]'s
+    but with {e at least as restrictive} conditions — the classic
+    answering-queries-using-views shape, restricted to the fragment we
+    can verify:
+
+    - both definitions share the same clause list and construct
+      template (syntactic equality), no ORDER BY / LIMIT;
+    - every [W] condition either appears verbatim among [V]'s or is
+      implied by them (checked by translating both sides to SQL over
+      identity bindings and reusing {!Sem_pred.contains});
+    - the conditions [V] adds beyond [W] mention only variables that the
+      construct template exposes recoverably (a [tag=$v] attribute or a
+      single [<tag>$v</tag>] child of the root, with distinct child
+      tags), so they can be re-evaluated against [W]'s stored trees.
+
+    The answer is then [W]'s extent filtered by the extra conditions,
+    in [W]'s stored order — which equals [V]'s order because both
+    definitions enumerate the same clause bindings.  Hits are counted
+    as [semcache.view_hits]. *)
+
+val subsumes : outer:Xq_ast.query -> inner:Xq_ast.query -> bool
+(** Does every answer of [inner] appear in [outer]'s extent, such that
+    filtering reproduces [inner] exactly?  (Conservative: [false] when
+    the check cannot be decided.) *)
+
+val filter_trees :
+  outer:Xq_ast.query -> inner:Xq_ast.query -> Dtree.t list -> Dtree.t list option
+(** Apply [inner]'s extra conditions to [outer]'s materialized trees.
+    [None] when some tree does not expose a needed variable (the caller
+    must then fall back to recomputation). *)
+
+val answer :
+  Mat_store.t -> sem:Sem_cache.t -> Med_catalog.t -> string -> Dtree.t list option
+(** [answer store ~sem cat vname] scans the store for a materialized
+    view subsuming catalog view [vname] and returns the filtered extent,
+    honouring the subsuming entry's refresh policy.  [None] when no
+    materialized view qualifies. *)

@@ -44,7 +44,15 @@ let select ~budget candidates workload =
   in
   { chosen = List.sort String.compare chosen; total_storage = storage; total_benefit = total }
 
+(* Subset enumeration is 2^n: beyond this many candidates the exhaustive
+   reference would stall the caller (20 candidates is already ~1M
+   subsets), so larger inputs fall back to the greedy heuristic. *)
+let optimal_candidate_cap = 20
+
 let select_optimal ~budget candidates workload =
+  if List.length candidates > optimal_candidate_cap then
+    select ~budget candidates workload
+  else
   let arr = Array.of_list candidates in
   let n = Array.length arr in
   let best = ref { chosen = []; total_storage = 0; total_benefit = 0.0 } in

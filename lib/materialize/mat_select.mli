@@ -33,9 +33,15 @@ val select : budget:int -> candidate list -> workload -> selection
     benefit or that would overflow the remaining budget are skipped.
     Deterministic: ties break on view name. *)
 
+val optimal_candidate_cap : int
+(** Above this many candidates {!select_optimal} abandons subset
+    enumeration (2^n) and answers with the greedy {!select} instead. *)
+
 val select_optimal : budget:int -> candidate list -> workload -> selection
 (** Exhaustive 0/1-knapsack reference (exponential — for small candidate
-    sets in tests and the ablation bench). *)
+    sets in tests and the ablation bench).  Inputs larger than
+    {!optimal_candidate_cap} fall back to {!select} so a mis-sized call
+    cannot hang the process. *)
 
 val evaluate : candidate list -> workload -> string list -> float
 (** Total workload cost when exactly the given views are materialized

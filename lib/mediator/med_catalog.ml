@@ -9,6 +9,7 @@ type t = {
   views : (string, view) Hashtbl.t;
   fb : Obs_feedback.t;
   mutable frag : Frag_cache.t;
+  mutable sem : Sem_cache.t;
   mutable fetch : Fetch_sched.options;
   mutable exec : Alg_batch.mode;
   mutable listeners : (string -> unit) list;
@@ -19,12 +20,13 @@ exception Catalog_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Catalog_error m)) fmt
 
-let create ?frag_ttl_ms ?(frag_capacity = 0) () =
+let create ?frag_ttl_ms ?(frag_capacity = 0) ?(sem_budget_bytes = 0) () =
   {
     reg = Src_registry.create ();
     views = Hashtbl.create 16;
     fb = Obs_feedback.create ();
     frag = Frag_cache.create ?ttl_ms:frag_ttl_ms ~capacity:frag_capacity ();
+    sem = Sem_cache.create ~budget_bytes:sem_budget_bytes ();
     fetch = Fetch_sched.default_options;
     exec = Alg_batch.Tuple;
     listeners = [];
@@ -32,7 +34,12 @@ let create ?frag_ttl_ms ?(frag_capacity = 0) () =
 
 let on_mutation t f = t.listeners <- t.listeners @ [ f ]
 
-let notify_invalidation t name = List.iter (fun f -> f name) t.listeners
+(* Mutations invalidate the semantic cache before the subscribers hear
+   about them: a plan cache re-compiling against the new catalog must
+   not find stale extents. *)
+let notify_invalidation t name =
+  ignore (Sem_cache.invalidate_name t.sem name);
+  List.iter (fun f -> f name) t.listeners
 
 let registry t = t.reg
 
@@ -42,6 +49,11 @@ let frag_cache t = t.frag
 
 let configure_frag_cache t ?ttl_ms ~capacity () =
   t.frag <- Frag_cache.create ?ttl_ms ~capacity ()
+
+let sem_cache t = t.sem
+
+let configure_sem_cache t ~budget_bytes () =
+  t.sem <- Sem_cache.create ~budget_bytes ()
 
 let fetch_options t = t.fetch
 

@@ -17,10 +17,13 @@ type view = {
 
 exception Catalog_error of string
 
-val create : ?frag_ttl_ms:float -> ?frag_capacity:int -> unit -> t
+val create :
+  ?frag_ttl_ms:float -> ?frag_capacity:int -> ?sem_budget_bytes:int -> unit -> t
 (** [frag_capacity] (default 0: disabled) sizes the fragment-level
     result cache consulted below the network simulator; [frag_ttl_ms]
-    ages its entries on the virtual clock. *)
+    ages its entries on the virtual clock.  [sem_budget_bytes]
+    (default 0: disabled) budgets the semantic fragment cache that
+    answers contained/overlapping predicates by rewriting. *)
 
 val registry : t -> Src_registry.t
 
@@ -54,6 +57,16 @@ val frag_cache : t -> Frag_cache.t
 
 val configure_frag_cache : t -> ?ttl_ms:float -> capacity:int -> unit -> unit
 (** Replace the fragment cache (dropping its contents). *)
+
+val sem_cache : t -> Sem_cache.t
+(** The catalog's semantic fragment cache ({!Sem_cache}): extents
+    cached with their defining predicates, probed by containment in
+    {!Med_exec}'s SQL fetch path.  Budget 0 — the default — disables
+    it.  Catalog mutations ({!notify_invalidation}) drop affected
+    extents before plan-cache subscribers run. *)
+
+val configure_sem_cache : t -> budget_bytes:int -> unit -> unit
+(** Replace the semantic cache (dropping its contents). *)
 
 val fetch_options : t -> Fetch_sched.options
 (** How executions against this catalog issue their source accesses:

@@ -86,6 +86,71 @@ let frag_fetch catalog (src : Source.t) ~fragment q =
     Frag_cache.put frag ~source:src.Source.name ~fragment r;
     r
 
+(* SQL fragments key the exact-key cache by their canonical rendering
+   (stable alias numbering, sorted conjuncts) rather than the shipped
+   text, so cosmetically different renderings of one fragment — e.g. a
+   plan-cache rebind that re-renders the AST — share an entry. *)
+let frag_key_sql select = Sql_print.canonical_select select
+
+(* ------------------------------------------------------------------ *)
+(* Semantic cache plumbing                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The semantic layer sits above the exact-key cache: it may answer the
+   whole fragment from a cached extent (ship nothing), rewrite it to a
+   remainder query, or pass it through untouched; whatever still ships
+   goes through the normal exact-key + wire path.  Only relational
+   sources participate — their fragments have SQL ASTs to reason
+   about. *)
+let sem_plan catalog (src : Source.t) access =
+  if src.Source.kind <> Source.Relational then None
+  else
+    let mk select sql_text exports =
+      let samples =
+        Obs_feedback.samples (Med_catalog.feedback catalog)
+          (Med_planner.access_key access)
+      in
+      let reship () =
+        frag_fetch catalog src ~fragment:(frag_key_sql select)
+          (Source.Q_sql sql_text)
+      in
+      Sem_rewrite.plan
+        (Med_catalog.sem_cache catalog)
+        ~reship
+        {
+          Sem_rewrite.req_source = src.Source.name;
+          req_select = select;
+          req_sql_text = sql_text;
+          req_exports = exports;
+          req_samples = samples;
+        }
+    in
+    match access with
+    | Med_planner.A_sql { export; fragment; _ } ->
+      Some (mk fragment.Med_sqlgen.sql fragment.Med_sqlgen.sql_text [ export ])
+    | Med_planner.A_sql_join { fragment; exports; _ } ->
+      Some (mk fragment.Med_sqlgen.jf_sql fragment.Med_sqlgen.jf_sql_text exports)
+    | _ -> None
+
+(* Fetch one SQL access's raw result through both cache layers. *)
+let fetch_sql catalog (src : Source.t) access =
+  let select, sql_text =
+    match access with
+    | Med_planner.A_sql { fragment; _ } ->
+      (fragment.Med_sqlgen.sql, fragment.Med_sqlgen.sql_text)
+    | Med_planner.A_sql_join { fragment; _ } ->
+      (fragment.Med_sqlgen.jf_sql, fragment.Med_sqlgen.jf_sql_text)
+    | _ -> fail "internal: not a SQL access"
+  in
+  match sem_plan catalog src access with
+  | Some (Sem_rewrite.P_local r) -> r
+  | Some (Sem_rewrite.P_ship { ship_sql; finish }) ->
+    (* Remainder queries key the exact cache by their own text; the
+       original fragment keeps its canonical key. *)
+    let key = if ship_sql = sql_text then frag_key_sql select else ship_sql in
+    finish (frag_fetch catalog src ~fragment:key (Source.Q_sql ship_sql))
+  | None -> frag_fetch catalog src ~fragment:(frag_key_sql select) (Source.Q_sql sql_text)
+
 let frag_documents catalog (src : Source.t) doc =
   let frag = Med_catalog.frag_cache catalog in
   let fragment = frag_key_doc doc in
@@ -137,10 +202,7 @@ let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
   match access with
   | Med_planner.A_sql { source_name; export; fragment; pattern } -> (
     let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
-    try
-      envs_of_sql_access access
-        (frag_fetch catalog src ~fragment:fragment.Med_sqlgen.sql_text
-           (Source.Q_sql fragment.Med_sqlgen.sql_text))
+    try envs_of_sql_access access (fetch_sql catalog src access)
     with Source.Query_rejected _ ->
       (* Capability miss at runtime: ship the whole export and re-apply
          the conditions the fragment would have evaluated (they left the
@@ -155,10 +217,7 @@ let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
         envs)
   | Med_planner.A_sql_join { source_name; fragment; exports = _ } -> (
     let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
-    match
-      frag_fetch catalog src ~fragment:fragment.Med_sqlgen.jf_sql_text
-        (Source.Q_sql fragment.Med_sqlgen.jf_sql_text)
-    with
+    match fetch_sql catalog src access with
     | Source.R_rows (_, rows) ->
       List.map
         (fun row ->
@@ -217,44 +276,83 @@ and run_sql_batch catalog ~opts ~view_lookup source_name members =
         match access with
         | Med_planner.A_sql { fragment; _ } ->
           let sql = fragment.Med_sqlgen.sql_text in
-          (key, access, sql, Frag_cache.get frag ~source:source_name ~fragment:sql)
+          let ckey = frag_key_sql fragment.Med_sqlgen.sql in
+          ( key,
+            access,
+            sql,
+            ckey,
+            Frag_cache.get frag ~source:source_name ~fragment:ckey )
         | _ -> fail "internal: non-SQL access in a batch")
       members
   in
-  let missing = List.filter (fun (_, _, _, c) -> c = None) classified in
+  let missing = List.filter (fun (_, _, _, _, c) -> c = None) classified in
+  (* Ask the semantic layer about each member the exact-key cache
+     missed: full hits resolve locally; the rest ship in one batch —
+     possibly as remainder queries, merged back on arrival. *)
+  let planned =
+    List.map
+      (fun (key, access, sql, ckey, _) ->
+        match sem_plan catalog src access with
+        | Some (Sem_rewrite.P_local r) -> (key, access, sql, ckey, `Local r)
+        | Some (Sem_rewrite.P_ship { ship_sql; finish }) ->
+          (key, access, sql, ckey, `Ship (ship_sql, finish))
+        | None -> (key, access, sql, ckey, `Ship (sql, Fun.id)))
+      missing
+  in
   let missing_envs : (string, (Alg_env.t list, exn) Stdlib.result) Hashtbl.t =
     Hashtbl.create (max 1 (List.length missing))
   in
-  let solo (key, access, _sql, _) =
+  List.iter
+    (fun (key, access, _, _, outcome) ->
+      match outcome with
+      | `Local r ->
+        Hashtbl.replace missing_envs key
+          (try Ok (envs_of_sql_access access r) with e -> Error e)
+      | `Ship _ -> ())
+    planned;
+  let to_ship =
+    List.filter_map
+      (fun (key, access, sql, ckey, outcome) ->
+        match outcome with
+        | `Ship (ship_sql, finish) -> Some (key, access, sql, ckey, ship_sql, finish)
+        | `Local _ -> None)
+      planned
+  in
+  let solo (key, access, _sql, _ckey, _ship, _finish) =
     Hashtbl.replace missing_envs key
       (try Ok (run_access catalog ~opts ~view_lookup access) with e -> Error e)
   in
-  (match missing with
+  let land_result (key, access, sql, ckey, ship_sql, finish) r =
+    (* Raw remainder results cache under their own text; an untouched
+       fragment caches under its canonical key as before. *)
+    let putkey = if ship_sql = sql then ckey else ship_sql in
+    Frag_cache.put frag ~source:source_name ~fragment:putkey r;
+    Hashtbl.replace missing_envs key
+      (try Ok (envs_of_sql_access access (finish r)) with e -> Error e)
+  in
+  (match to_ship with
   | [] -> ()
   | [ m ] -> solo m
   | _ -> (
-    let queries = List.map (fun (_, _, sql, _) -> Source.Q_sql sql) missing in
+    let queries = List.map (fun (_, _, _, _, s, _) -> Source.Q_sql s) to_ship in
     match src.Source.execute (Source.Q_batch queries) with
-    | Source.R_batch results when List.length results = List.length missing ->
-      List.iter2
-        (fun (key, access, sql, _) r ->
-          Frag_cache.put frag ~source:source_name ~fragment:sql r;
-          Hashtbl.replace missing_envs key
-            (try Ok (envs_of_sql_access access r) with e -> Error e))
-        missing results
+    | Source.R_batch results when List.length results = List.length to_ship ->
+      List.iter2 land_result to_ship results
     | _ ->
       (* Malformed batch reply: refetch the members one by one. *)
-      List.iter solo missing
+      List.iter solo to_ship
     | exception Source.Query_rejected _ ->
       (* No batch capability at this source. *)
       Obs_metrics.inc batch_fallbacks;
-      List.iter solo missing
+      List.iter solo to_ship
     | exception e ->
       (* The whole round trip failed (e.g. the source is offline):
          every member shares the outcome, as one call would have. *)
-      List.iter (fun (key, _, _, _) -> Hashtbl.replace missing_envs key (Error e)) missing));
+      List.iter
+        (fun (key, _, _, _, _, _) -> Hashtbl.replace missing_envs key (Error e))
+        to_ship));
   List.map
-    (fun (key, access, _sql, cached) ->
+    (fun (key, access, _sql, _ckey, cached) ->
       match cached with
       | Some r -> (key, (try Ok (envs_of_sql_access access r) with e -> Error e), 1)
       | None -> (key, Hashtbl.find missing_envs key, 0))
@@ -510,6 +608,7 @@ type access_stat = {
   stat_rows : int;
   stat_ms : float;
   stat_fetch : fetch_info option;
+  stat_sem : Sem_cache.outcome option;
 }
 
 type analysis = {
@@ -618,6 +717,14 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
           stat_rows = rows;
           stat_ms = ms;
           stat_fetch = fetch_info access;
+          stat_sem =
+            (let sem = Med_catalog.sem_cache catalog in
+             match access with
+             | Med_planner.A_sql { fragment; _ } ->
+               Sem_cache.last_outcome sem ~sql:fragment.Med_sqlgen.sql_text
+             | Med_planner.A_sql_join { fragment; _ } ->
+               Sem_cache.last_outcome sem ~sql:fragment.Med_sqlgen.jf_sql_text
+             | _ -> None);
         })
       compiled.Med_planner.accesses
   in
@@ -654,6 +761,11 @@ let analysis_to_string a =
           Obs_report.fetch_cells ~round:fi.fi_round ~shared:fi.fi_shared
             ~cache_hits:fi.fi_cache_hits
       in
+      let sem =
+        match st.stat_sem with
+        | None -> []
+        | Some o -> Sem_cache.outcome_cells o
+      in
       Buffer.add_string buf
         (Med_planner.access_to_string (st.stat_id, st.stat_access));
       Buffer.add_string buf
@@ -665,7 +777,7 @@ let analysis_to_string a =
                  Obs_report.int_cell "rows" st.stat_rows;
                  ("time", Printf.sprintf "%.2fms" st.stat_ms);
                ]
-              @ fetch)))
+              @ fetch @ sem)))
       )
     a.analyzed_accesses;
   let exec_note =

@@ -81,6 +81,9 @@ type access_stat = {
   stat_rows : int;                   (** rows shipped, total over calls *)
   stat_ms : float;                   (** wall time inside the access *)
   stat_fetch : fetch_info option;    (** [None] under sequential fetching *)
+  stat_sem : Sem_cache.outcome option;
+      (** semantic-cache verdict for the access's fragment this run
+          ([None] when the cache is off or the access is ineligible) *)
 }
 
 type analysis = {

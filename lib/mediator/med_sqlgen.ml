@@ -171,6 +171,7 @@ let compile_clause opts schema (p : Xq_ast.pattern) candidates =
 (* ------------------------------------------------------------------ *)
 
 type join_fragment = {
+  jf_sql : Sql_ast.select;
   jf_sql_text : string;
   jf_binds : (string * string) list;
   jf_pushed_conditions : Alg_expr.t list;
@@ -363,6 +364,7 @@ let compile_join_clauses opts clauses candidates =
         in
         Some
           {
+            jf_sql = select;
             jf_sql_text = Sql_print.select_to_string select;
             jf_binds;
             jf_pushed_conditions = List.rev pushed;

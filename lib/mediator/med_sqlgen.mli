@@ -50,6 +50,8 @@ val translate_condition :
 (** {1 Join fragments} *)
 
 type join_fragment = {
+  jf_sql : Sql_ast.select;  (** AST of the shipped SELECT, for the
+                                semantic cache's containment matching *)
   jf_sql_text : string;
   jf_binds : (string * string) list;
       (** pattern variable -> output column (generated aliases) *)

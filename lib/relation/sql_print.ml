@@ -141,6 +141,109 @@ let select_to_string s =
   | None -> ());
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Canonical rendering: the exact-key fragment cache keys on this, so  *)
+(* cosmetic differences between structurally identical fragments       *)
+(* (alias names chosen by different compilations, conjunct order) must *)
+(* normalize away.  Aliases are renumbered t0..tn in FROM order, WHERE *)
+(* and HAVING conjuncts are sorted by their rendered text, and the     *)
+(* printer itself never emits redundant whitespace.                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec from_tables = function
+  | Sql_ast.From_table tr -> [ tr ]
+  | Sql_ast.From_join (lhs, _, rhs, _) -> from_tables lhs @ [ rhs ]
+
+let canonical_select s =
+  let tables = match s.Sql_ast.from with Some f -> from_tables f | None -> [] in
+  let alias_map =
+    List.concat
+      (List.mapi
+         (fun i { Sql_ast.table; alias } ->
+           let canon = Printf.sprintf "t%d" i in
+           let of_name n = (n, canon) in
+           match alias with
+           | Some a when a <> table -> [ of_name a; of_name table ]
+           | _ -> [ of_name table ])
+         tables)
+  in
+  (* With a single unaliased table the qualifier is dropped entirely:
+     [SELECT c FROM x] and [SELECT x.c FROM x] key identically. *)
+  let single_plain =
+    match tables with [ { Sql_ast.alias = None; _ } ] -> true | _ -> false
+  in
+  let requalify q =
+    if single_plain then None
+    else
+      match q with
+      | None -> None
+      | Some name -> Some (Option.value (List.assoc_opt name alias_map) ~default:name)
+  in
+  let rec canon_expr e =
+    match e with
+    | Sql_ast.Col (q, n) -> Sql_ast.Col (requalify q, n)
+    | Sql_ast.Lit _ -> e
+    | Sql_ast.Unop (op, a) -> Sql_ast.Unop (op, canon_expr a)
+    | Sql_ast.Binop (op, a, b) -> Sql_ast.Binop (op, canon_expr a, canon_expr b)
+    | Sql_ast.Fncall (f, args) -> Sql_ast.Fncall (f, List.map canon_expr args)
+    | Sql_ast.Like (a, pat) -> Sql_ast.Like (canon_expr a, pat)
+    | Sql_ast.In_list (a, es) -> Sql_ast.In_list (canon_expr a, List.map canon_expr es)
+    | Sql_ast.Between (a, lo, hi) ->
+      Sql_ast.Between (canon_expr a, canon_expr lo, canon_expr hi)
+    | Sql_ast.Is_null a -> Sql_ast.Is_null (canon_expr a)
+    | Sql_ast.Is_not_null a -> Sql_ast.Is_not_null (canon_expr a)
+  in
+  let canon_where = function
+    | None -> None
+    | Some w ->
+      let sorted =
+        List.sort_uniq compare
+          (List.map (fun c -> expr_to_string (canon_expr c)) (Sql_ast.conjuncts w))
+      in
+      (* Conjuncts are re-parsed positionally: rebuild from the sorted
+         renderings by keeping the canonicalized exprs in that order. *)
+      let by_render =
+        List.map (fun c -> (expr_to_string (canon_expr c), canon_expr c)) (Sql_ast.conjuncts w)
+      in
+      Sql_ast.conjoin (List.filter_map (fun r -> List.assoc_opt r by_render) sorted)
+  in
+  let canon_item = function
+    | Sql_ast.Star -> Sql_ast.Star
+    | Sql_ast.Qualified_star q ->
+      Sql_ast.Qualified_star (Option.value (List.assoc_opt q alias_map) ~default:q)
+    | Sql_ast.Expr_item (e, a) -> Sql_ast.Expr_item (canon_expr e, a)
+    | Sql_ast.Agg_item (fn, arg, a) -> Sql_ast.Agg_item (fn, Option.map canon_expr arg, a)
+  in
+  (* Tables are renumbered positionally (a self-join's two arms must
+     not share one canonical alias). *)
+  let next = ref 0 in
+  let canon_table { Sql_ast.table; alias = _ } =
+    let i = !next in
+    incr next;
+    if single_plain then { Sql_ast.table; alias = None }
+    else { Sql_ast.table; alias = Some (Printf.sprintf "t%d" i) }
+  in
+  let rec canon_from = function
+    | Sql_ast.From_table tr -> Sql_ast.From_table (canon_table tr)
+    | Sql_ast.From_join (lhs, kind, rhs, cond) ->
+      let lhs = canon_from lhs in
+      let rhs = canon_table rhs in
+      Sql_ast.From_join (lhs, kind, rhs, canon_expr cond)
+  in
+  select_to_string
+    {
+      s with
+      Sql_ast.items = List.map canon_item s.Sql_ast.items;
+      from = Option.map canon_from s.Sql_ast.from;
+      where = canon_where s.Sql_ast.where;
+      group_by = List.map canon_expr s.Sql_ast.group_by;
+      having = canon_where s.Sql_ast.having;
+      order_by =
+        List.map
+          (fun oi -> { oi with Sql_ast.order_expr = canon_expr oi.Sql_ast.order_expr })
+          s.Sql_ast.order_by;
+    }
+
 let ty_sql = function
   | Value.TInt -> "INT"
   | Value.TFloat -> "FLOAT"

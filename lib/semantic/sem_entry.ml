@@ -1,0 +1,74 @@
+type t = {
+  entry_source : string;
+  entry_scope : string;
+  entry_exports : string list;
+  entry_where : Sql_ast.expr option;
+  entry_pred : Sem_pred.t;
+  entry_colmap : (Sem_pred.col * string) list;
+  entry_columns : string list;
+  entry_rows : Tuple.t list;
+  entry_bytes : int;
+  entry_order_col : string option;
+  entry_key : string;
+  mutable entry_hits : int;
+  mutable entry_partials : int;
+  mutable entry_stamp : int;
+}
+
+let value_bytes = function
+  | Value.Null -> 1
+  | Value.Bool _ -> 1
+  | Value.Int _ | Value.Float _ | Value.Date _ -> 8
+  | Value.String s -> String.length s
+
+(* Per-field overhead covers the field name and list cell; the point is
+   a stable, monotone estimate for budget accounting. *)
+let bytes_of_rows rows =
+  List.fold_left
+    (fun acc row ->
+      List.fold_left
+        (fun acc (name, v) -> acc + 16 + String.length name + value_bytes v)
+        acc (Tuple.fields row))
+    0 rows
+
+let detect_order_col columns rows =
+  let ascending col =
+    let rec go prev = function
+      | [] -> true
+      | row :: rest -> (
+        match Tuple.get row col with
+        | None | Some Value.Null -> false
+        | Some v -> (
+          match prev with
+          | None -> go (Some v) rest
+          | Some p -> (
+            match Value.compare_sql p v with
+            | Some k when k < 0 -> go (Some v) rest
+            | _ -> false)))
+    in
+    go None rows
+  in
+  List.find_opt ascending columns
+
+let make ~source ~scope ~exports ~where ~colmap ~columns ~rows ~key =
+  {
+    entry_source = source;
+    entry_scope = scope;
+    entry_exports = exports;
+    entry_where = where;
+    entry_pred = Sem_pred.analyze where;
+    entry_colmap = colmap;
+    entry_columns = columns;
+    entry_rows = rows;
+    entry_bytes = bytes_of_rows rows;
+    entry_order_col = detect_order_col columns rows;
+    entry_key = key;
+    entry_hits = 0;
+    entry_partials = 0;
+    entry_stamp = 0;
+  }
+
+let covers t cols =
+  List.for_all (fun c -> List.mem_assoc c t.entry_colmap) cols
+
+let benefit t ~samples = 1 + t.entry_hits + t.entry_partials + samples

@@ -1,0 +1,61 @@
+(** A cached extent: the rows a source returned for one fragment,
+    remembered together with the predicate that defined them and the
+    columns they carry, so later requests can be answered by containment
+    rather than by exact key. *)
+
+type t = {
+  entry_source : string;  (** registry name of the owning source *)
+  entry_scope : string;
+      (** identity of the relation(s) scanned — the canonical FROM
+          rendering; containment is only attempted between requests and
+          entries with equal scope *)
+  entry_exports : string list;
+      (** qualified export names ([source.table]) for invalidation *)
+  entry_where : Sql_ast.expr option;  (** defining predicate [p] *)
+  entry_pred : Sem_pred.t;            (** its analysis, precomputed *)
+  entry_colmap : (Sem_pred.col * string) list;
+      (** source-column → stored-field name; the domain is what the
+          extent can answer about, the range is how stored rows spell
+          it *)
+  entry_columns : string list;  (** stored field names, fetch order *)
+  entry_rows : Tuple.t list;
+  entry_bytes : int;            (** estimated resident size *)
+  entry_order_col : string option;
+      (** a stored field strictly ascending across [entry_rows], if
+          any — the merge key for remainder splits *)
+  entry_key : string;  (** canonical SQL text of the defining fragment *)
+  mutable entry_hits : int;
+  mutable entry_partials : int;
+  mutable entry_stamp : int;  (** last-use tick for eviction tie-breaks *)
+}
+
+val make :
+  source:string ->
+  scope:string ->
+  exports:string list ->
+  where:Sql_ast.expr option ->
+  colmap:(Sem_pred.col * string) list ->
+  columns:string list ->
+  rows:Tuple.t list ->
+  key:string ->
+  t
+(** Builds an entry, estimating byte size and detecting the order
+    column. *)
+
+val bytes_of_rows : Tuple.t list -> int
+(** Rough resident-size estimate (per-value payload + per-field
+    overhead); used for budget accounting, not exact accounting. *)
+
+val detect_order_col : string list -> Tuple.t list -> string option
+(** First column (in given order) whose values are strictly ascending
+    under SQL comparison across all rows — [None] when no column
+    qualifies or any candidate pair is incomparable/null. *)
+
+val covers : t -> Sem_pred.col list -> bool
+(** Does the extent carry every one of these source columns? *)
+
+val benefit : t -> samples:int -> int
+(** Eviction score: how many times this extent was (or is expected to
+    be) worth a round trip — 1 for admission, plus recorded full/partial
+    hits, plus the {!Obs_feedback} sample count for the fragment (how
+    often the access actually shipped historically). *)

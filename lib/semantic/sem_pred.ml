@@ -1,0 +1,275 @@
+(* Conjunct-wise predicate analysis for the semantic cache.  See the
+   .mli for the soundness argument; the guiding rule throughout is that
+   "don't know" must collapse to "not contained" / "overlapping", never
+   the other way around. *)
+
+type col = string option * string
+
+type interval = {
+  iv_lo : (Value.t * bool) option;
+  iv_hi : (Value.t * bool) option;
+  iv_in : Value.t list option;
+}
+
+type t = {
+  cols : (col * interval) list;
+  opaque : Sql_ast.expr list;
+  unsat : bool;
+}
+
+let unconstrained = { iv_lo = None; iv_hi = None; iv_in = None }
+
+let canonical_expr = Sql_print.expr_to_string
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A conjunct classifies into a single-column constraint or stays
+   opaque.  NULL literals stay opaque: [x = NULL] is UNKNOWN-everywhere
+   in SQL and not worth modelling as an interval. *)
+type classified =
+  | K_interval of col * interval
+  | K_opaque of Sql_ast.expr
+
+let classify (e : Sql_ast.expr) : classified =
+  let open Sql_ast in
+  let non_null v = v <> Value.Null in
+  match e with
+  | Binop (op, Col (q, c), Lit v) when non_null v -> (
+    let col = (q, c) in
+    match op with
+    | Eq -> K_interval (col, { unconstrained with iv_in = Some [ v ] })
+    | Lt -> K_interval (col, { unconstrained with iv_hi = Some (v, false) })
+    | Le -> K_interval (col, { unconstrained with iv_hi = Some (v, true) })
+    | Gt -> K_interval (col, { unconstrained with iv_lo = Some (v, false) })
+    | Ge -> K_interval (col, { unconstrained with iv_lo = Some (v, true) })
+    | _ -> K_opaque e)
+  | Binop (op, Lit v, Col (q, c)) when non_null v -> (
+    let col = (q, c) in
+    match op with
+    | Eq -> K_interval (col, { unconstrained with iv_in = Some [ v ] })
+    | Lt -> K_interval (col, { unconstrained with iv_lo = Some (v, false) })
+    | Le -> K_interval (col, { unconstrained with iv_lo = Some (v, true) })
+    | Gt -> K_interval (col, { unconstrained with iv_hi = Some (v, false) })
+    | Ge -> K_interval (col, { unconstrained with iv_hi = Some (v, true) })
+    | _ -> K_opaque e)
+  | Between (Col (q, c), Lit a, Lit b) when non_null a && non_null b ->
+    K_interval ((q, c), { unconstrained with iv_lo = Some (a, true); iv_hi = Some (b, true) })
+  | In_list (Col (q, c), items) ->
+    let lits =
+      List.filter_map (function Lit v when non_null v -> Some v | _ -> None) items
+    in
+    if List.length lits = List.length items && items <> [] then
+      K_interval ((q, c), { unconstrained with iv_in = Some lits })
+    else K_opaque e
+  | Is_not_null (Col (q, c)) -> K_interval ((q, c), unconstrained)
+  | _ -> K_opaque e
+
+(* [cmp] is three-valued: [None] means the values are not comparable
+   under SQL ordering (mixed types); any merge touching such a pair
+   falls back to opaque handling. *)
+let cmp = Value.compare_sql
+
+exception Incomparable
+
+let cmp_exn a b = match cmp a b with Some k -> k | None -> raise Incomparable
+
+(* Tightest-of-two bound merges. *)
+let merge_lo a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (va, ia), Some (vb, ib) ->
+    let k = cmp_exn va vb in
+    if k > 0 then Some (va, ia)
+    else if k < 0 then Some (vb, ib)
+    else Some (va, ia && ib)
+
+let merge_hi a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (va, ia), Some (vb, ib) ->
+    let k = cmp_exn va vb in
+    if k < 0 then Some (va, ia)
+    else if k > 0 then Some (vb, ib)
+    else Some (va, ia && ib)
+
+let value_in_bounds iv v =
+  (match iv.iv_lo with
+  | None -> true
+  | Some (lo, incl) ->
+    let k = cmp_exn v lo in
+    k > 0 || (k = 0 && incl))
+  && (match iv.iv_hi with
+     | None -> true
+     | Some (hi, incl) ->
+       let k = cmp_exn v hi in
+       k < 0 || (k = 0 && incl))
+  &&
+  match iv.iv_in with
+  | None -> true
+  | Some vs -> List.exists (fun w -> cmp_exn v w = 0) vs
+
+let intersect a b =
+  let lo = merge_lo a.iv_lo b.iv_lo and hi = merge_hi a.iv_hi b.iv_hi in
+  let iv_in =
+    match (a.iv_in, b.iv_in) with
+    | None, x | x, None -> x
+    | Some xs, Some ys -> Some (List.filter (fun v -> List.exists (fun w -> cmp_exn v w = 0) ys) xs)
+  in
+  let iv = { iv_lo = lo; iv_hi = hi; iv_in } in
+  (* Normalize the value set against the bounds so emptiness is visible. *)
+  match iv.iv_in with
+  | Some vs -> { unconstrained with iv_in = Some (List.filter (value_in_bounds { iv with iv_in = None }) vs) }
+  | None -> iv
+
+let empty_interval iv =
+  match iv.iv_in with
+  | Some [] -> true
+  | Some _ -> false
+  | None -> (
+    match (iv.iv_lo, iv.iv_hi) with
+    | Some (lo, li), Some (hi, hi_i) ->
+      let k = cmp_exn lo hi in
+      k > 0 || (k = 0 && not (li && hi_i))
+    | _ -> false)
+
+let analyze (where : Sql_ast.expr option) : t =
+  match where with
+  | None -> { cols = []; opaque = []; unsat = false }
+  | Some e ->
+    List.fold_left
+      (fun acc conj ->
+        if acc.unsat then acc
+        else
+          match classify conj with
+          | K_opaque o -> { acc with opaque = acc.opaque @ [ o ] }
+          | K_interval (c, iv) -> (
+            try
+              let merged =
+                match List.assoc_opt c acc.cols with
+                | None -> iv
+                | Some prev -> intersect prev iv
+              in
+              if empty_interval merged then { acc with unsat = true }
+              else
+                { acc with cols = (c, merged) :: List.remove_assoc c acc.cols }
+            with Incomparable ->
+              (* Mixed-type comparison: keep the conjunct opaque rather
+                 than claim anything about the column. *)
+              { acc with opaque = acc.opaque @ [ conj ] }))
+      { cols = []; opaque = []; unsat = false }
+      (Sql_ast.conjuncts e)
+
+(* ------------------------------------------------------------------ *)
+(* Containment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* inner ⊆ outer on one column. *)
+let interval_within ~outer ~inner =
+  match inner.iv_in with
+  | Some vs ->
+    List.for_all (fun v -> value_in_bounds outer v) vs
+  | None -> (
+    match outer.iv_in with
+    | Some _ -> false (* an interval can't be proved inside a finite set *)
+    | None ->
+      (match outer.iv_lo with
+      | None -> true
+      | Some (lo, l_incl) -> (
+        match inner.iv_lo with
+        | None -> false
+        | Some (ilo, i_incl) ->
+          let k = cmp_exn ilo lo in
+          k > 0 || (k = 0 && (l_incl || not i_incl))))
+      &&
+      match outer.iv_hi with
+      | None -> true
+      | Some (hi, h_incl) -> (
+        match inner.iv_hi with
+        | None -> false
+        | Some (ihi, i_incl) ->
+          let k = cmp_exn ihi hi in
+          k < 0 || (k = 0 && (h_incl || not i_incl))))
+
+let contains ~outer ~inner =
+  if inner.unsat then true
+  else if outer.unsat then false
+  else
+    try
+      List.for_all
+        (fun op ->
+          let key = canonical_expr op in
+          List.exists (fun iq -> canonical_expr iq = key) inner.opaque)
+        outer.opaque
+      && List.for_all
+           (fun (c, ivp) ->
+             match List.assoc_opt c inner.cols with
+             | None -> false
+             | Some ivq -> interval_within ~outer:ivp ~inner:ivq)
+           outer.cols
+    with Incomparable -> false
+
+let overlaps a b =
+  if a.unsat || b.unsat then false
+  else
+    try
+      List.for_all
+        (fun (c, iva) ->
+          match List.assoc_opt c b.cols with
+          | None -> true
+          | Some ivb -> not (empty_interval (intersect iva ivb)))
+        a.cols
+    with Incomparable -> true
+
+(* ------------------------------------------------------------------ *)
+(* Subtraction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let distinct_columns e =
+  List.fold_left
+    (fun acc c -> if List.mem c acc then acc else acc @ [ c ])
+    [] (Sql_ast.expr_columns e)
+
+let remainder ~cached q =
+  match cached with
+  | None -> q
+  | Some p ->
+    let open Sql_ast in
+    let guards =
+      List.map (fun (qual, name) -> Is_null (Col (qual, name))) (distinct_columns p)
+    in
+    let not_p =
+      List.fold_left (fun acc g -> Binop (Or, acc, g)) (Unop (Not, p)) guards
+    in
+    Some (match q with None -> not_p | Some q -> Binop (And, q, not_p))
+
+let probe_filter ~cached q =
+  let open Sql_ast in
+  let guards =
+    match cached with
+    | None -> []
+    | Some p ->
+      List.map (fun (qual, name) -> Is_not_null (Col (qual, name))) (distinct_columns p)
+  in
+  Sql_ast.conjoin (Option.to_list q @ guards)
+
+let rename_columns map e =
+  let open Sql_ast in
+  let rec go e =
+    match e with
+    | Col (q, c) -> (
+      match List.assoc_opt (q, c) map with
+      | Some name -> Col (None, name)
+      | None -> Col (None, c))
+    | Lit _ -> e
+    | Unop (op, a) -> Unop (op, go a)
+    | Binop (op, a, b) -> Binop (op, go a, go b)
+    | Fncall (f, args) -> Fncall (f, List.map go args)
+    | Like (a, pat) -> Like (go a, pat)
+    | In_list (a, items) -> In_list (go a, List.map go items)
+    | Between (a, b, c) -> Between (go a, go b, go c)
+    | Is_null a -> Is_null (go a)
+    | Is_not_null a -> Is_not_null (go a)
+  in
+  go e

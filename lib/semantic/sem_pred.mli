@@ -1,0 +1,92 @@
+(** Predicate containment and subtraction over the SQL-subset expression
+    language.
+
+    The semantic cache (section 3.3's "local copies" taken seriously)
+    needs three decision procedures over WHERE clauses:
+
+    - {!contains}: does predicate [p] (the cached extent's definition)
+      logically contain predicate [q] (the incoming request), i.e. does
+      every row satisfying [q] also satisfy [p]?
+    - {!overlaps}: can [p] and [q] be satisfied by a common row at all
+      (if provably not, a partial-hit rewrite would be pointless)?
+    - {!remainder}: the null-safe "requested AND NOT cached" predicate
+      shipped to the source on a partial hit.
+
+    Analysis is conjunct-wise and deliberately incomplete: each conjunct
+    is classified as a per-column interval / value-set constraint when it
+    has one of the shapes [col op literal], [literal op col],
+    [col BETWEEN a AND b], or [col IN (literals)]; anything else
+    (disjunctions, arithmetic, LIKE, subexpressions over several
+    columns) is kept as an {e opaque} conjunct that only matches itself
+    syntactically.  Incompleteness is safe: an undecided containment is
+    answered [false] and the request simply ships to the source. *)
+
+type col = string option * string
+(** A column identity: optional table/alias qualifier and column name. *)
+
+type interval = {
+  iv_lo : (Value.t * bool) option;  (** lower bound, [true] = inclusive *)
+  iv_hi : (Value.t * bool) option;  (** upper bound, [true] = inclusive *)
+  iv_in : Value.t list option;      (** finite allowed set, if any *)
+}
+(** Conjunction of range and set constraints on a single column. *)
+
+type t = {
+  cols : (col * interval) list;  (** one entry per constrained column *)
+  opaque : Sql_ast.expr list;    (** conjuncts beyond the analyzer *)
+  unsat : bool;  (** provably empty (e.g. [x = 1 AND x = 2]) *)
+}
+(** Analyzed form of a predicate ([None] = tautology analyzes to the
+    empty constraint list). *)
+
+val analyze : Sql_ast.expr option -> t
+(** Decompose a WHERE clause (or its absence) into per-column intervals
+    plus opaque leftovers. *)
+
+val contains : outer:t -> inner:t -> bool
+(** [contains ~outer:p ~inner:q] is [true] only when provably
+    [q ⇒ p]: every opaque conjunct of [p] appears syntactically in [q],
+    and on every column [p] constrains, [q]'s interval lies within
+    [p]'s.  Sound under SQL three-valued logic: a satisfied [q]-conjunct
+    forces its column non-null, so the implied [p]-conjunct cannot be
+    UNKNOWN. *)
+
+val overlaps : t -> t -> bool
+(** [false] only when the two predicates are provably disjoint (some
+    shared column's intervals cannot intersect, or either side is
+    unsatisfiable).  Opaque conjuncts never prove disjointness. *)
+
+val remainder : cached:Sql_ast.expr option -> Sql_ast.expr option -> Sql_ast.expr option
+(** [remainder ~cached:p q] is the predicate shipped to the source on a
+    partial hit:
+
+    {v q AND (NOT p OR c1 IS NULL OR ... OR cn IS NULL) v}
+
+    where [c1..cn] are the columns [p] references ([q = None] drops the
+    leading conjunct; [p = None] returns [q] unchanged — though a
+    tautological cache entry never produces a remainder, it full-hits).
+    The IS NULL guards
+    make the split exhaustive under three-valued logic: rows where [p]
+    evaluates to UNKNOWN (null in a [p]-column) fail the cached extent's
+    filter and must come from the source.  Complementarily,
+    {!probe_filter} keeps only cached rows with all [p]-columns
+    non-null, so probe and remainder partition [σ_q]. *)
+
+val probe_filter : cached:Sql_ast.expr option -> Sql_ast.expr option -> Sql_ast.expr option
+(** [probe_filter ~cached:p q] is the predicate applied locally to the
+    cached extent on a {e partial} hit: [q] conjoined with
+    [ci IS NOT NULL] for each column of [p].  Full hits filter by plain
+    [q] (no guards needed: [q ⇒ p] already confines the answer to the
+    extent).  The partition argument requires [p] to be UNKNOWN {e only}
+    via null columns, which holds exactly when [analyze p] yields no
+    opaque conjuncts — {!Sem_rewrite} enforces that before attempting a
+    remainder split. *)
+
+val rename_columns : (col * string) list -> Sql_ast.expr -> Sql_ast.expr
+(** Rewrite column references through an output-name map (used to
+    evaluate join-fragment predicates, written over table aliases,
+    against stored rows keyed by output column names).  Columns absent
+    from the map keep their name unqualified. *)
+
+val canonical_expr : Sql_ast.expr -> string
+(** Stable rendering used for syntactic conjunct matching. *)

@@ -292,6 +292,10 @@ let report t =
   Buffer.add_char b '\n';
   Buffer.add_string b (Srv_plancache.report t.cache);
   Buffer.add_char b '\n';
+  if Sem_cache.enabled (Nimble.sem_cache t.sys) then begin
+    Buffer.add_string b (Sem_cache.report (Nimble.sem_cache t.sys));
+    Buffer.add_char b '\n'
+  end;
   List.iter
     (fun l ->
       Buffer.add_string b l;

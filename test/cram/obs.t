@@ -61,6 +61,16 @@ result cache on the second pass (hits=1, but only one source access):
     fragcache.invalidations                  0
     fragcache.misses                         0
     mediator.capability_fallbacks            0
+    semcache.admissions                      0
+    semcache.evictions                       0
+    semcache.hits                            0
+    semcache.invalidations                   0
+    semcache.misses                          0
+    semcache.order_fallbacks                 0
+    semcache.partial_hits                    0
+    semcache.rows_local                      0
+    semcache.rows_shipped                    0
+    semcache.view_hits                       0
     source.crm.accesses                      1
     source.crm.available                     1
     source.crm.rows                          3

@@ -1,0 +1,83 @@
+Semantic caching from the CLI: cached extents answer contained
+predicates without contacting the source, and overlapping predicates
+ship only the remainder.
+
+  $ export NIMBLE=../../bin/nimble_cli.exe
+
+The --sem-cache flag budgets the cache in bytes; answers are the same
+as without it:
+
+  $ $NIMBLE query --sem-cache 65536 'WHERE <row><id>$i</id><name>$n</name></row> IN "crm.customers", $i <= 3 CONSTRUCT <c>$n</c>'
+  c: Acme
+  c: Globex
+  c: Initech
+  
+
+EXPLAIN ANALYZE tags each access with the cache's verdict: the first
+run misses (and admits the extent), the repeat full-hits and ships
+nothing:
+
+  $ $NIMBLE explain-analyze --sem-cache 65536 --repeat 2 'WHERE <row><id>$i</id><name>$n</name></row> IN "crm.customers", $i <= 3 CONSTRUCT <c><i>$i</i><n>$n</n></c>' | grep -E 'a[0-9] ->' | sed -E 's/time=[0-9.]+ms/time=_/'
+    a0 -> SQL @crm: SELECT id, name FROM customers WHERE id <= 3  [est=1000 calls=1 rows=3 time=_ sem=miss]
+    a0 -> SQL @crm: SELECT id, name FROM customers WHERE id <= 3  [est=3 calls=1 rows=3 time=_ sem=hit local=3]
+
+The repl's \sem command inspects and budgets the cache.  A narrow
+query warms it; widening the predicate is a partial hit — the probe
+answers from the extent and only the remainder ships, visible in the
+analyzed access line:
+
+  $ $NIMBLE repl <<'EOF' | sed -E 's/[0-9]+\.[0-9]+ms/_/g'
+  > \sem
+  > \sem budget 65536
+  > WHERE <row><id>$i</id><name>$n</name></row> IN "crm.customers", $i <= 2 CONSTRUCT <c>$n</c>;
+  > \analyze WHERE <row><id>$i</id><name>$n</name></row> IN "crm.customers", $i <= 3 CONSTRUCT <c>$n</c>
+  > \sem
+  > \quit
+  > EOF
+  nimble repl — 2 source(s) registered, \help for commands
+  nimble> semantic cache: off
+  nimble> semantic cache: 0 entries, 0/65536 bytes / hits=0 partial=0 miss=0 / rows local=0 shipped=0 / admitted=0 evicted=0 invalidated=0 fallbacks=0 view_hits=0
+  nimble> c: Acme
+  c: Globex
+  nimble> SCAN a0 AS $*  (est 1000 rows, actual 3 rows, _)
+  accesses:
+    a0 -> SQL @crm: SELECT id, name FROM customers WHERE id <= 3  [est=1000 calls=1 rows=3 time=_ sem=partial local=2 shipped=1 remainder="SELECT id, name FROM customers WHERE id <= 3 AND (NOT id <= 2 OR id IS NULL)"]
+  -- 3 rows in _ (virtual _)
+  nimble> semantic cache: 2 entries, 257/65536 bytes / hits=0 partial=1 miss=1 / rows local=2 shipped=3 / admitted=2 evicted=0 invalidated=0 fallbacks=0 view_hits=0
+  nimble> 
+
+Two-level invalidation: mutating a source drops its semantic-cache
+extents along with the server's cached plans, so the next request
+recomputes.  (The server report prints the semantic cache line only
+when the cache is on.)
+
+  $ cat > sem.serve <<'EOF'
+  > demo
+  > open alice wonder
+  > request alice sales big_orders min=100
+  > drain
+  > request alice sales big_orders min=200
+  > drain
+  > invalidate crm
+  > request alice sales big_orders min=200
+  > drain
+  > report
+  > EOF
+  $ $NIMBLE serve --sem-cache 65536 sem.serve
+  demo users and lenses installed
+  session alice open (analyst)
+  req 0 alice sales.big_orders ok engine=0 wait=0.00 plan=miss service=1.00 rows=3
+  req 1 alice sales.big_orders ok engine=1 wait=0.00 plan=hit service=1.00 rows=2
+  invalidated crm (dropped 0 cached results)
+  req 2 alice sales.big_orders ok engine=0 wait=1.00 plan=miss service=1.00 rows=2
+  server: engines=2 overhead=1.0ms
+  queue: depth=0/8 admitted=3 shed=0 (overload=0 saturated=0 expired=0)
+  plan cache: size=1/32 hits=1 misses=2 evictions=0 invalidations=1 fallbacks=0
+    param sales/big_orders?min:int  sources=crm
+  semantic cache: 1 entries, 112/65536 bytes / hits=1 partial=0 miss=2 / rows local=2 shipped=5 / admitted=2 evicted=0 invalidated=1 fallbacks=0 view_hits=0
+  engine 0: served=2 busy=2.00ms
+  engine 1: served=1 busy=1.00ms
+  alice (analyst): submitted=3 completed=3 rejected=0 in-flight=0
+  req 0 alice sales.big_orders ok engine=0 wait=0.00 plan=miss service=1.00 rows=3
+  req 1 alice sales.big_orders ok engine=1 wait=0.00 plan=hit service=1.00 rows=2
+  req 2 alice sales.big_orders ok engine=0 wait=1.00 plan=miss service=1.00 rows=2
