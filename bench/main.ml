@@ -31,6 +31,7 @@ let experiments : (string * (unit -> unit)) list =
     ("E14", Experiments.e14);
     ("E15", Experiments.e15);
     ("E16", Experiments.e16);
+    ("E17", Experiments.e17);
   ]
 
 (* Experiments run behind this wrapper so every one of them emits its

@@ -81,11 +81,15 @@ let apply_fetch sys (mode, fanout, frag_capacity, sem_budget) =
   if frag_capacity > 0 then Nimble.configure_frag_cache sys ~capacity:frag_capacity ();
   if sem_budget > 0 then Nimble.configure_sem_cache sys ~budget_bytes:sem_budget ()
 
-(* --exec-mode/--chunk-size/--parallel: tuple-, batch- or morsel-driven
-   parallel plan evaluation.  --parallel N (N > 0) overrides the mode. *)
-let apply_exec sys (mode, chunk, par) =
+(* --exec-mode/--chunk-size/--parallel/--optimize: tuple-, batch- or
+   morsel-driven parallel plan evaluation, plus the join-order
+   strategy.  --parallel N (N > 0) overrides the mode. *)
+let apply_exec sys (mode, chunk, par, omode) =
   if chunk <= 0 then failwith "chunk size must be positive";
   if par < 0 then failwith "parallelism must be non-negative";
+  (match Med_optimize.mode_of_string omode with
+  | Some m -> Nimble.set_optimizer sys m
+  | None -> failwith (Printf.sprintf "unknown optimizer mode %S (greedy, dp, dp:N)" omode));
   if par > 0 then Nimble.set_exec_mode sys (Alg_batch.Parallel { domains = par; chunk })
   else
     match Alg_batch.mode_of_string mode with
@@ -228,6 +232,7 @@ let repl_help =
   \refresh NAME               refresh a materialized view
   \explain QUERY              show the physical plan
   \analyze QUERY              run instrumented: est vs actual rows, timings
+  \analyze                    collect per-source statistics (rows, histograms)
   \stats                      metrics registry and per-source breakdown
   \trace QUERY                run with tracing on and print the span tree
   \partial QUERY              run in partial-results mode
@@ -239,6 +244,8 @@ let repl_help =
   \exec                       show the plan execution engine
   \exec tuple|batch [CHUNK]   switch engines (batch = vectorized, CHUNK rows/step)
   \par [DOMAINS]              switch to morsel-driven parallel execution
+  \optimize                   show the join-order strategy
+  \optimize greedy|dp[:N]     switch optimizers (dp = cost-based DPsize)
   \save FILE                  write views/materializations as a script
   \load FILE                  replay a saved script
   \serve FILE                 run a concurrency-server request script
@@ -346,11 +353,27 @@ let run_repl csvs xmls sqls fetch exec =
       | Ok plan -> print_string plan
       | Error m -> Printf.printf "error: %s\n" m);
       loop ()
+    | Some "\\analyze" ->
+      (match Nimble.analyze_stats sys with
+      | Ok report -> print_string report
+      | Error m -> Printf.printf "error: %s\n" m);
+      loop ()
     | Some line when starts_with "\\analyze " line ->
       let text = String.sub line 9 (String.length line - 9) in
       (match Nimble.explain_analyze sys text with
       | Ok report -> print_string report
       | Error m -> Printf.printf "error: %s\n" m);
+      loop ()
+    | Some "\\optimize" ->
+      print_string (Nimble.optimizer_report sys);
+      loop ()
+    | Some line when starts_with "\\optimize " line ->
+      (let arg = String.trim (String.sub line 10 (String.length line - 10)) in
+       match Med_optimize.mode_of_string arg with
+       | Some m ->
+         Nimble.set_optimizer sys m;
+         print_string (Nimble.optimizer_report sys)
+       | None -> print_endline "usage: \\optimize greedy|dp[:N]");
       loop ()
     | Some "\\stats" ->
       print_string (Nimble.stats_report sys);
@@ -572,10 +595,22 @@ let parallel_opt =
            domains (the calling domain included), overriding --exec-mode; \
            0 (the default) leaves --exec-mode in charge.")
 
+let optimize_opt =
+  Arg.(
+    value & opt string "greedy"
+    & info [ "optimize" ] ~docv:"MODE"
+        ~doc:
+          "Join-order strategy: $(b,greedy) (connected cheapest-next \
+           walk, the default) or $(b,dp) (DPsize dynamic-programming \
+           enumeration over the statistics catalog and network \
+           profiles, converting large fragments to bind joins; \
+           $(b,dp:N) caps enumeration at N relations, falling back to \
+           greedy past it).  Answers are identical in both modes.")
+
 let exec_term =
   Term.(
-    const (fun mode chunk par -> (mode, chunk, par))
-    $ exec_mode_opt $ chunk_size_opt $ parallel_opt)
+    const (fun mode chunk par omode -> (mode, chunk, par, omode))
+    $ exec_mode_opt $ chunk_size_opt $ parallel_opt $ optimize_opt)
 
 let wrap f = Term.(ret (const f))
 

@@ -338,6 +338,26 @@ let exec_report t =
   Printf.sprintf "exec: %s\n"
     (Alg_batch.mode_to_string (Med_catalog.exec_mode t.cat))
 
+(* ------------------------------------------------------------------ *)
+(* Cost-based optimizer                                                *)
+(* ------------------------------------------------------------------ *)
+
+let optimizer t = Med_catalog.optimizer t.cat
+
+let set_optimizer t mode = Med_catalog.set_optimizer t.cat mode
+
+let optimizer_report t =
+  Printf.sprintf "optimizer: %s\n"
+    (Med_optimize.mode_to_string (Med_catalog.optimizer t.cat))
+
+let analyze_stats t =
+  guard (fun () ->
+      let analyzed = Med_catalog.analyze t.cat in
+      Printf.sprintf "analyzed %d tables\n%s" (List.length analyzed)
+        (Med_stats.report (Med_catalog.stats t.cat)))
+
+let stats_catalog_report t = Med_stats.report (Med_catalog.stats t.cat)
+
 let view_lookup t vname =
   match Mat_store.lookup t.mat vname with
   | Some trees -> Some trees

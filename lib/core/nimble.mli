@@ -106,6 +106,30 @@ val set_exec_mode : t -> Alg_batch.mode -> unit
 val exec_report : t -> string
 (** One-line summary of the execution mode — the repl's [\exec] view. *)
 
+(** {1 Cost-based optimizer} *)
+
+val optimizer : t -> Med_optimize.mode
+val set_optimizer : t -> Med_optimize.mode -> unit
+(** Join-order strategy for every subsequent compilation against this
+    engine: the greedy connected walk (default) or DPsize enumeration
+    over the statistics catalog and network profiles, with bind-join
+    conversion.  Answers are identical in both — this is a shipped-rows
+    and latency knob. *)
+
+val optimizer_report : t -> string
+(** One-line summary of the optimizer mode — the repl's [\optimize]
+    view. *)
+
+val analyze_stats : t -> (string, string) result
+(** Collect exact per-source statistics (row counts, distincts,
+    histograms) by scanning every relational export — the repl's bare
+    [\analyze].  Bumps the statistics epoch, so plans cached against
+    older statistics re-optimize.  Returns the refreshed catalog
+    listing. *)
+
+val stats_catalog_report : t -> string
+(** The current statistics catalog listing without re-scanning. *)
+
 val add_user : t -> ?role:Fe_auth.role -> string -> string -> (unit, string) result
 
 (** {1 Dynamic data cleaning (section 3.2)} *)

@@ -8,6 +8,8 @@ type t = {
   reg : Src_registry.t;
   views : (string, view) Hashtbl.t;
   fb : Obs_feedback.t;
+  stats : Med_stats.t;
+  mutable optimizer : Med_optimize.mode;
   mutable frag : Frag_cache.t;
   mutable sem : Sem_cache.t;
   mutable fetch : Fetch_sched.options;
@@ -25,6 +27,8 @@ let create ?frag_ttl_ms ?(frag_capacity = 0) ?(sem_budget_bytes = 0) () =
     reg = Src_registry.create ();
     views = Hashtbl.create 16;
     fb = Obs_feedback.create ();
+    stats = Med_stats.create ();
+    optimizer = Med_optimize.Greedy;
     frag = Frag_cache.create ?ttl_ms:frag_ttl_ms ~capacity:frag_capacity ();
     sem = Sem_cache.create ~budget_bytes:sem_budget_bytes ();
     fetch = Fetch_sched.default_options;
@@ -44,6 +48,23 @@ let notify_invalidation t name =
 let registry t = t.reg
 
 let feedback t = t.fb
+
+let stats t = t.stats
+
+let stats_epoch t = Med_stats.epoch t.stats
+
+let optimizer t = t.optimizer
+
+let set_optimizer t mode = t.optimizer <- mode
+
+let analyze_counter = Obs_metrics.counter "opt.analyze_runs"
+
+(* Collect exact statistics for every relational export.  Bumping the
+   statistics epoch is what makes plan caches drop (rather than
+   silently reuse) plans optimized against the old numbers. *)
+let analyze t =
+  Obs_metrics.inc analyze_counter;
+  Med_stats.analyze t.stats t.reg
 
 let frag_cache t = t.frag
 

@@ -48,6 +48,28 @@ val feedback : t -> Obs_feedback.t
     from it.  Scoped to the catalog so independent engines (and tests)
     never share observations. *)
 
+(** {1 Statistics and optimizer mode} *)
+
+val stats : t -> Med_stats.t
+(** The catalog's per-source statistics: row counts, distincts and
+    histograms feeding the cost-based optimizer.  Scoped to the catalog
+    like {!feedback}. *)
+
+val stats_epoch : t -> int
+(** Current statistics epoch ({!Med_stats.epoch}); plan caches record
+    it so plans optimized against stale statistics re-optimize. *)
+
+val analyze : t -> (string * int) list
+(** Collect exact statistics for every relational export of every
+    registered source (the repl's bare [\analyze]).  Bumps the
+    statistics epoch; returns [(table, rows)] per export analyzed. *)
+
+val optimizer : t -> Med_optimize.mode
+(** Join-order strategy used by {!Med_planner.compile} against this
+    catalog: the greedy walk (default) or DPsize enumeration. *)
+
+val set_optimizer : t -> Med_optimize.mode -> unit
+
 (** {1 Fetch scheduling and fragment caching} *)
 
 val frag_cache : t -> Frag_cache.t

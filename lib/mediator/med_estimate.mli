@@ -1,0 +1,25 @@
+(** Cardinality estimation over the statistics catalog.
+
+    The single entry point behind every row-count guess the planner
+    makes.  Resolution order: exact execution feedback (handled by the
+    planner), then statistics-based estimation here, then the flat
+    {!Alg_cost.default_scan_rows} guess.  Estimation never raises:
+    unknown columns and un-analyzed tables degrade to the heuristic
+    constants the client-side cost model uses. *)
+
+val default_rows : float
+(** Alias of {!Alg_cost.default_scan_rows}: the last-resort guess. *)
+
+val select_rows : Med_stats.t -> source:string -> Sql_ast.select -> float option
+(** Estimated output rows of a SELECT shipped to [source]: FROM-table
+    row counts scaled by the selectivity of ON and WHERE clauses
+    (histograms for ranges, distinct counts for equalities and join
+    edges), then GROUP BY / LIMIT adjustments.  [None] when any FROM
+    table lacks statistics. *)
+
+val table_rows : Med_stats.t -> source:string -> export:string -> float option
+(** Row count of one export, when known. *)
+
+val column_distinct :
+  Med_stats.t -> source:string -> export:string -> column:string -> int option
+(** Distinct non-null count of one column, when known. *)

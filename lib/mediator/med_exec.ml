@@ -52,7 +52,8 @@ let match_documents pattern docs =
 let access_target = Med_planner.access_target
 
 let access_push = function
-  | Med_planner.A_sql { fragment; _ } -> fragment.Med_sqlgen.sql_text
+  | Med_planner.A_sql { fragment; _ } | Med_planner.A_sql_bind { fragment; _ } ->
+    fragment.Med_sqlgen.sql_text
   | Med_planner.A_sql_join { fragment; _ } -> fragment.Med_sqlgen.jf_sql_text
   | Med_planner.A_path { path; _ } -> Xml_path.to_string path
   | Med_planner.A_match { pattern; _ } | Med_planner.A_view { pattern; _ } ->
@@ -60,6 +61,39 @@ let access_push = function
 
 let capability_fallbacks = Obs_metrics.counter "mediator.capability_fallbacks"
 let batch_fallbacks = Obs_metrics.counter "fetch.batch_fallbacks"
+
+(* Distinct non-NULL key values of [var] across the driver's rows, in
+   first-seen order (deterministic SQL text).  NULL keys are dropped:
+   the equi-join above the bound scan never matches them anyway. *)
+let bind_key_values envs var =
+  List.rev
+    (List.fold_left
+       (fun acc env ->
+         let v = Alg_env.value_of env var in
+         if v = Value.Null || List.exists (Value.equal v) acc then acc
+         else v :: acc)
+       [] envs)
+
+(* Keys beyond this cap ship the unbound fragment instead — a mile-long
+   IN-list costs more to ship and parse than the rows it would save. *)
+let max_bind_keys = 1024
+
+let bound_fragment (fragment : Med_sqlgen.fragment) ~bind_col keys =
+  let in_list =
+    Sql_ast.In_list
+      (Sql_ast.Col (None, bind_col), List.map (fun v -> Sql_ast.Lit v) keys)
+  in
+  let where =
+    match fragment.Med_sqlgen.sql.Sql_ast.where with
+    | None -> Some in_list
+    | Some w -> Some (Sql_ast.Binop (Sql_ast.And, w, in_list))
+  in
+  let select = { fragment.Med_sqlgen.sql with Sql_ast.where } in
+  {
+    fragment with
+    Med_sqlgen.sql = select;
+    sql_text = Sql_print.select_to_string select;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Fragment cache plumbing                                             *)
@@ -247,6 +281,12 @@ let rec run_access catalog ~opts ~view_lookup access : Alg_env.t list =
   | Med_planner.A_match { source_name; export; pattern } ->
     let src = Src_registry.find_exn (Med_catalog.registry catalog) source_name in
     match_documents pattern (export_documents catalog src export)
+  | Med_planner.A_sql_bind { source_name; export; fragment; pattern; _ } ->
+    (* Reached only without a resolved driver (e.g. a live re-pull after
+       the prefetch buffer missed): ship the unbound fragment — always a
+       correct superset of the bound fetch. *)
+    run_access catalog ~opts ~view_lookup
+      (Med_planner.A_sql { source_name; export; fragment; pattern })
   | Med_planner.A_view { view; pattern } -> (
     match view_lookup view with
     | Some trees -> match_documents pattern trees
@@ -370,7 +410,12 @@ and prefetch catalog ~opts ~view_lookup (compiled : Med_planner.compiled) =
     let fetchable =
       List.filter_map
         (fun (_aid, access) ->
-          match access with Med_planner.A_view _ -> None | a -> Some a)
+          match access with
+          (* Views stay lazy; bind joins resolve after their driver, in
+             [resolve_binds] — prefetching one here would ship the
+             unbound fragment and defeat the optimizer's choice. *)
+          | Med_planner.A_view _ | Med_planner.A_sql_bind _ -> None
+          | a -> Some a)
         compiled.Med_planner.accesses
     in
     let is_rel_sql = function
@@ -477,6 +522,105 @@ and prefetch catalog ~opts ~view_lookup (compiled : Med_planner.compiled) =
     Some buffer
 
 (* ------------------------------------------------------------------ *)
+(* Bind-join resolution                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve every bind-join access: fetch (or reuse) its driver, build
+   the IN-list, ship the narrowed fragment, and land both results in
+   the prefetch buffer so scans pull them without touching the wire.
+   Runs under both fetch modes — sequential execution creates a buffer
+   here just for the bound accesses and their drivers. *)
+and resolve_binds catalog ~opts ~view_lookup (compiled : Med_planner.compiled)
+    buffer =
+  let binds =
+    List.filter
+      (fun (_, a) -> match a with Med_planner.A_sql_bind _ -> true | _ -> false)
+      compiled.Med_planner.accesses
+  in
+  if binds = [] then buffer
+  else begin
+    let buf =
+      match buffer with Some b -> b | None -> Hashtbl.create (List.length binds * 2)
+    in
+    let no_fetch = { fi_round = 0; fi_shared = false; fi_cache_hits = 0 } in
+    let driver_result driver_aid =
+      match List.assoc_opt driver_aid compiled.Med_planner.accesses with
+      | None -> Error (Exec_error ("unknown bind driver " ^ driver_aid))
+      | Some driver ->
+        let key = Med_planner.access_key driver in
+        (match Hashtbl.find_opt buf key with
+        | Some p -> p.pf_result
+        | None ->
+          let r =
+            try Ok (run_access catalog ~opts ~view_lookup driver)
+            with e -> Error e
+          in
+          (* Land the driver too: its own scan reuses this fetch. *)
+          Hashtbl.replace buf key { pf_result = r; pf_info = no_fetch };
+          r)
+    in
+    List.iter
+      (fun (_aid, access) ->
+        match access with
+        | Med_planner.A_sql_bind
+            { source_name; export; fragment; pattern; bind_driver; bind_var;
+              bind_col } ->
+          let unbound () =
+            run_access catalog ~opts ~view_lookup
+              (Med_planner.A_sql { source_name; export; fragment; pattern })
+          in
+          let st = Frag_cache.stats (Med_catalog.frag_cache catalog) in
+          let h0 = st.Frag_cache.frag_hits in
+          let result =
+            match driver_result bind_driver with
+            | Error e ->
+              (* Mirror the driver's failure: strict execution raises the
+                 same error it would have, partial skips the same
+                 source.  Shipping the unbound fragment instead would
+                 waste the wire on rows the dead join can never keep. *)
+              Error e
+            | Ok driver_envs -> (
+              match bind_key_values driver_envs bind_var with
+              | [] ->
+                (* The equi-join above has an empty build side: nothing
+                   the bound fetch returns can survive it. *)
+                Ok []
+              | keys when List.length keys > max_bind_keys ->
+                (try Ok (unbound ()) with e -> Error e)
+              | keys -> (
+                let bound = bound_fragment fragment ~bind_col keys in
+                let src =
+                  Src_registry.find_exn (Med_catalog.registry catalog) source_name
+                in
+                try
+                  match
+                    frag_fetch catalog src
+                      ~fragment:(frag_key_sql bound.Med_sqlgen.sql)
+                      (Source.Q_sql bound.Med_sqlgen.sql_text)
+                  with
+                  | Source.R_rows (_, rows) -> Ok (envs_of_sql_rows fragment rows)
+                  | Source.R_trees trees -> Ok (match_documents pattern trees)
+                  | Source.R_batch _ -> Error (Exec_error "unexpected batch result")
+                with
+                | Source.Query_rejected _ -> (
+                  (* The source cannot evaluate the IN-list: fall back to
+                     the plain fragment (and its own capability ladder). *)
+                  Obs_metrics.inc capability_fallbacks;
+                  try Ok (unbound ()) with e -> Error e)
+                | e -> Error e))
+          in
+          Hashtbl.replace buf
+            (Med_planner.access_key access)
+            {
+              pf_result = result;
+              pf_info = { no_fetch with fi_cache_hits = st.Frag_cache.frag_hits - h0 };
+            }
+        | _ -> ())
+      binds;
+    Some buf
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Plan execution                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -524,6 +668,18 @@ and source_fn_of catalog ~opts ~view_lookup ?buffer (compiled : Med_planner.comp
              cardinality estimate for its next compilation. *)
           Obs_feedback.record (Med_catalog.feedback catalog)
             (Med_planner.access_key access) n;
+          (* An unfiltered single-table fetch doubles as a row-count
+             observation for the statistics catalog (seeding tables no
+             one has analyzed yet). *)
+          (match access with
+          | Med_planner.A_sql { source_name; export; fragment; _ }
+            when fragment.Med_sqlgen.sql.Sql_ast.where = None
+                 && fragment.Med_sqlgen.sql.Sql_ast.limit = None
+                 && fragment.Med_sqlgen.sql.Sql_ast.group_by = []
+                 && not fragment.Med_sqlgen.sql.Sql_ast.distinct ->
+            Med_stats.observe_rows (Med_catalog.stats catalog)
+              ~source:source_name ~export n
+          | _ -> ());
           List.to_seq envs
         with Source.Unavailable name ->
           Obs_metrics.inc
@@ -534,6 +690,7 @@ and source_fn_of catalog ~opts ~view_lookup ?buffer (compiled : Med_planner.comp
    scan resolver and a per-access fetch-info lookup for reporting. *)
 and prepare catalog ~opts ~view_lookup compiled =
   let buffer = prefetch catalog ~opts ~view_lookup compiled in
+  let buffer = resolve_binds catalog ~opts ~view_lookup compiled buffer in
   let info access =
     match buffer with
     | None -> None
@@ -633,7 +790,10 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
      the run measured (the run itself updates the feedback store). *)
   let est_snapshot =
     List.map
-      (fun (aid, _) -> (aid, Med_planner.source_rows ~feedback:fb compiled aid))
+      (fun (aid, _) ->
+        ( aid,
+          Med_planner.source_rows ~feedback:fb
+            ~stats:(Med_catalog.stats catalog) compiled aid ))
       compiled.Med_planner.accesses
   in
   let source_rows aid =
@@ -751,6 +911,11 @@ let analysis_to_string a =
     (Alg_cost.explain_analyze ~extra:a.analyzed_batch
        ~source_rows:a.analyzed_source_rows ~actual:a.analyzed_actual
        a.analyzed_compiled.Med_planner.plan);
+  (match a.analyzed_compiled.Med_planner.opt_info with
+  | None -> ()
+  | Some oi ->
+    Buffer.add_string buf (Med_planner.opt_info_to_string oi);
+    Buffer.add_char buf '\n');
   Buffer.add_string buf "accesses:\n";
   List.iter
     (fun st ->

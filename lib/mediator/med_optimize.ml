@@ -1,0 +1,174 @@
+(* DPsize join-order enumeration.
+
+   The classic dynamic program over connected subsets: best plans for
+   all subsets of size 1 (the leaf accesses), then for each size the
+   best combination of two smaller disjoint subsets, preferring
+   connected splits (cartesian products only when the query graph
+   forces them).  Bushy trees fall out naturally — a split may put
+   several relations on each side.
+
+   Costs are in virtual milliseconds, the same unit the network
+   simulator charges: a leaf pays its source's round-trip latency plus
+   per-tuple transfer for its estimated rows; a mediator-side hash join
+   pays a small per-row charge on both inputs; a cartesian nested loop
+   pays per row of the product.  The enumeration is exact but
+   exponential, so it caps at [max_relations] and the caller falls back
+   to the greedy walk beyond that. *)
+
+type mode =
+  | Greedy
+  | Dp of { max_relations : int }
+
+let default_max_relations = 10
+
+let dp = Dp { max_relations = default_max_relations }
+
+let mode_to_string = function
+  | Greedy -> "greedy"
+  | Dp { max_relations } ->
+    if max_relations = default_max_relations then "dp"
+    else Printf.sprintf "dp:%d" max_relations
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "greedy" -> Some Greedy
+  | "dp" -> Some dp
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "dp" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some n when n >= 2 -> Some (Dp { max_relations = n })
+      | _ -> None)
+    | _ -> None)
+
+type rel = {
+  r_id : string;        (* access id, for display *)
+  r_rows : float;       (* estimated rows shipped by this access *)
+  r_latency_ms : float; (* source round-trip latency *)
+  r_per_tuple_ms : float;
+}
+
+type tree =
+  | Leaf of int
+  | Join of tree * tree
+
+type plan = {
+  p_tree : tree;
+  p_rows : float;
+  p_cost : float;
+}
+
+(* Mediator-side cost of touching one row (hash insert / probe); far
+   below the simulated per-tuple network charge, so transfer dominates
+   exactly as it does at execution time. *)
+let local_row_ms = 0.001
+
+let leaves tree =
+  let rec go acc = function
+    | Leaf i -> i :: acc
+    | Join (l, r) -> go (go acc l) r
+  in
+  List.rev (go [] tree)
+
+let to_string rels tree =
+  let rec go = function
+    | Leaf i -> rels.(i).r_id
+    | Join (l, r) -> Printf.sprintf "(%s ⋈ %s)" (go l) (go r)
+  in
+  go tree
+
+let popcount mask =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 mask
+
+let enumerate ?(max_relations = default_max_relations) ~connected ~join_selectivity
+    rels =
+  let n = Array.length rels in
+  if n < 2 || n > max_relations || n > Sys.int_size - 2 then None
+  else begin
+    let full = (1 lsl n) - 1 in
+    let members mask =
+      List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id)
+    in
+    (* Pairwise predicates are consulted O(3^n) times; memoize them. *)
+    let edge = Array.init n (fun i -> Array.init n (fun j -> i <> j && connected i j)) in
+    let sel = Array.init n (fun i -> Array.init n (fun j -> join_selectivity i j)) in
+    let cut_connected m1 m2 =
+      List.exists (fun i -> List.exists (fun j -> edge.(i).(j)) (members m2)) (members m1)
+    in
+    let cut_selectivity m1 m2 =
+      List.fold_left
+        (fun acc i ->
+          List.fold_left
+            (fun acc j -> if edge.(i).(j) then acc *. sel.(i).(j) else acc)
+            acc (members m2))
+        1.0 (members m1)
+    in
+    let best : plan option array = Array.make (full + 1) None in
+    for i = 0 to n - 1 do
+      let r = rels.(i) in
+      best.(1 lsl i) <-
+        Some
+          {
+            p_tree = Leaf i;
+            p_rows = max 1.0 r.r_rows;
+            p_cost = r.r_latency_ms +. (max 1.0 r.r_rows *. r.r_per_tuple_ms);
+          }
+    done;
+    for size = 2 to n do
+      for mask = 1 to full do
+        if popcount mask = size then begin
+          (* Does any split of [mask] keep both halves joined by an
+             edge?  If so, cartesian splits are not considered. *)
+          let has_connected_split =
+            let rec probe sub =
+              if sub = 0 then false
+              else
+                let rest = mask lxor sub in
+                if rest <> 0 && best.(sub) <> None && best.(rest) <> None
+                   && cut_connected sub rest
+                then true
+                else probe ((sub - 1) land mask)
+            in
+            probe ((mask - 1) land mask)
+          in
+          let consider sub =
+            let rest = mask lxor sub in
+            if rest = 0 then ()
+            else
+              match (best.(sub), best.(rest)) with
+              | Some l, Some r ->
+                let joined = cut_connected sub rest in
+                if joined || not has_connected_split then begin
+                  let rows, cost =
+                    if joined then
+                      ( max 1.0 (l.p_rows *. r.p_rows *. cut_selectivity sub rest),
+                        l.p_cost +. r.p_cost
+                        +. ((l.p_rows +. r.p_rows) *. local_row_ms) )
+                    else
+                      ( max 1.0 (l.p_rows *. r.p_rows),
+                        l.p_cost +. r.p_cost
+                        +. (l.p_rows *. r.p_rows *. local_row_ms) )
+                  in
+                  let candidate =
+                    { p_tree = Join (l.p_tree, r.p_tree); p_rows = rows;
+                      p_cost = cost }
+                  in
+                  match best.(mask) with
+                  | Some b when b.p_cost <= candidate.p_cost -> ()
+                  | _ -> best.(mask) <- Some candidate
+                end
+              | _ -> ()
+          in
+          let rec splits sub =
+            if sub <> 0 then begin
+              consider sub;
+              splits ((sub - 1) land mask)
+            end
+          in
+          splits ((mask - 1) land mask)
+        end
+      done
+    done;
+    best.(full)
+  end

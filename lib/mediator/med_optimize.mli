@@ -1,0 +1,59 @@
+(** DPsize join-order enumeration for the mediator.
+
+    Exact dynamic programming over connected subsets of the query's
+    accesses, producing bushy or left-deep join trees costed in virtual
+    milliseconds (source latency + per-tuple transfer for leaves, a
+    small per-row mediator charge for joins, the full product for
+    forced cartesian splits).  Enumeration caps at [max_relations]; the
+    planner falls back to its greedy walk beyond that. *)
+
+type mode =
+  | Greedy  (** the feedback-weighted greedy walk (default) *)
+  | Dp of { max_relations : int }
+      (** DPsize enumeration, greedy fallback past the cap *)
+
+val default_max_relations : int
+
+val dp : mode
+(** [Dp] with {!default_max_relations}. *)
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> mode option
+(** Accepts ["greedy"], ["dp"], and ["dp:<n>"] (cap override, n >= 2). *)
+
+type rel = {
+  r_id : string;        (** access id, for display *)
+  r_rows : float;       (** estimated rows shipped by this access *)
+  r_latency_ms : float; (** source round-trip latency *)
+  r_per_tuple_ms : float;
+}
+
+type tree =
+  | Leaf of int  (** index into the input array *)
+  | Join of tree * tree
+
+type plan = {
+  p_tree : tree;
+  p_rows : float;  (** estimated output rows *)
+  p_cost : float;  (** estimated virtual milliseconds *)
+}
+
+val leaves : tree -> int list
+(** Leaf indices in left-to-right order. *)
+
+val to_string : rel array -> tree -> string
+(** Render like [((a0 ⋈ a2) ⋈ a1)]. *)
+
+val enumerate :
+  ?max_relations:int ->
+  connected:(int -> int -> bool) ->
+  join_selectivity:(int -> int -> float) ->
+  rel array ->
+  plan option
+(** Best join tree over the relations, or [None] when there are fewer
+    than two relations or more than [max_relations] (caller falls back
+    to greedy).  [connected i j] says whether the two accesses share a
+    join variable; [join_selectivity i j] is the estimated selectivity
+    of that edge (consulted only when connected).  Deterministic:
+    equal-cost candidates keep the first one found. *)

@@ -25,6 +25,23 @@ type access =
       view : string;
       pattern : Xq_ast.pattern;
     }
+  | A_sql_bind of {
+      source_name : string;
+      export : string;
+      fragment : Med_sqlgen.fragment;
+      pattern : Xq_ast.pattern;
+      bind_driver : string;  (* access id whose rows supply the key values *)
+      bind_var : string;     (* join variable shared with the driver *)
+      bind_col : string;     (* column of [fragment] the IN-list filters *)
+    }
+
+type opt_info = {
+  oi_mode : string;        (* "dp" | "dp-fallback:greedy" *)
+  oi_order : string;       (* chosen join tree, e.g. "((a1 ⋈ a0) ⋈ a2)" *)
+  oi_est_rows : float;
+  oi_est_cost_ms : float;
+  oi_binds : (string * string) list;  (* bound access id -> driver id *)
+}
 
 type compiled = {
   plan : Alg_plan.t;
@@ -32,6 +49,7 @@ type compiled = {
   construct : Xq_ast.template;
   source_query : Xq_ast.query;
   residual_conditions : Alg_expr.t list;
+  opt_info : opt_info option;
 }
 
 exception Plan_error of string
@@ -54,25 +72,51 @@ let access_key = function
       (Xq_pretty.pattern_to_string pattern)
   | A_view { view; pattern } ->
     Printf.sprintf "view|%s|%s" view (Xq_pretty.pattern_to_string pattern)
+  | A_sql_bind { source_name; fragment; bind_driver; bind_var; _ } ->
+    (* A bound fetch ships different SQL per driver extent, so its
+       feedback must not pollute the plain fragment's estimates. *)
+    Printf.sprintf "sqlbind|%s|%s|%s<-%s" source_name
+      fragment.Med_sqlgen.sql_text bind_var bind_driver
 
 let access_target = function
   | A_sql { source_name; _ }
   | A_sql_join { source_name; _ }
   | A_path { source_name; _ }
-  | A_match { source_name; _ } -> source_name
+  | A_match { source_name; _ }
+  | A_sql_bind { source_name; _ } -> source_name
   | A_view { view; _ } -> view
 
-let observed_rows feedback access =
-  match feedback with
-  | None -> Alg_cost.default_scan_rows
-  | Some fb -> (
-    match Obs_feedback.observed fb (access_key access) with
+(* Satellite of the cost-based optimizer: every row-count guess funnels
+   through this chain — exact execution feedback first, statistics-based
+   estimation second, the flat default last. *)
+let stats_rows stats access =
+  match access with
+  | A_sql { source_name; fragment; _ } ->
+    Med_estimate.select_rows stats ~source:source_name fragment.Med_sqlgen.sql
+  | A_sql_bind { source_name; fragment; _ } ->
+    (* The IN-list is computed at fetch time; the unbound fragment's
+       estimate is a safe superset. *)
+    Med_estimate.select_rows stats ~source:source_name fragment.Med_sqlgen.sql
+  | A_sql_join { source_name; fragment; _ } ->
+    Med_estimate.select_rows stats ~source:source_name fragment.Med_sqlgen.jf_sql
+  | A_path { source_name; export; _ } | A_match { source_name; export; _ } ->
+    Med_estimate.table_rows stats ~source:source_name ~export
+  | A_view _ -> None
+
+let estimated_rows ?feedback ?stats access =
+  let observed =
+    Option.bind feedback (fun fb -> Obs_feedback.observed fb (access_key access))
+  in
+  match observed with
+  | Some rows -> rows
+  | None -> (
+    match Option.bind stats (fun s -> stats_rows s access) with
     | Some rows -> rows
-    | None -> Alg_cost.default_scan_rows)
+    | None -> Med_estimate.default_rows)
 
 (* Variables an access binds. *)
 let access_vars = function
-  | A_sql { fragment; _ } ->
+  | A_sql { fragment; _ } | A_sql_bind { fragment; _ } ->
     List.map fst fragment.Med_sqlgen.binds
     @ (match fragment.Med_sqlgen.row_var with Some v -> [ v ] | None -> [])
   | A_sql_join { fragment; _ } -> List.map fst fragment.Med_sqlgen.jf_binds
@@ -237,6 +281,114 @@ let rec remove_once x = function
   | [] -> []
   | y :: tl -> if x == y then tl else y :: remove_once x tl
 
+let m_dp_plans = Obs_metrics.counter "opt.dp_plans"
+let m_dp_fallbacks = Obs_metrics.counter "opt.dp_fallbacks"
+let m_bind_joins = Obs_metrics.counter "opt.bind_joins"
+
+(* Sources not wrapped in the network simulator (and view expansions)
+   cost nothing to reach; cardinality alone then drives the order. *)
+let local_profile =
+  { Net_sim.latency_ms = 0.0; per_tuple_ms = 0.0; availability = 1.0 }
+
+let access_profile access =
+  match access with
+  | A_view _ -> local_profile
+  | _ ->
+    Option.value ~default:local_profile (Net_sim.profile_of (access_target access))
+
+(* The column a variable reads from, for accesses whose binds map to
+   real source columns (the join-selectivity and bind-join paths). *)
+let var_column access v =
+  match access with
+  | A_sql { source_name; export; fragment; _ }
+  | A_sql_bind { source_name; export; fragment; _ } ->
+    Option.map
+      (fun col -> (source_name, export, col))
+      (List.assoc_opt v fragment.Med_sqlgen.binds)
+  | A_sql_join _ | A_path _ | A_match _ | A_view _ -> None
+
+(* Bind-join conversion: after the optimizer fixes an order, a large
+   relational fragment joined to a small driver on a variable the
+   fragment exposes as a column can ship [col IN (driver keys)] instead
+   of the whole table.  The IN-list is a superset filter of the
+   equi-join above it (NULL keys never join, SQL and engine agree), so
+   answers are untouched — only shipped rows shrink.  [bind_cap] bounds
+   the keys we are willing to expand into SQL text. *)
+let bind_cap = 1024.0
+
+let choose_binds opts rels vars ests =
+  let n = Array.length rels in
+  if not opts.Med_sqlgen.pushdown_select then []
+  else begin
+    let is_driver i =
+      match snd rels.(i) with A_sql _ | A_sql_join _ -> true | _ -> false
+    in
+    let used_as_driver = Array.make n false in
+    let converted = Array.make n false in
+    let by_est_desc =
+      List.sort (fun i j -> compare ests.(j) ests.(i)) (List.init n Fun.id)
+    in
+    List.filter_map
+      (fun j ->
+        match snd rels.(j) with
+        | A_sql { fragment; _ } when not used_as_driver.(j) ->
+          let candidates =
+            List.filter_map
+              (fun i ->
+                if i = j || converted.(i) || not (is_driver i)
+                   || ests.(i) > bind_cap
+                   || ests.(i) *. 2.0 > ests.(j)
+                then None
+                else
+                  (* first bound column shared with the driver *)
+                  List.find_map
+                    (fun (v, _) ->
+                      if List.mem v vars.(i)
+                         && var_column (snd rels.(j)) v <> None
+                      then Some (i, v)
+                      else None)
+                    fragment.Med_sqlgen.binds)
+              (List.init n Fun.id)
+          in
+          let best =
+            List.fold_left
+              (fun acc (i, v) ->
+                match acc with
+                | Some (bi, _) when ests.(bi) <= ests.(i) -> acc
+                | _ -> Some (i, v))
+              None candidates
+          in
+          Option.map
+            (fun (i, v) ->
+              used_as_driver.(i) <- true;
+              converted.(j) <- true;
+              (j, i, v))
+            best
+        | _ -> None)
+      by_est_desc
+  end
+
+let apply_binds rels binds accesses =
+  List.mapi
+    (fun j entry ->
+      match List.find_opt (fun (t, _, _) -> t = j) binds with
+      | None -> entry
+      | Some (_, i, v) -> (
+        match entry with
+        | aid, A_sql { source_name; export; fragment; pattern } ->
+          Obs_metrics.inc m_bind_joins;
+          let bind_col =
+            match List.assoc_opt v fragment.Med_sqlgen.binds with
+            | Some col -> col
+            | None -> assert false (* choose_binds only picks bound vars *)
+          in
+          ( aid,
+            A_sql_bind
+              { source_name; export; fragment; pattern;
+                bind_driver = fst rels.(i); bind_var = v; bind_col } )
+        | _ -> entry))
+    accesses
+
 let compile ?(opts = Med_sqlgen.default_options) ?feedback catalog (q : Xq_ast.query) =
   (* Resolve accesses clause by clause; once a condition is pushed into a
      fragment it leaves the residual pool. *)
@@ -277,13 +429,10 @@ let compile ?(opts = Med_sqlgen.default_options) ?feedback catalog (q : Xq_ast.q
          q.Xq_ast.clauses)
   in
   let accesses = !grouped @ singles in
-  (* Greedy connected join order, weighted by observed cardinality: the
-     cheapest access (fewest rows seen on previous executions) drives the
-     build side, and at each step the cheapest access sharing a variable
-     with the accumulated set joins next.  Without feedback every weight
-     is the same default, ties keep list order, and the order degenerates
-     to the original first-come greedy walk. *)
-  let weight (_, access) = observed_rows feedback access in
+  let stats = Med_catalog.stats catalog in
+  (* Every row-count guess below goes through the unified estimator:
+     exact execution feedback, then statistics, then the flat default. *)
+  let weight (_, access) = estimated_rows ?feedback ~stats access in
   let pick_min = function
     | [] -> None
     | first :: rest ->
@@ -297,7 +446,13 @@ let compile ?(opts = Med_sqlgen.default_options) ?feedback catalog (q : Xq_ast.q
       Some best
   in
   let scan (aid, _) = Alg_plan.Scan { source = aid; binding = "*" } in
-  let plan, plan_vars =
+  (* Greedy connected join order, weighted by estimated cardinality: the
+     cheapest access drives the build side, and at each step the
+     cheapest access sharing a variable with the accumulated set joins
+     next.  Without feedback or statistics every weight is the same
+     default, ties keep list order, and the order degenerates to the
+     original first-come greedy walk. *)
+  let greedy_walk () =
     match pick_min accesses with
     | None -> fail "query has no clauses"
     | Some first ->
@@ -329,9 +484,89 @@ let compile ?(opts = Med_sqlgen.default_options) ?feedback catalog (q : Xq_ast.q
         current_vars := vars;
         pending := remaining
       done;
-      (!current, !current_vars)
+      !current
   in
-  ignore plan_vars;
+  let plan, accesses, opt_info =
+    match Med_catalog.optimizer catalog with
+    | Med_optimize.Greedy -> (greedy_walk (), accesses, None)
+    | Med_optimize.Dp _ when List.length accesses < 2 ->
+      (greedy_walk (), accesses, None)
+    | Med_optimize.Dp { max_relations } -> (
+      let rels = Array.of_list accesses in
+      let vars = Array.map (fun (_, a) -> access_vars a) rels in
+      let ests = Array.map weight rels in
+      let shared i j = List.filter (fun v -> List.mem v vars.(j)) vars.(i) in
+      let connected i j = shared i j <> [] in
+      (* Per-edge selectivity: 1/max(distinct) when statistics know the
+         join columns, the flat hash-join guess otherwise. *)
+      let join_selectivity i j =
+        List.fold_left
+          (fun acc v ->
+            let distinct_side k =
+              Option.bind (var_column (snd rels.(k)) v)
+                (fun (source, export, column) ->
+                  Med_estimate.column_distinct stats ~source ~export ~column)
+            in
+            let edge_sel =
+              match (distinct_side i, distinct_side j) with
+              | Some di, Some dj -> 1.0 /. float_of_int (max 1 (max di dj))
+              | Some d, None | None, Some d -> 1.0 /. float_of_int (max 1 d)
+              | None, None -> 0.05
+            in
+            acc *. min 1.0 edge_sel)
+          1.0 (shared i j)
+      in
+      let opt_rels =
+        Array.mapi
+          (fun i (aid, access) ->
+            let profile = access_profile access in
+            ignore aid;
+            {
+              Med_optimize.r_id = fst rels.(i);
+              r_rows = ests.(i);
+              r_latency_ms = profile.Net_sim.latency_ms;
+              r_per_tuple_ms = profile.Net_sim.per_tuple_ms;
+            })
+          rels
+      in
+      match
+        Med_optimize.enumerate ~max_relations ~connected ~join_selectivity
+          opt_rels
+      with
+      | None ->
+        Obs_metrics.inc m_dp_fallbacks;
+        ( greedy_walk (), accesses,
+          Some
+            {
+              oi_mode = "dp-fallback:greedy";
+              oi_order = "";
+              oi_est_rows = 0.0;
+              oi_est_cost_ms = 0.0;
+              oi_binds = [];
+            } )
+      | Some chosen ->
+        Obs_metrics.inc m_dp_plans;
+        let rec build = function
+          | Med_optimize.Leaf i -> (scan rels.(i), vars.(i))
+          | Med_optimize.Join (l, r) ->
+            let lp, lv = build l in
+            let rp, rv = build r in
+            join_step lp lv rp rv
+        in
+        let plan, _ = build chosen.Med_optimize.p_tree in
+        let binds = choose_binds opts rels vars ests in
+        let accesses = apply_binds rels binds accesses in
+        ( plan, accesses,
+          Some
+            {
+              oi_mode = "dp";
+              oi_order = Med_optimize.to_string opt_rels chosen.Med_optimize.p_tree;
+              oi_est_rows = chosen.Med_optimize.p_rows;
+              oi_est_cost_ms = chosen.Med_optimize.p_cost;
+              oi_binds =
+                List.map (fun (j, i, _) -> (fst rels.(j), fst rels.(i))) binds;
+            } ))
+  in
   (* Residual conditions filter on top. *)
   let plan =
     List.fold_left (fun p cond -> Alg_plan.Select (p, cond)) plan !residual
@@ -393,12 +628,13 @@ let compile ?(opts = Med_sqlgen.default_options) ?feedback catalog (q : Xq_ast.q
     construct = q.Xq_ast.construct;
     source_query = q;
     residual_conditions = !residual;
+    opt_info;
   }
 
-let source_rows ?feedback compiled aid =
+let source_rows ?feedback ?stats compiled aid =
   match List.assoc_opt aid compiled.accesses with
-  | None -> Alg_cost.default_scan_rows
-  | Some access -> observed_rows feedback access
+  | None -> Med_estimate.default_rows
+  | Some access -> estimated_rows ?feedback ?stats access
 
 let access_to_string (aid, access) =
   match access with
@@ -415,10 +651,30 @@ let access_to_string (aid, access) =
       (Xq_pretty.pattern_to_string pattern)
   | A_view { view; pattern } ->
     Printf.sprintf "  %s -> VIEW %s: %s" aid view (Xq_pretty.pattern_to_string pattern)
+  | A_sql_bind { source_name; fragment; bind_driver; bind_var; bind_col; _ } ->
+    Printf.sprintf "  %s -> SQL-BIND @%s: %s [%s IN keys of %s.$%s]" aid
+      source_name fragment.Med_sqlgen.sql_text bind_col bind_driver bind_var
+
+let opt_info_to_string oi =
+  if oi.oi_order = "" then Printf.sprintf "optimizer: %s" oi.oi_mode
+  else
+    Printf.sprintf "optimizer: %s order=%s est_rows=%.0f est_cost=%.2fms%s"
+      oi.oi_mode oi.oi_order oi.oi_est_rows oi.oi_est_cost_ms
+      (match oi.oi_binds with
+      | [] -> ""
+      | binds ->
+        " binds="
+        ^ String.concat ","
+            (List.map (fun (t, d) -> Printf.sprintf "%s<-%s" t d) binds))
 
 let explain compiled =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Alg_plan.explain compiled.plan);
+  (match compiled.opt_info with
+  | None -> ()
+  | Some oi ->
+    Buffer.add_string buf (opt_info_to_string oi);
+    Buffer.add_char buf '\n');
   Buffer.add_string buf "accesses:\n";
   List.iter
     (fun entry ->

@@ -54,6 +54,30 @@ type access =
       view : string;
       pattern : Xq_ast.pattern;
     }
+  | A_sql_bind of {
+      source_name : string;
+      export : string;
+      fragment : Med_sqlgen.fragment;
+      pattern : Xq_ast.pattern;
+      bind_driver : string;  (** access id whose rows supply the keys *)
+      bind_var : string;     (** join variable shared with the driver *)
+      bind_col : string;     (** column the fetch-time IN-list filters *)
+    }
+      (** A bind join chosen by the cost-based optimizer: the fragment
+          ships with an extra [bind_col IN (...)] filter built from the
+          driver access's distinct key values at fetch time.  A strict
+          superset of the equi-join above it (NULL keys never join), so
+          answers are untouched — only shipped rows shrink.  When the
+          driver fails or exceeds the key cap, the executor ships the
+          unbound fragment instead. *)
+
+type opt_info = {
+  oi_mode : string;   (** ["dp"], or ["dp-fallback:greedy"] past the cap *)
+  oi_order : string;  (** chosen join tree, e.g. [((a1 ⋈ a0) ⋈ a2)] *)
+  oi_est_rows : float;
+  oi_est_cost_ms : float;
+  oi_binds : (string * string) list;  (** bound access id -> driver id *)
+}
 
 type compiled = {
   plan : Alg_plan.t;
@@ -61,6 +85,9 @@ type compiled = {
   construct : Xq_ast.template;
   source_query : Xq_ast.query;
   residual_conditions : Alg_expr.t list;
+  opt_info : opt_info option;
+      (** present when the catalog's optimizer mode is [Dp] and the
+          query had at least two accesses *)
 }
 
 exception Plan_error of string
@@ -73,13 +100,26 @@ val compile :
   compiled
 (** @raise Plan_error on unknown sources.
 
-    When [feedback] is given, the greedy join order is weighted by
-    observed cardinalities: the access with the fewest rows recorded by
-    previous executions starts the pipeline and, at each step, the
-    cheapest variable-connected access joins next.  Without [feedback]
-    (or before any observation) every access weighs
-    {!Alg_cost.default_scan_rows} and the order is the original
-    first-come greedy walk. *)
+    Join order follows the catalog's {!Med_catalog.optimizer} mode.
+    Under [Greedy] (the default) the access with the fewest estimated
+    rows starts the pipeline and, at each step, the cheapest
+    variable-connected access joins next.  Under [Dp] the DPsize
+    enumerator ({!Med_optimize}) picks the cheapest bushy/left-deep
+    tree costed with the network simulator's per-source parameters, and
+    large relational fragments may be converted to bind joins
+    ([A_sql_bind]); past the relation cap the plan falls back to the
+    greedy walk.
+
+    Estimates come from {!estimated_rows}: execution [feedback] first,
+    the catalog's statistics ({!Med_stats}) second,
+    {!Alg_cost.default_scan_rows} last.  Without feedback or statistics
+    every access weighs the same default and the order degenerates to
+    the original first-come greedy walk. *)
+
+val estimated_rows :
+  ?feedback:Obs_feedback.t -> ?stats:Med_stats.t -> access -> float
+(** The unified cardinality estimate for one access — the single entry
+    point behind every planner row-count guess. *)
 
 val access_key : access -> string
 (** Stable identity of an access across compilations — the key under
@@ -94,15 +134,17 @@ val access_target : access -> string
     fetch scheduler's batching. *)
 
 val source_rows :
-  ?feedback:Obs_feedback.t -> compiled -> string -> float
+  ?feedback:Obs_feedback.t -> ?stats:Med_stats.t -> compiled -> string -> float
 (** Cardinality provider for {!Alg_cost.estimate}: maps a Scan leaf's
-    access id to the rows observed for that access on previous
-    executions, or {!Alg_cost.default_scan_rows} when nothing has been
-    recorded yet. *)
+    access id through {!estimated_rows}. *)
 
 val explain : compiled -> string
 (** Operator tree plus, per SQL access, the fragment shipped to the
-    source. *)
+    source; under the DP optimizer also the chosen order and its
+    estimates. *)
+
+val opt_info_to_string : opt_info -> string
+(** The one-line optimizer cell EXPLAIN and EXPLAIN ANALYZE print. *)
 
 val access_to_string : string * access -> string
 (** One [explain] line (two-space indented): access id, strategy, and

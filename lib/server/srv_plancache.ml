@@ -292,7 +292,21 @@ let map_access sb (id, (a : Med_planner.access)) =
     | A_match { source_name; export; pattern } ->
       A_match { source_name; export; pattern = map_pattern sb pattern }
     | A_view { view; pattern } ->
-      A_view { view; pattern = map_pattern sb pattern } )
+      A_view { view; pattern = map_pattern sb pattern }
+    | A_sql_bind { source_name; export; fragment; pattern; bind_driver;
+                   bind_var; bind_col } ->
+      (* The IN-list is computed at fetch time from the driver's rows,
+         so only the underlying fragment carries parameter sentinels. *)
+      A_sql_bind
+        {
+          source_name;
+          export;
+          fragment = map_fragment sb fragment;
+          pattern = map_pattern sb pattern;
+          bind_driver;
+          bind_var;
+          bind_col;
+        } )
 
 let map_compiled sb (c : Med_planner.compiled) =
   {
@@ -302,6 +316,7 @@ let map_compiled sb (c : Med_planner.compiled) =
     source_query = map_query sb c.Med_planner.source_query;
     residual_conditions =
       List.map (map_expr sb) c.Med_planner.residual_conditions;
+    opt_info = c.Med_planner.opt_info;
   }
 
 (* Structural equality; plans never carry closures here (Dep_join is
@@ -321,6 +336,7 @@ type entry = {
   e_key : string;
   e_kind : kind;
   e_sources : string list;  (* transitive closure, for invalidation *)
+  e_epoch : int;  (* stats epoch at compile time; stale plans re-optimize *)
   mutable e_last_used : int;
 }
 
@@ -420,6 +436,19 @@ let touch t e =
 let note_hit t = t.hits <- t.hits + 1; Obs_metrics.inc t.m_hits
 let note_miss t = t.misses <- t.misses + 1; Obs_metrics.inc t.m_misses
 
+(* A plan compiled under an older statistics epoch may carry a join
+   order the refreshed statistics would no longer choose.  Drop it and
+   recompile instead of silently reusing it. *)
+let find_fresh t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e when e.e_epoch < Med_catalog.stats_epoch t.cat ->
+    Hashtbl.remove t.entries key;
+    t.invalidations <- t.invalidations + 1;
+    Obs_metrics.inc t.m_invalidations;
+    sync_size t;
+    None
+  | found -> found
+
 let evict_lru t =
   let victim =
     Hashtbl.fold
@@ -454,7 +483,7 @@ let store t key kind compiled =
   done;
   let e =
     { e_key = key; e_kind = kind; e_sources = sources_of t compiled;
-      e_last_used = 0 }
+      e_epoch = Med_catalog.stats_epoch t.cat; e_last_used = 0 }
   in
   touch t e;
   Hashtbl.replace t.entries key e;
@@ -495,7 +524,7 @@ let attempt_parametric t lens query resolved cold =
 
 let lookup_exact t lens query args resolved =
   let key = Fe_lens.param_shape_exact lens query args in
-  match Hashtbl.find_opt t.entries key with
+  match find_fresh t key with
   | Some ({ e_kind = Exact c; _ } as e) ->
     touch t e;
     note_hit t;
@@ -513,7 +542,7 @@ let lookup t ~lens ~query ~args =
     let shape = Fe_lens.param_shape lens query args in
     if Hashtbl.mem t.poisoned shape then lookup_exact t lens query args resolved
     else
-      match Hashtbl.find_opt t.entries shape with
+      match find_fresh t shape with
       | Some ({ e_kind = Parametric { compiled; binds }; _ } as e) -> (
         match map_compiled (subst_for binds resolved) compiled with
         | rebound ->

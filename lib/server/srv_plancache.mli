@@ -21,7 +21,14 @@
     Eviction is LRU; mutation events from {!Med_catalog.on_mutation}
     (source registration, view definition/drop, explicit invalidation)
     evict every entry whose transitive source closure contains the
-    mutated name. *)
+    mutated name.
+
+    Each entry also records the catalog's statistics epoch
+    ({!Med_catalog.stats_epoch}) at compile time.  A lookup that finds
+    an entry compiled under an older epoch — the statistics were
+    refreshed by [\analyze] or drifted materially since — drops it and
+    recompiles, so cached plans never outlive the estimates that chose
+    their join order. *)
 
 type t
 
@@ -55,7 +62,9 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
-  invalidations : int;  (** entries dropped by mutation events *)
+  invalidations : int;
+      (** entries dropped by mutation events or a stale statistics
+          epoch *)
   fallbacks : int;      (** shapes poisoned to exact-keyed entries *)
 }
 

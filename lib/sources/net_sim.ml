@@ -29,7 +29,15 @@ let rec result_volume = function
   | Source.R_trees trees -> List.fold_left (fun acc t -> acc + Dtree.size t) 0 trees
   | Source.R_batch results -> List.fold_left (fun acc r -> acc + result_volume r) 0 results
 
+(* Name -> profile registry so cost models can read back the network
+   parameters a source was wrapped with.  Last wrap wins, mirroring how
+   registries resolve re-registered names. *)
+let profiles : (string, profile) Hashtbl.t = Hashtbl.create 16
+
+let profile_of name = Hashtbl.find_opt profiles name
+
 let wrap ?(seed = 1) profile inner =
+  Hashtbl.replace profiles inner.Source.name profile;
   let stats = new_stats () in
   let rng = Prng.create (seed lxor Hashtbl.hash inner.Source.name) in
   let sample_up () = Prng.bernoulli rng profile.availability in

@@ -31,6 +31,11 @@ val wrap : ?seed:int -> profile -> Source.t -> Source.t * stats
     availability sample fails.  [is_available] consults (and advances)
     the same sample stream. *)
 
+val profile_of : string -> profile option
+(** The profile a source name was last {!wrap}ped with, if any — how
+    the cost-based optimizer learns each source's latency and transfer
+    parameters.  Process-global, last wrap wins. *)
+
 val reset : stats -> unit
 
 val stats_to_string : stats -> string

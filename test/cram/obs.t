@@ -61,6 +61,10 @@ result cache on the second pass (hits=1, but only one source access):
     fragcache.invalidations                  0
     fragcache.misses                         0
     mediator.capability_fallbacks            0
+    opt.analyze_runs                         0
+    opt.bind_joins                           0
+    opt.dp_fallbacks                         0
+    opt.dp_plans                             0
     semcache.admissions                      0
     semcache.evictions                       0
     semcache.hits                            0
