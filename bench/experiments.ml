@@ -1324,6 +1324,127 @@ let e17 () =
   Bench_json.note_param "identical" "yes";
   Bench_json.note_rows (rows_g + rows_d)
 
+(* ------------------------------------------------------------------ *)
+(* E18: path & value indexes — structural probes vs walking the store  *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  section "E18"
+    "path & value indexes: guide/value probes vs tree walking on a deep XML store";
+  let nprod = if !quick then 400 else 4_000 in
+  let repeat = if !quick then 20 else 60 in
+  (* One deep document: products sit under six levels of section
+     nesting, so the walker pays the whole tree on every query while a
+     guide probe pays only the matching nodes. *)
+  let g = Prng.create 180 in
+  let xml =
+    let buf = Buffer.create (nprod * 96) in
+    Buffer.add_string buf "<catalog>";
+    for i = 1 to nprod do
+      Buffer.add_string buf "<sect><sect><sect><sect><sect>";
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|<product sku="sku%d"><price>%d</price><cat>%s</cat></product>|}
+           i
+           (10 + Prng.int g 190)
+           (if Prng.int g 2 = 0 then "tools" else "infra"));
+      Buffer.add_string buf "</sect></sect></sect></sect></sect>"
+    done;
+    Buffer.add_string buf "</catalog>";
+    Buffer.contents buf
+  in
+  (* The workload: a guide-answered navigation (variable sku) and a
+     value-index-answered point lookup (literal sku). *)
+  let queries =
+    [
+      Xq_parser.parse_exn
+        {|WHERE <product sku=$s><price>$p</price></product> IN "shop.catalog", $p < 15
+          CONSTRUCT <r><s>$s</s><p>$p</p></r>|};
+      Xq_parser.parse_exn
+        (Printf.sprintf
+           {|WHERE <product sku="sku%d"><price>$p</price></product> IN "shop.catalog"
+             CONSTRUCT <hit>$p</hit>|}
+           (nprod / 2));
+    ]
+  in
+  let make_cat () =
+    let cat = Med_catalog.create () in
+    Med_catalog.register_source cat
+      (Xml_source.of_xml_strings ~name:"shop" [ ("catalog", xml) ]);
+    cat
+  in
+  let render trees = String.concat "\n" (List.map Dtree.to_string trees) in
+  let transcript cat = String.concat "\n==\n" (List.map (fun q -> render (Med_exec.run cat q)) queries) in
+  (* Steady-state wall time of [repeat] rounds; one warm-up round first
+     so the indexed side builds its guide/value indexes outside the
+     measured window (builds are a one-time cost the report shows
+     separately via the manager's byte accounting). *)
+  let measure mode =
+    Idx_manager.clear ();
+    Idx_manager.reset_stats ();
+    Idx_manager.set_mode mode;
+    let cat = make_cat () in
+    let answer = transcript cat in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeat do ignore (transcript cat) done;
+    let ms = (Unix.gettimeofday () -. t0) *. 1_000.0 in
+    let guide, value, miss = Idx_manager.counters () in
+    (answer, ms, guide, value, miss, Idx_manager.total_bytes ())
+  in
+  let ans_off, ms_off, _, _, miss_off, _ = measure Idx_manager.Off in
+  let ans_on, ms_on, guide_on, value_on, miss_on, bytes_on =
+    measure Idx_manager.Auto
+  in
+  if ans_off <> ans_on then failwith "E18: indexes changed answers";
+  if guide_on = 0 || value_on = 0 then
+    failwith "E18: workload failed to exercise both guide and value probes";
+  row "%-24s %12s %14s %14s %12s\n" "configuration" "wall ms" "guide probes"
+    "value probes" "walks";
+  row "%-24s %12.1f %14d %14d %12d\n" "indexes off" ms_off 0 0 miss_off;
+  row "%-24s %12.1f %14d %14d %12d\n" "indexes auto" ms_on guide_on value_on
+    miss_on;
+  row "index bytes: %d; speedup: %.1fx over %d rounds\n" bytes_on
+    (ms_off /. ms_on) repeat;
+  if ms_off < 2.0 *. ms_on then
+    failwith
+      (Printf.sprintf "E18: expected >= 2x real-time speedup, got %.2fx"
+         (ms_off /. ms_on));
+  (* Byte-identical answers from every engine, indexed and not. *)
+  let engines =
+    [
+      ("tuple", Alg_batch.Tuple);
+      ("batch", Alg_batch.Batch { chunk = 256 });
+      ("parallel", Alg_batch.Parallel { domains = 2; chunk = 128 });
+    ]
+  in
+  List.iter
+    (fun (label, m) ->
+      List.iter
+        (fun mode ->
+          Idx_manager.clear ();
+          Idx_manager.set_mode mode;
+          let cat = make_cat () in
+          Med_catalog.set_exec_mode cat m;
+          if transcript cat <> ans_off then
+            failwith
+              (Printf.sprintf "E18: answers diverged under %s engine (%s)" label
+                 (Idx_manager.mode_to_string mode)))
+        [ Idx_manager.Off; Idx_manager.Eager ])
+    engines;
+  row "answers identical across off/auto/eager and tuple/batch/parallel: yes\n";
+  Idx_manager.clear ();
+  Idx_manager.set_mode Idx_manager.Auto;
+  Bench_json.note_param "products" (string_of_int nprod);
+  Bench_json.note_param "rounds" (string_of_int repeat);
+  Bench_json.note_param "off_ms" (Printf.sprintf "%.1f" ms_off);
+  Bench_json.note_param "auto_ms" (Printf.sprintf "%.1f" ms_on);
+  Bench_json.note_param "speedup" (Printf.sprintf "%.1f" (ms_off /. ms_on));
+  Bench_json.note_param "guide_probes" (string_of_int guide_on);
+  Bench_json.note_param "value_probes" (string_of_int value_on);
+  Bench_json.note_param "index_bytes" (string_of_int bytes_on);
+  Bench_json.note_param "identical" "yes";
+  Bench_json.note_rows (2 * repeat)
+
 let all () =
   e1 ();
   e2 ();
@@ -1343,4 +1464,5 @@ let all () =
   e14 ();
   e15 ();
   e16 ();
-  e17 ()
+  e17 ();
+  e18 ()

@@ -32,6 +32,7 @@ let experiments : (string * (unit -> unit)) list =
     ("E15", Experiments.e15);
     ("E16", Experiments.e16);
     ("E17", Experiments.e17);
+    ("E18", Experiments.e18);
   ]
 
 (* Experiments run behind this wrapper so every one of them emits its

@@ -81,15 +81,19 @@ let apply_fetch sys (mode, fanout, frag_capacity, sem_budget) =
   if frag_capacity > 0 then Nimble.configure_frag_cache sys ~capacity:frag_capacity ();
   if sem_budget > 0 then Nimble.configure_sem_cache sys ~budget_bytes:sem_budget ()
 
-(* --exec-mode/--chunk-size/--parallel/--optimize: tuple-, batch- or
-   morsel-driven parallel plan evaluation, plus the join-order
-   strategy.  --parallel N (N > 0) overrides the mode. *)
-let apply_exec sys (mode, chunk, par, omode) =
+(* --exec-mode/--chunk-size/--parallel/--optimize/--index: tuple-,
+   batch- or morsel-driven parallel plan evaluation, the join-order
+   strategy, and the path/value index mode.  --parallel N (N > 0)
+   overrides the mode. *)
+let apply_exec sys (mode, chunk, par, omode, imode) =
   if chunk <= 0 then failwith "chunk size must be positive";
   if par < 0 then failwith "parallelism must be non-negative";
   (match Med_optimize.mode_of_string omode with
   | Some m -> Nimble.set_optimizer sys m
   | None -> failwith (Printf.sprintf "unknown optimizer mode %S (greedy, dp, dp:N)" omode));
+  (match Idx_manager.mode_of_string imode with
+  | Ok m -> Nimble.set_index_mode sys m
+  | Error m -> failwith m);
   if par > 0 then Nimble.set_exec_mode sys (Alg_batch.Parallel { domains = par; chunk })
   else
     match Alg_batch.mode_of_string mode with
@@ -246,6 +250,9 @@ let repl_help =
   \par [DOMAINS]              switch to morsel-driven parallel execution
   \optimize                   show the join-order strategy
   \optimize greedy|dp[:N]     switch optimizers (dp = cost-based DPsize)
+  \index                      show path/value index registrations
+  \index off|auto|eager       switch the index mode
+  \index build VIEW           force-build a view's structural guide
   \save FILE                  write views/materializations as a script
   \load FILE                  replay a saved script
   \serve FILE                 run a concurrency-server request script
@@ -468,6 +475,26 @@ let run_repl csvs xmls sqls fetch exec =
          | _ -> print_endline "usage: \\exec tuple|batch [CHUNK] | \\exec parallel [DOMAINS]")
        | _ -> print_endline "usage: \\exec tuple|batch [CHUNK] | \\exec parallel [DOMAINS]");
       loop ()
+    | Some "\\index" ->
+      print_string (Nimble.index_report sys);
+      loop ()
+    | Some line when starts_with "\\index " line ->
+      (let args =
+         String.split_on_char ' ' (String.trim (String.sub line 7 (String.length line - 7)))
+         |> List.filter (fun s -> s <> "")
+       in
+       match args with
+       | [ ("off" | "auto" | "eager") as m ] ->
+         (match Idx_manager.mode_of_string m with
+         | Ok mode -> Nimble.set_index_mode sys mode
+         | Error e -> print_endline e);
+         print_string (Nimble.index_report sys)
+       | [ "build"; name ] -> (
+         match Nimble.build_index sys name with
+         | Ok msg -> print_string msg
+         | Error m -> Printf.printf "error: %s\n" m)
+       | _ -> print_endline "usage: \\index | \\index off|auto|eager | \\index build VIEW");
+      loop ()
     | Some "\\par" ->
       Nimble.set_exec_mode sys
         (Alg_batch.Parallel
@@ -607,10 +634,20 @@ let optimize_opt =
            $(b,dp:N) caps enumeration at N relations, falling back to \
            greedy past it).  Answers are identical in both modes.")
 
+let index_opt =
+  Arg.(
+    value & opt string "auto"
+    & info [ "index" ] ~docv:"MODE"
+        ~doc:
+          "Path/value index mode: $(b,auto) (build structural guides on \
+           first probe, the default), $(b,eager) (build them when a view \
+           materializes or a document registers) or $(b,off) (always walk \
+           trees).  Answers are identical in all modes.")
+
 let exec_term =
   Term.(
-    const (fun mode chunk par omode -> (mode, chunk, par, omode))
-    $ exec_mode_opt $ chunk_size_opt $ parallel_opt $ optimize_opt)
+    const (fun mode chunk par omode imode -> (mode, chunk, par, omode, imode))
+    $ exec_mode_opt $ chunk_size_opt $ parallel_opt $ optimize_opt $ index_opt)
 
 let wrap f = Term.(ret (const f))
 

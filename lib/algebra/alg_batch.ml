@@ -164,6 +164,9 @@ type op_batch = {
   mutable ob_batches : int;
   mutable ob_rows : int;
   mutable ob_ms : float;
+  mutable ob_idx_probe : int;
+  mutable ob_idx_guide : int;
+  mutable ob_idx_miss : int;
   ob_kids : op_batch list;
 }
 
@@ -186,6 +189,9 @@ let rec make_stats plan =
     ob_batches = 0;
     ob_rows = 0;
     ob_ms = 0.0;
+    ob_idx_probe = 0;
+    ob_idx_guide = 0;
+    ob_idx_miss = 0;
     ob_kids = List.map make_stats (Alg_plan.children plan);
   }
 
@@ -201,6 +207,13 @@ let actual_of_stats stats plan =
   match find_stats stats plan with
   | Some ob when ob.ob_pulled -> Some (ob.ob_rows, ob.ob_ms)
   | Some _ | None -> None
+
+(* The [idx=probe:P/guide:G/miss:M] EXPLAIN ANALYZE cell; rendered only
+   once a Navigate actually hit an index, so unindexed plans print
+   exactly as before. *)
+let idx_cell probe guide miss =
+  if probe + guide = 0 then []
+  else [ Printf.sprintf "idx=probe:%d/guide:%d/miss:%d" probe guide miss ]
 
 let cells_of_stats stats plan =
   match find_stats stats plan with
@@ -218,6 +231,7 @@ let cells_of_stats stats plan =
         Printf.sprintf "rows/batch=%.1f" (r /. b);
         Printf.sprintf "fill=%.2f" (r /. (b *. float_of_int stats.chunk_size));
       ]
+      @ idx_cell ob.ob_idx_probe ob.ob_idx_guide ob.ob_idx_miss
 
 let span_of_stats stats =
   let rec go ob =
@@ -439,10 +453,24 @@ let sort_list specs envs = Array.to_list (sort_array specs (Array.of_list envs))
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let tree_to_element tree =
+(* One Navigate binding, shared by all three engines: a registered root
+   with an indexable path is answered from the index subsystem (a guide
+   or value probe plus a document-order merge); anything else walks the
+   tree.  Answers are byte-identical either way — the index round-trips
+   its result nodes through the same XML conversion the walker output
+   takes.  Safe on worker domains: probes touch only atomics and
+   immutable structures. *)
+let navigate_matches tree path =
   match tree with
-  | Dtree.Node _ -> Some (Dtree.to_xml_element tree)
-  | Dtree.Atom _ -> None
+  | Dtree.Atom _ -> ([], `Miss)
+  | Dtree.Node _ -> (
+    match Idx_manager.try_select tree path with
+    | Some (results, Idx_manager.Value) -> (results, `Probe)
+    | Some (results, Idx_manager.Guide) -> (results, `Guide)
+    | None ->
+      ( List.map Dtree.of_xml_element
+          (Xml_path.select path (Dtree.to_xml_element tree)),
+        `Miss ))
 
 type counters = {
   c_batches : Obs_metrics.counter;
@@ -613,12 +641,16 @@ and compile_node cfg counters ob plan : cursor =
         | Some ch ->
           Array.iter
             (fun env ->
-              match Option.bind (Alg_env.get env var) tree_to_element with
+              match Alg_env.get env var with
               | None -> ()
-              | Some e ->
-                List.iter
-                  (fun m -> emit (Alg_env.bind env out (Dtree.of_xml_element m)))
-                  (Xml_path.select path e))
+              | Some (Dtree.Atom _) -> ()
+              | Some tree ->
+                let matches, how = navigate_matches tree path in
+                (match how with
+                | `Probe -> ob.ob_idx_probe <- ob.ob_idx_probe + 1
+                | `Guide -> ob.ob_idx_guide <- ob.ob_idx_guide + 1
+                | `Miss -> ob.ob_idx_miss <- ob.ob_idx_miss + 1);
+                List.iter (fun m -> emit (Alg_env.bind env out m)) matches)
             ch;
           true)
   | Alg_plan.Unnest { input; var; label; out } ->

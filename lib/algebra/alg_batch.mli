@@ -60,6 +60,9 @@ type op_batch = {
   mutable ob_batches : int;
   mutable ob_rows : int;
   mutable ob_ms : float;  (** inclusive of input operators *)
+  mutable ob_idx_probe : int;  (** Navigate bindings answered by a value probe *)
+  mutable ob_idx_guide : int;  (** … answered by the structural guide alone *)
+  mutable ob_idx_miss : int;   (** … that fell back to the tree walker *)
   ob_kids : op_batch list;
 }
 
@@ -104,6 +107,18 @@ val run :
     a keyless group over no rows yields exactly one row of aggregate
     identities — and over [Value.Null] keys, which form a group like
     any other value). *)
+
+val navigate_matches :
+  Dtree.t -> Xml_path.t -> Dtree.t list * [ `Probe | `Guide | `Miss ]
+(** One Navigate binding, shared by all three engines: answered from the
+    index subsystem when the tree is a registered root and the path is
+    indexable ([`Probe] used a value index, [`Guide] the structural
+    summary), otherwise by walking the tree ([`Miss]).  Results are
+    byte-identical either way and safe to call from worker domains. *)
+
+val idx_cell : int -> int -> int -> string list
+(** [idx_cell probe guide miss] — the [idx=…] EXPLAIN ANALYZE cell,
+    empty unless an index answered something. *)
 
 val compare_specs : Alg_plan.sort_spec list -> Alg_env.t -> Alg_env.t -> int
 (** Reference sort comparison: evaluates the key expressions on both

@@ -18,7 +18,8 @@ let rec selectivity = function
 
 let fanout = 3.0
 
-let rec go source_rows plan =
+let rec go ?(path_rows = fun _ -> None) source_rows plan =
+  let go source_rows plan = go ~path_rows source_rows plan in
   match plan with
   | Alg_plan.Scan { source; _ } ->
     let n = max 1.0 (source_rows source) in
@@ -67,7 +68,15 @@ let rec go source_rows plan =
   | Alg_plan.Outer_union (a, b) ->
     let ea = go source_rows a and eb = go source_rows b in
     { rows = ea.rows +. eb.rows; cost = ea.cost +. eb.cost +. ea.rows +. eb.rows }
-  | Alg_plan.Navigate { input; _ } | Alg_plan.Unnest { input; _ } ->
+  | Alg_plan.Navigate { input; path; _ } -> (
+    let e = go source_rows input in
+    match path_rows path with
+    | Some n ->
+      (* Index probe: output is the exact match count; the probe costs
+         its result size instead of a walk over the whole subtree. *)
+      { rows = max 1.0 n; cost = e.cost +. e.rows +. max 1.0 n }
+    | None -> { rows = e.rows *. fanout; cost = e.cost +. (e.rows *. fanout) })
+  | Alg_plan.Unnest { input; _ } ->
     let e = go source_rows input in
     { rows = e.rows *. fanout; cost = e.cost +. (e.rows *. fanout) }
   | Alg_plan.Construct { input; _ } ->
@@ -77,7 +86,7 @@ let rec go source_rows plan =
     let e = go source_rows input in
     { rows = min e.rows (float_of_int n); cost = e.cost }
 
-let estimate ~source_rows plan = go source_rows plan
+let estimate ?path_rows ~source_rows plan = go ?path_rows source_rows plan
 
 let default_scan_rows = 1000.0
 
@@ -95,21 +104,21 @@ let render_tree decorate plan =
   walk 0 plan;
   Buffer.contents buf
 
-let annotate ~source_rows plan =
+let annotate ?path_rows ~source_rows plan =
   let body =
     render_tree
       (fun p ->
-        let e = estimate ~source_rows p in
+        let e = estimate ?path_rows ~source_rows p in
         Printf.sprintf "  (est %.0f rows)" e.rows)
       plan
   in
-  let total = estimate ~source_rows plan in
+  let total = estimate ?path_rows ~source_rows plan in
   Printf.sprintf "%s-- estimated: %.0f rows, %.0f work units\n" body total.rows total.cost
 
-let explain_analyze ?(extra = fun _ -> []) ~source_rows ~actual plan =
+let explain_analyze ?(extra = fun _ -> []) ?path_rows ~source_rows ~actual plan =
   render_tree
     (fun p ->
-      let e = estimate ~source_rows p in
+      let e = estimate ?path_rows ~source_rows p in
       let tail =
         match extra p with
         | [] -> ""

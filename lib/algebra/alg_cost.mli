@@ -18,22 +18,34 @@ val selectivity : Alg_expr.t -> float
     0.5. *)
 
 val estimate :
-  source_rows:(string -> float) -> Alg_plan.t -> estimate
+  ?path_rows:(Xml_path.t -> float option) ->
+  source_rows:(string -> float) ->
+  Alg_plan.t ->
+  estimate
 (** [estimate ~source_rows plan] — [source_rows name] supplies the
     expected cardinality of each scan (return a default such as 1000.0
     for unknown sources).  Dependent joins assume one expansion per input
-    row; navigate/unnest assume a fan-out of 3. *)
+    row; navigate/unnest assume a fan-out of 3.  [path_rows] consults
+    the index subsystem: when it answers with a path's exact match
+    count, that Navigate estimates the count and is costed as a probe
+    (result-sized) instead of a fanned-out subtree walk — what makes
+    the optimizer prefer index-answerable navigation.  Default: no
+    index knowledge. *)
 
 val default_scan_rows : float
 (** 1000.0 — the cardinality assumed for a scan nobody has observed. *)
 
 val annotate :
-  source_rows:(string -> float) -> Alg_plan.t -> string
+  ?path_rows:(Xml_path.t -> float option) ->
+  source_rows:(string -> float) ->
+  Alg_plan.t ->
+  string
 (** {!Alg_plan.explain} output with an estimated-rows annotation per
     operator line, plus a total [-- estimated: …] footer. *)
 
 val explain_analyze :
   ?extra:(Alg_plan.t -> string list) ->
+  ?path_rows:(Xml_path.t -> float option) ->
   source_rows:(string -> float) ->
   actual:(Alg_plan.t -> (int * float) option) ->
   Alg_plan.t ->

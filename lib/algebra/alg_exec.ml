@@ -56,9 +56,11 @@ let table_size plan =
 
 (* The single interpreter, parameterized by a per-node hook: the plain
    entry points use the identity hook; instrumented execution wraps each
-   operator's output sequence to count rows and charge time. *)
-let rec run_hooked hook sources plan : Alg_env.t Seq.t =
-  let run sources plan = run_hooked hook sources plan in
+   operator's output sequence to count rows and charge time.  [on_idx]
+   reports per-binding Navigate index outcomes so instrumentation can
+   attribute probe/guide/miss counts to the operator. *)
+let rec run_hooked ?(on_idx = fun _ _ -> ()) hook sources plan : Alg_env.t Seq.t =
+  let run sources plan = run_hooked ~on_idx hook sources plan in
   let seq =
     match plan with
     | Alg_plan.Scan { source; binding } -> sources source binding
@@ -178,16 +180,11 @@ let rec run_hooked hook sources plan : Alg_env.t Seq.t =
       (fun env ->
         match Alg_env.get env var with
         | None -> Seq.empty
+        | Some (Dtree.Atom _) -> Seq.empty
         | Some tree ->
-          let elem = tree_to_element tree in
-          (match elem with
-          | None -> Seq.empty
-          | Some e ->
-            let matches = Xml_path.select path e in
-            seq_of_list
-              (List.map
-                 (fun m -> Alg_env.bind env out (Dtree.of_xml_element m))
-                 matches)))
+          let matches, how = Alg_batch.navigate_matches tree path in
+          on_idx plan how;
+          seq_of_list (List.map (fun m -> Alg_env.bind env out m) matches))
       (run sources input)
   | Alg_plan.Unnest { input; var; label; out } ->
     Seq.concat_map
@@ -209,11 +206,6 @@ let rec run_hooked hook sources plan : Alg_env.t Seq.t =
   | Alg_plan.Limit (input, n) -> Seq.take n (run sources input)
   in
   hook plan seq
-
-and tree_to_element tree =
-  match tree with
-  | Dtree.Node _ -> Some (Dtree.to_xml_element tree)
-  | Dtree.Atom _ -> None
 
 let no_hook _ seq = seq
 
@@ -245,19 +237,19 @@ let run_batched ?chunk sources plan =
     ~template:build_template plan
 
 (* Morsel-driven parallel execution (Alg_par wired to this engine). *)
-let run_parallel ?domains ?chunk sources plan =
-  Alg_par.run ?domains ?chunk ~sources
+let run_parallel ?domains ?chunk ?cost_rows sources plan =
+  Alg_par.run ?domains ?chunk ?cost_rows ~sources
     ~fallback:(fun p -> run sources p)
     ~template:build_template plan
 
-let run_mode mode sources plan =
+let run_mode ?cost_rows mode sources plan =
   match mode with
   | Alg_batch.Tuple -> run_list sources plan
   | Alg_batch.Batch { chunk } -> fst (run_batched ~chunk sources plan)
   | Alg_batch.Parallel { domains; chunk } ->
-    fst (run_parallel ~domains ~chunk sources plan)
+    fst (run_parallel ~domains ~chunk ?cost_rows sources plan)
 
-let run_partial_mode mode sources plan =
+let run_partial_mode ?cost_rows mode sources plan =
   match mode with
   | Alg_batch.Tuple -> run_partial sources plan
   | Alg_batch.Batch { chunk } ->
@@ -266,7 +258,9 @@ let run_partial_mode mode sources plan =
     (envs, List.rev !skipped)
   | Alg_batch.Parallel { domains; chunk } ->
     let skipped = ref [] in
-    let envs, _ = run_parallel ~domains ~chunk (partial_guard skipped sources) plan in
+    let envs, _ =
+      run_parallel ~domains ~chunk ?cost_rows (partial_guard skipped sources) plan
+    in
     (envs, List.rev !skipped)
 
 (* Scan resolution against a prefetched buffer: scatter-gather fetches
@@ -296,6 +290,9 @@ type op_stats = {
   mutable actual_rows : int;
   mutable elapsed_ms : float;  (* inclusive of input operators *)
   mutable pulled : bool;
+  mutable idx_probe : int;
+  mutable idx_guide : int;
+  mutable idx_miss : int;
   op_kids : op_stats list;
 }
 
@@ -305,6 +302,9 @@ let rec make_stats plan =
     actual_rows = 0;
     elapsed_ms = 0.0;
     pulled = false;
+    idx_probe = 0;
+    idx_guide = 0;
+    idx_miss = 0;
     op_kids = List.map make_stats (Alg_plan.children plan);
   }
 
@@ -346,7 +346,16 @@ let run_instrumented sources plan =
     | Some st -> counted st seq
     | None -> seq
   in
-  let envs = List.of_seq (run_hooked hook sources plan) in
+  let on_idx p how =
+    match find_stats index p with
+    | None -> ()
+    | Some st -> (
+      match how with
+      | `Probe -> st.idx_probe <- st.idx_probe + 1
+      | `Guide -> st.idx_guide <- st.idx_guide + 1
+      | `Miss -> st.idx_miss <- st.idx_miss + 1)
+  in
+  let envs = List.of_seq (run_hooked ~on_idx hook sources plan) in
   if Obs_trace.enabled () then Obs_trace.emit (span_of_stats root);
   (envs, root)
 
@@ -356,3 +365,10 @@ let actual_of_stats root =
     match find_stats index plan with
     | Some st when st.pulled -> Some (st.actual_rows, st.elapsed_ms)
     | Some _ | None -> None
+
+let idx_cells_of_stats root =
+  let index = stats_index [] root in
+  fun plan ->
+    match find_stats index plan with
+    | Some st -> Alg_batch.idx_cell st.idx_probe st.idx_guide st.idx_miss
+    | None -> []

@@ -41,6 +41,7 @@ val run_batched :
 val run_parallel :
   ?domains:int ->
   ?chunk:int ->
+  ?cost_rows:(Alg_plan.t -> float) ->
   source_fn ->
   Alg_plan.t ->
   Alg_env.t list * Alg_par.stats
@@ -48,13 +49,20 @@ val run_parallel :
     default {!Alg_par.default_domains}, morsel size default
     {!Alg_batch.default_chunk}), returning the rows plus the
     per-operator parallel statistics.  Same answers, same order, same
-    strict/partial semantics as the other engines. *)
+    strict/partial semantics as the other engines.  [cost_rows]
+    estimates a subplan's output rows so per-partition hash-join tables
+    pre-size from real cardinalities (the mediator passes its
+    feedback/statistics-backed estimator); default is the blind cost
+    model. *)
 
-val run_mode : Alg_batch.mode -> source_fn -> Alg_plan.t -> Alg_env.t list
+val run_mode :
+  ?cost_rows:(Alg_plan.t -> float) ->
+  Alg_batch.mode -> source_fn -> Alg_plan.t -> Alg_env.t list
 (** {!run_list}, {!run_batched} or {!run_parallel} according to the
-    mode. *)
+    mode ([cost_rows] reaches the parallel engine only). *)
 
 val run_partial_mode :
+  ?cost_rows:(Alg_plan.t -> float) ->
   Alg_batch.mode -> source_fn -> Alg_plan.t -> Alg_env.t list * string list
 (** {!run_partial} under any engine: unavailable sources contribute
     no rows and are reported, whichever engine executes the plan. *)
@@ -81,6 +89,9 @@ type op_stats = {
   mutable actual_rows : int;     (** rows this operator produced *)
   mutable elapsed_ms : float;    (** inclusive wall time (with inputs) *)
   mutable pulled : bool;         (** false: the executor never reached it *)
+  mutable idx_probe : int;       (** Navigate bindings answered by value probe *)
+  mutable idx_guide : int;       (** … answered by the structural guide *)
+  mutable idx_miss : int;        (** … that fell back to the tree walker *)
   op_kids : op_stats list;       (** same shape as {!Alg_plan.children} *)
 }
 
@@ -93,6 +104,10 @@ val run_instrumented :
 val actual_of_stats : op_stats -> Alg_plan.t -> (int * float) option
 (** Lookup (by physical node identity) suitable as the [actual] argument
     of {!Alg_cost.explain_analyze}; [None] for nodes never pulled. *)
+
+val idx_cells_of_stats : op_stats -> Alg_plan.t -> string list
+(** The [idx=probe:…/guide:…/miss:…] EXPLAIN ANALYZE cell for a node,
+    empty unless an index answered some of its Navigate bindings. *)
 
 val build_template :
   Alg_env.t -> Alg_plan.template -> Dtree.t

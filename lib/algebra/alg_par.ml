@@ -146,6 +146,10 @@ type op_par = {
   mutable op_morsels : int;
   mutable op_rows : int;
   mutable op_ms : float;  (* inclusive *)
+  (* Navigate index outcomes tick from worker domains, hence atomics. *)
+  op_idx_probe : int Atomic.t;
+  op_idx_guide : int Atomic.t;
+  op_idx_miss : int Atomic.t;
   op_kids : op_par list;
 }
 
@@ -170,6 +174,9 @@ let rec make_stats plan =
     op_morsels = 0;
     op_rows = 0;
     op_ms = 0.0;
+    op_idx_probe = Atomic.make 0;
+    op_idx_guide = Atomic.make 0;
+    op_idx_miss = Atomic.make 0;
     op_kids = List.map make_stats (Alg_plan.children plan);
   }
 
@@ -204,6 +211,13 @@ let cells_of_stats stats plan =
         else if ob.op_morsels > 0 then [ Printf.sprintf "morsels=%d" ob.op_morsels ]
         else []
       in
+      let base =
+        base
+        @ Alg_batch.idx_cell
+            (Atomic.get ob.op_idx_probe)
+            (Atomic.get ob.op_idx_guide)
+            (Atomic.get ob.op_idx_miss)
+      in
       if ob == stats.root then
         base
         @ [
@@ -234,6 +248,7 @@ type config = {
   sources : string -> string -> Alg_env.t Seq.t;
   fallback : Alg_plan.t -> Alg_env.t Seq.t;
   template : Alg_env.t -> Alg_plan.template -> Dtree.t;
+  cost_rows : Alg_plan.t -> float;  (* build-side estimate for join pre-sizing *)
 }
 
 type counters = {
@@ -374,7 +389,7 @@ let par_sort ctx ob specs arr =
 (* Partition count for joins and grouping: one partition per domain. *)
 let partitions ctx = max 1 ctx.cfg.domains
 
-let cost_rows plan =
+let default_cost_rows plan =
   let est = Alg_cost.estimate ~source_rows:(fun _ -> Alg_cost.default_scan_rows) plan in
   est.Alg_cost.rows
 
@@ -442,7 +457,8 @@ and eval_node ctx ob plan : Alg_env.t array =
        estimate, as the sequential engines do for the whole table. *)
     let hint =
       int_of_float
-        (Float.min 1_048_576.0 (Float.max 16.0 (cost_rows right /. float_of_int parts)))
+        (Float.min 1_048_576.0
+           (Float.max 16.0 (ctx.cfg.cost_rows right /. float_of_int parts)))
     in
     let tables : (Value.t, Alg_env.t list ref) Hashtbl.t array =
       Array.init parts (fun _ -> Hashtbl.create hint)
@@ -553,9 +569,12 @@ and eval_node ctx ob plan : Alg_env.t array =
         | None -> ()
         | Some (Dtree.Atom _) -> ()
         | Some (Dtree.Node _ as tree) ->
-          List.iter
-            (fun m -> emit (Alg_env.bind env out (Dtree.of_xml_element m)))
-            (Xml_path.select path (Dtree.to_xml_element tree)))
+          let matches, how = Alg_batch.navigate_matches tree path in
+          (match how with
+          | `Probe -> Atomic.incr ob.op_idx_probe
+          | `Guide -> Atomic.incr ob.op_idx_guide
+          | `Miss -> Atomic.incr ob.op_idx_miss);
+          List.iter (fun m -> emit (Alg_env.bind env out m)) matches)
       (eval ctx (kid 0) input)
   | Alg_plan.Unnest { input; var; label; out } ->
     par_expand ctx ob
@@ -588,13 +607,14 @@ and eval_node ctx ob plan : Alg_env.t array =
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
-let run ?domains ?(chunk = Alg_batch.default_chunk) ~sources ~fallback ~template plan =
+let run ?domains ?(chunk = Alg_batch.default_chunk) ?(cost_rows = default_cost_rows)
+    ~sources ~fallback ~template plan =
   let domains =
     match domains with
     | Some d -> max 1 (min (Pool.max_workers + 1) d)
     | None -> default_domains ()
   in
-  let cfg = { domains; morsel = max 1 chunk; sources; fallback; template } in
+  let cfg = { domains; morsel = max 1 chunk; sources; fallback; template; cost_rows } in
   let counters =
     {
       c_runs = Obs_metrics.counter "par.runs";

@@ -46,6 +46,11 @@ type op_par = {
   mutable op_morsels : int;  (** parallel tasks issued by this operator *)
   mutable op_rows : int;
   mutable op_ms : float;  (** inclusive of input operators *)
+  op_idx_probe : int Atomic.t;
+      (** Navigate bindings answered by a value probe (atomic: Navigate
+          expansion runs on worker domains) *)
+  op_idx_guide : int Atomic.t;  (** … answered by the structural guide *)
+  op_idx_miss : int Atomic.t;  (** … that fell back to the tree walker *)
   op_kids : op_par list;
 }
 
@@ -81,6 +86,7 @@ val default_domains : unit -> int
 val run :
   ?domains:int ->
   ?chunk:int ->
+  ?cost_rows:(Alg_plan.t -> float) ->
   sources:(string -> string -> Alg_env.t Seq.t) ->
   fallback:(Alg_plan.t -> Alg_env.t Seq.t) ->
   template:(Alg_env.t -> Alg_plan.template -> Dtree.t) ->
@@ -89,7 +95,10 @@ val run :
 (** Evaluate the plan with [domains] workers (default
     {!default_domains}, caller included, clamped to the pool limit)
     over morsels of [chunk] rows (default {!Alg_batch.default_chunk}).
-    [sources]/[fallback]/[template] as in {!Alg_batch.run}; most
+    [sources]/[fallback]/[template] as in {!Alg_batch.run};
+    [cost_rows] estimates a subplan's output rows so per-partition
+    hash-join tables pre-size from real cardinalities (default: the
+    blind cost model over {!Alg_cost.default_scan_rows}); most
     callers want {!Alg_exec.run_parallel}.  The domain pool is global
     and reused across runs; it grows to the largest [domains] ever
     requested and is joined at exit. *)

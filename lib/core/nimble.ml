@@ -339,6 +339,42 @@ let exec_report t =
     (Alg_batch.mode_to_string (Med_catalog.exec_mode t.cat))
 
 (* ------------------------------------------------------------------ *)
+(* Path & value indexes                                                *)
+(* ------------------------------------------------------------------ *)
+
+let index_mode (_ : t) = Idx_manager.mode ()
+
+let set_index_mode (_ : t) mode = Idx_manager.set_mode mode
+
+(* Views register under "view:<name>"; a raw registry key (with its
+   prefix) is accepted too, so documents are reachable. *)
+let index_key name = if String.contains name ':' then name else "view:" ^ name
+
+let build_index (_ : t) name =
+  let key = index_key name in
+  match Idx_manager.build key with
+  | Some (paths, nodes, bytes) ->
+    Ok
+      (Printf.sprintf "built index %s: %d paths, %d nodes, %d bytes\n" key paths
+         nodes bytes)
+  | None -> Error (Printf.sprintf "nothing registered under %s" key)
+
+let index_report (_ : t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "index: mode=%s epoch=%d bytes=%d\n"
+       (Idx_manager.mode_to_string (Idx_manager.mode ()))
+       (Idx_manager.epoch ()) (Idx_manager.total_bytes ()));
+  List.iter
+    (fun (name, built, roots, bytes) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-40s %s roots=%d bytes=%d\n" name
+           (if built then "guide" else "unbuilt")
+           roots bytes))
+    (Idx_manager.registered ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Cost-based optimizer                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -426,6 +462,10 @@ let explain_analyze t ?(repeat = 1) text =
 
 let stats_report t =
   Src_registry.publish_availability (Med_catalog.registry t.cat);
+  (* Index counters live in atomics (probes tick on worker domains);
+     mirror them into the metrics registry on the caller before
+     rendering. *)
+  Idx_manager.publish_metrics ();
   let buf = Buffer.create 512 in
   Buffer.add_string buf (Obs_report.metrics_report ());
   Buffer.add_string buf (Obs_report.source_breakdown ());

@@ -106,6 +106,29 @@ val set_exec_mode : t -> Alg_batch.mode -> unit
 val exec_report : t -> string
 (** One-line summary of the execution mode — the repl's [\exec] view. *)
 
+(** {1 Path & value indexes}
+
+    The structural-summary index subsystem ({!Idx_manager}): engines
+    answer indexable [Navigate] paths and pushed-down path selections
+    from per-view/per-document indexes instead of walking trees.
+    Answers are byte-identical with indexes on, off or mixed — this is
+    a throughput knob with optimizer visibility (index-backed
+    cardinalities, probe-aware costing). *)
+
+val index_mode : t -> Idx_manager.mode
+val set_index_mode : t -> Idx_manager.mode -> unit
+(** [Off] never probes, [Auto] (the default) builds guides on first
+    probe, [Eager] builds them at registration. *)
+
+val build_index : t -> string -> (string, string) result
+(** Force-build the structural guide for a materialized view (bare
+    name) or any registry key (["view:…"], ["src:source/doc"]);
+    returns a one-line build summary.  The repl's [\index build]. *)
+
+val index_report : t -> string
+(** Mode, epoch, total bytes and one line per registration — the
+    repl's [\index] view. *)
+
 (** {1 Cost-based optimizer} *)
 
 val optimizer : t -> Med_optimize.mode

@@ -1,0 +1,117 @@
+(* Immutable after [build]; probes are lock-free. *)
+
+type kind =
+  | Text
+  | Attr of string
+  | Child of string
+
+let kind_to_string = function
+  | Text -> "text()"
+  | Attr a -> "@" ^ a
+  | Child c -> c
+
+type t = {
+  eq : (string, int list) Hashtbl.t;   (* canonical key -> ascending ids *)
+  num : (float * int) array;           (* float-parseable, by (value, id) *)
+  str_other : (string * int) array;    (* the rest, by (value, id) *)
+  str_all : (string * int) array;      (* everything, by raw string *)
+  n_entries : int;
+  bytes : int;
+}
+
+(* [Xml_path.compare_values] uses [Float.compare], under which -0. = 0.
+   and nan = nan, so the equality key canonicalizes both before taking
+   the bit pattern. *)
+let float_key f =
+  let f = if f = 0.0 then 0.0 else if Float.is_nan f then Float.nan else f in
+  "N:" ^ Int64.to_string (Int64.bits_of_float f)
+
+let canonical_key raw =
+  match float_of_string_opt raw with
+  | Some f -> float_key f
+  | None -> "S:" ^ raw
+
+let build entries =
+  let eq = Hashtbl.create (max 16 (List.length entries)) in
+  let num = ref [] and str_other = ref [] in
+  List.iter
+    (fun (raw, id) ->
+      let key = canonical_key raw in
+      Hashtbl.replace eq key
+        (id :: (Option.value ~default:[] (Hashtbl.find_opt eq key)));
+      match float_of_string_opt raw with
+      | Some f -> num := (f, id) :: !num
+      | None -> str_other := (raw, id) :: !str_other)
+    entries;
+  Hashtbl.iter (fun k ids -> Hashtbl.replace eq k (List.sort_uniq Int.compare ids)) eq;
+  let by_float (a, i) (b, j) =
+    let c = Float.compare a b in
+    if c <> 0 then c else Int.compare i j
+  in
+  let by_string (a, i) (b, j) =
+    let c = String.compare a b in
+    if c <> 0 then c else Int.compare i j
+  in
+  let num = Array.of_list (List.sort by_float !num) in
+  let str_other = Array.of_list (List.sort by_string !str_other) in
+  let str_all =
+    Array.of_list
+      (List.sort by_string (List.map (fun (raw, id) -> (raw, id)) entries))
+  in
+  let bytes =
+    List.fold_left (fun a (raw, _) -> a + String.length raw + 24) 0 entries * 3
+    + (Array.length num * 16)
+  in
+  { eq; num; str_other; str_all; n_entries = List.length entries; bytes }
+
+let bytes t = t.bytes
+let entries t = t.n_entries
+
+(* First index where [pred] holds; [pred] is monotone over the array. *)
+let bound pred arr =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if pred arr.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let ids_in arr i0 i1 =
+  let out = ref [] in
+  for i = i1 - 1 downto i0 do
+    out := snd arr.(i) :: !out
+  done;
+  !out
+
+(* Entries satisfying [cmp entry_value rhs <op> 0] in a sorted array. *)
+let range_ids op cmp arr =
+  let len = Array.length arr in
+  match op with
+  | Xml_path.Lt -> ids_in arr 0 (bound (fun (v, _) -> cmp v >= 0) arr)
+  | Xml_path.Le -> ids_in arr 0 (bound (fun (v, _) -> cmp v > 0) arr)
+  | Xml_path.Gt -> ids_in arr (bound (fun (v, _) -> cmp v > 0) arr) len
+  | Xml_path.Ge -> ids_in arr (bound (fun (v, _) -> cmp v >= 0) arr) len
+  | Xml_path.Eq | Xml_path.Neq -> invalid_arg "Idx_value.range_ids"
+
+let probe t op rhs =
+  match op with
+  | Xml_path.Neq -> None
+  | Xml_path.Eq ->
+    let key =
+      match float_of_string_opt rhs with
+      | Some f -> float_key f
+      | None -> "S:" ^ rhs
+    in
+    Some (Option.value ~default:[] (Hashtbl.find_opt t.eq key))
+  | Xml_path.Lt | Xml_path.Le | Xml_path.Gt | Xml_path.Ge ->
+    let ids =
+      match float_of_string_opt rhs with
+      | Some rf ->
+        (* Numeric lhs compare as floats; non-numeric lhs fall back to
+           a string comparison against the raw rhs — both sides of
+           [compare_values]. *)
+        range_ids op (fun v -> Float.compare v rf) t.num
+        @ range_ids op (fun v -> String.compare v rhs) t.str_other
+      | None -> range_ids op (fun v -> String.compare v rhs) t.str_all
+    in
+    Some (List.sort_uniq Int.compare ids)

@@ -1,0 +1,34 @@
+(** Value index over one (label path, extraction) pair.
+
+    Entries map a raw string value (element text, attribute value, or a
+    named child's text) to the node ids that carry it.  Probes replicate
+    [Xml_path.compare_values] exactly: two values compare numerically
+    iff both parse as floats, otherwise as strings — so equality keys
+    are split into a numeric bucket (keyed by the canonical float) and a
+    raw-string bucket, and range probes combine a float-ordered scan of
+    the numeric entries with a string-ordered scan of the rest. *)
+
+type t
+
+(** What a path's predicate compares; determines which raw strings feed
+    the index. *)
+type kind =
+  | Text               (** [text() <op> v] — the element's text content *)
+  | Attr of string     (** [@a <op> v] — the attribute's value *)
+  | Child of string    (** [c <op> v] — each child [c]'s text content *)
+
+val kind_to_string : kind -> string
+
+(** Build from [(raw value, node id)] entries; an id may appear under
+    several values (e.g. repeated children). *)
+val build : (string * int) list -> t
+
+(** Approximate heap footprint in bytes. *)
+val bytes : t -> int
+
+(** Number of entries. *)
+val entries : t -> int
+
+(** Ids whose value satisfies [<op> rhs], ascending and deduplicated.
+    [None] for operators the index cannot answer ([Neq]). *)
+val probe : t -> Xml_path.cmp_op -> string -> int list option

@@ -33,18 +33,24 @@ let compute t view_name =
   | None -> fail "unknown view %s" view_name
   | Some v -> List.concat_map (Med_exec.run t.catalog) v.Med_catalog.definitions
 
+(* Materialized data is indexable: (re)registering under "view:<name>"
+   rebuilds or invalidates the structural/value indexes with the data. *)
+let idx_name view_name = "view:" ^ view_name
+
 let materialize t ?(policy = Manual) view_name =
   let data = compute t view_name in
   let entry =
     { view_name; policy; data; version = 1; refreshed_at = t.clock; hits = 0 }
   in
   Hashtbl.replace t.entries view_name entry;
+  Idx_manager.register (idx_name view_name) data;
   entry
 
 let do_refresh t entry =
   entry.data <- compute t entry.view_name;
   entry.version <- entry.version + 1;
-  entry.refreshed_at <- t.clock
+  entry.refreshed_at <- t.clock;
+  Idx_manager.register (idx_name entry.view_name) entry.data
 
 let due t entry =
   match entry.policy with
@@ -69,7 +75,9 @@ let refresh t view_name =
 
 let refresh_all t = Hashtbl.iter (fun _ entry -> do_refresh t entry) t.entries
 
-let drop t view_name = Hashtbl.remove t.entries view_name
+let drop t view_name =
+  Hashtbl.remove t.entries view_name;
+  Idx_manager.unregister (idx_name view_name)
 
 let materialized_names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort String.compare

@@ -38,11 +38,21 @@ let create ?frag_ttl_ms ?(frag_capacity = 0) ?(sem_budget_bytes = 0) () =
 
 let on_mutation t f = t.listeners <- t.listeners @ [ f ]
 
-(* Mutations invalidate the semantic cache before the subscribers hear
-   about them: a plan cache re-compiling against the new catalog must
-   not find stale extents. *)
+(* Mutations invalidate the semantic cache and the source's document
+   indexes before the subscribers hear about them: a plan cache
+   re-compiling against the new catalog must not find stale extents or
+   stale index epochs.  XML stores re-register from their live trees so
+   the next probe rebuilds; anything else just loses its entries and
+   the engines fall back to walking. *)
 let notify_invalidation t name =
   ignore (Sem_cache.invalidate_name t.sem name);
+  Idx_manager.drop_prefix ("src:" ^ name ^ "/");
+  (* Local XML stores re-register straight from their live trees — not
+     through the registered source, whose network wrappers would charge
+     phantom traffic for an index rebuild. *)
+  (match Src_registry.find t.reg name with
+  | Some src when src.Source.kind = Source.Xml_store -> Xml_source.reindex name
+  | Some _ | None -> ());
   List.iter (fun f -> f name) t.listeners
 
 let registry t = t.reg

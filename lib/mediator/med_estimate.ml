@@ -198,6 +198,13 @@ let table_rows stats ~source ~export =
     (fun ts -> float_of_int ts.Med_stats.ts_rows)
     (Med_stats.find stats ~source ~export)
 
+(* Index-backed path cardinality: when the document's structural guide
+   is already built, it answers the match count of an indexable path
+   exactly (and value indexes refine predicate paths).  Consults only
+   built indexes — estimation never triggers index construction. *)
+let path_rows ~source ~export path =
+  Idx_manager.estimate ("src:" ^ source ^ "/" ^ export) path
+
 let column_distinct stats ~source ~export ~column =
   match Med_stats.find stats ~source ~export with
   | None -> None

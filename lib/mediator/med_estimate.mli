@@ -20,6 +20,12 @@ val select_rows : Med_stats.t -> source:string -> Sql_ast.select -> float option
 val table_rows : Med_stats.t -> source:string -> export:string -> float option
 (** Row count of one export, when known. *)
 
+val path_rows : source:string -> export:string -> Xml_path.t -> float option
+(** Index-backed path cardinality: the exact match count from the
+    document's structural guide (refined by value indexes for
+    predicate paths) when one is already built; [None] otherwise.
+    Never triggers index construction. *)
+
 val column_distinct :
   Med_stats.t -> source:string -> export:string -> column:string -> int option
 (** Distinct non-null count of one column, when known. *)

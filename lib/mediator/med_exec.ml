@@ -583,8 +583,16 @@ and resolve_binds catalog ~opts ~view_lookup (compiled : Med_planner.compiled)
               match bind_key_values driver_envs bind_var with
               | [] ->
                 (* The equi-join above has an empty build side: nothing
-                   the bound fetch returns can survive it. *)
-                Ok []
+                   the bound fetch returns can survive it.  Availability
+                   must still mirror the unbound scan, or strict/partial
+                   outcomes would depend on the optimizer's plan
+                   choice. *)
+                let src =
+                  Src_registry.find_exn (Med_catalog.registry catalog)
+                    source_name
+                in
+                if src.Source.is_available () then Ok []
+                else Error (Source.Unavailable source_name)
               | keys when List.length keys > max_bind_keys ->
                 (try Ok (unbound ()) with e -> Error e)
               | keys -> (
@@ -705,9 +713,20 @@ and exec catalog ~opts ~partial ~view_lookup (compiled : Med_planner.compiled) =
   Obs_trace.with_span "query" (fun qspan ->
       let sources, _fetch_info = prepare catalog ~opts ~view_lookup compiled in
       let mode = Med_catalog.exec_mode catalog in
+      (* Feedback/statistics/index-backed cardinalities, so the parallel
+         engine pre-sizes its per-partition join tables from real
+         estimates instead of the blind scan default. *)
+      let cost_rows plan =
+        let src aid =
+          Med_planner.source_rows ~feedback:(Med_catalog.feedback catalog)
+            ~stats:(Med_catalog.stats catalog) compiled aid
+        in
+        (Alg_cost.estimate ~source_rows:src plan).Alg_cost.rows
+      in
       let envs, skipped =
-        if partial then Alg_exec.run_partial_mode mode sources compiled.Med_planner.plan
-        else (Alg_exec.run_mode mode sources compiled.Med_planner.plan, [])
+        if partial then
+          Alg_exec.run_partial_mode ~cost_rows mode sources compiled.Med_planner.plan
+        else (Alg_exec.run_mode ~cost_rows mode sources compiled.Med_planner.plan, [])
       in
       if skipped <> [] then begin
         (* Partial-result degradation (section 3.4): the answer shipped,
@@ -766,6 +785,7 @@ type access_stat = {
   stat_ms : float;
   stat_fetch : fetch_info option;
   stat_sem : Sem_cache.outcome option;
+  stat_idx : int * int * int;
 }
 
 type analysis = {
@@ -804,26 +824,34 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
   (* Wrap the source function to tally per-access calls / rows / time
      (the per-source-fragment half of the report; the operator half comes
      from the instrumented executor). *)
-  let tally : (string, int ref * int ref * float ref) Hashtbl.t =
+  let tally : (string, int ref * int ref * float ref * (int * int * int) ref) Hashtbl.t
+      =
     Hashtbl.create 8
   in
   let t0 = Obs_clock.wall_ms () in
   let v0 = Obs_clock.virtual_ms () in
   let base, fetch_info = prepare catalog ~opts ~view_lookup compiled in
   let sources aid binding =
-    let calls, rows, ms =
+    let calls, rows, ms, idx =
       match Hashtbl.find_opt tally aid with
       | Some cell -> cell
       | None ->
-        let cell = (ref 0, ref 0, ref 0.0) in
+        let cell = (ref 0, ref 0, ref 0.0, ref (0, 0, 0)) in
         Hashtbl.add tally aid cell;
         cell
     in
     let t0 = Obs_clock.wall_ms () in
+    (* Index-outcome deltas around the fetch attribute probe/guide/miss
+       counts to the access that triggered them (fetches run on the
+       caller's domain, so the deltas are this access's alone). *)
+    let g0, p0, m0 = Idx_manager.counters () in
     let envs = List.of_seq (base aid binding) in
+    let g1, p1, m1 = Idx_manager.counters () in
     incr calls;
     rows := !rows + List.length envs;
     ms := !ms +. (Obs_clock.wall_ms () -. t0);
+    (let p, g, m = !idx in
+     idx := (p + p1 - p0, g + g1 - g0, m + m1 - m0));
     List.to_seq envs
   in
   let mode = Med_catalog.exec_mode catalog in
@@ -835,7 +863,7 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
             Alg_exec.run_instrumented sources compiled.Med_planner.plan
           in
           Obs_span.set_int qspan "rows" (List.length envs);
-          (envs, Alg_exec.actual_of_stats op_root, fun _ -> [])
+          (envs, Alg_exec.actual_of_stats op_root, Alg_exec.idx_cells_of_stats op_root)
         | Alg_batch.Batch { chunk } ->
           let envs, bstats =
             Alg_exec.run_batched ~chunk sources compiled.Med_planner.plan
@@ -845,8 +873,12 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
             Obs_trace.emit (Alg_batch.span_of_stats bstats);
           (envs, Alg_batch.actual_of_stats bstats, Alg_batch.cells_of_stats bstats)
         | Alg_batch.Parallel { domains; chunk } ->
+          let cost_rows plan =
+            (Alg_cost.estimate ~source_rows plan).Alg_cost.rows
+          in
           let envs, pstats =
-            Alg_exec.run_parallel ~domains ~chunk sources compiled.Med_planner.plan
+            Alg_exec.run_parallel ~domains ~chunk ~cost_rows sources
+              compiled.Med_planner.plan
           in
           Obs_span.set_int qspan "rows" (List.length envs);
           if Obs_trace.enabled () then
@@ -864,10 +896,10 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
   let accesses =
     List.map
       (fun (aid, access) ->
-        let calls, rows, ms =
+        let calls, rows, ms, idx =
           match Hashtbl.find_opt tally aid with
-          | Some (c, r, m) -> (!c, !r, !m)
-          | None -> (0, 0, 0.0)
+          | Some (c, r, m, i) -> (!c, !r, !m, !i)
+          | None -> (0, 0, 0.0, (0, 0, 0))
         in
         {
           stat_id = aid;
@@ -876,6 +908,7 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
           stat_calls = calls;
           stat_rows = rows;
           stat_ms = ms;
+          stat_idx = idx;
           stat_fetch = fetch_info access;
           stat_sem =
             (let sem = Med_catalog.sem_cache catalog in
@@ -931,6 +964,11 @@ let analysis_to_string a =
         | None -> []
         | Some o -> Sem_cache.outcome_cells o
       in
+      let idx =
+        let p, g, m = st.stat_idx in
+        if p + g = 0 then []
+        else [ ("idx", Printf.sprintf "probe:%d/guide:%d/miss:%d" p g m) ]
+      in
       Buffer.add_string buf
         (Med_planner.access_to_string (st.stat_id, st.stat_access));
       Buffer.add_string buf
@@ -942,7 +980,7 @@ let analysis_to_string a =
                  Obs_report.int_cell "rows" st.stat_rows;
                  ("time", Printf.sprintf "%.2fms" st.stat_ms);
                ]
-              @ fetch @ sem)))
+              @ fetch @ sem @ idx)))
       )
     a.analyzed_accesses;
   let exec_note =

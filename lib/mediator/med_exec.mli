@@ -84,6 +84,10 @@ type access_stat = {
   stat_sem : Sem_cache.outcome option;
       (** semantic-cache verdict for the access's fragment this run
           ([None] when the cache is off or the access is ineligible) *)
+  stat_idx : int * int * int;
+      (** (value probes, guide probes, walker fallbacks) the index
+          subsystem answered inside this access's fetches — non-zero
+          only for path accesses against indexed XML stores *)
 }
 
 type analysis = {

@@ -103,6 +103,15 @@ let stats_rows stats access =
     Med_estimate.table_rows stats ~source:source_name ~export
   | A_view _ -> None
 
+(* Exact match counts from an already-built structural guide, for path
+   accesses.  Sits between feedback and statistics in the chain: as
+   precise as feedback (it counts the actual document), but available
+   before the access ever ran. *)
+let index_rows = function
+  | A_path { source_name; export; path; _ } ->
+    Med_estimate.path_rows ~source:source_name ~export path
+  | A_sql _ | A_sql_bind _ | A_sql_join _ | A_match _ | A_view _ -> None
+
 let estimated_rows ?feedback ?stats access =
   let observed =
     Option.bind feedback (fun fb -> Obs_feedback.observed fb (access_key access))
@@ -110,9 +119,12 @@ let estimated_rows ?feedback ?stats access =
   match observed with
   | Some rows -> rows
   | None -> (
-    match Option.bind stats (fun s -> stats_rows s access) with
+    match index_rows access with
     | Some rows -> rows
-    | None -> Med_estimate.default_rows)
+    | None -> (
+      match Option.bind stats (fun s -> stats_rows s access) with
+      | Some rows -> rows
+      | None -> Med_estimate.default_rows))
 
 (* Variables an access binds. *)
 let access_vars = function

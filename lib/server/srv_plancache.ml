@@ -337,6 +337,10 @@ type entry = {
   e_kind : kind;
   e_sources : string list;  (* transitive closure, for invalidation *)
   e_epoch : int;  (* stats epoch at compile time; stale plans re-optimize *)
+  e_idx_epoch : int;
+      (* index-registry epoch at compile time: plans optimized before an
+         index appeared (or after one dropped) recompile so their access
+         estimates see the current indexes *)
   mutable e_last_used : int;
 }
 
@@ -437,11 +441,15 @@ let note_hit t = t.hits <- t.hits + 1; Obs_metrics.inc t.m_hits
 let note_miss t = t.misses <- t.misses + 1; Obs_metrics.inc t.m_misses
 
 (* A plan compiled under an older statistics epoch may carry a join
-   order the refreshed statistics would no longer choose.  Drop it and
-   recompile instead of silently reusing it. *)
+   order the refreshed statistics would no longer choose; one compiled
+   under another index epoch carries access estimates that ignore an
+   index that has since been built (or trust one that was dropped).
+   Drop it and recompile instead of silently reusing it. *)
 let find_fresh t key =
   match Hashtbl.find_opt t.entries key with
-  | Some e when e.e_epoch < Med_catalog.stats_epoch t.cat ->
+  | Some e
+    when e.e_epoch < Med_catalog.stats_epoch t.cat
+         || e.e_idx_epoch <> Idx_manager.epoch () ->
     Hashtbl.remove t.entries key;
     t.invalidations <- t.invalidations + 1;
     Obs_metrics.inc t.m_invalidations;
@@ -483,7 +491,8 @@ let store t key kind compiled =
   done;
   let e =
     { e_key = key; e_kind = kind; e_sources = sources_of t compiled;
-      e_epoch = Med_catalog.stats_epoch t.cat; e_last_used = 0 }
+      e_epoch = Med_catalog.stats_epoch t.cat;
+      e_idx_epoch = Idx_manager.epoch (); e_last_used = 0 }
   in
   touch t e;
   Hashtbl.replace t.entries key e;

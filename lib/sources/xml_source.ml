@@ -15,9 +15,22 @@ let capability =
     can_path = true;
   }
 
+(* Registry key for one document's index entry; the source-wide prefix
+   "src:<name>/" is what catalog invalidation drops. *)
+let idx_name source doc = "src:" ^ source ^ "/" ^ doc
+
+let register_docs name docs =
+  List.iter (fun (doc, tree) -> Idx_manager.register (idx_name name doc) [ tree ]) docs
+
+let reindex name =
+  match Hashtbl.find_opt stores name with
+  | Some store -> register_docs name store.docs
+  | None -> ()
+
 let make ~name docs =
   let store = { docs } in
   Hashtbl.replace stores name store;
+  register_docs name docs;
   let find doc_name =
     match List.assoc_opt doc_name store.docs with
     | Some tree -> [ tree ]
@@ -28,12 +41,23 @@ let make ~name docs =
     | Source.Q_scan doc_name -> Source.R_trees (find doc_name)
     | Source.Q_path (doc_name, path) ->
       let trees = find doc_name in
+      (* Self-heal after a source invalidation dropped this document's
+         entry: re-register from the live trees (no refetch, so wrapped
+         network layers charge nothing). *)
+      let key = idx_name name doc_name in
+      if (not (Idx_manager.is_registered key)) && Idx_manager.mode () <> Idx_manager.Off
+      then Idx_manager.register key trees;
       let matches =
         List.concat_map
-          (fun tree -> Xml_path.select path (Dtree.to_xml_element tree))
+          (fun tree ->
+            match Idx_manager.try_select tree path with
+            | Some (results, _) -> results
+            | None ->
+              List.map Dtree.of_xml_element
+                (Xml_path.select path (Dtree.to_xml_element tree)))
           trees
       in
-      Source.R_trees (List.map Dtree.of_xml_element matches)
+      Source.R_trees matches
     | Source.Q_sql _ -> raise (Source.Query_rejected "XML stores do not accept SQL")
     | Source.Q_batch _ -> raise (Source.Query_rejected "XML stores do not accept batches")
   in
@@ -57,5 +81,7 @@ let of_xml_strings ~name texts =
 
 let add_document source doc_name tree =
   match Hashtbl.find_opt stores source.Source.name with
-  | Some store -> store.docs <- store.docs @ [ (doc_name, tree) ]
+  | Some store ->
+    store.docs <- store.docs @ [ (doc_name, tree) ];
+    Idx_manager.register (idx_name source.Source.name doc_name) [ tree ]
   | None -> invalid_arg "Xml_source.add_document: not an Xml_source-backed source"

@@ -13,3 +13,10 @@ val add_document : Source.t -> string -> Dtree.t -> unit
 (** Sources made by this module are backed by a mutable store; adding a
     document makes it visible to subsequent queries.
     @raise Invalid_argument when the source was not made here. *)
+
+val reindex : string -> unit
+(** Re-register every document of the named store with {!Idx_manager}
+    from its live trees — no source call, so network wrappers between
+    the catalog and the store see nothing.  No-op for names this module
+    never made (e.g. relational sources).  The catalog calls this after
+    an invalidation drops the source's index entries. *)

@@ -64,6 +64,11 @@ exception Syntax_error of string
 val parse : string -> (t, string) result
 val parse_exn : string -> t
 
+val compare_values : cmp_op -> string -> string -> bool
+(** The comparison used by predicates: numeric when both sides parse as
+    floats, string otherwise.  Exposed so index probes can replicate
+    predicate semantics exactly. *)
+
 val to_string : t -> string
 (** Re-render a parsed path (canonical axis syntax). *)
 

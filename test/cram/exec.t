@@ -52,7 +52,7 @@ and the plan root adds the domain count and per-domain busy-time skew
         SCAN a2 AS $*  (est 1000 rows, actual 2 rows, _ms)
   accesses:
     j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=1000 calls=1 rows=3 time=_ms]
-    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms idx=probe:0/guide:1/miss:0]
   -- 3 rows in _ms (virtual _ms) [parallel domains=2 chunk=8]
 
 Under batch mode EXPLAIN ANALYZE reports, per operator, how many
@@ -67,7 +67,7 @@ against the configured chunk size, and the footer names the engine:
         SCAN a2 AS $*  (est 1000 rows, actual 2 rows, _ms, batches=1 rows/batch=2.0 fill=0.25)
   accesses:
     j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=1000 calls=1 rows=3 time=_ms]
-    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms idx=probe:0/guide:1/miss:0]
   -- 3 rows in _ms (virtual _ms) [batch chunk=8]
 
 Tuple mode output is unchanged (no batch columns, no footer note):
@@ -80,7 +80,7 @@ Tuple mode output is unchanged (no batch columns, no footer note):
         SCAN a2 AS $*  (est 1000 rows, actual 2 rows, _ms)
   accesses:
     j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=1000 calls=1 rows=3 time=_ms]
-    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms idx=probe:0/guide:1/miss:0]
   -- 3 rows in _ms (virtual _ms)
 
 The repl can switch engines mid-session:

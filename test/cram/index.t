@@ -1,0 +1,59 @@
+The path & value index subsystem: structural-summary guides over XML
+stores and materialized views, probed by every engine with a guaranteed
+walker fallback.  Answers are byte-identical with indexes off, auto or
+eager — indexing is a throughput knob with optimizer visibility.
+
+  $ export NIMBLE=../../bin/nimble_cli.exe
+  $ Q='WHERE <product sku=$s><price>$p</price></product> IN "products", $p < 100 CONSTRUCT <r><s>$s</s><p>$p</p></r>'
+
+  $ $NIMBLE query "$Q" > auto.out
+  $ $NIMBLE query --index off "$Q" > off.out
+  $ $NIMBLE query --index eager "$Q" > eager.out
+  $ cmp auto.out off.out && cmp auto.out eager.out && cat auto.out
+  r
+    s: widget
+    p: 25
+  
+
+The mode must be known:
+
+  $ $NIMBLE query --index sometimes "$Q"
+  nimble: unknown index mode "sometimes" (expected auto, off or eager)
+  [124]
+
+Under --index eager the guides exist at compile time, so the optimizer
+estimates path accesses from exact index counts instead of the blind
+default, and EXPLAIN ANALYZE attributes the access's bindings to index
+probes (the value probe answers the @sku/price lookup):
+
+  $ $NIMBLE explain-analyze --index eager "$Q" | sed -E -e 's/[0-9]+\.[0-9]+ms/_ms/g'
+  SELECT ($p < 100)  (est 1 rows, actual 1 rows, _ms)
+    SCAN a0 AS $*  (est 2 rows, actual 2 rows, _ms)
+  accesses:
+    a0 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$s><price>$p</price></product>  [est=2 calls=1 rows=2 time=_ms idx=probe:0/guide:1/miss:0]
+  -- 1 rows in _ms (virtual _ms)
+
+With indexes off the same access walks the tree (no idx cell):
+
+  $ $NIMBLE explain-analyze --index off "$Q" | sed -E -e 's/[0-9]+\.[0-9]+ms/_ms/g'
+  SELECT ($p < 100)  (est 300 rows, actual 1 rows, _ms)
+    SCAN a0 AS $*  (est 1000 rows, actual 2 rows, _ms)
+  accesses:
+    a0 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$s><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
+  -- 1 rows in _ms (virtual _ms)
+
+The repl inspects and steers the registry: \index lists registrations
+(the demo XML store registers its document), \index build force-builds
+a guide, \index off drops back to walking:
+
+  $ printf '\\index\n\\index build src:products/catalog\n\\index\n\\index off\n\\index build src:products/catalog\n\\quit\n' | $NIMBLE repl
+  nimble repl — 2 source(s) registered, \help for commands
+  nimble> index: mode=auto epoch=0 bytes=0
+    src:products/catalog                     unbuilt roots=1 bytes=0
+  nimble> built index src:products/catalog: 3 paths, 5 nodes, 323 bytes
+  nimble> index: mode=auto epoch=1 bytes=323
+    src:products/catalog                     guide roots=1 bytes=323
+  nimble> index: mode=off epoch=2 bytes=323
+    src:products/catalog                     guide roots=1 bytes=323
+  nimble> built index src:products/catalog: 3 paths, 5 nodes, 323 bytes
+  nimble> 

@@ -19,7 +19,7 @@ cardinalities — and puts the smaller products scan on the build side:
         SCAN a2 AS $*  (est 1000 rows, actual 2 rows, _ms)
   accesses:
     j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=1000 calls=1 rows=3 time=_ms]
-    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=1000 calls=1 rows=2 time=_ms idx=probe:0/guide:1/miss:0]
   -- 3 rows in _ms (virtual _ms)
   == run 2 ==
   PROJECT [it, p, i, n]  (est 1 rows, actual 3 rows, _ms)
@@ -29,7 +29,7 @@ cardinalities — and puts the smaller products scan on the build side:
         SCAN j0 AS $*  (est 3 rows, actual 3 rows, _ms)
   accesses:
     j0 -> SQL-JOIN @crm: SELECT t0.id AS c0, t1.item AS c1, t0.name AS c2 FROM customers AS t0 JOIN orders AS t1 ON TRUE WHERE t0.id = t1.cust_id  [est=3 calls=1 rows=3 time=_ms]
-    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=2 calls=1 rows=2 time=_ms]
+    a2 -> PATH @products.catalog: /descendant-or-self::product[@sku][price] then match <product sku=$it><price>$p</price></product>  [est=2 calls=1 rows=2 time=_ms idx=probe:0/guide:1/miss:0]
   -- 3 rows in _ms (virtual _ms)
 
 Tracing renders the span tree: the query root and one span per source
@@ -60,6 +60,13 @@ result cache on the second pass (hits=1, but only one source access):
     fragcache.hits                           0
     fragcache.invalidations                  0
     fragcache.misses                         0
+    idx.builds                               0
+    idx.bytes                                0
+    idx.guide_hits                           0
+    idx.indexes                              1
+    idx.invalidations                        1
+    idx.misses                               0
+    idx.value_hits                           0
     mediator.capability_fallbacks            0
     opt.analyze_runs                         0
     opt.bind_joins                           0

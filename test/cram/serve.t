@@ -72,7 +72,10 @@ dispatch time instead of running late:
 Partial-failure semantics survive dispatch: with the products source
 offline, a strict request fails while a partial one completes and
 reports what it skipped.  Catalog invalidation drops the cached plans
-that depend on the mutated source (and only those):
+that depend on the mutated source (and only those).  The first
+catalog request also builds the products path index mid-run, moving
+the index epoch, so the next catalog request recompiles once (the
+extra miss below) to plan with index-backed estimates:
 
   $ cat > partial.serve <<'EOF'
   > demo
@@ -98,5 +101,5 @@ that depend on the mutated source (and only those):
   req 3 admin catalog.all ok engine=0 wait=1.00 plan=hit service=1.00 rows=0 skipped=products
   source products online
   invalidated products (dropped 0 cached results)
-  plan cache: size=1/32 hits=2 misses=2 evictions=0 invalidations=1 fallbacks=0
+  plan cache: size=1/32 hits=1 misses=3 evictions=0 invalidations=2 fallbacks=0
     param sales/by_region?region:str  sources=crm

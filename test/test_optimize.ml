@@ -222,6 +222,9 @@ let engine_of = function
 
 let prop_dp_equals_greedy =
   QCheck2.Test.make ~name:"dp plan = greedy plan (answers byte-identical)"
+    ~print:(fun (seed, ncust, norders, offline, engine, strict, qidx) ->
+      Printf.sprintf "seed=%d ncust=%d norders=%d offline=%b engine=%d strict=%b qidx=%d"
+        seed ncust norders offline engine strict qidx)
     ~count:40 gen_case
     (fun (seed, ncust, norders, offline, engine, strict, qidx) ->
       let cat_g, _ =

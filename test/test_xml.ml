@@ -281,6 +281,39 @@ let test_path_matches () =
   check bool_t "matches" true (Xml_path.matches (Xml_path.parse_exn "//book") (sample ()));
   check bool_t "no match" false (Xml_path.matches (Xml_path.parse_exn "//dvd") (sample ()))
 
+(* Every <b> below is reachable from several <a> ancestors; the result
+   must still carry each node once, in document order — the set
+   semantics the structural index relies on (see Idx_guide). *)
+let test_path_descendant_set_semantics () =
+  let e = parse "<r><a><a><b>1</b><a><b>2</b></a></a><b>3</b></a><b>4</b></r>" in
+  let got = List.map Xml_types.text_content (select "//a//b" e) in
+  check (Alcotest.list string_t) "each once, document order" [ "1"; "2"; "3" ] got;
+  let got = List.map Xml_types.text_content (select "//a/descendant-or-self::b" e) in
+  check (Alcotest.list string_t) "descendant-or-self dedups too" [ "1"; "2"; "3" ] got
+
+let test_path_axes_at_edges () =
+  let e = parse "<r><only><c>x</c></only></r>" in
+  (* Upward axes off the root: nothing above, no crash, no phantom. *)
+  check int_t "parent of root" 0 (List.length (select "/.." e));
+  check int_t "ancestors of root" 0 (List.length (select "/ancestor::*" e));
+  (* Sibling axes on an only child. *)
+  check int_t "following-sibling of only child" 0
+    (List.length (select "/only/following-sibling::*" e));
+  check int_t "preceding-sibling of only child" 0
+    (List.length (select "/only/preceding-sibling::*" e));
+  (* Ancestors come back deduplicated and each exactly once. *)
+  let anc = select "//c/ancestor::*" e in
+  check int_t "two ancestors of c" 2 (List.length anc)
+
+let test_path_position_under_descendant () =
+  let e = parse "<r><s><b>1</b><b>2</b></s><s><b>3</b></s></r>" in
+  (* position() is per expansion context (the node set one step yields
+     from one input node), not global: each <s> restarts the count. *)
+  let first = List.map Xml_types.text_content (select "//s/b[position()=1]" e) in
+  check (Alcotest.list string_t) "first b of each s" [ "1"; "3" ] first;
+  let second = List.map Xml_types.text_content (select "//s/b[position()=2]" e) in
+  check (Alcotest.list string_t) "second b where present" [ "2" ] second
+
 (* ------------------------------------------------------------------ *)
 (* Pretty printer                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -341,5 +374,10 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_path_parse_errors;
           Alcotest.test_case "roundtrip" `Quick test_path_roundtrip;
           Alcotest.test_case "matches" `Quick test_path_matches;
+          Alcotest.test_case "descendant set semantics" `Quick
+            test_path_descendant_set_semantics;
+          Alcotest.test_case "axes at tree edges" `Quick test_path_axes_at_edges;
+          Alcotest.test_case "position under descendant" `Quick
+            test_path_position_under_descendant;
         ] );
     ]
