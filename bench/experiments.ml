@@ -1445,6 +1445,114 @@ let e18 () =
   Bench_json.note_param "identical" "yes";
   Bench_json.note_rows (2 * repeat)
 
+(* ------------------------------------------------------------------ *)
+(* E19: fault injection — availability sweep with retries on/off, and  *)
+(* breaker fail-fast vs naive per-fragment retry timeouts              *)
+(* ------------------------------------------------------------------ *)
+
+let e19 () =
+  section "E19"
+    "fault injection: completeness & virtual time vs availability, breaker fail-fast";
+  let rows = if !quick then 40 else 200 in
+  let queries = if !quick then 25 else 100 in
+  let q =
+    Xq_parser.parse_exn
+      {|WHERE <row><id>$i</id><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 1
+        CONSTRUCT <c>$n</c>|}
+  in
+  (* Backoff 15/30ms outlasts every transient window the schedule below
+     generates at availability >= 0.7 (window <= 12ms per 40ms period). *)
+  let retry_policy =
+    {
+      Src_retry.default_policy with
+      max_retries = 2;
+      base_backoff_ms = 15.0;
+      max_backoff_ms = 60.0;
+      jitter = 0.0;
+    }
+  in
+  (* One configuration = fresh federation under a seeded transient
+     schedule; [queries] partial-mode queries separated by 13ms of
+     think time.  Virtual cost counts only query time (retries,
+     backoffs, latencies), not the think time. *)
+  let run_config ~availability ~retries =
+    Obs_clock.reset_virtual ();
+    let faults =
+      Net_sim.availability_schedule ~seed:7 ~availability ~period_ms:40.0
+        ~horizon_ms:1.0e7
+    in
+    let cat = Med_catalog.create () in
+    let src, _ =
+      Net_sim.wrap ~seed:7 ~faults Net_sim.default_profile
+        (Rel_source.make (Workloads.customer_db (Prng.create 191) ~name:"crm" ~rows))
+    in
+    Med_catalog.register_source cat src;
+    if retries then Med_catalog.set_retry_policy cat retry_policy;
+    let compiled = Med_exec.compile cat q in
+    let complete = ref 0 and vms = ref 0.0 in
+    for _ = 1 to queries do
+      let v0 = Obs_clock.virtual_ms () in
+      let r = Med_exec.run_compiled_partial cat compiled in
+      vms := !vms +. (Obs_clock.virtual_ms () -. v0);
+      if r.Med_exec.skipped_sources = [] then incr complete;
+      Obs_clock.advance 13.0
+    done;
+    (100.0 *. float_of_int !complete /. float_of_int queries, !vms)
+  in
+  row "%-14s %14s %14s %14s %14s\n" "availability" "complete(off)" "vms(off)"
+    "complete(on)" "vms(on)";
+  List.iter
+    (fun availability ->
+      let c_off, v_off = run_config ~availability ~retries:false in
+      let c_on, v_on = run_config ~availability ~retries:true in
+      row "%-14.1f %13.0f%% %14.1f %13.0f%% %14.1f\n" availability c_off v_off c_on
+        v_on;
+      (* The acceptance bar: a 2-retry budget recovers every fragment of
+         every query when windows are short enough to outlast. *)
+      if (availability = 0.7 || availability = 0.9) && c_on < 100.0 then
+        failwith
+          (Printf.sprintf
+             "E19: retries-on completeness %.0f%% at availability %.1f (expected \
+              100%%)"
+             c_on availability);
+      Bench_json.note_param
+        (Printf.sprintf "a%.1f" availability)
+        (Printf.sprintf "off %.0f%%/%.1fms on %.0f%%/%.1fms" c_off v_off c_on v_on))
+    [ 1.0; 0.9; 0.7; 0.5 ];
+  (* Breaker fail-fast: against a persistently dead source, naive
+     per-fragment retry timeouts pay latency plus backoff on every
+     query; a breaker pays them once, then fails fast. *)
+  let dead_run ~breaker =
+    Obs_clock.reset_virtual ();
+    let cat = Med_catalog.create () in
+    let src, _ =
+      Net_sim.wrap ~seed:7
+        ~faults:[ Net_sim.persistently_offline ]
+        Net_sim.default_profile
+        (Rel_source.make (Workloads.customer_db (Prng.create 192) ~name:"crm" ~rows))
+    in
+    Med_catalog.register_source cat src;
+    Med_catalog.set_retry_policy cat
+      { retry_policy with breaker; breaker_threshold = 3; breaker_cooldown_ms = 1.0e6 };
+    let compiled = Med_exec.compile cat q in
+    let v0 = Obs_clock.virtual_ms () in
+    for _ = 1 to queries do
+      ignore (Med_exec.run_compiled_partial cat compiled)
+    done;
+    Obs_clock.virtual_ms () -. v0
+  in
+  let v_naive = dead_run ~breaker:false in
+  let v_breaker = dead_run ~breaker:true in
+  row "dead source, %d queries: naive %.1f virtual ms, breaker %.1f virtual ms (%.0fx)\n"
+    queries v_naive v_breaker (v_naive /. Float.max v_breaker 0.001);
+  if v_breaker >= v_naive then
+    failwith "E19: breaker fail-fast did not cut virtual time";
+  Bench_json.note_param "naive_virtual_ms" (Printf.sprintf "%.1f" v_naive);
+  Bench_json.note_param "breaker_virtual_ms" (Printf.sprintf "%.1f" v_breaker);
+  Bench_json.note_param "queries" (string_of_int queries);
+  Bench_json.note_param "retries" (string_of_int retry_policy.Src_retry.max_retries);
+  Bench_json.note_rows queries
+
 let all () =
   e1 ();
   e2 ();
@@ -1465,4 +1573,5 @@ let all () =
   e15 ();
   e16 ();
   e17 ();
-  e18 ()
+  e18 ();
+  e19 ()

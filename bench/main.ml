@@ -33,6 +33,7 @@ let experiments : (string * (unit -> unit)) list =
     ("E16", Experiments.e16);
     ("E17", Experiments.e17);
     ("E18", Experiments.e18);
+    ("E19", Experiments.e19);
   ]
 
 (* Experiments run behind this wrapper so every one of them emits its

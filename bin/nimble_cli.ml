@@ -72,14 +72,74 @@ let demo_federation () =
   in
   [ Rel_source.make db; products ]
 
-(* --fetch-mode/--fetch-fanout/--frag-cache, collected into one value so
-   every subcommand threads them identically. *)
-let apply_fetch sys (mode, fanout, frag_capacity, sem_budget) =
+(* --fetch-mode/--fetch-fanout/--frag-cache plus the resilience knobs
+   (--retry/--retry-deadline/--breaker/--flaky), collected into one
+   value so every subcommand threads them identically. *)
+let apply_fetch sys (mode, fanout, frag_capacity, sem_budget, retries, deadline, breaker, _flaky)
+    =
   (match Fetch_sched.mode_of_string mode with
   | Some m -> Nimble.set_fetch_options sys { Fetch_sched.mode = m; fanout = max 1 fanout }
   | None -> failwith (Printf.sprintf "unknown fetch mode %S (seq, gather)" mode));
   if frag_capacity > 0 then Nimble.configure_frag_cache sys ~capacity:frag_capacity ();
-  if sem_budget > 0 then Nimble.configure_sem_cache sys ~budget_bytes:sem_budget ()
+  if sem_budget > 0 then Nimble.configure_sem_cache sys ~budget_bytes:sem_budget ();
+  if retries < 0 then failwith "--retry must be non-negative";
+  if deadline < 0.0 then failwith "--retry-deadline must be non-negative";
+  let breaker =
+    match breaker with
+    | "on" -> true
+    | "off" -> false
+    | s -> failwith (Printf.sprintf "unknown breaker mode %S (on, off)" s)
+  in
+  Nimble.set_retry_policy sys
+    {
+      Src_retry.default_policy with
+      max_retries = retries;
+      call_deadline_ms = (if deadline > 0.0 then Some deadline else None);
+      breaker;
+    }
+
+(* --flaky NAME=SPEC[,SPEC...]: wrap an already-registered source in a
+   deterministic fault schedule (windows in virtual ms). *)
+let parse_fault spec =
+  let f s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "bad fault window number %S" s)
+  in
+  match String.split_on_char ':' spec with
+  | [ "down" ] -> Net_sim.persistently_offline
+  | [ "off"; a; b ] -> Net_sim.offline_window ~from_ms:(f a) ~until_ms:(f b)
+  | [ "slow"; a; b; x ] ->
+    Net_sim.slow_window ~from_ms:(f a) ~until_ms:(f b) ~factor:(f x) ()
+  | [ "mid"; a; b; p ] -> (
+    match int_of_string_opt p with
+    | Some prefix -> Net_sim.midstream_window ~from_ms:(f a) ~until_ms:(f b) ~prefix
+    | None -> failwith (Printf.sprintf "bad mid-stream prefix %S" p))
+  | _ ->
+    failwith
+      (Printf.sprintf
+         "bad fault spec %S (down, off:FROM:UNTIL, slow:FROM:UNTIL:FACTOR, \
+          mid:FROM:UNTIL:PREFIX)"
+         spec)
+
+let apply_flaky sys spec =
+  match String.index_opt spec '=' with
+  | None -> failwith (Printf.sprintf "--flaky %S: expected NAME=SPEC[,SPEC...]" spec)
+  | Some i ->
+    let name = String.sub spec 0 i in
+    let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+    let faults =
+      String.split_on_char ',' rest
+      |> List.filter (fun s -> s <> "")
+      |> List.map parse_fault
+    in
+    let reg = Med_catalog.registry (Nimble.catalog sys) in
+    (match Src_registry.find reg name with
+    | None -> failwith (Printf.sprintf "--flaky: unknown source %S" name)
+    | Some src ->
+      let wrapped, _stats = Net_sim.wrap ~seed:7 ~faults Net_sim.default_profile src in
+      Src_registry.remove reg name;
+      Src_registry.register reg wrapped)
 
 (* --exec-mode/--chunk-size/--parallel/--optimize/--index: tuple-,
    batch- or morsel-driven parallel plan evaluation, the join-order
@@ -120,6 +180,8 @@ let build_system csvs xmls sqls fetch exec =
       | Ok () -> ()
       | Error m -> failwith m)
     sources;
+  (let _, _, _, _, _, _, _, flaky = fetch in
+   List.iter (apply_flaky sys) flaky);
   sys
 
 (* ------------------------------------------------------------------ *)
@@ -145,11 +207,13 @@ let run_query csvs xmls sqls fetch exec partial device text =
   let sys = build_system csvs xmls sqls fetch exec in
   let device = device_of_flag device in
   if partial then begin
-    match Nimble.query_partial sys text with
-    | Ok (trees, skipped) ->
+    match Nimble.query_partial_ex sys text with
+    | Ok (trees, skipped, stale) ->
       print_endline (Fe_format.render device trees);
       if skipped <> [] then
         Printf.printf "-- incomplete: sources unavailable: %s\n" (String.concat ", " skipped);
+      if stale <> [] then
+        Printf.printf "-- stale: served cached extents for: %s\n" (String.concat ", " stale);
       `Ok ()
     | Error m -> `Error (false, m)
   end
@@ -245,6 +309,11 @@ let repl_help =
   \fetch cache N              enable a fragment result cache of N entries
   \sem                        show the semantic fragment cache state
   \sem budget BYTES           (re)budget the semantic cache (0 = off)
+  \retry                      show the retry/breaker policy and breaker states
+  \retry N                    retry failed source calls up to N times
+  \retry deadline MS          per-call retry budget in virtual ms (0 = none)
+  \retry breaker on|off       per-source circuit breakers
+  \retry stale on|off         partial mode may serve stale cached fragments
   \exec                       show the plan execution engine
   \exec tuple|batch [CHUNK]   switch engines (batch = vectorized, CHUNK rows/step)
   \par [DOMAINS]              switch to morsel-driven parallel execution
@@ -440,6 +509,43 @@ let run_repl csvs xmls sqls fetch exec =
        | [] -> print_string (Nimble.sem_report sys)
        | _ -> print_endline "usage: \\sem | \\sem budget BYTES");
       loop ()
+    | Some "\\retry" ->
+      print_string (Nimble.retry_report sys);
+      loop ()
+    | Some line when starts_with "\\retry " line ->
+      (let args =
+         String.split_on_char ' ' (String.trim (String.sub line 7 (String.length line - 7)))
+         |> List.filter (fun s -> s <> "")
+       in
+       let pol = Nimble.retry_policy sys in
+       let set p =
+         Nimble.set_retry_policy sys p;
+         print_string (Nimble.retry_report sys)
+       in
+       match args with
+       | [ n ] when int_of_string_opt n <> None -> (
+         match int_of_string_opt n with
+         | Some retries when retries >= 0 ->
+           set { pol with Src_retry.max_retries = retries }
+         | _ -> print_endline "usage: \\retry N")
+       | [ "deadline"; ms ] -> (
+         match float_of_string_opt ms with
+         | Some d when d >= 0.0 ->
+           set
+             {
+               pol with
+               Src_retry.call_deadline_ms = (if d > 0.0 then Some d else None);
+             }
+         | _ -> print_endline "usage: \\retry deadline MS")
+       | [ "breaker"; ("on" | "off") as v ] ->
+         set { pol with Src_retry.breaker = v = "on" }
+       | [ "stale"; ("on" | "off") as v ] ->
+         set { pol with Src_retry.serve_stale = v = "on" }
+       | _ ->
+         print_endline
+           "usage: \\retry | \\retry N | \\retry deadline MS | \\retry breaker \
+            on|off | \\retry stale on|off");
+      loop ()
     | Some "\\exec" ->
       print_string (Nimble.exec_report sys);
       loop ()
@@ -512,11 +618,13 @@ let run_repl csvs xmls sqls fetch exec =
       loop ()
     | Some line when starts_with "\\partial " line ->
       let text = String.sub line 9 (String.length line - 9) in
-      (match Nimble.query_partial sys text with
-      | Ok (trees, skipped) ->
+      (match Nimble.query_partial_ex sys text with
+      | Ok (trees, skipped, stale) ->
         print_string (Fe_format.render Fe_format.Text trees);
         if skipped <> [] then
-          Printf.printf "-- incomplete: %s unavailable\n" (String.concat ", " skipped)
+          Printf.printf "-- incomplete: %s unavailable\n" (String.concat ", " skipped);
+        if stale <> [] then
+          Printf.printf "-- stale: %s served from cache\n" (String.concat ", " stale)
       | Error m -> Printf.printf "error: %s\n" m);
       loop ()
     | Some line when starts_with "\\" line ->
@@ -589,10 +697,52 @@ let sem_cache_opt =
            without contacting the source, and overlapping predicates \
            ship only the remainder.")
 
+let retry_opt =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "Retry transiently unavailable source calls up to $(docv) \
+           times with capped exponential backoff and seeded jitter, \
+           charged to the virtual clock (0, the default, disables \
+           retries).")
+
+let retry_deadline_opt =
+  Arg.(
+    value & opt float 0.0
+    & info [ "retry-deadline" ] ~docv:"MS"
+        ~doc:
+          "Per-call retry budget in virtual milliseconds: a retry whose \
+           backoff would overshoot the budget gives up instead (0 \
+           disables the deadline).")
+
+let breaker_opt =
+  Arg.(
+    value & opt string "off"
+    & info [ "breaker" ] ~docv:"on|off"
+        ~doc:
+          "Per-source circuit breakers: after consecutive failures the \
+           breaker opens and calls fail fast (no latency paid) until a \
+           cool-down admits a half-open probe.")
+
+let flaky_opt =
+  Arg.(
+    value & opt_all string []
+    & info [ "flaky" ] ~docv:"NAME=SPEC"
+        ~doc:
+          "Deterministic fault injection: wrap the registered source \
+           $(b,NAME) in a seeded fault schedule.  SPECs (comma-separable) \
+           are $(b,down) (persistently offline), $(b,off:FROM:UNTIL) \
+           (transient offline window in virtual ms), \
+           $(b,slow:FROM:UNTIL:FACTOR) (latency multiplier window) and \
+           $(b,mid:FROM:UNTIL:PREFIX) (ship PREFIX tuples, then die).")
+
 let fetch_term =
   Term.(
-    const (fun mode fanout frag sem -> (mode, fanout, frag, sem))
-    $ fetch_mode_opt $ fetch_fanout_opt $ frag_cache_opt $ sem_cache_opt)
+    const (fun mode fanout frag sem retries deadline breaker flaky ->
+        (mode, fanout, frag, sem, retries, deadline, breaker, flaky))
+    $ fetch_mode_opt $ fetch_fanout_opt $ frag_cache_opt $ sem_cache_opt
+    $ retry_opt $ retry_deadline_opt $ breaker_opt $ flaky_opt)
 
 let exec_mode_opt =
   Arg.(

@@ -327,6 +327,16 @@ let fetch_report t =
     st.Frag_cache.frag_expirations st.Frag_cache.frag_invalidations
 
 (* ------------------------------------------------------------------ *)
+(* Retry & resilience                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let retry_policy t = Med_catalog.retry_policy t.cat
+
+let set_retry_policy t pol = Med_catalog.set_retry_policy t.cat pol
+
+let retry_report t = Src_retry.report (Med_catalog.retry t.cat)
+
+(* ------------------------------------------------------------------ *)
 (* Execution engine selection                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,22 +428,28 @@ let query t text =
         Mat_cache.get_or_compute t.results ~sources:(source_closure t q) text (fun () ->
             Med_exec.run ~view_lookup:(view_lookup t) t.cat q))
 
-let query_partial t text =
+let query_partial_ex t text =
   match parse_query text with
   | Error m -> Error m
   | Ok q ->
     guard (fun () ->
         Mat_store.tick t.mat;
         match Mat_cache.get t.results text with
-        | Some trees -> (trees, [])
+        | Some trees -> (trees, [], [])
         | None ->
-          let trees, skipped =
-            Med_exec.run_partial ~view_lookup:(view_lookup t) t.cat q
+          let r =
+            Med_exec.run_compiled_partial ~view_lookup:(view_lookup t) t.cat
+              (Med_exec.compile t.cat q)
           in
-          (* Only complete answers are worth caching. *)
-          if skipped = [] then
-            Mat_cache.put t.results ~sources:(source_closure t q) text trees;
-          (trees, skipped))
+          (* Only complete, fresh answers are worth caching: a stale
+             degradation must not outlive the outage it papered over. *)
+          if r.Med_exec.skipped_sources = [] && r.Med_exec.stale_sources = [] then
+            Mat_cache.put t.results ~sources:(source_closure t q) text
+              r.Med_exec.trees;
+          (r.Med_exec.trees, r.Med_exec.skipped_sources, r.Med_exec.stale_sources))
+
+let query_partial t text =
+  Result.map (fun (trees, skipped, _stale) -> (trees, skipped)) (query_partial_ex t text)
 
 let query_formatted t ~device text =
   Result.map (Fe_format.render device) (query t text)

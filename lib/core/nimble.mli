@@ -93,6 +93,18 @@ val sem_cache : t -> Sem_cache.t
 val sem_report : t -> string
 (** Occupancy and hit/partial/miss counters — the repl's [\sem] view. *)
 
+(** {1 Retry & resilience} *)
+
+val retry_policy : t -> Src_retry.policy
+val set_retry_policy : t -> Src_retry.policy -> unit
+(** Retry/deadline/circuit-breaker policy ({!Src_retry}) applied to
+    every source call of every subsequent query.  The default policy is
+    inert; installing one resets breaker state. *)
+
+val retry_report : t -> string
+(** The current policy plus per-source breaker states — the repl's
+    [\retry] view. *)
+
 (** {1 Execution engine} *)
 
 val exec_mode : t -> Alg_batch.mode
@@ -214,6 +226,14 @@ val query_partial : t -> string -> (Dtree.t list * string list, string) result
 (** Partial-results mode (section 3.4): offline sources contribute
     nothing; the second component names them (empty means the answer is
     complete).  Incomplete answers are never cached. *)
+
+val query_partial_ex :
+  t -> string -> (Dtree.t list * string list * string list, string) result
+(** {!query_partial} with the full answer envelope:
+    [(trees, skipped_sources, stale_sources)].  The third component
+    lists sources answered from stale fragment-cache extents under
+    {!Src_retry.policy.serve_stale} — such answers are flagged here and
+    never admitted to the result cache. *)
 
 val query_formatted :
   t -> device:Fe_format.device -> string -> (string, string) result

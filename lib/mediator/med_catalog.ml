@@ -10,6 +10,7 @@ type t = {
   fb : Obs_feedback.t;
   stats : Med_stats.t;
   mutable optimizer : Med_optimize.mode;
+  retry : Src_retry.t;
   mutable frag : Frag_cache.t;
   mutable sem : Sem_cache.t;
   mutable fetch : Fetch_sched.options;
@@ -29,6 +30,7 @@ let create ?frag_ttl_ms ?(frag_capacity = 0) ?(sem_budget_bytes = 0) () =
     fb = Obs_feedback.create ();
     stats = Med_stats.create ();
     optimizer = Med_optimize.Greedy;
+    retry = Src_retry.create ();
     frag = Frag_cache.create ?ttl_ms:frag_ttl_ms ~capacity:frag_capacity ();
     sem = Sem_cache.create ~budget_bytes:sem_budget_bytes ();
     fetch = Fetch_sched.default_options;
@@ -75,6 +77,12 @@ let analyze_counter = Obs_metrics.counter "opt.analyze_runs"
 let analyze t =
   Obs_metrics.inc analyze_counter;
   Med_stats.analyze t.stats t.reg
+
+let retry t = t.retry
+
+let retry_policy t = Src_retry.policy t.retry
+
+let set_retry_policy t pol = Src_retry.set_policy t.retry pol
 
 let frag_cache t = t.frag
 

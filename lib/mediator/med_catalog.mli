@@ -70,6 +70,20 @@ val optimizer : t -> Med_optimize.mode
 
 val set_optimizer : t -> Med_optimize.mode -> unit
 
+(** {1 Retry policy} *)
+
+val retry : t -> Src_retry.t
+(** The catalog's retry/breaker engine ({!Src_retry}): every source
+    call the executor makes against this catalog routes through it.
+    Scoped to the catalog like {!feedback}, so independent engines
+    never share breaker state. *)
+
+val retry_policy : t -> Src_retry.policy
+(** Shorthand for [Src_retry.policy (retry t)]. *)
+
+val set_retry_policy : t -> Src_retry.policy -> unit
+(** Install a retry policy, resetting breaker state. *)
+
 (** {1 Fetch scheduling and fragment caching} *)
 
 val frag_cache : t -> Frag_cache.t

@@ -2,6 +2,7 @@ type result = {
   trees : Dtree.t list;
   bindings : Alg_env.t list;
   skipped_sources : string list;
+  stale_sources : string list;
 }
 
 exception Exec_error of string
@@ -115,10 +116,27 @@ let frag_fetch catalog (src : Source.t) ~fragment q =
   let frag = Med_catalog.frag_cache catalog in
   match Frag_cache.get frag ~source:src.Source.name ~fragment with
   | Some r -> r
-  | None ->
-    let r = src.Source.execute q in
-    Frag_cache.put frag ~source:src.Source.name ~fragment r;
-    r
+  | None -> (
+    let retry = Med_catalog.retry catalog in
+    match
+      Src_retry.call retry ~source:src.Source.name (fun () -> src.Source.execute q)
+    with
+    | r ->
+      Frag_cache.put frag ~source:src.Source.name ~fragment r;
+      r
+    | exception (Source.Unavailable _ as e) ->
+      (* Partial-mode degradation: once the retry budget is spent, a
+         stale extent beats losing the source's whole contribution.
+         Strict mode never degrades — the exception propagates. *)
+      (match
+         if Src_retry.stale_ok retry then
+           Frag_cache.get_stale frag ~source:src.Source.name ~fragment
+         else None
+       with
+      | Some r ->
+        Src_retry.note_stale retry ~source:src.Source.name;
+        r
+      | None -> raise e))
 
 (* SQL fragments key the exact-key cache by their canonical rendering
    (stable alias numbering, sorted conjuncts) rather than the shipped
@@ -190,10 +208,24 @@ let frag_documents catalog (src : Source.t) doc =
   let fragment = frag_key_doc doc in
   match Frag_cache.get frag ~source:src.Source.name ~fragment with
   | Some (Source.R_trees trees) -> trees
-  | Some _ | None ->
-    let trees = src.Source.documents doc in
-    Frag_cache.put frag ~source:src.Source.name ~fragment (Source.R_trees trees);
-    trees
+  | Some _ | None -> (
+    let retry = Med_catalog.retry catalog in
+    match
+      Src_retry.call retry ~source:src.Source.name (fun () -> src.Source.documents doc)
+    with
+    | trees ->
+      Frag_cache.put frag ~source:src.Source.name ~fragment (Source.R_trees trees);
+      trees
+    | exception (Source.Unavailable _ as e) ->
+      (match
+         if Src_retry.stale_ok retry then
+           Frag_cache.get_stale frag ~source:src.Source.name ~fragment
+         else None
+       with
+      | Some (Source.R_trees trees) ->
+        Src_retry.note_stale retry ~source:src.Source.name;
+        trees
+      | Some _ | None -> raise e))
 
 (* The XML view of an export, shipping rows (not trees) for tabular
    sources and rebuilding the document client-side. *)
@@ -375,7 +407,10 @@ and run_sql_batch catalog ~opts ~view_lookup source_name members =
   | [ m ] -> solo m
   | _ -> (
     let queries = List.map (fun (_, _, _, _, s, _) -> Source.Q_sql s) to_ship in
-    match src.Source.execute (Source.Q_batch queries) with
+    match
+      Src_retry.call (Med_catalog.retry catalog) ~source:source_name (fun () ->
+          src.Source.execute (Source.Q_batch queries))
+    with
     | Source.R_batch results when List.length results = List.length to_ship ->
       List.iter2 land_result to_ship results
     | _ ->
@@ -591,7 +626,10 @@ and resolve_binds catalog ~opts ~view_lookup (compiled : Med_planner.compiled)
                   Src_registry.find_exn (Med_catalog.registry catalog)
                     source_name
                 in
-                if src.Source.is_available () then Ok []
+                if
+                  Src_retry.call_available (Med_catalog.retry catalog)
+                    ~source:source_name src.Source.is_available
+                then Ok []
                 else Error (Source.Unavailable source_name)
               | keys when List.length keys > max_bind_keys ->
                 (try Ok (unbound ()) with e -> Error e)
@@ -710,6 +748,16 @@ and prepare catalog ~opts ~view_lookup compiled =
   (source_fn_of catalog ~opts ~view_lookup ?buffer compiled, info)
 
 and exec catalog ~opts ~partial ~view_lookup (compiled : Med_planner.compiled) =
+  (* The whole execution runs under one retry-budget context: nested
+     view executions inherit the enclosing query's deadline, and the
+     sources served stale (partial mode only) surface in the result. *)
+  let (trees, envs, skipped), stale =
+    Src_retry.with_query (Med_catalog.retry catalog) ~partial (fun () ->
+        exec_body catalog ~opts ~partial ~view_lookup compiled)
+  in
+  { trees; bindings = envs; skipped_sources = skipped; stale_sources = stale }
+
+and exec_body catalog ~opts ~partial ~view_lookup (compiled : Med_planner.compiled) =
   Obs_trace.with_span "query" (fun qspan ->
       let sources, _fetch_info = prepare catalog ~opts ~view_lookup compiled in
       let mode = Med_catalog.exec_mode catalog in
@@ -745,7 +793,7 @@ and exec catalog ~opts ~partial ~view_lookup (compiled : Med_planner.compiled) =
           (fun env -> Xq_eval.instantiate resolver env compiled.Med_planner.construct)
           envs
       in
-      { trees; bindings = envs; skipped_sources = skipped })
+      (trees, envs, skipped))
 
 let run_compiled ?(view_lookup = no_lookup) catalog compiled =
   exec catalog ~opts:Med_sqlgen.default_options ~partial:false ~view_lookup compiled
@@ -786,6 +834,7 @@ type access_stat = {
   stat_fetch : fetch_info option;
   stat_sem : Sem_cache.outcome option;
   stat_idx : int * int * int;
+  stat_retry : int * int * int;
 }
 
 type analysis = {
@@ -824,34 +873,43 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
   (* Wrap the source function to tally per-access calls / rows / time
      (the per-source-fragment half of the report; the operator half comes
      from the instrumented executor). *)
-  let tally : (string, int ref * int ref * float ref * (int * int * int) ref) Hashtbl.t
-      =
+  let tally :
+      ( string,
+        int ref * int ref * float ref * (int * int * int) ref * (int * int * int) ref )
+      Hashtbl.t =
     Hashtbl.create 8
   in
   let t0 = Obs_clock.wall_ms () in
   let v0 = Obs_clock.virtual_ms () in
+  let analyze () =
   let base, fetch_info = prepare catalog ~opts ~view_lookup compiled in
   let sources aid binding =
-    let calls, rows, ms, idx =
+    let calls, rows, ms, idx, retry =
       match Hashtbl.find_opt tally aid with
       | Some cell -> cell
       | None ->
-        let cell = (ref 0, ref 0, ref 0.0, ref (0, 0, 0)) in
+        let cell = (ref 0, ref 0, ref 0.0, ref (0, 0, 0), ref (0, 0, 0)) in
         Hashtbl.add tally aid cell;
         cell
     in
     let t0 = Obs_clock.wall_ms () in
     (* Index-outcome deltas around the fetch attribute probe/guide/miss
        counts to the access that triggered them (fetches run on the
-       caller's domain, so the deltas are this access's alone). *)
+       caller's domain, so the deltas are this access's alone); retry
+       counter deltas attribute retries/give-ups/fast-fails the same
+       way. *)
     let g0, p0, m0 = Idx_manager.counters () in
+    let r0, u0, f0 = Src_retry.counters () in
     let envs = List.of_seq (base aid binding) in
     let g1, p1, m1 = Idx_manager.counters () in
+    let r1, u1, f1 = Src_retry.counters () in
     incr calls;
     rows := !rows + List.length envs;
     ms := !ms +. (Obs_clock.wall_ms () -. t0);
     (let p, g, m = !idx in
      idx := (p + p1 - p0, g + g1 - g0, m + m1 - m0));
+    (let r, u, f = !retry in
+     retry := (r + r1 - r0, u + u1 - u0, f + f1 - f0));
     List.to_seq envs
   in
   let mode = Med_catalog.exec_mode catalog in
@@ -885,6 +943,13 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
             Obs_trace.emit (Alg_par.span_of_stats pstats);
           (envs, Alg_par.actual_of_stats pstats, Alg_par.cells_of_stats pstats))
   in
+  (envs, actual, batch_cells, fetch_info)
+  in
+  (* Same retry-budget context as [exec]: the analyzed run is strict,
+     so no stale serving — but transient faults retry identically. *)
+  let (envs, actual, batch_cells, fetch_info), _stale =
+    Src_retry.with_query (Med_catalog.retry catalog) ~partial:false analyze
+  in
   let wall_ms = Obs_clock.wall_ms () -. t0 in
   let virtual_ms = Obs_clock.virtual_ms () -. v0 in
   let resolver = direct_resolver catalog in
@@ -896,10 +961,10 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
   let accesses =
     List.map
       (fun (aid, access) ->
-        let calls, rows, ms, idx =
+        let calls, rows, ms, idx, retry =
           match Hashtbl.find_opt tally aid with
-          | Some (c, r, m, i) -> (!c, !r, !m, !i)
-          | None -> (0, 0, 0.0, (0, 0, 0))
+          | Some (c, r, m, i, rt) -> (!c, !r, !m, !i, !rt)
+          | None -> (0, 0, 0.0, (0, 0, 0), (0, 0, 0))
         in
         {
           stat_id = aid;
@@ -909,6 +974,7 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
           stat_rows = rows;
           stat_ms = ms;
           stat_idx = idx;
+          stat_retry = retry;
           stat_fetch = fetch_info access;
           stat_sem =
             (let sem = Med_catalog.sem_cache catalog in
@@ -922,12 +988,13 @@ let run_analyzed ?(opts = Med_sqlgen.default_options) ?(view_lookup = no_lookup)
       compiled.Med_planner.accesses
   in
   {
-    analyzed_result = { trees; bindings = envs; skipped_sources = [] };
+    analyzed_result =
+      { trees; bindings = envs; skipped_sources = []; stale_sources = [] };
     analyzed_compiled = compiled;
     analyzed_source_rows = source_rows;
     analyzed_actual = actual;
     analyzed_batch = batch_cells;
-    analyzed_mode = mode;
+    analyzed_mode = Med_catalog.exec_mode catalog;
     analyzed_accesses = accesses;
     analyzed_wall_ms = wall_ms;
     analyzed_virtual_ms = virtual_ms;
@@ -969,6 +1036,14 @@ let analysis_to_string a =
         if p + g = 0 then []
         else [ ("idx", Printf.sprintf "probe:%d/guide:%d/miss:%d" p g m) ]
       in
+      (* Retry cells appear only when something actually happened, like
+         the idx cell — fault-free reports stay byte-identical. *)
+      let retry =
+        let r, u, f = st.stat_retry in
+        (if r > 0 then [ Obs_report.int_cell "retries" r ] else [])
+        @ (if u > 0 then [ Obs_report.int_cell "gave_up" u ] else [])
+        @ if f > 0 then [ ("breaker", "open") ] else []
+      in
       Buffer.add_string buf
         (Med_planner.access_to_string (st.stat_id, st.stat_access));
       Buffer.add_string buf
@@ -980,7 +1055,7 @@ let analysis_to_string a =
                  Obs_report.int_cell "rows" st.stat_rows;
                  ("time", Printf.sprintf "%.2fms" st.stat_ms);
                ]
-              @ fetch @ sem @ idx)))
+              @ fetch @ sem @ idx @ retry)))
       )
     a.analyzed_accesses;
   let exec_note =

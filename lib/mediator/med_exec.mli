@@ -9,6 +9,10 @@ type result = {
   trees : Dtree.t list;          (** constructed results, in order *)
   bindings : Alg_env.t list;     (** the variable bindings behind them *)
   skipped_sources : string list; (** non-empty only in partial mode *)
+  stale_sources : string list;
+      (** sources answered from stale fragment-cache extents because
+          their retry budget was exhausted — non-empty only in partial
+          mode with {!Src_retry.policy.serve_stale} on *)
 }
 
 exception Exec_error of string
@@ -88,6 +92,10 @@ type access_stat = {
       (** (value probes, guide probes, walker fallbacks) the index
           subsystem answered inside this access's fetches — non-zero
           only for path accesses against indexed XML stores *)
+  stat_retry : int * int * int;
+      (** (retries, give-ups, breaker fast-fails) the retry engine spent
+          inside this access's fetches — all zero with the default inert
+          policy *)
 }
 
 type analysis = {

@@ -126,14 +126,30 @@ let execute t engine (entry : Srv_admit.entry) =
     (match req.Srv_request.req_exec with
     | Some m -> Med_catalog.set_exec_mode cat m
     | None -> ());
-    let result =
-      Fun.protect
-        ~finally:(fun () -> Med_catalog.set_exec_mode cat saved_mode)
+    (* The request's queue deadline doubles as its retry budget: a
+       request that promised an answer by submit+T must not keep backing
+       off past that instant, so the budget is whatever of T the queue
+       wait left over.  The executor's own per-query context nests
+       inside and inherits the bound. *)
+    let retry_budget =
+      Option.map
+        (fun d ->
+          Float.max 0.0 (entry.Srv_admit.ent_enqueued_ms +. d -. start))
+        req.Srv_request.req_deadline_ms
+    in
+    let result, _ =
+      Src_retry.with_query
+        (Med_catalog.retry cat)
+        ~partial:(req.Srv_request.req_mode = Srv_request.Partial)
+        ?deadline_ms:retry_budget
         (fun () ->
-          let view_lookup = Nimble.view_lookup t.sys in
-          match req.Srv_request.req_mode with
-          | Srv_request.Strict -> Med_exec.run_compiled ~view_lookup cat compiled
-          | Partial -> Med_exec.run_compiled_partial ~view_lookup cat compiled)
+          Fun.protect
+            ~finally:(fun () -> Med_catalog.set_exec_mode cat saved_mode)
+            (fun () ->
+              let view_lookup = Nimble.view_lookup t.sys in
+              match req.Srv_request.req_mode with
+              | Srv_request.Strict -> Med_exec.run_compiled ~view_lookup cat compiled
+              | Partial -> Med_exec.run_compiled_partial ~view_lookup cat compiled))
     in
     let output = Fe_format.render lens.Fe_lens.device result.Med_exec.trees in
     (result, plan_hit, output)
@@ -296,6 +312,11 @@ let report t =
     Buffer.add_string b (Sem_cache.report (Nimble.sem_cache t.sys));
     Buffer.add_char b '\n'
   end;
+  (* Retry/breaker lines appear only when a policy is active, so
+     resilience-free reports stay byte-identical. *)
+  (let retry = Med_catalog.retry (Nimble.catalog t.sys) in
+   if Src_retry.active (Src_retry.policy retry) then
+     Buffer.add_string b (Src_retry.report retry));
   List.iter
     (fun l ->
       Buffer.add_string b l;

@@ -39,6 +39,11 @@ type t = {
   cap : int;
   ttl_ms : float option;
   table : (string * string, entry) Hashtbl.t;
+  (* TTL-expired values parked for partial-mode stale serving: [get]
+     still removes and miss-counts them exactly as before, but the last
+     known value stays reachable through [get_stale] until the key is
+     refreshed or the source invalidated. *)
+  stale : (string * string, Source.result) Hashtbl.t;
   st : stats;
   mutable head : entry option;  (* most recently used *)
   mutable tail : entry option;  (* least recently used — the victim *)
@@ -49,6 +54,7 @@ let create ?ttl_ms ~capacity () =
     cap = capacity;
     ttl_ms;
     table = Hashtbl.create (max 1 capacity);
+    stale = Hashtbl.create 8;
     st =
       {
         frag_hits = 0;
@@ -107,6 +113,7 @@ let get t ~source ~fragment =
     let key = (source, fragment) in
     match Hashtbl.find_opt t.table key with
     | Some entry when expired t entry ->
+      Hashtbl.replace t.stale key entry.value;
       remove t entry;
       t.st.frag_expirations <- t.st.frag_expirations + 1;
       Obs_metrics.inc m_expirations;
@@ -123,6 +130,17 @@ let get t ~source ~fragment =
       Obs_metrics.inc m_misses;
       None
 
+(* Last-known-value lookup for partial-mode degradation: a live entry
+   (even one past its TTL) or a parked expired value.  No hit/miss
+   accounting — the caller decides whether staleness was acceptable. *)
+let get_stale t ~source ~fragment =
+  if t.cap = 0 then None
+  else
+    let key = (source, fragment) in
+    match Hashtbl.find_opt t.table key with
+    | Some entry -> Some entry.value
+    | None -> Hashtbl.find_opt t.stale key
+
 let evict_lru t =
   match t.tail with
   | Some victim ->
@@ -134,6 +152,7 @@ let evict_lru t =
 let put t ~source ~fragment value =
   if t.cap > 0 then begin
     let key = (source, fragment) in
+    Hashtbl.remove t.stale key;
     (match Hashtbl.find_opt t.table key with
     | Some old -> remove t old
     | None -> if Hashtbl.length t.table >= t.cap then evict_lru t);
@@ -158,12 +177,22 @@ let invalidate_source t source =
       t.table []
   in
   List.iter (remove t) victims;
+  (* Stale values are no fresher than the live ones: an invalidation
+     means the source changed, so stale serving must not resurrect
+     pre-mutation extents either. *)
+  let stale_victims =
+    Hashtbl.fold
+      (fun ((s, _) as key) _ acc -> if String.equal s source then key :: acc else acc)
+      t.stale []
+  in
+  List.iter (Hashtbl.remove t.stale) stale_victims;
   t.st.frag_invalidations <- t.st.frag_invalidations + List.length victims;
   Obs_metrics.inc ~by:(List.length victims) m_invalidations;
   List.length victims
 
 let clear t =
   Hashtbl.reset t.table;
+  Hashtbl.reset t.stale;
   t.head <- None;
   t.tail <- None
 

@@ -33,6 +33,13 @@ val get : t -> source:string -> fragment:string -> Source.result option
 (** A hit refreshes recency; an entry past its TTL expires (counted
     separately from evictions) and reads as a miss. *)
 
+val get_stale : t -> source:string -> fragment:string -> Source.result option
+(** Last known value for the key, fresh or not: a live entry, or a
+    TTL-expired value parked when {!get} removed it.  Partial-mode
+    degradation serves these for sources whose retry budget is
+    exhausted; no hit/miss counters move.  Stale values disappear on
+    {!put} (refresh), {!invalidate_source}, and {!clear}. *)
+
 val put : t -> source:string -> fragment:string -> Source.result -> unit
 
 val invalidate_source : t -> string -> int

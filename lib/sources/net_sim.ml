@@ -6,6 +6,52 @@ type profile = {
 
 let default_profile = { latency_ms = 5.0; per_tuple_ms = 0.01; availability = 1.0 }
 
+type fault =
+  | Offline of { off_from : float; off_until : float }
+  | Slow of { slow_from : float; slow_until : float; factor : float; jitter_ms : float }
+  | Midstream of { mid_from : float; mid_until : float; prefix : int }
+
+type schedule = fault list
+
+let offline_window ~from_ms ~until_ms =
+  Offline { off_from = from_ms; off_until = until_ms }
+
+let persistently_offline = Offline { off_from = 0.0; off_until = infinity }
+
+let slow_window ?(jitter_ms = 0.0) ~from_ms ~until_ms ~factor () =
+  Slow { slow_from = from_ms; slow_until = until_ms; factor; jitter_ms }
+
+let midstream_window ~from_ms ~until_ms ~prefix =
+  Midstream { mid_from = from_ms; mid_until = until_ms; prefix }
+
+(* One offline window of (1 - availability) * period per period, placed
+   at a seeded offset, until the horizon.  Every window is bounded, so a
+   retry policy whose backoff crosses the window always recovers. *)
+let availability_schedule ~seed ~availability ~period_ms ~horizon_ms =
+  if availability >= 1.0 || period_ms <= 0.0 then []
+  else
+    let rng = Prng.create seed in
+    let down = (1.0 -. availability) *. period_ms in
+    let slack = period_ms -. down in
+    let rec go from acc =
+      if from >= horizon_ms then List.rev acc
+      else
+        let off = from +. (if slack > 0.0 then Prng.float rng slack else 0.0) in
+        go (from +. period_ms)
+          (Offline { off_from = off; off_until = off +. down } :: acc)
+    in
+    go 0.0 []
+
+let fault_to_string = function
+  | Offline { off_from; off_until } when off_until = infinity ->
+    Printf.sprintf "off:%.0f:inf" off_from
+  | Offline { off_from; off_until } ->
+    Printf.sprintf "off:%.0f:%.0f" off_from off_until
+  | Slow { slow_from; slow_until; factor; _ } ->
+    Printf.sprintf "slow:%.0f:%.0f:x%.1f" slow_from slow_until factor
+  | Midstream { mid_from; mid_until; prefix } ->
+    Printf.sprintf "mid:%.0f:%.0f:%d" mid_from mid_until prefix
+
 type stats = {
   mutable calls : int;
   mutable rejected : int;
@@ -36,11 +82,43 @@ let profiles : (string, profile) Hashtbl.t = Hashtbl.create 16
 
 let profile_of name = Hashtbl.find_opt profiles name
 
-let wrap ?(seed = 1) profile inner =
+(* Fault counters are created lazily at event time so that fault-free
+   runs keep the registered-metric listing byte-identical. *)
+let fault_event name = Obs_metrics.inc (Obs_metrics.counter ("fault." ^ name))
+
+let wrap ?(seed = 1) ?(faults = []) profile inner =
   Hashtbl.replace profiles inner.Source.name profile;
   let stats = new_stats () in
   let rng = Prng.create (seed lxor Hashtbl.hash inner.Source.name) in
   let sample_up () = Prng.bernoulli rng profile.availability in
+  (* Fault windows are pure functions of the virtual clock, so a run is
+     replayable from (seed, schedule) alone — and a retry policy that
+     backs off past a transient window deterministically recovers. *)
+  let offline_at now =
+    List.exists
+      (function
+        | Offline { off_from; off_until } -> now >= off_from && now < off_until
+        | Slow _ | Midstream _ -> false)
+      faults
+  in
+  let slow_at now =
+    List.find_map
+      (function
+        | Slow { slow_from; slow_until; factor; jitter_ms }
+          when now >= slow_from && now < slow_until ->
+          Some (factor, jitter_ms)
+        | Slow _ | Offline _ | Midstream _ -> None)
+      faults
+  in
+  let midstream_at now =
+    List.find_map
+      (function
+        | Midstream { mid_from; mid_until; prefix }
+          when now >= mid_from && now < mid_until ->
+          Some prefix
+        | Midstream _ | Offline _ | Slow _ -> None)
+      faults
+  in
   (* Registry metrics mirror the local stats record so the CLI's
      per-source breakdown sees every wrapped source. *)
   let metric field = Printf.sprintf "source.%s.%s" inner.Source.name field in
@@ -52,12 +130,25 @@ let wrap ?(seed = 1) profile inner =
   let charge_call () =
     stats.calls <- stats.calls + 1;
     Obs_metrics.inc m_calls;
-    stats.virtual_ms <- stats.virtual_ms +. profile.latency_ms
+    let latency =
+      match slow_at (Obs_clock.virtual_ms ()) with
+      | Some (factor, jitter_ms) ->
+        fault_event "slow_calls";
+        (profile.latency_ms *. factor)
+        +. (if jitter_ms > 0.0 then Prng.float rng jitter_ms else 0.0)
+      | None -> profile.latency_ms
+    in
+    stats.virtual_ms <- stats.virtual_ms +. latency
   in
   let charge_volume n =
     stats.tuples_shipped <- stats.tuples_shipped + n;
     Obs_metrics.inc ~by:n m_tuples;
     stats.virtual_ms <- stats.virtual_ms +. (profile.per_tuple_ms *. float_of_int n)
+  in
+  let fail_call event =
+    stats.failed <- stats.failed + 1;
+    Obs_metrics.inc m_failed;
+    fault_event event
   in
   let guard f =
     (* Whatever happens inside, the call's full virtual cost lands on
@@ -68,7 +159,13 @@ let wrap ?(seed = 1) profile inner =
       Obs_clock.advance delta;
       Obs_metrics.observe m_latency delta
     in
+    let offline = offline_at (Obs_clock.virtual_ms ()) in
     charge_call ();
+    if offline then begin
+      fail_call "offline_calls";
+      settle ();
+      raise (Source.Unavailable inner.Source.name)
+    end;
     if not (sample_up ()) then begin
       stats.failed <- stats.failed + 1;
       Obs_metrics.inc m_failed;
@@ -88,24 +185,34 @@ let wrap ?(seed = 1) profile inner =
       settle ();
       raise e
   in
-  let execute q =
+  (* A mid-stream failure ships (and charges for) a prefix of the
+     result, then dies.  The truncated result is discarded here, never
+     returned, so callers can't accidentally cache or learn from it. *)
+  let midstream_guard volume_of f =
     guard (fun () ->
-        let r = inner.Source.execute q in
-        charge_volume (result_volume r);
-        r)
+        let r = f () in
+        match midstream_at (Obs_clock.virtual_ms ()) with
+        | Some prefix ->
+          charge_volume (min prefix (volume_of r));
+          fail_call "midstream_failures";
+          raise (Source.Unavailable inner.Source.name)
+        | None ->
+          charge_volume (volume_of r);
+          r)
   in
+  let execute q = midstream_guard result_volume (fun () -> inner.Source.execute q) in
   let documents doc_name =
-    guard (fun () ->
-        let trees = inner.Source.documents doc_name in
-        charge_volume (List.fold_left (fun acc t -> acc + Dtree.size t) 0 trees);
-        trees)
+    midstream_guard
+      (fun trees -> List.fold_left (fun acc t -> acc + Dtree.size t) 0 trees)
+      (fun () -> inner.Source.documents doc_name)
   in
   let wrapped =
     {
       inner with
       Source.execute;
       documents;
-      is_available = (fun () -> sample_up ());
+      is_available =
+        (fun () -> (not (offline_at (Obs_clock.virtual_ms ()))) && sample_up ());
     }
   in
   (wrapped, stats)

@@ -17,6 +17,53 @@ type profile = {
 val default_profile : profile
 (** 5 ms latency, 0.01 ms/tuple, always available. *)
 
+(** {1 Fault schedules}
+
+    Deterministic, seeded fault injection on top of the base profile.
+    Every window is expressed in virtual milliseconds and tested against
+    {!Obs_clock.virtual_ms} at call time, so a schedule is replayable
+    from the seed alone, and a retry policy that backs off past a
+    transient window recovers by construction. *)
+
+type fault =
+  | Offline of { off_from : float; off_until : float }
+      (** Calls in [\[off_from, off_until)] raise {!Source.Unavailable}
+          after charging the call latency.  [off_until = infinity] makes
+          the outage persistent. *)
+  | Slow of { slow_from : float; slow_until : float; factor : float; jitter_ms : float }
+      (** Calls in the window pay [latency_ms * factor] plus a seeded
+          jitter uniform in [\[0, jitter_ms)]. *)
+  | Midstream of { mid_from : float; mid_until : float; prefix : int }
+      (** Calls in the window ship (and charge for) at most [prefix]
+          tuples of the real result, then raise {!Source.Unavailable}.
+          The truncated result is discarded, never returned. *)
+
+type schedule = fault list
+
+val offline_window : from_ms:float -> until_ms:float -> fault
+(** Transient outage covering [\[from_ms, until_ms)]. *)
+
+val persistently_offline : fault
+(** An {!Offline} window from 0 to infinity. *)
+
+val slow_window :
+  ?jitter_ms:float -> from_ms:float -> until_ms:float -> factor:float -> unit -> fault
+(** Latency-multiplier window; [jitter_ms] defaults to 0. *)
+
+val midstream_window : from_ms:float -> until_ms:float -> prefix:int -> fault
+(** Mid-stream failure window: ship [prefix] tuples, then die. *)
+
+val availability_schedule :
+  seed:int -> availability:float -> period_ms:float -> horizon_ms:float -> schedule
+(** One seeded transient {!Offline} window of [(1 - availability) *
+    period_ms] per period until the horizon — the fault-schedule analog
+    of the profile's [availability] coin, but bounded and replayable, so
+    retries that outlast a window always recover.  Empty when
+    [availability >= 1.0]. *)
+
+val fault_to_string : fault -> string
+(** Compact rendering for reports and logs, e.g. ["off:0:40"]. *)
+
 type stats = {
   mutable calls : int;
   mutable rejected : int;        (** capability rejections *)
@@ -25,11 +72,13 @@ type stats = {
   mutable virtual_ms : float;    (** accumulated simulated time *)
 }
 
-val wrap : ?seed:int -> profile -> Source.t -> Source.t * stats
+val wrap : ?seed:int -> ?faults:schedule -> profile -> Source.t -> Source.t * stats
 (** The wrapped source charges the profile's costs into [stats] on every
     [execute]/[documents] call and raises {!Source.Unavailable} when the
     availability sample fails.  [is_available] consults (and advances)
-    the same sample stream. *)
+    the same sample stream.  [faults] (default none) overlays a
+    deterministic {!schedule}: offline and mid-stream windows count into
+    [stats.failed] and the lazily registered [fault.*] counters. *)
 
 val profile_of : string -> profile option
 (** The profile a source name was last {!wrap}ped with, if any — how

@@ -1,0 +1,247 @@
+(* Retry / deadline / circuit-breaker policy for remote source calls.
+
+   Everything runs on the virtual clock: backoff sleeps are charged with
+   Obs_clock.advance (so they compose with gather rounds — concurrent
+   lanes overlap their backoffs just like their latencies), breaker
+   cool-downs compare against Obs_clock.virtual_ms, and jitter comes
+   from a Prng seeded at creation, so a fault schedule plus a policy
+   replays byte-identically.
+
+   The default policy is inert (no retries, breaker off): [call] is then
+   a pure passthrough and every pre-existing test and cram stays
+   byte-identical.  All retry.*/breaker.* metrics are registered lazily
+   at event time for the same reason. *)
+
+type policy = {
+  max_retries : int;
+  base_backoff_ms : float;
+  max_backoff_ms : float;
+  jitter : float;
+  call_deadline_ms : float option;
+  breaker : bool;
+  breaker_threshold : int;
+  breaker_cooldown_ms : float;
+  serve_stale : bool;
+}
+
+let default_policy =
+  {
+    max_retries = 0;
+    base_backoff_ms = 4.0;
+    max_backoff_ms = 64.0;
+    jitter = 0.25;
+    call_deadline_ms = None;
+    breaker = false;
+    breaker_threshold = 3;
+    breaker_cooldown_ms = 100.0;
+    serve_stale = false;
+  }
+
+let active p = p.max_retries > 0 || p.breaker
+
+(* Capped exponential backoff plus a seeded jitter fraction of the
+   capped value.  attempt 0 = delay before the first retry. *)
+let backoff_ms pol rng ~attempt =
+  let base = pol.base_backoff_ms *. (2.0 ** float_of_int attempt) in
+  let capped = Float.min base pol.max_backoff_ms in
+  let jit =
+    if pol.jitter <= 0.0 then 0.0 else capped *. pol.jitter *. Prng.float rng 1.0
+  in
+  capped +. jit
+
+type breaker_state = Closed | Open of float | Half_open
+
+type breaker = {
+  mutable br_state : breaker_state;
+  mutable br_failures : int;
+  mutable br_opens : int;
+}
+
+(* Per-source tally inside one query, keyed by source name: feeds the
+   EXPLAIN ANALYZE cells and partial-mode bookkeeping. *)
+type ctx = {
+  cx_partial : bool;
+  cx_deadline : float option; (* absolute virtual ms *)
+  mutable cx_stale : string list;
+}
+
+type t = {
+  mutable pol : policy;
+  rng : Prng.t;
+  breakers : (string, breaker) Hashtbl.t;
+  mutable ctx : ctx option;
+}
+
+let create ?(seed = 11) () =
+  { pol = default_policy; rng = Prng.create seed; breakers = Hashtbl.create 8; ctx = None }
+
+let policy t = t.pol
+
+(* Reconfiguring resets breaker state so a fresh policy starts clean. *)
+let set_policy t pol =
+  t.pol <- pol;
+  Hashtbl.reset t.breakers
+
+(* Process-wide totals snapshotted around each access pull by EXPLAIN
+   ANALYZE; plain refs, deliberately not registered metrics. *)
+let retries_total = ref 0
+let gave_up_total = ref 0
+let fast_fail_total = ref 0
+let counters () = (!retries_total, !gave_up_total, !fast_fail_total)
+
+let event name = Obs_metrics.inc (Obs_metrics.counter name)
+
+let breaker_of t source =
+  match Hashtbl.find_opt t.breakers source with
+  | Some br -> br
+  | None ->
+    let br = { br_state = Closed; br_failures = 0; br_opens = 0 } in
+    Hashtbl.replace t.breakers source br;
+    br
+
+let breaker_state_name t source =
+  match Hashtbl.find_opt t.breakers source with
+  | None | Some { br_state = Closed; _ } -> "closed"
+  | Some { br_state = Open _; _ } -> "open"
+  | Some { br_state = Half_open; _ } -> "half-open"
+
+let with_query t ?(partial = false) ?deadline_ms f =
+  let parent = t.ctx in
+  let inherited = match parent with Some c -> c.cx_deadline | None -> None in
+  let abs_deadline =
+    match deadline_ms with
+    | None -> inherited
+    | Some d ->
+      let a = Obs_clock.virtual_ms () +. d in
+      Some (match inherited with Some i -> Float.min i a | None -> a)
+  in
+  let cx = { cx_partial = partial; cx_deadline = abs_deadline; cx_stale = [] } in
+  t.ctx <- Some cx;
+  match f () with
+  | v ->
+    t.ctx <- parent;
+    (v, List.rev cx.cx_stale)
+  | exception e ->
+    t.ctx <- parent;
+    raise e
+
+let stale_ok t =
+  t.pol.serve_stale && (match t.ctx with Some cx -> cx.cx_partial | None -> false)
+
+let note_stale t ~source =
+  event "retry.stale_served";
+  match t.ctx with
+  | Some cx -> if not (List.mem source cx.cx_stale) then cx.cx_stale <- source :: cx.cx_stale
+  | None -> ()
+
+let call t ~source f =
+  let pol = t.pol in
+  if not (active pol) then f ()
+  else begin
+    let br = breaker_of t source in
+    let now () = Obs_clock.virtual_ms () in
+    (* Breaker gate: open + cooling down fails fast without paying the
+       source's latency; open + cooled down lets one probe through. *)
+    (match br.br_state with
+    | Open until_ms when now () < until_ms ->
+      incr fast_fail_total;
+      event "breaker.fast_fails";
+      raise (Source.Unavailable source)
+    | Open _ ->
+      br.br_state <- Half_open;
+      event "breaker.half_opens"
+    | Closed | Half_open -> ());
+    let deadline =
+      let call_dl = Option.map (fun d -> now () +. d) pol.call_deadline_ms in
+      let query_dl = match t.ctx with Some cx -> cx.cx_deadline | None -> None in
+      match (call_dl, query_dl) with
+      | Some a, Some b -> Some (Float.min a b)
+      | (Some _ as d), None | None, (Some _ as d) -> d
+      | None, None -> None
+    in
+    let trip () =
+      br.br_state <- Open (now () +. pol.breaker_cooldown_ms);
+      br.br_opens <- br.br_opens + 1;
+      event "breaker.opens"
+    in
+    let on_failure () =
+      br.br_failures <- br.br_failures + 1;
+      match br.br_state with
+      | Half_open -> trip () (* failed probe re-opens immediately *)
+      | Closed when pol.breaker && br.br_failures >= pol.breaker_threshold -> trip ()
+      | Closed | Open _ -> ()
+    in
+    let give_up e =
+      incr gave_up_total;
+      event "retry.gave_up";
+      raise e
+    in
+    let rec attempt n =
+      match f () with
+      | r ->
+        (match br.br_state with
+        | Half_open -> event "breaker.closes"
+        | Closed | Open _ -> ());
+        br.br_state <- Closed;
+        br.br_failures <- 0;
+        r
+      | exception (Source.Query_rejected _ as e) ->
+        (* A capability rejection is the source answering, not failing:
+           never retried, never a breaker strike. *)
+        raise e
+      | exception (Source.Unavailable _ as e) ->
+        on_failure ();
+        let tripped = match br.br_state with Open _ -> true | Closed | Half_open -> false in
+        if tripped || n >= pol.max_retries then give_up e
+        else
+          let delay = backoff_ms pol t.rng ~attempt:n in
+          (match deadline with
+          | Some dl when now () +. delay > dl -> give_up e
+          | Some _ | None ->
+            Obs_clock.advance delay;
+            incr retries_total;
+            event "retry.retries";
+            attempt (n + 1))
+    in
+    attempt 0
+  end
+
+(* Availability probes go through the same retry/breaker machinery:
+   [false] counts as a failure (strike + optional retry), and an open
+   breaker answers [false] without touching the source. *)
+let call_available t ~source f =
+  if not (active t.pol) then f ()
+  else
+    match
+      call t ~source (fun () -> if f () then () else raise (Source.Unavailable source))
+    with
+    | () -> true
+    | exception Source.Unavailable _ -> false
+
+let policy_to_string pol =
+  Printf.sprintf
+    "retry: retries=%d backoff=%.0f..%.0fms jitter=%.2f deadline=%s breaker=%s \
+     threshold=%d cooldown=%.0fms stale=%s"
+    pol.max_retries pol.base_backoff_ms pol.max_backoff_ms pol.jitter
+    (match pol.call_deadline_ms with
+    | Some d -> Printf.sprintf "%.0fms" d
+    | None -> "none")
+    (if pol.breaker then "on" else "off")
+    pol.breaker_threshold pol.breaker_cooldown_ms
+    (if pol.serve_stale then "on" else "off")
+
+let report t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (policy_to_string t.pol);
+  Buffer.add_char b '\n';
+  let entries =
+    Hashtbl.fold (fun name br acc -> (name, br) :: acc) t.breakers []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, br) ->
+      Buffer.add_string b
+        (Printf.sprintf "  breaker %s: %s failures=%d opens=%d\n" name
+           (breaker_state_name t name) br.br_failures br.br_opens))
+    entries;
+  Buffer.contents b

@@ -1,0 +1,102 @@
+(** Retry, deadline, and circuit-breaker policy for remote source calls.
+
+    The mediator routes every source [execute]/[documents] call through
+    {!call}: transient {!Source.Unavailable} failures are retried with
+    capped exponential backoff and seeded jitter {e charged to the
+    virtual clock} (so backoff composes with gather-round lanes), while
+    a per-source circuit breaker (closed → open → half-open probe) makes
+    a persistently dead source fail fast instead of paying latency plus
+    backoff per fragment.
+
+    The {!default_policy} is inert — no retries, breaker off — and then
+    {!call} is a pure passthrough, so resilience is strictly opt-in.
+    All [retry.*]/[breaker.*] metrics are registered lazily at event
+    time. *)
+
+type policy = {
+  max_retries : int;  (** extra attempts after the first failure *)
+  base_backoff_ms : float;  (** delay before the first retry *)
+  max_backoff_ms : float;  (** exponential backoff cap *)
+  jitter : float;  (** seeded jitter as a fraction of the capped delay *)
+  call_deadline_ms : float option;
+      (** per-call retry budget in virtual ms; a retry whose backoff
+          would overshoot it gives up instead *)
+  breaker : bool;  (** enable per-source circuit breakers *)
+  breaker_threshold : int;  (** consecutive failures before opening *)
+  breaker_cooldown_ms : float;  (** open time before a half-open probe *)
+  serve_stale : bool;
+      (** partial mode may serve TTL-expired {!Frag_cache} extents for a
+          source whose retry budget is exhausted *)
+}
+
+val default_policy : policy
+(** No retries, no deadline, breaker off, stale serving off: resolves
+    every call to a plain passthrough. *)
+
+val active : policy -> bool
+(** True when the policy does anything (retries > 0 or breaker on). *)
+
+val backoff_ms : policy -> Prng.t -> attempt:int -> float
+(** The delay charged before retry [attempt] (0-based):
+    [min (base * 2^attempt) max] plus [jitter * capped * uniform(0,1)]
+    drawn from [rng].  Exposed for the arithmetic tests. *)
+
+type t
+(** Mutable policy engine: current policy, jitter PRNG, and per-source
+    breaker states.  One per {!Med_catalog.t}. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine with {!default_policy}; [seed] (default 11) drives the
+    jitter stream. *)
+
+val policy : t -> policy
+
+val set_policy : t -> policy -> unit
+(** Install a policy and reset all breaker state. *)
+
+val call : t -> source:string -> (unit -> 'a) -> 'a
+(** Run [f] under the current policy.  {!Source.Unavailable} is retried
+    up to [max_retries] times, each retry preceded by {!backoff_ms}
+    advanced on the virtual clock; {!Source.Query_rejected} is never
+    retried and never counts as a breaker strike.  When the budget
+    (retries, per-call deadline, or enclosing {!with_query} deadline) is
+    exhausted, the original exception is re-raised and [retry.gave_up]
+    counted.  An open breaker raises {!Source.Unavailable} immediately
+    ([breaker.fast_fails]) until its cool-down expires, then admits a
+    single half-open probe. *)
+
+val call_available : t -> source:string -> (unit -> bool) -> bool
+(** Availability probes through the same machinery: [false] counts as a
+    failure (breaker strike, optional retry), and an open breaker
+    answers [false] without touching the source. *)
+
+val with_query : t -> ?partial:bool -> ?deadline_ms:float -> (unit -> 'a) -> 'a * string list
+(** Run one query under a per-query retry budget: [deadline_ms] (say, a
+    server request deadline) bounds the {e total} virtual time the
+    query's retries may consume, combining with any enclosing query's
+    deadline by [min].  [partial] enables stale serving (see
+    {!stale_ok}).  Returns [f]'s result and the sources that were served
+    stale during the query. *)
+
+val stale_ok : t -> bool
+(** True when the policy allows stale serving and the current
+    {!with_query} context is partial-mode. *)
+
+val note_stale : t -> source:string -> unit
+(** Record that [source] was answered from a stale cache extent; lands
+    in the [with_query] stale list and [retry.stale_served]. *)
+
+val counters : unit -> int * int * int
+(** Process-wide [(retries, gave_up, fast_fails)] totals — snapshot
+    around a pull to attribute them to an access (EXPLAIN ANALYZE). *)
+
+val breaker_state_name : t -> string -> string
+(** ["closed"], ["open"], or ["half-open"] for a source name. *)
+
+val policy_to_string : policy -> string
+(** One-line rendering, e.g.
+    ["retry: retries=2 backoff=4..64ms jitter=0.25 deadline=none breaker=on threshold=3 cooldown=100ms stale=off"]. *)
+
+val report : t -> string
+(** {!policy_to_string} plus one line per source breaker with its state,
+    consecutive failures, and open count.  Newline-terminated. *)

@@ -1,0 +1,108 @@
+Fault injection and the retry/breaker surface: deterministic fault
+schedules (--flaky) against the demo federation, retries recovering
+transient windows, breaker fail-fast under the concurrency server, and
+the repl's \retry command.  Everything runs on the virtual clock, so
+every line below is byte-for-byte deterministic.
+
+  $ export NIMBLE=../../bin/nimble_cli.exe
+
+A transient offline window covering the first 20 virtual ms: without
+retries the query fails strictly; with --retry 3 the backoff walks past
+the window and the answer is identical to a fault-free run:
+
+  $ $NIMBLE query --flaky crm=off:0:20 'WHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 1 CONSTRUCT <c>$n</c>'
+  nimble: source crm is unavailable
+  [124]
+
+  $ $NIMBLE query --flaky crm=off:0:20 --retry 3 'WHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 1 CONSTRUCT <c>$n</c>'
+  c: Acme
+  
+
+
+A slow-call window only stretches virtual time, never the answer:
+
+  $ $NIMBLE query --flaky crm=slow:0:1000:3 'WHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 1 CONSTRUCT <c>$n</c>'
+  c: Acme
+  
+
+
+EXPLAIN ANALYZE attributes the retries to the access that spent them:
+
+  $ $NIMBLE explain-analyze --flaky crm=off:0:20 --retry 3 'WHERE <row><name>$n</name><tier>$t</tier></row> IN "crm.customers", $t = 1 CONSTRUCT <c>$n</c>' | grep -E 'a[0-9] ->' | sed -E 's/time=[0-9.]+ms/time=_/'
+    a0 -> SQL @crm: SELECT name, tier FROM customers WHERE tier = 1  [est=1000 calls=1 rows=1 time=_ retries=2]
+
+A persistently dead source exhausts its budget; partial mode degrades
+and names it instead of failing:
+
+  $ $NIMBLE query --partial --flaky crm=down --retry 1 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>'
+  
+  -- incomplete: sources unavailable: crm
+
+
+Malformed fault specs and breaker modes are rejected cleanly:
+
+  $ $NIMBLE query --flaky crm=sometimes 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>'
+  nimble: bad fault spec "sometimes" (down, off:FROM:UNTIL, slow:FROM:UNTIL:FACTOR, mid:FROM:UNTIL:PREFIX)
+  [124]
+
+  $ $NIMBLE query --breaker maybe 'WHERE <row><name>$n</name></row> IN "crm.customers" CONSTRUCT <c>$n</c>'
+  nimble: unknown breaker mode "maybe" (on, off)
+  [124]
+
+Under the concurrency server, a breaker turns a dead source's repeated
+failures into fail-fast rejections: with --retry 1 the first two
+requests pay retries (three strikes open the breaker mid-way), the rest
+never touch the source, and the report shows the open breaker:
+
+  $ cat > breaker.serve <<'EOF'
+  > demo
+  > config engines=1 queue=8 inflight=8 overhead=1.0
+  > open alice wonder
+  > offline crm
+  > request alice sales by_region region=west
+  > request alice sales by_region region=west
+  > request alice sales by_region region=west
+  > request alice sales by_region region=west
+  > drain
+  > report
+  > EOF
+  $ $NIMBLE serve --retry 1 --breaker on breaker.serve
+  demo users and lenses installed
+  session alice open (analyst)
+  source crm offline
+  req 0 rejected: failed: source crm is unavailable
+  req 1 rejected: failed: source crm is unavailable
+  req 2 rejected: failed: source crm is unavailable
+  req 3 rejected: failed: source crm is unavailable
+  server: engines=1 overhead=1.0ms
+  queue: depth=0/8 admitted=4 shed=0 (overload=0 saturated=0 expired=0)
+  plan cache: size=1/32 hits=3 misses=1 evictions=0 invalidations=0 fallbacks=0
+    param sales/by_region?region:str  sources=crm
+  retry: retries=1 backoff=4..64ms jitter=0.25 deadline=none breaker=on threshold=3 cooldown=100ms stale=off
+    breaker crm: open failures=3 opens=1
+  engine 0: served=0 busy=0.00ms
+  alice (analyst): submitted=4 completed=0 rejected=4 in-flight=0
+  req 0 rejected: failed: source crm is unavailable
+  req 1 rejected: failed: source crm is unavailable
+  req 2 rejected: failed: source crm is unavailable
+  req 3 rejected: failed: source crm is unavailable
+
+The repl's \retry command inspects and reconfigures the policy:
+
+  $ $NIMBLE repl <<'EOF'
+  > \retry
+  > \retry 2
+  > \retry deadline 50
+  > \retry breaker on
+  > \retry stale on
+  > \retry
+  > \quit
+  > EOF
+  nimble repl — 2 source(s) registered, \help for commands
+  nimble> retry: retries=0 backoff=4..64ms jitter=0.25 deadline=none breaker=off threshold=3 cooldown=100ms stale=off
+  nimble> retry: retries=2 backoff=4..64ms jitter=0.25 deadline=none breaker=off threshold=3 cooldown=100ms stale=off
+  nimble> retry: retries=2 backoff=4..64ms jitter=0.25 deadline=50ms breaker=off threshold=3 cooldown=100ms stale=off
+  nimble> retry: retries=2 backoff=4..64ms jitter=0.25 deadline=50ms breaker=on threshold=3 cooldown=100ms stale=off
+  nimble> retry: retries=2 backoff=4..64ms jitter=0.25 deadline=50ms breaker=on threshold=3 cooldown=100ms stale=on
+  nimble> retry: retries=2 backoff=4..64ms jitter=0.25 deadline=50ms breaker=on threshold=3 cooldown=100ms stale=on
+  nimble> 
